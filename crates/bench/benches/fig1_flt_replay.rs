@@ -1,0 +1,34 @@
+//! Fig. 1 regeneration cost: the FLT-only replay of the evaluation year,
+//! measured end-to-end (weekly purge triggers, daily miss accounting).
+
+use activedr_bench::tiny_scenario;
+use activedr_sim::experiments::fig1::Fig1Data;
+use activedr_sim::{run, SimConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scenario = tiny_scenario();
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+
+    group.bench_function("flt_replay_year", |b| {
+        b.iter(|| {
+            let result = run(
+                black_box(&scenario.traces),
+                scenario.initial_fs.clone(),
+                &SimConfig::flt(90),
+            );
+            black_box(result.total_misses())
+        })
+    });
+
+    group.bench_function("fig1_full_artifact", |b| {
+        b.iter(|| black_box(Fig1Data::compute(&scenario).days_over_5pct))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

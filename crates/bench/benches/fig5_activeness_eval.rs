@@ -1,0 +1,49 @@
+//! Fig. 5 / Fig. 12b: user-activeness evaluation speed. The paper's
+//! resource-friendliness claim is that the whole population evaluates in
+//! well under a second; this measures the evaluator over the full event
+//! stream at each period length.
+
+use activedr_bench::bench_scenario;
+use activedr_core::prelude::*;
+use activedr_trace::activity_events;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let tc = Timestamp::from_days(scenario.snapshot_day());
+    let registry = ActivityTypeRegistry::paper_default();
+    let events = activity_events(&scenario.traces, &registry, tc);
+    let users = scenario.traces.user_ids();
+
+    let mut group = c.benchmark_group("fig5_activeness");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    for period in [7u32, 30, 60, 90] {
+        let evaluator = ActivenessEvaluator::new(
+            registry.clone(),
+            ActivenessConfig::year_window(period),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("evaluate_population", period),
+            &period,
+            |b, _| {
+                b.iter(|| {
+                    let table = evaluator.evaluate(tc, &users, black_box(&events));
+                    black_box(table.len())
+                })
+            },
+        );
+    }
+
+    // Classification on top of an evaluated table.
+    let evaluator =
+        ActivenessEvaluator::new(registry.clone(), ActivenessConfig::year_window(7));
+    let table = evaluator.evaluate(tc, &users, &events);
+    group.bench_function("classify_population", |b| {
+        b.iter(|| black_box(Classification::from_table(&table).shares()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Fig. 6 / Fig. 12b: one retention decision pass over a mid-replay
+//! catalog — FLT vs ActiveDR, bounded and unbounded.
+
+use activedr_bench::{bench_scenario, decision_fixture};
+use activedr_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let fixture = decision_fixture(&scenario);
+    let files = fixture.catalog.total_files() as u64;
+    let target = fixture.catalog.total_bytes() / 2;
+
+    let mut group = c.benchmark_group("fig6_retention_decision");
+    group.throughput(Throughput::Elements(files));
+
+    group.bench_function("flt_unbounded", |b| {
+        let policy = FltPolicy::days(90);
+        b.iter(|| {
+            black_box(policy.run(PurgeRequest {
+                tc: fixture.tc,
+                catalog: &fixture.catalog,
+                activeness: &fixture.table,
+                target_bytes: None,
+            }))
+            .purged_bytes
+        })
+    });
+
+    group.bench_function("activedr_unbounded", |b| {
+        let policy = ActiveDrPolicy::new(RetentionConfig::new(90));
+        b.iter(|| {
+            black_box(policy.run(PurgeRequest {
+                tc: fixture.tc,
+                catalog: &fixture.catalog,
+                activeness: &fixture.table,
+                target_bytes: None,
+            }))
+            .purged_bytes
+        })
+    });
+
+    group.bench_function("activedr_targeted_50pct", |b| {
+        let policy = ActiveDrPolicy::new(RetentionConfig::new(90));
+        b.iter(|| {
+            black_box(policy.run(PurgeRequest {
+                tc: fixture.tc,
+                catalog: &fixture.catalog,
+                activeness: &fixture.table,
+                target_bytes: Some(target),
+            }))
+            .purged_bytes
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

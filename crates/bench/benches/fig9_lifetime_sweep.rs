@@ -1,0 +1,62 @@
+//! Figs. 9-11 / Tables 4-6: the single-snapshot lifetime sweep — both
+//! policies across 7/30/60/90-day lifetimes plus the per-quadrant
+//! breakdown accounting.
+
+use activedr_bench::{decision_fixture, tiny_scenario};
+use activedr_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scenario = tiny_scenario();
+    let fixture = decision_fixture(&scenario);
+    let target = fixture.catalog.total_bytes() / 2;
+
+    let mut group = c.benchmark_group("fig9_sweep");
+    for lifetime in [7u32, 30, 60, 90] {
+        group.bench_with_input(
+            BenchmarkId::new("pair_at_lifetime", lifetime),
+            &lifetime,
+            |b, &lifetime| {
+                b.iter(|| {
+                    let flt = FltPolicy::days(lifetime).run(PurgeRequest {
+                        tc: fixture.tc,
+                        catalog: &fixture.catalog,
+                        activeness: &fixture.table,
+                        target_bytes: None,
+                    });
+                    let adr =
+                        ActiveDrPolicy::new(RetentionConfig::new(lifetime)).run(PurgeRequest {
+                            tc: fixture.tc,
+                            catalog: &fixture.catalog,
+                            activeness: &fixture.table,
+                            target_bytes: Some(target),
+                        });
+                    black_box((flt.purged_bytes, adr.purged_bytes))
+                })
+            },
+        );
+    }
+
+    // The per-quadrant accounting behind the tables.
+    let outcome = ActiveDrPolicy::new(RetentionConfig::new(30)).run(PurgeRequest {
+        tc: fixture.tc,
+        catalog: &fixture.catalog,
+        activeness: &fixture.table,
+        target_bytes: Some(target),
+    });
+    group.bench_function("breakdown_accounting", |b| {
+        b.iter(|| {
+            black_box(RetentionBreakdown::compute(
+                &fixture.catalog,
+                &fixture.table,
+                &outcome,
+            ))
+            .total_purged_bytes()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

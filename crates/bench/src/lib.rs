@@ -1,0 +1,64 @@
+//! Shared fixtures for the Criterion benchmark harness.
+//!
+//! Every bench target regenerates one of the paper's tables or figures
+//! (see `benches/`); this crate provides the common scenario builders so
+//! fixture cost is paid once per target, outside the measured loops.
+
+use activedr_core::prelude::*;
+use activedr_sim::{run_until, Scale, Scenario, SimConfig};
+use activedr_trace::activity_events;
+
+/// Standard benchmark world: small scale, fixed seed.
+pub fn bench_scenario() -> Scenario {
+    Scenario::build(Scale::Small, 42)
+}
+
+/// Tiny world for the more expensive full-replay benches.
+pub fn tiny_scenario() -> Scenario {
+    Scenario::build(Scale::Tiny, 42)
+}
+
+/// A mid-replay file-system state plus everything needed to run one
+/// retention decision.
+pub struct DecisionFixture {
+    pub fs: activedr_fs::VirtualFs,
+    pub catalog: Catalog,
+    pub table: ActivenessTable,
+    pub tc: Timestamp,
+    pub events: Vec<ActivityEvent>,
+    pub users: Vec<UserId>,
+    pub registry: ActivityTypeRegistry,
+}
+
+/// Build the snapshot-day decision fixture the paper's Fig. 12b measures.
+pub fn decision_fixture(scenario: &Scenario) -> DecisionFixture {
+    let (_, fs) = run_until(
+        &scenario.traces,
+        scenario.initial_fs.clone(),
+        &SimConfig::flt(90),
+        Some(scenario.snapshot_day()),
+    );
+    let tc = Timestamp::from_days(scenario.snapshot_day());
+    let registry = ActivityTypeRegistry::paper_default();
+    let events = activity_events(&scenario.traces, &registry, tc);
+    let users = scenario.traces.user_ids();
+    let evaluator =
+        ActivenessEvaluator::new(registry.clone(), ActivenessConfig::year_window(7));
+    let table = evaluator.evaluate(tc, &users, &events);
+    let catalog = fs.catalog(&activedr_fs::ExemptionList::new());
+    DecisionFixture { fs, catalog, table, tc, events, users, registry }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let scenario = tiny_scenario();
+        let fixture = decision_fixture(&scenario);
+        assert!(fixture.catalog.total_files() > 0);
+        assert!(!fixture.events.is_empty());
+        assert!(!fixture.table.is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! End-to-end tests of the `activedr` binary.
+
+use std::process::Command;
+
+fn activedr(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_activedr"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn help_lists_every_experiment() {
+    let out = activedr(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for exp in [
+        "fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "tab1",
+        "baselines", "variance", "targets", "ablation", "all",
+    ] {
+        assert!(text.contains(exp), "help missing {exp}");
+    }
+}
+
+#[test]
+fn run_tab1_tiny_produces_the_table() {
+    let out = activedr(&["run", "tab1", "--scale", "tiny", "--seed", "3"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("Table 1"));
+    assert!(text.contains("OLCF"));
+}
+
+#[test]
+fn json_format_emits_parseable_json() {
+    let out = activedr(&["run", "fig5", "--scale", "tiny", "--format", "json"]);
+    assert!(out.status.success());
+    let value: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert!(value.get("rows").is_some());
+}
+
+#[test]
+fn simulate_prints_a_digest() {
+    let out = activedr(&[
+        "simulate", "--scale", "tiny", "--policy", "flt", "--lifetime", "30", "--recovery",
+        "none",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("retention digest: FLT"));
+}
+
+#[test]
+fn gen_and_stats_round_trip() {
+    let dir = std::env::temp_dir().join(format!("activedr-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("traces.json");
+    let out = activedr(&[
+        "gen", "--scale", "tiny", "--seed", "9", "--out",
+        trace_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(trace_path.exists());
+    let stats = activedr(&["stats", "--scale", "tiny", "--seed", "9"]);
+    assert!(stats.status.success());
+    assert!(String::from_utf8(stats.stdout).unwrap().contains("users:"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn import_pipeline_via_binary() {
+    let dir = std::env::temp_dir().join(format!("activedr-import-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sacct = dir.join("jobs.txt");
+    std::fs::write(
+        &sacct,
+        "JobID|User|Submit|Start|End|NCPUS|State\n\
+         1|alice|2015-06-01T08:00:00|2015-06-01T08:01:00|2015-06-01T10:01:00|64|COMPLETED\n",
+    )
+    .unwrap();
+    let out_path = dir.join("traces.json");
+    let out = activedr(&[
+        "import", "--sacct", sacct.to_str().unwrap(), "--out", out_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("sacct: 1 jobs"));
+    assert!(out_path.exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_invocations_fail_cleanly() {
+    for args in [
+        vec!["run", "fig99"],
+        vec!["run", "fig1", "--scale", "galactic"],
+        vec!["frobnicate"],
+        vec!["simulate", "--policy", "lru"],
+        vec!["import"],
+    ] {
+        let out = activedr(&args);
+        assert!(!out.status.success(), "{args:?} should fail");
+        assert!(!out.stderr.is_empty(), "{args:?} should explain itself");
+    }
+}

@@ -1,0 +1,251 @@
+//! Administrator configuration.
+//!
+//! ActiveDR is designed to need only a one-time setup (§3): the activity
+//! types and weights (see [`crate::event::ActivityTypeRegistry`]), the
+//! activeness-evaluation window, and the retention parameters (initial file
+//! lifetime, purge trigger interval, purge target, retrospective-scan
+//! controls). This module also carries the fixed-lifetime presets of
+//! Table 1 used by the FLT baseline.
+
+use crate::time::TimeDelta;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the user-activeness evaluation (Eqs. 1-6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActivenessConfig {
+    /// Period length `d`. The paper evaluates 7, 30, 60 and 90 days.
+    pub period: TimeDelta,
+    /// Number of periods `m` in the evaluation window. Activities older
+    /// than `m · period` before the evaluation instant are ignored.
+    ///
+    /// The paper derives `m` from the span of each user's activities
+    /// (Eq. 1); anchoring a fixed window at the evaluation instant instead
+    /// makes ranks comparable across users and is what the period-index
+    /// formula (Eq. 4) implies once the newest period is pinned at `t_c`
+    /// (Fig. 3). See DESIGN.md §4.
+    pub periods_in_window: u32,
+}
+
+impl ActivenessConfig {
+    /// Window covering roughly one year with the given period length —
+    /// the shape used throughout the paper's evaluation.
+    pub fn year_window(period_days: u32) -> Self {
+        assert!(period_days > 0, "period length must be positive");
+        ActivenessConfig {
+            period: TimeDelta::from_days(period_days as i64),
+            periods_in_window: 365_u32.div_ceil(period_days),
+        }
+    }
+
+    pub fn new(period_days: u32, periods_in_window: u32) -> Self {
+        assert!(period_days > 0, "period length must be positive");
+        assert!(periods_in_window > 0, "window must contain at least one period");
+        ActivenessConfig {
+            period: TimeDelta::from_days(period_days as i64),
+            periods_in_window,
+        }
+    }
+
+    /// Total window span `m · d`.
+    pub fn window(&self) -> TimeDelta {
+        TimeDelta(self.period.secs() * self.periods_in_window as i64)
+    }
+}
+
+impl Default for ActivenessConfig {
+    fn default() -> Self {
+        ActivenessConfig::year_window(7)
+    }
+}
+
+/// How the per-user file-lifetime multiplier of Eq. (7) is derived from the
+/// class ranks. See DESIGN.md §4 for why two readings exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum LifetimeAdjust {
+    /// Eq. (7) verbatim: `ε_f = d · Φ_op · Φ_oc`. A user with `Φ = 0` in
+    /// either class gets a zero lifetime, so *any* file of theirs is stale.
+    Raw,
+    /// Each class rank is floored at 1 before multiplying, and the product
+    /// is floored at 1:
+    /// `ε_f = d · max(1, max(1,Φ_op) · max(1,Φ_oc))`.
+    ///
+    /// This implements the §3.4 guarantee that both-inactive (and new)
+    /// users' files "follow the initial file lifetime setting and will not
+    /// be purged when they are scanned the first time", while an
+    /// operation-active-only user is still rewarded by their full `Φ_op`
+    /// rather than having it annihilated by `Φ_oc = 0`. The retrospective
+    /// decay then pushes the multiplier below 1 when the purge target
+    /// requires it.
+    #[default]
+    ClampedPerClass,
+}
+
+/// Parameters of the data-retention procedure (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionConfig {
+    /// Initial file lifetime `d` granted to new and both-inactive users and
+    /// scaled by activeness for everyone else (Eq. 7).
+    pub initial_lifetime: TimeDelta,
+    /// How the activeness multiplier is formed.
+    pub adjust: LifetimeAdjust,
+    /// Cap on the lifetime multiplier so hyper-active users cannot earn an
+    /// unbounded lifetime (`ε_f ≤ initial_lifetime · multiplier_cap`).
+    pub multiplier_cap: f64,
+    /// Maximum number of *extra* retrospective passes over a group whose
+    /// scan did not meet the purge target ("currently five times in our
+    /// implementation").
+    pub retro_passes: u32,
+    /// Fractional rank decay applied before each retrospective pass
+    /// ("decrease the user activeness rank by ... 20% each time").
+    pub retro_decay: f64,
+    /// §3.4 guarantee: "active users are protected from file purge to the
+    /// maximum degree". When set, the retrospective decay never pushes an
+    /// *active-quadrant* user's lifetime multiplier below 1 — their files
+    /// are never treated worse than under plain FLT. Inactive users decay
+    /// freely so the purge target can still be chased.
+    pub protect_active_floor: bool,
+}
+
+impl RetentionConfig {
+    pub fn new(initial_lifetime_days: u32) -> Self {
+        RetentionConfig {
+            initial_lifetime: TimeDelta::from_days(initial_lifetime_days as i64),
+            ..RetentionConfig::default()
+        }
+    }
+
+    /// The OLCF/Spider II setting the paper replays: 90-day lifetime.
+    pub fn paper_default() -> Self {
+        RetentionConfig::new(90)
+    }
+
+    pub fn with_adjust(mut self, adjust: LifetimeAdjust) -> Self {
+        self.adjust = adjust;
+        self
+    }
+
+    pub fn with_retro(mut self, passes: u32, decay: f64) -> Self {
+        assert!((0.0..1.0).contains(&decay), "decay must be in [0,1)");
+        self.retro_passes = passes;
+        self.retro_decay = decay;
+        self
+    }
+
+    pub fn validate(&self) {
+        assert!(self.initial_lifetime.secs() > 0, "initial lifetime must be positive");
+        assert!(
+            self.multiplier_cap >= 1.0 && self.multiplier_cap.is_finite(),
+            "multiplier cap must be finite and >= 1"
+        );
+        assert!((0.0..1.0).contains(&self.retro_decay), "decay must be in [0,1)");
+    }
+}
+
+impl Default for RetentionConfig {
+    fn default() -> Self {
+        RetentionConfig {
+            initial_lifetime: TimeDelta::from_days(90),
+            adjust: LifetimeAdjust::default(),
+            multiplier_cap: 1e6,
+            retro_passes: 5,
+            retro_decay: 0.2,
+            protect_active_floor: true,
+        }
+    }
+}
+
+/// Fixed-lifetime retention presets at real HPC facilities (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Facility {
+    /// NCAR GLADE: purge any 120-day old file.
+    Ncar,
+    /// OLCF Spider: purge any 90-day old file.
+    Olcf,
+    /// TACC: purge any 30-day old file.
+    Tacc,
+    /// NERSC: purge any 12-week (84-day) old file.
+    Nersc,
+}
+
+impl Facility {
+    pub const ALL: [Facility; 4] =
+        [Facility::Ncar, Facility::Olcf, Facility::Tacc, Facility::Nersc];
+
+    /// The fixed file lifetime of this facility's scratch purge policy.
+    pub fn lifetime(self) -> TimeDelta {
+        match self {
+            Facility::Ncar => TimeDelta::from_days(120),
+            Facility::Olcf => TimeDelta::from_days(90),
+            Facility::Tacc => TimeDelta::from_days(30),
+            Facility::Nersc => TimeDelta::from_days(7 * 12),
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Facility::Ncar => "NCAR",
+            Facility::Olcf => "OLCF",
+            Facility::Tacc => "TACC",
+            Facility::Nersc => "NERSC",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn year_window_covers_a_year() {
+        for d in [7u32, 30, 60, 90] {
+            let c = ActivenessConfig::year_window(d);
+            assert!(c.window() >= TimeDelta::from_days(365), "period {d}");
+            assert!(
+                c.window() - c.period < TimeDelta::from_days(365),
+                "window for period {d} has a spare period"
+            );
+        }
+        assert_eq!(ActivenessConfig::year_window(7).periods_in_window, 53);
+        assert_eq!(ActivenessConfig::year_window(30).periods_in_window, 13);
+        assert_eq!(ActivenessConfig::year_window(90).periods_in_window, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "period length must be positive")]
+    fn zero_period_rejected() {
+        ActivenessConfig::year_window(0);
+    }
+
+    #[test]
+    fn retention_defaults_match_paper() {
+        let r = RetentionConfig::paper_default();
+        assert_eq!(r.initial_lifetime, TimeDelta::from_days(90));
+        assert_eq!(r.retro_passes, 5);
+        assert!((r.retro_decay - 0.2).abs() < 1e-12);
+        r.validate();
+    }
+
+    #[test]
+    fn facility_presets_match_table1() {
+        assert_eq!(Facility::Ncar.lifetime(), TimeDelta::from_days(120));
+        assert_eq!(Facility::Olcf.lifetime(), TimeDelta::from_days(90));
+        assert_eq!(Facility::Tacc.lifetime(), TimeDelta::from_days(30));
+        assert_eq!(Facility::Nersc.lifetime(), TimeDelta::from_days(84));
+        assert_eq!(Facility::ALL.len(), 4);
+        assert_eq!(Facility::Olcf.name(), "OLCF");
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must be in [0,1)")]
+    fn bad_decay_rejected() {
+        RetentionConfig::new(30).with_retro(5, 1.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_cap() {
+        let mut r = RetentionConfig::new(30);
+        r.multiplier_cap = 0.5;
+        let result = std::panic::catch_unwind(move || r.validate());
+        assert!(result.is_err());
+    }
+}

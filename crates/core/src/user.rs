@@ -1,0 +1,51 @@
+//! User identity.
+//!
+//! ActiveDR is user-centric: every file is owned by a user and every purge
+//! decision is driven by the owner's activeness. Users are identified by a
+//! dense numeric id so that per-user state can live in flat vectors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A system user (the paper's anonymized OLCF user ids).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct UserId(pub u32);
+
+impl UserId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl From<u32> for UserId {
+    fn from(v: u32) -> Self {
+        UserId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        let u = UserId(42);
+        assert_eq!(u.to_string(), "u42");
+        assert_eq!(u.index(), 42);
+        assert_eq!(UserId::from(7u32), UserId(7));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(UserId(2) < UserId(10));
+    }
+}

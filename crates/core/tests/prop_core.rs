@@ -1,0 +1,323 @@
+//! Property-based tests for the activeness model and retention policies.
+
+use activedr_core::prelude::*;
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+
+fn evaluator(period_days: u32, m: u32) -> ActivenessEvaluator {
+    ActivenessEvaluator::new(
+        ActivityTypeRegistry::paper_default(),
+        ActivenessConfig::new(period_days, m),
+    )
+}
+
+/// Arbitrary activity history: (day offset in window, impact) pairs.
+fn history(max_days: i64) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec(
+        (0.0..max_days as f64, 0.01f64..1000.0),
+        0..40,
+    )
+}
+
+proptest! {
+    /// Scaling every impact by a positive constant leaves the rank
+    /// unchanged — long jobs are not rewarded merely for being long
+    /// relative to *other users* (§3.2 末: ratios are within-user).
+    #[test]
+    fn rank_is_scale_invariant(hist in history(70), scale in 0.001f64..1e6) {
+        let ev = evaluator(7, 10);
+        let tc = Timestamp::from_days(70);
+        let base: Vec<_> = hist.iter()
+            .map(|(d, i)| (Timestamp::from_days_f64(*d), *i)).collect();
+        let scaled: Vec<_> = base.iter().map(|(t, i)| (*t, i * scale)).collect();
+        let a = ev.type_activeness(tc, base);
+        let b = ev.type_activeness(tc, scaled);
+        if a.rank.is_zero() {
+            prop_assert!(b.rank.is_zero());
+        } else {
+            prop_assert!((a.rank.ln() - b.rank.ln()).abs() < 1e-6 * (1.0 + a.rank.ln().abs()));
+        }
+    }
+
+    /// A single activity in a more recent period never ranks below the same
+    /// activity in an older period (the Eq. 5 recency weighting).
+    #[test]
+    fn single_event_recency_monotone(
+        impact in 0.01f64..1e6,
+        older in 0i64..9,
+    ) {
+        let ev = evaluator(7, 10);
+        let tc = Timestamp::from_days(70);
+        // Place events mid-period to avoid boundary ties.
+        let newer_ts = Timestamp::from_days_f64(66.5 - 0.0);
+        let older_ts = Timestamp::from_days_f64(66.5 - 7.0 * (older as f64 + 1.0));
+        let newer = ev.type_activeness(tc, vec![(newer_ts, impact)]);
+        let old = ev.type_activeness(tc, vec![(older_ts, impact)]);
+        prop_assert!(newer.rank >= old.rank);
+    }
+
+    /// The evaluated table always classifies; every user lands in exactly
+    /// one quadrant and shares sum to 1.
+    #[test]
+    fn classification_partitions_population(
+        users in prop::collection::vec(0u32..500, 1..100),
+    ) {
+        let ev = evaluator(7, 4);
+        let mut ids: Vec<UserId> = users.iter().map(|u| UserId(*u)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let table = ev.evaluate(Timestamp::from_days(28), &ids, &[]);
+        let c = Classification::from_table(&table);
+        prop_assert_eq!(c.total_users(), ids.len());
+        let s = c.shares();
+        prop_assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // With no events at all everyone is both-inactive.
+        prop_assert_eq!(c.group(Quadrant::BothInactive).len(), ids.len());
+    }
+}
+
+proptest! {
+    /// The streaming evaluator is bitwise-equivalent to the batch
+    /// evaluator for any event stream over the full multi-type Table 2
+    /// registry and any forward sequence of evaluation instants.
+    #[test]
+    fn streaming_equals_batch(
+        events in prop::collection::vec(
+            (0u32..6, 0u8..7, 0.0f64..400.0, 0.01f64..1e4),
+            0..60,
+        ),
+        eval_days in prop::collection::vec(0i64..500, 1..4),
+    ) {
+        // The extended registry exercises several types per class, so the
+        // class-rank product paths are covered too.
+        let registry = ActivityTypeRegistry::extended();
+        let config = ActivenessConfig::new(7, 10);
+        let users: Vec<UserId> = (0..6).map(UserId).collect();
+
+        let events: Vec<ActivityEvent> = events
+            .into_iter()
+            .map(|(u, kind, day, impact)| {
+                ActivityEvent::new(
+                    UserId(u),
+                    activedr_core::event::ActivityTypeId(kind as u16 % registry.len() as u16),
+                    Timestamp::from_days_f64(day),
+                    impact,
+                )
+            })
+            .collect();
+
+        let batch = ActivenessEvaluator::new(registry.clone(), config);
+        let mut streaming = StreamingEvaluator::new(registry, config);
+        for &u in &users {
+            streaming.register_user(u);
+        }
+        streaming.observe_all(events.iter().copied());
+
+        let mut days = eval_days;
+        days.sort_unstable(); // streaming time must move forward
+        for day in days {
+            let tc = Timestamp::from_days(day);
+            let s = streaming.evaluate(tc);
+            let visible: Vec<ActivityEvent> =
+                events.iter().filter(|e| e.ts <= tc).copied().collect();
+            let b = batch.evaluate(tc, &users, &visible);
+            for &u in &users {
+                prop_assert_eq!(
+                    s.get(u).op.ln().to_bits(),
+                    b.get(u).op.ln().to_bits(),
+                    "day {} user {} op", day, u
+                );
+                prop_assert_eq!(
+                    s.get(u).oc.ln().to_bits(),
+                    b.get(u).oc.ln().to_bits(),
+                    "day {} user {} oc", day, u
+                );
+            }
+        }
+    }
+}
+
+/// Arbitrary catalog: up to 8 users, each with up to 20 files.
+fn arb_catalog() -> impl Strategy<Value = Catalog> {
+    prop::collection::vec(
+        prop::collection::vec(
+            (1u64..1_000_000, 0i64..400, prop::bool::weighted(0.1)),
+            0..20,
+        ),
+        1..8,
+    )
+    .prop_map(|users| {
+        let mut next_id = 0u64;
+        Catalog::new(
+            users
+                .into_iter()
+                .enumerate()
+                .map(|(u, files)| {
+                    UserFiles::new(
+                        UserId(u as u32),
+                        files
+                            .into_iter()
+                            .map(|(size, atime_day, exempt)| {
+                                next_id += 1;
+                                let mut f = FileRecord::new(
+                                    FileId(next_id),
+                                    size,
+                                    Timestamp::from_days(atime_day),
+                                );
+                                f.exempt = exempt;
+                                f
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    })
+}
+
+fn arb_table(n_users: u32) -> impl Strategy<Value = ActivenessTable> {
+    prop::collection::vec((0.0f64..20.0, 0.0f64..20.0), n_users as usize)
+        .prop_map(|ranks| {
+            ranks
+                .into_iter()
+                .enumerate()
+                .map(|(u, (op, oc))| {
+                    (
+                        UserId(u as u32),
+                        UserActiveness::new(Rank::from_value(op), Rank::from_value(oc)),
+                    )
+                })
+                .collect()
+        })
+}
+
+proptest! {
+    /// FLT purges exactly the stale non-exempt set, regardless of owners.
+    #[test]
+    fn flt_purges_exactly_stale_set(catalog in arb_catalog(), lifetime in 1u32..365) {
+        let table = ActivenessTable::new();
+        let tc = Timestamp::from_days(400);
+        let policy = FltPolicy::days(lifetime);
+        let out = policy.run(PurgeRequest { tc, catalog: &catalog, activeness: &table, target_bytes: None });
+        let mut expected = 0u64;
+        for uf in &catalog.users {
+            for f in &uf.files {
+                if !f.exempt && tc.age_since(f.atime) > TimeDelta::from_days(lifetime as i64) {
+                    expected += 1;
+                }
+            }
+        }
+        prop_assert_eq!(out.purged_files(), expected);
+        let bytes: u64 = out.purged.iter().map(|p| p.size).sum();
+        prop_assert_eq!(bytes, out.purged_bytes);
+    }
+
+    /// ActiveDR invariants: no exempt file purged, no file purged twice,
+    /// purged bytes consistent, and the target — when met — is not wildly
+    /// overshot (overshoot is bounded by the last purged file).
+    #[test]
+    fn activedr_invariants(
+        catalog in arb_catalog(),
+        target in prop::option::of(1u64..5_000_000),
+        lifetime in 1u32..365,
+    ) {
+        let n = catalog.users.len() as u32;
+        let table_strategy = arb_table(n);
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let table = table_strategy.new_tree(&mut runner).unwrap().current();
+
+        let tc = Timestamp::from_days(400);
+        let policy = ActiveDrPolicy::new(RetentionConfig::new(lifetime));
+        let out = policy.run(PurgeRequest { tc, catalog: &catalog, activeness: &table, target_bytes: target });
+
+        // No duplicates.
+        let mut ids: Vec<u64> = out.purged.iter().map(|p| p.id.0).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), before);
+
+        // Purged files exist in the catalog, are not exempt, and byte
+        // accounting matches.
+        let mut bytes = 0u64;
+        for p in &out.purged {
+            let uf = catalog.get(p.user).expect("purged file from unknown user");
+            let f = uf.files.iter().find(|f| f.id == p.id).expect("purged unknown file");
+            prop_assert!(!f.exempt, "exempt file purged");
+            prop_assert_eq!(f.size, p.size);
+            bytes += p.size;
+        }
+        prop_assert_eq!(bytes, out.purged_bytes);
+
+        if let Some(t) = target {
+            if out.target_met {
+                prop_assert!(out.purged_bytes >= t);
+                // Overshoot bounded by final file size.
+                if let Some(last) = out.purged.last() {
+                    prop_assert!(out.purged_bytes - last.size < t);
+                }
+            }
+        } else {
+            prop_assert!(out.target_met);
+        }
+    }
+
+    /// With no target, ActiveDR's stale test per user is exactly
+    /// age > d·multiplier — cross-check against a naive reimplementation.
+    #[test]
+    fn activedr_unbounded_matches_naive_model(
+        catalog in arb_catalog(),
+        lifetime in 1u32..200,
+    ) {
+        let n = catalog.users.len() as u32;
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let table = arb_table(n).new_tree(&mut runner).unwrap().current();
+        let tc = Timestamp::from_days(400);
+        let cfg = RetentionConfig::new(lifetime);
+        let policy = ActiveDrPolicy::new(cfg);
+        let out = policy.run(PurgeRequest { tc, catalog: &catalog, activeness: &table, target_bytes: None });
+
+        let mut expected: Vec<u64> = Vec::new();
+        for uf in &catalog.users {
+            let mult = policy.multiplier(table.get(uf.user), 0);
+            let eps = cfg.initial_lifetime.scale(mult);
+            for f in &uf.files {
+                if !f.exempt && tc.age_since(f.atime) > eps {
+                    expected.push(f.id.0);
+                }
+            }
+        }
+        expected.sort_unstable();
+        let mut got: Vec<u64> = out.purged.iter().map(|p| p.id.0).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Breakdown conservation: purged + retained == catalog totals.
+    #[test]
+    fn breakdown_conserves_bytes(catalog in arb_catalog(), lifetime in 1u32..365) {
+        let n = catalog.users.len() as u32;
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let table = arb_table(n).new_tree(&mut runner).unwrap().current();
+        let tc = Timestamp::from_days(400);
+        let out = ActiveDrPolicy::new(RetentionConfig::new(lifetime))
+            .run(PurgeRequest { tc, catalog: &catalog, activeness: &table, target_bytes: Some(1_000) });
+        let b = RetentionBreakdown::compute(&catalog, &table, &out);
+        prop_assert_eq!(b.total_purged_bytes() + b.total_retained_bytes(), catalog.total_bytes());
+        prop_assert_eq!(b.total_purged_bytes(), out.purged_bytes);
+    }
+
+    /// Rank decay is monotone: each retrospective pass never increases any
+    /// user's multiplier.
+    #[test]
+    fn multiplier_monotone_in_pass(op in 0.0f64..100.0, oc in 0.0f64..100.0) {
+        let p = ActiveDrPolicy::new(RetentionConfig::new(90));
+        let a = UserActiveness::new(Rank::from_value(op), Rank::from_value(oc));
+        let mut prev = p.multiplier(a, 0);
+        for pass in 1..=5 {
+            let m = p.multiplier(a, pass);
+            prop_assert!(m <= prev + 1e-12);
+            prev = m;
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # activedr-fs — virtual parallel file system substrate
+//!
+//! The storage substrate that the ActiveDR emulation runs against,
+//! reproducing the pieces the paper builds from the Spider II metadata
+//! snapshots:
+//!
+//! * [`trie`] — a compact path prefix tree (path-compressed radix trie over
+//!   `/`-components) serving as the virtual file system index;
+//! * [`meta`] — per-file metadata (owner, size, atime, stripe count);
+//! * [`striping`] — the OLCF best-practice striping model used to
+//!   synthesize file sizes from stripe counts;
+//! * [`vfs`] — the file-system facade: create/access/remove with capacity
+//!   accounting, plus the catalog-scan bridge to the `activedr-core`
+//!   policy layer;
+//! * [`exemption`] — the purge-exemption (reservation) list;
+//! * [`snapshot`] — weekly metadata snapshot capture/restore with a JSONL
+//!   wire format;
+//! * [`scan`] — rayon-parallel catalog scans with per-shard counters (the
+//!   single-node analog of the paper's 20-rank MPI scan).
+
+#![forbid(unsafe_code)]
+
+pub mod exemption;
+pub mod meta;
+pub mod scan;
+pub mod snapshot;
+pub mod striping;
+pub mod trie;
+pub mod vfs;
+
+pub use exemption::ExemptionList;
+pub use meta::FileMeta;
+pub use scan::{parallel_catalog, ScanResult, ShardReport};
+pub use snapshot::{Snapshot, SnapshotDiff, SnapshotEntry, SnapshotError};
+pub use striping::{recommended_stripes, size_band, SizeSynthesizer, SynthesisParams};
+pub use trie::{DirEntry, InsertError, Inserted, NodeId, PathTrie};
+pub use vfs::{Access, VirtualFs};

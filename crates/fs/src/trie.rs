@@ -1,0 +1,1002 @@
+//! Compact path prefix tree (radix trie over path components).
+//!
+//! The paper indexes every file path of the Spider metadata snapshot into a
+//! "compact prefix tree" that serves as the virtual file system for the
+//! emulation: it answers "does this path exist?" during trace replay (a
+//! miss means the file was purged or never existed) and hands back the
+//! per-file metadata. The same structure backs the purge-exemption
+//! (reservation) list.
+//!
+//! This implementation is a path-compressed trie over `/`-separated
+//! components: each edge carries one *or more* components, and chains with
+//! no branching collapse into a single node, which is what makes the
+//! structure compact for deep HPC directory layouts
+//! (`/lustre/atlas/u123/proj4/run17/out/part-00001.dat`).
+//!
+//! Nodes live in an arena with a free list; a file's [`NodeId`] is stable
+//! for as long as the file exists and doubles as the
+//! [`FileId`](activedr_core::files::FileId) seen by the retention policies.
+
+use crate::meta::FileMeta;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Index of a trie node in the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    pub const ROOT: NodeId = NodeId(0);
+
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Components of the edge leading into this node (empty only for the
+    /// root and freed slots). `edge[0]` equals the key under which the
+    /// parent holds this node.
+    edge: Vec<Box<str>>,
+    parent: NodeId,
+    children: BTreeMap<Box<str>, NodeId>,
+    /// `Some` iff a file terminates exactly at this node.
+    meta: Option<FileMeta>,
+    /// Slot generation, bumped on free; detects stale ids.
+    live: bool,
+}
+
+impl Node {
+    fn empty() -> Node {
+        Node {
+            edge: Vec::new(),
+            parent: NodeId::ROOT,
+            children: BTreeMap::new(),
+            meta: None,
+            live: true,
+        }
+    }
+}
+
+/// Why an insert was rejected.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InsertError {
+    /// The path is empty or normalizes to the root.
+    EmptyPath,
+    /// A strict prefix of the path is an existing *file* — a file cannot
+    /// also be a directory.
+    FileIsNotADirectory { file_prefix: String },
+    /// The exact path already exists as a directory with children.
+    DirectoryExists,
+}
+
+impl fmt::Display for InsertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InsertError::EmptyPath => write!(f, "empty path"),
+            InsertError::FileIsNotADirectory { file_prefix } => {
+                write!(f, "path prefix {file_prefix:?} is an existing file")
+            }
+            InsertError::DirectoryExists => write!(f, "path is an existing directory"),
+        }
+    }
+}
+
+impl std::error::Error for InsertError {}
+
+/// Why a rename failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RenameError {
+    /// No file at the source path.
+    SourceMissing,
+    /// The destination path was invalid; the source is untouched.
+    Destination(InsertError),
+}
+
+impl fmt::Display for RenameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RenameError::SourceMissing => write!(f, "rename source does not exist"),
+            RenameError::Destination(e) => write!(f, "rename destination invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RenameError {}
+
+/// Structural statistics of a [`PathTrie`] (see [`PathTrie::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TrieStats {
+    pub files: usize,
+    /// Explicit directory nodes (branch points); implicit directories
+    /// inside compressed edges are not counted.
+    pub directories: usize,
+    pub nodes: usize,
+    /// Maximum node depth in edges (not components).
+    pub max_depth: usize,
+    /// Components stored across all edges.
+    pub stored_components: usize,
+    /// Components across all file paths (what an uncompressed
+    /// component-per-node trie would store at minimum).
+    pub path_components: usize,
+}
+
+impl TrieStats {
+    /// Stored components relative to total path components — < 1.0 means
+    /// the compression is saving space via shared prefixes.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.path_components == 0 {
+            0.0
+        } else {
+            self.stored_components as f64 / self.path_components as f64
+        }
+    }
+}
+
+/// One `readdir` entry (see [`PathTrie::list_dir`]).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DirEntry {
+    /// The child's path component.
+    pub name: String,
+    /// Whether a file terminates exactly at this entry (otherwise it is a
+    /// directory, possibly implicit).
+    pub is_file: bool,
+}
+
+/// Result of a successful insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inserted {
+    /// A new file node was created.
+    Created(NodeId),
+    /// The path already held a file; its metadata was replaced.
+    Replaced(NodeId),
+}
+
+impl Inserted {
+    pub fn id(self) -> NodeId {
+        match self {
+            Inserted::Created(id) | Inserted::Replaced(id) => id,
+        }
+    }
+}
+
+/// Split a path into normalized components.
+pub fn components(path: &str) -> impl Iterator<Item = &str> {
+    path.split('/').filter(|c| !c.is_empty() && *c != ".")
+}
+
+/// A compact path prefix tree mapping absolute paths to [`FileMeta`].
+///
+/// ```
+/// use activedr_fs::{PathTrie, FileMeta};
+/// use activedr_core::{time::Timestamp, user::UserId};
+///
+/// let mut trie = PathTrie::new();
+/// let meta = FileMeta::new(UserId(7), 4096, Timestamp::from_days(10));
+/// trie.insert("/lustre/u7/run/out.h5", meta).unwrap();
+///
+/// assert!(trie.lookup("/lustre/u7/run/out.h5").is_some());
+/// assert!(trie.is_dir("/lustre/u7"));           // implicit directory
+/// assert_eq!(trie.iter_prefix("/lustre/u7").count(), 1);
+/// assert_eq!(trie.remove("/lustre/u7/run/out.h5").unwrap().size, 4096);
+/// assert!(trie.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PathTrie {
+    nodes: Vec<Node>,
+    free: Vec<NodeId>,
+    file_count: usize,
+}
+
+impl Default for PathTrie {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PathTrie {
+    pub fn new() -> PathTrie {
+        PathTrie { nodes: vec![Node::empty()], free: Vec::new(), file_count: 0 }
+    }
+
+    /// Number of files (not internal nodes) stored.
+    pub fn len(&self) -> usize {
+        self.file_count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.file_count == 0
+    }
+
+    /// Number of live arena nodes, including directories and the root.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    fn node(&self, id: NodeId) -> &Node {
+        let n = &self.nodes[id.idx()];
+        debug_assert!(n.live, "access to freed node {id}");
+        n
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        let n = &mut self.nodes[id.idx()];
+        debug_assert!(n.live, "access to freed node {id}");
+        n
+    }
+
+    fn alloc(&mut self, node: Node) -> NodeId {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id.idx()] = node;
+            id
+        } else {
+            let id = NodeId(u32::try_from(self.nodes.len()).expect("trie arena overflow"));
+            self.nodes.push(node);
+            id
+        }
+    }
+
+    fn release(&mut self, id: NodeId) {
+        debug_assert_ne!(id, NodeId::ROOT);
+        let n = &mut self.nodes[id.idx()];
+        n.live = false;
+        n.edge = Vec::new();
+        n.children = BTreeMap::new();
+        n.meta = None;
+        self.free.push(id);
+    }
+
+    /// Insert (or replace) a file at `path`.
+    pub fn insert(&mut self, path: &str, meta: FileMeta) -> Result<Inserted, InsertError> {
+        let comps: Vec<&str> = components(path).collect();
+        if comps.is_empty() {
+            return Err(InsertError::EmptyPath);
+        }
+        let mut cur = NodeId::ROOT;
+        let mut i = 0usize;
+        while i < comps.len() {
+            // A file node along the way blocks descent.
+            if self.node(cur).meta.is_some() {
+                return Err(InsertError::FileIsNotADirectory {
+                    file_prefix: self.path_of(cur),
+                });
+            }
+            let Some(&child) = self.node(cur).children.get(comps[i]) else {
+                // No branch: hang the whole remainder as one compressed edge.
+                let edge: Vec<Box<str>> = comps[i..].iter().map(|c| (*c).into()).collect();
+                let key = edge[0].clone();
+                let new_id = self.alloc(Node {
+                    edge,
+                    parent: cur,
+                    children: BTreeMap::new(),
+                    meta: Some(meta),
+                    live: true,
+                });
+                self.node_mut(cur).children.insert(key, new_id);
+                self.file_count += 1;
+                return Ok(Inserted::Created(new_id));
+            };
+            // Walk the shared prefix of the child's edge and our remainder.
+            let shared = {
+                let edge = &self.node(child).edge;
+                let mut j = 0usize;
+                while j < edge.len() && i + j < comps.len() && &*edge[j] == comps[i + j] {
+                    j += 1;
+                }
+                j
+            };
+            if shared == self.node(child).edge.len() {
+                // Full edge consumed; descend.
+                cur = child;
+                i += shared;
+            } else {
+                // Split the child's edge at `shared`.
+                let (head, tail, child_key_after_split) = {
+                    let edge = &self.node(child).edge;
+                    (
+                        edge[..shared].to_vec(),
+                        edge[shared..].to_vec(),
+                        edge[shared].clone(),
+                    )
+                };
+                let key = head[0].clone();
+                let mid = self.alloc(Node {
+                    edge: head,
+                    parent: cur,
+                    children: BTreeMap::new(),
+                    meta: None,
+                    live: true,
+                });
+                self.node_mut(mid).children.insert(child_key_after_split, child);
+                {
+                    let c = self.node_mut(child);
+                    c.edge = tail;
+                    c.parent = mid;
+                }
+                self.node_mut(cur).children.insert(key, mid);
+                cur = mid;
+                i += shared;
+            }
+        }
+        // Path fully consumed at `cur`.
+        debug_assert_ne!(cur, NodeId::ROOT);
+        if self.node(cur).meta.is_some() {
+            self.node_mut(cur).meta = Some(meta);
+            return Ok(Inserted::Replaced(cur));
+        }
+        if !self.node(cur).children.is_empty() {
+            return Err(InsertError::DirectoryExists);
+        }
+        // `cur` is a freshly split intermediate with no children yet — it
+        // becomes the file node.
+        self.node_mut(cur).meta = Some(meta);
+        self.file_count += 1;
+        Ok(Inserted::Created(cur))
+    }
+
+    /// Walk to the node exactly matching `path`, file or directory.
+    fn walk(&self, path: &str) -> Option<NodeId> {
+        let comps: Vec<&str> = components(path).collect();
+        let mut cur = NodeId::ROOT;
+        let mut i = 0usize;
+        while i < comps.len() {
+            let &child = self.node(cur).children.get(comps[i])?;
+            let edge = &self.node(child).edge;
+            if comps.len() - i < edge.len() {
+                return None; // path ends inside a compressed edge
+            }
+            for (j, comp) in edge.iter().enumerate() {
+                if &**comp != comps[i + j] {
+                    return None;
+                }
+            }
+            i += edge.len();
+            cur = child;
+        }
+        (cur != NodeId::ROOT).then_some(cur)
+    }
+
+    /// Id of the file at `path`, if one exists.
+    pub fn lookup(&self, path: &str) -> Option<NodeId> {
+        let id = self.walk(path)?;
+        self.node(id).meta.is_some().then_some(id)
+    }
+
+    /// Metadata of the file at `path`.
+    pub fn get(&self, path: &str) -> Option<&FileMeta> {
+        self.lookup(path).and_then(|id| self.node(id).meta.as_ref())
+    }
+
+    /// Mutable metadata of the file at `path`.
+    pub fn get_mut(&mut self, path: &str) -> Option<&mut FileMeta> {
+        let id = self.lookup(path)?;
+        self.nodes[id.idx()].meta.as_mut()
+    }
+
+    /// Metadata by node id.
+    pub fn meta(&self, id: NodeId) -> Option<&FileMeta> {
+        self.nodes.get(id.idx()).filter(|n| n.live).and_then(|n| n.meta.as_ref())
+    }
+
+    /// Mutable metadata by node id.
+    pub fn meta_mut(&mut self, id: NodeId) -> Option<&mut FileMeta> {
+        self.nodes.get_mut(id.idx()).filter(|n| n.live).and_then(|n| n.meta.as_mut())
+    }
+
+    /// Does `path` exist as a directory? With path compression most
+    /// directories are *implicit* — the path ends inside a compressed edge
+    /// — so this walks with partial-edge matching rather than the exact
+    /// walk used by lookups.
+    pub fn is_dir(&self, path: &str) -> bool {
+        let comps: Vec<&str> = components(path).collect();
+        if comps.is_empty() {
+            return true; // the root
+        }
+        let mut cur = NodeId::ROOT;
+        let mut i = 0usize;
+        while i < comps.len() {
+            let Some(&child) = self.node(cur).children.get(comps[i]) else {
+                return false;
+            };
+            let edge = &self.node(child).edge;
+            let overlap = edge.len().min(comps.len() - i);
+            for j in 0..overlap {
+                if &*edge[j] != comps[i + j] {
+                    return false;
+                }
+            }
+            cur = child;
+            i += overlap;
+            if overlap < edge.len() {
+                // Ended inside a compressed edge: an implicit directory on
+                // the way down to `child`.
+                return true;
+            }
+        }
+        self.node(cur).meta.is_none()
+    }
+
+    /// Remove the file at `path`, pruning now-empty directories.
+    pub fn remove(&mut self, path: &str) -> Option<FileMeta> {
+        let id = self.lookup(path)?;
+        self.remove_id(id)
+    }
+
+    /// Remove a file by node id.
+    pub fn remove_id(&mut self, id: NodeId) -> Option<FileMeta> {
+        let meta = self.nodes.get_mut(id.idx()).filter(|n| n.live)?.meta.take()?;
+        self.file_count -= 1;
+        // Prune childless non-file nodes upward.
+        let mut cur = id;
+        while cur != NodeId::ROOT
+            && self.node(cur).meta.is_none()
+            && self.node(cur).children.is_empty()
+        {
+            let parent = self.node(cur).parent;
+            let key = self.node(cur).edge[0].clone();
+            self.node_mut(parent).children.remove(&key);
+            self.release(cur);
+            cur = parent;
+        }
+        Some(meta)
+    }
+
+    /// Reconstruct the absolute path of a node. Returns an empty string
+    /// for freed or out-of-range ids (a purged file has no path).
+    pub fn path_of(&self, id: NodeId) -> String {
+        if !self.nodes.get(id.idx()).is_some_and(|n| n.live) {
+            return String::new();
+        }
+        let mut parts: Vec<&[Box<str>]> = Vec::new();
+        let mut cur = id;
+        while cur != NodeId::ROOT {
+            let n = self.node(cur);
+            parts.push(&n.edge);
+            cur = n.parent;
+        }
+        let mut out = String::new();
+        for edge in parts.iter().rev() {
+            for comp in edge.iter() {
+                out.push('/');
+                out.push_str(comp);
+            }
+        }
+        out
+    }
+
+    /// Depth-first iteration over all files as `(path, id, &meta)`.
+    pub fn iter(&self) -> TrieIter<'_> {
+        TrieIter::new(self, NodeId::ROOT, String::new())
+    }
+
+    /// Depth-first iteration over files under `prefix` (inclusive: if
+    /// `prefix` itself is a file, it is yielded). The prefix must end on a
+    /// component boundary (`/a/b` matches `/a/b/c` but not `/a/bc`).
+    pub fn iter_prefix<'t>(&'t self, prefix: &str) -> TrieIter<'t> {
+        // Walk as far as full components allow; the prefix may end inside a
+        // compressed edge, in which case the subtree root is that child if
+        // the remaining edge components extend the prefix.
+        let comps: Vec<&str> = components(prefix).collect();
+        let mut cur = NodeId::ROOT;
+        let mut i = 0usize;
+        let mut base = String::new();
+        while i < comps.len() {
+            let Some(&child) = self.node(cur).children.get(comps[i]) else {
+                return TrieIter::empty(self);
+            };
+            let edge = &self.node(child).edge;
+            // The prefix may end inside a compressed edge; it matches as
+            // long as the overlapping components agree.
+            let overlap = edge.len().min(comps.len() - i);
+            for j in 0..overlap {
+                if &*edge[j] != comps[i + j] {
+                    return TrieIter::empty(self);
+                }
+            }
+            for comp in edge.iter() {
+                base.push('/');
+                base.push_str(comp);
+            }
+            cur = child;
+            // If overlap < edge.len(), the prefix was exhausted inside this
+            // edge (overlap == comps.len() − i), so the loop exits with the
+            // child as the subtree root.
+            i += overlap;
+        }
+        TrieIter::new(self, cur, base)
+    }
+
+    /// Does any file exist whose path starts with `prefix` (on a component
+    /// boundary)? Used by the exemption list for directory reservations.
+    pub fn any_under(&self, prefix: &str) -> bool {
+        self.iter_prefix(prefix).next().is_some()
+    }
+
+    /// List the immediate children of a directory (`readdir`): each entry
+    /// is the child's first path component plus whether a *file* lives at
+    /// exactly `dir/<component>`. Compression is invisible: entries are
+    /// single components even when stored inside multi-component edges.
+    /// Returns an empty list for missing paths and for files.
+    pub fn list_dir(&self, dir: &str) -> Vec<DirEntry> {
+        let comps: Vec<&str> = components(dir).collect();
+        let mut cur = NodeId::ROOT;
+        let mut i = 0usize;
+        // Walk with partial-edge matching (as in iter_prefix); when the
+        // path ends inside an edge, the sole child is the edge's next
+        // component.
+        while i < comps.len() {
+            let Some(&child) = self.node(cur).children.get(comps[i]) else {
+                return Vec::new();
+            };
+            let edge = &self.node(child).edge;
+            let overlap = edge.len().min(comps.len() - i);
+            for j in 0..overlap {
+                if &*edge[j] != comps[i + j] {
+                    return Vec::new();
+                }
+            }
+            if overlap < edge.len() {
+                // Inside the compressed edge: exactly one child component.
+                let name = edge[overlap].to_string();
+                let is_file =
+                    overlap + 1 == edge.len() && self.node(child).meta.is_some();
+                return vec![DirEntry { name, is_file }];
+            }
+            cur = child;
+            i += overlap;
+        }
+        if self.node(cur).meta.is_some() {
+            return Vec::new(); // a file, not a directory
+        }
+        self.node(cur)
+            .children
+            .values()
+            .map(|&child| {
+                let edge = &self.node(child).edge;
+                DirEntry {
+                    name: edge[0].to_string(),
+                    is_file: edge.len() == 1 && self.node(child).meta.is_some(),
+                }
+            })
+            .collect()
+    }
+
+    /// Move the file at `from` to `to` (metadata preserved, including
+    /// atime). Fails if `from` does not exist or `to` cannot be created;
+    /// on failure the file is restored at the source path (its [`NodeId`]
+    /// may change). Renaming is how users cancel purge reservations
+    /// (§3.4), so the caller is responsible for the exemption-list
+    /// consequences.
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<NodeId, RenameError> {
+        let from_id = self.lookup(from).ok_or(RenameError::SourceMissing)?;
+        if components(from).eq(components(to)) {
+            return Ok(from_id); // no-op rename
+        }
+        // Validate the destination *before* removing the source: walk the
+        // insert path read-only. A cheap sufficient check: destination must
+        // not exist as a file-blocked path. We probe by attempting the
+        // insert with the real metadata only after removing the source,
+        // restoring on failure.
+        let meta = self.remove_id(from_id).expect("lookup guaranteed presence");
+        match self.insert(to, meta) {
+            Ok(inserted) => Ok(inserted.id()),
+            Err(e) => {
+                // Restore the source; the original path must re-insert
+                // cleanly because we just removed it.
+                self.insert(from, meta).expect("restoring renamed source");
+                Err(RenameError::Destination(e))
+            }
+        }
+    }
+
+    /// Remove every file under `prefix` (component-boundary semantics, as
+    /// in [`PathTrie::iter_prefix`]), returning the removed metadata with
+    /// paths. Used for project-directory teardown.
+    pub fn remove_subtree(&mut self, prefix: &str) -> Vec<(String, FileMeta)> {
+        let victims: Vec<(String, NodeId)> =
+            self.iter_prefix(prefix).map(|(p, id, _)| (p, id)).collect();
+        victims
+            .into_iter()
+            .filter_map(|(path, id)| self.remove_id(id).map(|meta| (path, meta)))
+            .collect()
+    }
+
+    /// Structural statistics: node/file counts, maximum depth (in edges),
+    /// and the compression ratio (components stored vs components across
+    /// all file paths — lower is better).
+    pub fn stats(&self) -> TrieStats {
+        let mut stored_components = 0usize;
+        let mut max_depth = 0usize;
+        let mut dirs = 0usize;
+        // Depth per node via DFS over live nodes.
+        let mut stack: Vec<(NodeId, usize)> = vec![(NodeId::ROOT, 0)];
+        while let Some((id, depth)) = stack.pop() {
+            let node = self.node(id);
+            if id != NodeId::ROOT {
+                stored_components += node.edge.len();
+                if node.meta.is_none() {
+                    dirs += 1;
+                }
+            }
+            max_depth = max_depth.max(depth);
+            for &child in node.children.values() {
+                stack.push((child, depth + 1));
+            }
+        }
+        let mut path_components = 0usize;
+        for (path, _, _) in self.iter() {
+            path_components += components(&path).count();
+        }
+        TrieStats {
+            files: self.file_count,
+            directories: dirs,
+            nodes: self.node_count(),
+            max_depth,
+            stored_components,
+            path_components,
+        }
+    }
+
+    /// Estimated resident memory of the structure in bytes (arena, edges,
+    /// child maps). Mirrors the paper's Fig. 12a memory-footprint probe.
+    pub fn memory_estimate(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = size_of::<Self>() + self.nodes.capacity() * size_of::<Node>();
+        for n in &self.nodes {
+            if !n.live {
+                continue;
+            }
+            bytes += n.edge.iter().map(|c| c.len() + size_of::<Box<str>>()).sum::<usize>();
+            bytes += n
+                .children
+                .keys()
+                .map(|k| k.len() + size_of::<Box<str>>() + size_of::<NodeId>() + 16)
+                .sum::<usize>();
+        }
+        bytes + self.free.capacity() * size_of::<NodeId>()
+    }
+}
+
+/// DFS iterator over the files of a [`PathTrie`] subtree.
+pub struct TrieIter<'t> {
+    trie: &'t PathTrie,
+    /// Stack of (node, path-up-to-and-including-node, emitted).
+    stack: Vec<(NodeId, String)>,
+}
+
+impl<'t> TrieIter<'t> {
+    fn new(trie: &'t PathTrie, root: NodeId, base: String) -> Self {
+        TrieIter { trie, stack: vec![(root, base)] }
+    }
+
+    fn empty(trie: &'t PathTrie) -> Self {
+        TrieIter { trie, stack: Vec::new() }
+    }
+}
+
+impl<'t> Iterator for TrieIter<'t> {
+    type Item = (String, NodeId, &'t FileMeta);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some((id, path)) = self.stack.pop() {
+            let node = self.trie.node(id);
+            // Reverse order so iteration is lexicographic by component.
+            for (_, &child) in node.children.iter().rev() {
+                let mut p = path.clone();
+                for comp in &self.trie.node(child).edge {
+                    p.push('/');
+                    p.push_str(comp);
+                }
+                self.stack.push((child, p));
+            }
+            if let Some(meta) = node.meta.as_ref() {
+                return Some((path, id, meta));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use activedr_core::time::Timestamp;
+    use activedr_core::user::UserId;
+
+    fn meta(owner: u32, size: u64) -> FileMeta {
+        FileMeta::new(UserId(owner), size, Timestamp::EPOCH)
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut t = PathTrie::new();
+        let id = t.insert("/lustre/atlas/u1/a.dat", meta(1, 100)).unwrap().id();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup("/lustre/atlas/u1/a.dat"), Some(id));
+        assert_eq!(t.get("/lustre/atlas/u1/a.dat").unwrap().size, 100);
+        assert_eq!(t.lookup("/lustre/atlas/u1"), None); // dir, not file
+        assert!(t.is_dir("/lustre/atlas/u1"));
+        assert_eq!(t.lookup("/lustre/atlas/u1/b.dat"), None);
+        assert_eq!(t.path_of(id), "/lustre/atlas/u1/a.dat");
+    }
+
+    #[test]
+    fn path_normalization() {
+        let mut t = PathTrie::new();
+        let id = t.insert("//a///b/./c", meta(1, 1)).unwrap().id();
+        assert_eq!(t.lookup("/a/b/c"), Some(id));
+        assert_eq!(t.path_of(id), "/a/b/c");
+    }
+
+    #[test]
+    fn compression_splits_on_branch() {
+        let mut t = PathTrie::new();
+        let a = t.insert("/x/y/z/one.dat", meta(1, 1)).unwrap().id();
+        // Whole path is one compressed node: root + file.
+        assert_eq!(t.node_count(), 2);
+        let b = t.insert("/x/y/w/two.dat", meta(1, 2)).unwrap().id();
+        // Split at /x/y: root + mid(x,y) + branch z/one.dat + branch w/two.dat.
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.lookup("/x/y/z/one.dat"), Some(a));
+        assert_eq!(t.lookup("/x/y/w/two.dat"), Some(b));
+        assert_eq!(t.path_of(a), "/x/y/z/one.dat");
+        assert_eq!(t.path_of(b), "/x/y/w/two.dat");
+    }
+
+    #[test]
+    fn ids_stable_across_splits() {
+        let mut t = PathTrie::new();
+        let a = t.insert("/p/q/r/s/file1", meta(1, 1)).unwrap().id();
+        let before = t.path_of(a);
+        // Force multiple splits above and below.
+        t.insert("/p/q/other", meta(1, 2)).unwrap();
+        t.insert("/p/q/r/s/file2", meta(1, 3)).unwrap();
+        t.insert("/p/zzz", meta(1, 4)).unwrap();
+        assert_eq!(t.lookup("/p/q/r/s/file1"), Some(a));
+        assert_eq!(t.path_of(a), before);
+        assert_eq!(t.get("/p/q/r/s/file1").unwrap().size, 1);
+    }
+
+    #[test]
+    fn replace_updates_meta() {
+        let mut t = PathTrie::new();
+        let a = t.insert("/a/f", meta(1, 1)).unwrap().id();
+        match t.insert("/a/f", meta(2, 99)).unwrap() {
+            Inserted::Replaced(id) => assert_eq!(id, a),
+            other => panic!("expected replace, got {other:?}"),
+        }
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get("/a/f").unwrap().owner, UserId(2));
+    }
+
+    #[test]
+    fn file_cannot_be_directory() {
+        let mut t = PathTrie::new();
+        t.insert("/a/b", meta(1, 1)).unwrap();
+        let err = t.insert("/a/b/c", meta(1, 2)).unwrap_err();
+        assert_eq!(
+            err,
+            InsertError::FileIsNotADirectory { file_prefix: "/a/b".into() }
+        );
+        // And a directory cannot become a file.
+        t.insert("/d/e/f", meta(1, 1)).unwrap();
+        assert_eq!(t.insert("/d/e", meta(1, 2)).unwrap_err(), InsertError::DirectoryExists);
+        assert_eq!(t.insert("", meta(1, 1)).unwrap_err(), InsertError::EmptyPath);
+        assert_eq!(t.insert("///", meta(1, 1)).unwrap_err(), InsertError::EmptyPath);
+    }
+
+    #[test]
+    fn remove_prunes_empty_chains() {
+        let mut t = PathTrie::new();
+        t.insert("/deep/chain/of/dirs/file", meta(1, 5)).unwrap();
+        t.insert("/deep/other", meta(1, 6)).unwrap();
+        let removed = t.remove("/deep/chain/of/dirs/file").unwrap();
+        assert_eq!(removed.size, 5);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup("/deep/chain/of/dirs/file"), None);
+        assert!(!t.is_dir("/deep/chain/of/dirs"));
+        assert!(t.get("/deep/other").is_some());
+        // Arena slots were recycled.
+        assert_eq!(t.node_count(), 3); // root + /deep + other
+        assert!(t.remove("/deep/chain/of/dirs/file").is_none());
+    }
+
+    #[test]
+    fn remove_by_id_and_slot_reuse() {
+        let mut t = PathTrie::new();
+        let a = t.insert("/x/a", meta(1, 1)).unwrap().id();
+        t.insert("/x/b", meta(1, 2)).unwrap();
+        assert!(t.remove_id(a).is_some());
+        assert!(t.remove_id(a).is_none()); // stale id
+        assert!(t.meta(a).is_none());
+        let c = t.insert("/x/c", meta(1, 3)).unwrap().id();
+        assert_eq!(t.get("/x/c").unwrap().size, 3);
+        assert_eq!(t.path_of(c), "/x/c");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_lexicographic_and_complete() {
+        let mut t = PathTrie::new();
+        let paths = ["/u2/b", "/u1/x/deep/f", "/u1/a", "/u3/q", "/u1/x/deep/e"];
+        for (i, p) in paths.iter().enumerate() {
+            t.insert(p, meta(1, i as u64)).unwrap();
+        }
+        let listed: Vec<String> = t.iter().map(|(p, _, _)| p).collect();
+        assert_eq!(
+            listed,
+            vec!["/u1/a", "/u1/x/deep/e", "/u1/x/deep/f", "/u2/b", "/u3/q"]
+        );
+    }
+
+    #[test]
+    fn prefix_iteration() {
+        let mut t = PathTrie::new();
+        for p in ["/u1/a/f1", "/u1/a/f2", "/u1/b/f3", "/u2/a/f4"] {
+            t.insert(p, meta(1, 1)).unwrap();
+        }
+        let under_u1: Vec<String> = t.iter_prefix("/u1").map(|(p, _, _)| p).collect();
+        assert_eq!(under_u1, vec!["/u1/a/f1", "/u1/a/f2", "/u1/b/f3"]);
+        let under_u1a: Vec<String> = t.iter_prefix("/u1/a").map(|(p, _, _)| p).collect();
+        assert_eq!(under_u1a, vec!["/u1/a/f1", "/u1/a/f2"]);
+        assert!(t.iter_prefix("/u9").next().is_none());
+        assert!(t.any_under("/u2"));
+        assert!(!t.any_under("/u9"));
+        // Prefix matching is component-wise: /u does not match /u1.
+        assert!(t.iter_prefix("/u").next().is_none());
+    }
+
+    #[test]
+    fn prefix_of_exact_file_yields_it() {
+        let mut t = PathTrie::new();
+        t.insert("/a/b/c", meta(1, 7)).unwrap();
+        let got: Vec<String> = t.iter_prefix("/a/b/c").map(|(p, _, _)| p).collect();
+        assert_eq!(got, vec!["/a/b/c"]);
+    }
+
+    #[test]
+    fn prefix_ending_inside_compressed_edge() {
+        let mut t = PathTrie::new();
+        // Single compressed node /a/b/c/d.
+        t.insert("/a/b/c/d", meta(1, 1)).unwrap();
+        let got: Vec<String> = t.iter_prefix("/a/b").map(|(p, _, _)| p).collect();
+        assert_eq!(got, vec!["/a/b/c/d"]);
+        assert!(t.iter_prefix("/a/x").next().is_none());
+    }
+
+    #[test]
+    fn memory_estimate_grows_with_content() {
+        let mut t = PathTrie::new();
+        let empty = t.memory_estimate();
+        for i in 0..100 {
+            t.insert(&format!("/users/u{}/data/file{}.dat", i % 10, i), meta(i % 10, 1))
+                .unwrap();
+        }
+        assert!(t.memory_estimate() > empty);
+    }
+
+    #[test]
+    fn list_dir_sees_through_compression() {
+        let mut t = PathTrie::new();
+        t.insert("/proj/a/deep/f1", meta(1, 1)).unwrap();
+        t.insert("/proj/a/deep/f2", meta(1, 1)).unwrap();
+        t.insert("/proj/b", meta(1, 1)).unwrap();
+
+        // Root readdir: one implicit directory.
+        assert_eq!(
+            t.list_dir("/"),
+            vec![DirEntry { name: "proj".into(), is_file: false }]
+        );
+        // /proj: a (dir) and b (file), lexicographic.
+        assert_eq!(
+            t.list_dir("/proj"),
+            vec![
+                DirEntry { name: "a".into(), is_file: false },
+                DirEntry { name: "b".into(), is_file: true },
+            ]
+        );
+        // Inside a compressed edge: /proj/a has the single child "deep".
+        assert_eq!(
+            t.list_dir("/proj/a"),
+            vec![DirEntry { name: "deep".into(), is_file: false }]
+        );
+        assert_eq!(t.list_dir("/proj/a/deep").len(), 2);
+        // Files and missing paths list nothing.
+        assert!(t.list_dir("/proj/b").is_empty());
+        assert!(t.list_dir("/nope").is_empty());
+    }
+
+    #[test]
+    fn rename_preserves_metadata() {
+        let mut t = PathTrie::new();
+        t.insert("/a/b/old.dat", meta(3, 77)).unwrap();
+        t.insert("/a/other", meta(1, 1)).unwrap();
+        let id = t.rename("/a/b/old.dat", "/x/new.dat").unwrap();
+        assert_eq!(t.lookup("/a/b/old.dat"), None);
+        assert_eq!(t.lookup("/x/new.dat"), Some(id));
+        let m = t.get("/x/new.dat").unwrap();
+        assert_eq!(m.owner, UserId(3));
+        assert_eq!(m.size, 77);
+        assert_eq!(t.len(), 2);
+        // Source directory chain was pruned.
+        assert!(!t.is_dir("/a/b"));
+    }
+
+    #[test]
+    fn rename_failures_leave_the_file_in_place() {
+        let mut t = PathTrie::new();
+        t.insert("/src/f", meta(1, 5)).unwrap();
+        t.insert("/blocker", meta(1, 1)).unwrap();
+        assert_eq!(t.rename("/missing", "/x"), Err(RenameError::SourceMissing));
+        // Destination under an existing file is invalid.
+        let err = t.rename("/src/f", "/blocker/inside").unwrap_err();
+        assert!(matches!(err, RenameError::Destination(_)));
+        assert_eq!(t.get("/src/f").unwrap().size, 5);
+        assert_eq!(t.len(), 2);
+        // No-op rename (same path modulo normalization) succeeds.
+        t.rename("/src/f", "//src/./f").unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn remove_subtree_clears_a_project() {
+        let mut t = PathTrie::new();
+        for p in ["/proj/a/f1", "/proj/a/f2", "/proj/b/f3", "/other/f4"] {
+            t.insert(p, meta(1, 10)).unwrap();
+        }
+        let removed = t.remove_subtree("/proj");
+        assert_eq!(removed.len(), 3);
+        let mut paths: Vec<&str> = removed.iter().map(|(p, _)| p.as_str()).collect();
+        paths.sort_unstable();
+        assert_eq!(paths, vec!["/proj/a/f1", "/proj/a/f2", "/proj/b/f3"]);
+        assert_eq!(t.len(), 1);
+        assert!(t.get("/other/f4").is_some());
+        assert!(t.remove_subtree("/proj").is_empty());
+    }
+
+    #[test]
+    fn stats_reflect_structure_and_compression() {
+        let mut t = PathTrie::new();
+        let empty = t.stats();
+        assert_eq!(empty.files, 0);
+        assert_eq!(empty.nodes, 1); // the root
+        assert_eq!(empty.compression_ratio(), 0.0);
+        // Deep shared prefixes compress well.
+        for i in 0..10 {
+            t.insert(&format!("/lustre/atlas/proj/u1/run/f{i}"), meta(1, 1)).unwrap();
+        }
+        let s = t.stats();
+        assert_eq!(s.files, 10);
+        assert_eq!(s.nodes, t.node_count());
+        assert!(s.max_depth >= 2);
+        // 10 paths × 6 components = 60; stored: 5 shared + 10 leaves = 15.
+        assert_eq!(s.path_components, 60);
+        assert_eq!(s.stored_components, 15);
+        assert!(s.compression_ratio() < 0.5, "{}", s.compression_ratio());
+    }
+
+    #[test]
+    fn large_flat_directory() {
+        let mut t = PathTrie::new();
+        for i in 0..1000 {
+            t.insert(&format!("/flat/f{i:04}"), meta(1, i)).unwrap();
+        }
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.iter().count(), 1000);
+        assert_eq!(t.get("/flat/f0500").unwrap().size, 500);
+        for i in 0..1000 {
+            assert!(t.remove(&format!("/flat/f{i:04}")).is_some());
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.node_count(), 1); // just the root
+    }
+}

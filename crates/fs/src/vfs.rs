@@ -1,0 +1,422 @@
+//! The virtual parallel file system used by the emulation.
+//!
+//! The paper formulates a virtual file system by indexing every file path of
+//! a metadata snapshot into a compact prefix tree together with synthesized
+//! sizes; trace replay then tests file existence (a missing path is a *file
+//! miss*), renews access times, and applies purge decisions. This module
+//! wraps [`PathTrie`] with capacity accounting and the catalog-scan bridge
+//! to the `activedr-core` policy layer.
+
+use crate::exemption::ExemptionList;
+use crate::meta::FileMeta;
+use crate::trie::{InsertError, Inserted, NodeId, PathTrie};
+use activedr_core::files::{Catalog, FileId, FileRecord, UserFiles};
+use activedr_core::policy::RetentionOutcome;
+use activedr_core::time::Timestamp;
+use activedr_core::user::UserId;
+use std::collections::BTreeMap;
+
+/// Outcome of replaying one file access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// The file exists; its atime was renewed.
+    Hit(NodeId),
+    /// The file does not exist (never created, or purged) — a file miss.
+    Miss,
+}
+
+impl Access {
+    pub fn is_miss(self) -> bool {
+        matches!(self, Access::Miss)
+    }
+}
+
+/// An in-memory scratch file system with capacity accounting.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualFs {
+    trie: PathTrie,
+    used_bytes: u64,
+    capacity: u64,
+}
+
+impl VirtualFs {
+    /// A file system with the given total capacity in bytes. Capacity is
+    /// accounting-only: creates are allowed to overshoot it (scratch file
+    /// systems overfill — that is why purges exist), but utilization
+    /// reports are relative to it.
+    pub fn with_capacity(capacity: u64) -> Self {
+        VirtualFs { trie: PathTrie::new(), used_bytes: 0, capacity }
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Re-anchor the accounting capacity (e.g. to the post-purge snapshot
+    /// size, the way the paper defines "total storage capacity").
+    pub fn set_capacity(&mut self, capacity: u64) {
+        self.capacity = capacity;
+    }
+
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Used fraction of capacity (may exceed 1.0).
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.used_bytes as f64 / self.capacity as f64
+        }
+    }
+
+    pub fn file_count(&self) -> usize {
+        self.trie.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.trie.is_empty()
+    }
+
+    /// Estimated resident memory of the index (Fig. 12a probe).
+    pub fn memory_estimate(&self) -> usize {
+        self.trie.memory_estimate()
+    }
+
+    /// Create a file (or overwrite an existing one at the same path).
+    pub fn create(
+        &mut self,
+        path: &str,
+        owner: UserId,
+        size: u64,
+        ts: Timestamp,
+    ) -> Result<NodeId, InsertError> {
+        let meta = FileMeta::new(owner, size, ts);
+        // Replacement must not double-count bytes.
+        let prior = self.trie.get(path).map(|m| m.size);
+        let inserted = self.trie.insert(path, meta)?;
+        if let (Inserted::Replaced(_), Some(old)) = (inserted, prior) {
+            self.used_bytes -= old;
+        }
+        self.used_bytes += size;
+        Ok(inserted.id())
+    }
+
+    /// Insert a file with full metadata (snapshot load path).
+    pub fn insert_meta(&mut self, path: &str, meta: FileMeta) -> Result<NodeId, InsertError> {
+        let prior = self.trie.get(path).map(|m| m.size);
+        let size = meta.size;
+        let inserted = self.trie.insert(path, meta)?;
+        if let (Inserted::Replaced(_), Some(old)) = (inserted, prior) {
+            self.used_bytes -= old;
+        }
+        self.used_bytes += size;
+        Ok(inserted.id())
+    }
+
+    /// Replay one read/write access: renew atime on hit, report the miss
+    /// otherwise.
+    pub fn access(&mut self, path: &str, ts: Timestamp) -> Access {
+        match self.trie.lookup(path) {
+            Some(id) => {
+                if let Some(meta) = self.trie.meta_mut(id) {
+                    meta.touch(ts);
+                }
+                Access::Hit(id)
+            }
+            None => Access::Miss,
+        }
+    }
+
+    /// Does the file exist?
+    pub fn exists(&self, path: &str) -> bool {
+        self.trie.lookup(path).is_some()
+    }
+
+    pub fn meta(&self, path: &str) -> Option<&FileMeta> {
+        self.trie.get(path)
+    }
+
+    pub fn meta_by_id(&self, id: NodeId) -> Option<&FileMeta> {
+        self.trie.meta(id)
+    }
+
+    pub fn path_of(&self, id: NodeId) -> String {
+        self.trie.path_of(id)
+    }
+
+    /// Delete one file by path.
+    pub fn remove(&mut self, path: &str) -> Option<FileMeta> {
+        let meta = self.trie.remove(path)?;
+        self.used_bytes -= meta.size;
+        Some(meta)
+    }
+
+    /// Delete one file by id.
+    pub fn remove_id(&mut self, id: NodeId) -> Option<FileMeta> {
+        let meta = self.trie.remove_id(id)?;
+        self.used_bytes -= meta.size;
+        Some(meta)
+    }
+
+    /// Apply a policy's purge decisions, returning the bytes actually
+    /// freed. Stale decisions (file already gone) are ignored.
+    pub fn apply(&mut self, outcome: &RetentionOutcome) -> u64 {
+        let mut freed = 0u64;
+        for p in &outcome.purged {
+            if let Some(meta) = self.remove_id(NodeId(p.id.0 as u32)) {
+                freed += meta.size;
+            }
+        }
+        freed
+    }
+
+    /// Scan the file system into the per-user catalog the policy layer
+    /// consumes. Files matching the exemption list are flagged, not
+    /// dropped. Users appear in ascending id order; files in path order.
+    pub fn catalog(&self, exemptions: &ExemptionList) -> Catalog {
+        let mut per_user: BTreeMap<UserId, Vec<FileRecord>> = BTreeMap::new();
+        for (path, id, meta) in self.trie.iter() {
+            let mut rec = FileRecord::new(FileId(id.0 as u64), meta.size, meta.atime)
+                .with_ctime(meta.ctime)
+                .with_access_count(meta.access_count);
+            if exemptions.is_exempt(&path) {
+                rec.exempt = true;
+            }
+            per_user.entry(meta.owner).or_default().push(rec);
+        }
+        Catalog::new(
+            per_user
+                .into_iter()
+                .map(|(user, files)| UserFiles::new(user, files))
+                .collect(),
+        )
+    }
+
+    /// All files as `(path, id, meta)` in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (String, NodeId, &FileMeta)> {
+        self.trie.iter()
+    }
+
+    /// All files under a path prefix.
+    pub fn iter_prefix<'a>(
+        &'a self,
+        prefix: &str,
+    ) -> impl Iterator<Item = (String, NodeId, &'a FileMeta)> {
+        self.trie.iter_prefix(prefix)
+    }
+
+    /// Move a file. Renaming onto an existing file replaces it (POSIX
+    /// semantics), releasing the replaced bytes. A reservation on the old
+    /// path lapses per the §3.4 contract, which is the caller's
+    /// (exemption list's) concern.
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<NodeId, crate::trie::RenameError> {
+        // The destination may already hold a file that the rename will
+        // replace; its bytes must leave the accounting (unless this is a
+        // no-op rename onto itself).
+        let same = crate::trie::components(from).eq(crate::trie::components(to));
+        let replaced = if same { None } else { self.trie.get(to).map(|m| m.size) };
+        let id = self.trie.rename(from, to)?;
+        if let Some(size) = replaced {
+            self.used_bytes -= size;
+        }
+        Ok(id)
+    }
+
+    /// Delete a whole directory subtree, returning the freed bytes.
+    pub fn remove_subtree(&mut self, prefix: &str) -> u64 {
+        let removed = self.trie.remove_subtree(prefix);
+        let freed: u64 = removed.iter().map(|(_, m)| m.size).sum();
+        self.used_bytes -= freed;
+        freed
+    }
+
+    /// Bytes used under a path prefix (a `du`-style probe).
+    pub fn usage_under(&self, prefix: &str) -> u64 {
+        self.trie.iter_prefix(prefix).map(|(_, _, m)| m.size).sum()
+    }
+
+    /// Structural statistics of the underlying index.
+    pub fn index_stats(&self) -> crate::trie::TrieStats {
+        self.trie.stats()
+    }
+
+    /// List the immediate children of a directory (`readdir`).
+    pub fn list_dir(&self, dir: &str) -> Vec<crate::trie::DirEntry> {
+        self.trie.list_dir(dir)
+    }
+
+    /// Total bytes owned by each user.
+    pub fn bytes_by_user(&self) -> BTreeMap<UserId, u64> {
+        let mut map = BTreeMap::new();
+        for (_, _, meta) in self.trie.iter() {
+            *map.entry(meta.owner).or_insert(0u64) += meta.size;
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day(d: i64) -> Timestamp {
+        Timestamp::from_days(d)
+    }
+
+    #[test]
+    fn create_access_remove_accounting() {
+        let mut fs = VirtualFs::with_capacity(1000);
+        let id = fs.create("/u1/a", UserId(1), 400, day(0)).unwrap();
+        fs.create("/u1/b", UserId(1), 100, day(0)).unwrap();
+        assert_eq!(fs.used_bytes(), 500);
+        assert!((fs.utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(fs.file_count(), 2);
+
+        match fs.access("/u1/a", day(10)) {
+            Access::Hit(got) => assert_eq!(got, id),
+            Access::Miss => panic!("expected hit"),
+        }
+        assert_eq!(fs.meta("/u1/a").unwrap().atime, day(10));
+        assert!(fs.access("/u1/zzz", day(10)).is_miss());
+
+        let removed = fs.remove("/u1/a").unwrap();
+        assert_eq!(removed.size, 400);
+        assert_eq!(fs.used_bytes(), 100);
+        assert!(fs.access("/u1/a", day(11)).is_miss());
+    }
+
+    #[test]
+    fn overwrite_replaces_bytes() {
+        let mut fs = VirtualFs::with_capacity(1000);
+        fs.create("/u1/a", UserId(1), 400, day(0)).unwrap();
+        fs.create("/u1/a", UserId(1), 100, day(5)).unwrap();
+        assert_eq!(fs.used_bytes(), 100);
+        assert_eq!(fs.file_count(), 1);
+        assert_eq!(fs.meta("/u1/a").unwrap().atime, day(5));
+    }
+
+    #[test]
+    fn capacity_can_overfill() {
+        let mut fs = VirtualFs::with_capacity(100);
+        fs.create("/a", UserId(1), 400, day(0)).unwrap();
+        assert!(fs.utilization() > 1.0);
+        let zero = VirtualFs::with_capacity(0);
+        assert_eq!(zero.utilization(), 0.0);
+    }
+
+    #[test]
+    fn catalog_groups_by_owner_and_flags_exemptions() {
+        let mut fs = VirtualFs::with_capacity(0);
+        fs.create("/u2/x", UserId(2), 10, day(1)).unwrap();
+        fs.create("/u1/keep", UserId(1), 20, day(2)).unwrap();
+        fs.create("/u1/drop", UserId(1), 30, day(3)).unwrap();
+        let mut ex = ExemptionList::new();
+        ex.reserve_file("/u1/keep");
+
+        let catalog = fs.catalog(&ex);
+        assert_eq!(catalog.users.len(), 2);
+        assert_eq!(catalog.users[0].user, UserId(1));
+        assert_eq!(catalog.users[1].user, UserId(2));
+        let u1 = &catalog.users[0];
+        assert_eq!(u1.files.len(), 2);
+        // Path order: /u1/drop before /u1/keep.
+        assert!(!u1.files[0].exempt);
+        assert!(u1.files[1].exempt);
+        assert_eq!(catalog.total_bytes(), 60);
+    }
+
+    #[test]
+    fn apply_purge_decisions() {
+        use activedr_core::policy::PurgedFile;
+        let mut fs = VirtualFs::with_capacity(0);
+        let a = fs.create("/u1/a", UserId(1), 10, day(0)).unwrap();
+        fs.create("/u1/b", UserId(1), 20, day(0)).unwrap();
+        let outcome = RetentionOutcome {
+            purged: vec![
+                PurgedFile { user: UserId(1), id: FileId(a.0 as u64), size: 10 },
+                // A stale decision for a node that never existed.
+                PurgedFile { user: UserId(1), id: FileId(9999), size: 1 },
+            ],
+            purged_bytes: 11,
+            target_met: true,
+            group_scans: vec![],
+            exempt_skipped: 0,
+        };
+        let freed = fs.apply(&outcome);
+        assert_eq!(freed, 10);
+        assert_eq!(fs.used_bytes(), 20);
+        assert!(!fs.exists("/u1/a"));
+        assert!(fs.exists("/u1/b"));
+    }
+
+    #[test]
+    fn bytes_by_user() {
+        let mut fs = VirtualFs::with_capacity(0);
+        fs.create("/u1/a", UserId(1), 10, day(0)).unwrap();
+        fs.create("/u1/b", UserId(1), 15, day(0)).unwrap();
+        fs.create("/u2/c", UserId(2), 30, day(0)).unwrap();
+        let by_user = fs.bytes_by_user();
+        assert_eq!(by_user[&UserId(1)], 25);
+        assert_eq!(by_user[&UserId(2)], 30);
+    }
+
+    #[test]
+    fn rename_and_subtree_accounting() {
+        let mut fs = VirtualFs::with_capacity(0);
+        fs.create("/u1/proj/a", UserId(1), 100, day(0)).unwrap();
+        fs.create("/u1/proj/b", UserId(1), 50, day(0)).unwrap();
+        fs.create("/u1/keep", UserId(1), 25, day(0)).unwrap();
+
+        fs.rename("/u1/proj/a", "/u1/moved").unwrap();
+        assert_eq!(fs.used_bytes(), 175); // unchanged
+        assert!(fs.exists("/u1/moved"));
+        assert!(!fs.exists("/u1/proj/a"));
+
+        assert_eq!(fs.usage_under("/u1/proj"), 50);
+        let freed = fs.remove_subtree("/u1/proj");
+        assert_eq!(freed, 50);
+        assert_eq!(fs.used_bytes(), 125);
+        assert_eq!(fs.file_count(), 2);
+
+        let stats = fs.index_stats();
+        assert_eq!(stats.files, 2);
+    }
+
+    #[test]
+    fn rename_onto_existing_file_releases_its_bytes() {
+        // Regression: found by the trie-vs-HashMap property test.
+        let mut fs = VirtualFs::with_capacity(0);
+        fs.create("/a", UserId(1), 100, day(0)).unwrap();
+        fs.create("/b", UserId(1), 40, day(0)).unwrap();
+        fs.rename("/a", "/b").unwrap(); // replaces /b
+        assert_eq!(fs.file_count(), 1);
+        assert_eq!(fs.used_bytes(), 100);
+        assert_eq!(fs.meta("/b").unwrap().size, 100);
+        // No-op rename keeps accounting intact.
+        fs.rename("/b", "//b/.").unwrap();
+        assert_eq!(fs.used_bytes(), 100);
+    }
+
+    #[test]
+    fn readdir_through_facade() {
+        let mut fs = VirtualFs::with_capacity(0);
+        fs.create("/u1/run/out.dat", UserId(1), 1, day(0)).unwrap();
+        fs.create("/u1/notes.txt", UserId(1), 1, day(0)).unwrap();
+        let entries = fs.list_dir("/u1");
+        assert_eq!(entries.len(), 2);
+        assert!(entries.iter().any(|e| e.name == "run" && !e.is_file));
+        assert!(entries.iter().any(|e| e.name == "notes.txt" && e.is_file));
+    }
+
+    #[test]
+    fn prefix_iteration_through_facade() {
+        let mut fs = VirtualFs::with_capacity(0);
+        fs.create("/u1/proj/a", UserId(1), 1, day(0)).unwrap();
+        fs.create("/u1/proj/b", UserId(1), 1, day(0)).unwrap();
+        fs.create("/u2/other", UserId(2), 1, day(0)).unwrap();
+        assert_eq!(fs.iter_prefix("/u1").count(), 2);
+        assert_eq!(fs.iter().count(), 3);
+    }
+}

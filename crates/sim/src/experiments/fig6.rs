@@ -1,0 +1,132 @@
+//! Figure 6 — file miss ratio distribution, FLT vs ActiveDR.
+//!
+//! Replay the evaluation year under both policies (90-day lifetime, 7-day
+//! trigger, 50 % purge target for ActiveDR) and compare the number of days
+//! in each miss-ratio range. The paper's headline: days with more than 5 %
+//! misses drop by 31 % (138 → 95 days).
+
+use crate::experiments::pair::{run_pair, PairResult};
+use crate::metrics::{range_label, MissRatioHistogram};
+use crate::report::render_table;
+use crate::scenario::Scenario;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Data {
+    pub lifetime_days: u32,
+    pub flt: MissRatioHistogram,
+    pub adr: MissRatioHistogram,
+    pub flt_days_over_5pct: u64,
+    pub adr_days_over_5pct: u64,
+    pub flt_total_misses: u64,
+    pub adr_total_misses: u64,
+}
+
+impl Fig6Data {
+    pub fn compute(scenario: &Scenario) -> Fig6Data {
+        let pair = run_pair(scenario, 90);
+        Fig6Data::from_pair(&pair)
+    }
+
+    pub fn from_pair(pair: &PairResult) -> Fig6Data {
+        let flt = MissRatioHistogram::from_daily(&pair.flt.daily);
+        let adr = MissRatioHistogram::from_daily(&pair.adr.daily);
+        Fig6Data {
+            lifetime_days: pair.flt.lifetime_days,
+            flt,
+            adr,
+            flt_days_over_5pct: flt.days_at_least(0.05),
+            adr_days_over_5pct: adr.days_at_least(0.05),
+            flt_total_misses: pair.flt.total_misses(),
+            adr_total_misses: pair.adr.total_misses(),
+        }
+    }
+
+    /// Relative reduction of ≥5 %-miss days (the paper reports 31 %).
+    pub fn reduction_over_5pct(&self) -> f64 {
+        self.reduction_at(0.05)
+    }
+
+    /// Relative reduction of days with at least `threshold` misses.
+    /// Synthetic traces carry denser interrupted-campaign behaviour than
+    /// the OLCF logs, so the day distribution sits higher than the paper's
+    /// and the separation between the policies shows up at higher
+    /// thresholds.
+    pub fn reduction_at(&self, threshold: f64) -> f64 {
+        let flt = self.flt.days_at_least(threshold);
+        let adr = self.adr.days_at_least(threshold);
+        if flt == 0 {
+            0.0
+        } else {
+            1.0 - adr as f64 / flt as f64
+        }
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Figure 6: miss-ratio distribution by days, FLT vs ActiveDR ({}-day lifetime)\n\n",
+            self.lifetime_days
+        );
+        let rows: Vec<Vec<String>> = (0..11)
+            .map(|i| {
+                vec![
+                    range_label(i),
+                    self.flt.days[i].to_string(),
+                    self.adr.days[i].to_string(),
+                ]
+            })
+            .collect();
+        out.push_str(&render_table(&["range", "FLT days", "ActiveDR days"], &rows));
+        out.push_str(&format!(
+            "\ndays >5% misses: FLT {} vs ActiveDR {} ({:.0}% reduction; paper: 138 -> 95, 31%)\n",
+            self.flt_days_over_5pct,
+            self.adr_days_over_5pct,
+            self.reduction_over_5pct() * 100.0
+        ));
+        out.push_str("bad-day reduction by threshold: ");
+        for t in [0.1, 0.2, 0.3, 0.5] {
+            out.push_str(&format!(
+                ">={:.0}%: {} -> {} ({:+.0}%)  ",
+                t * 100.0,
+                self.flt.days_at_least(t),
+                self.adr.days_at_least(t),
+                -self.reduction_at(t) * 100.0
+            ));
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "total misses: FLT {} vs ActiveDR {}\n",
+            self.flt_total_misses, self.adr_total_misses
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scale;
+
+    #[test]
+    fn fig6_activedr_does_not_increase_bad_days() {
+        // Tiny populations are noisy (a single heavily shared file can
+        // swing the sign), so this unit test allows 15 % slack; the strict
+        // FLT ≥ ActiveDR claims are asserted at Small scale in
+        // tests/integration_policies.rs and tests/integration_experiments.rs.
+        let scenario = Scenario::build(Scale::Tiny, 2);
+        let data = Fig6Data::compute(&scenario);
+        assert!(
+            data.adr_days_over_5pct as f64 <= data.flt_days_over_5pct as f64 * 1.15 + 3.0,
+            "ADR {} vs FLT {}",
+            data.adr_days_over_5pct,
+            data.flt_days_over_5pct
+        );
+        assert!(
+            data.adr_total_misses as f64 <= data.flt_total_misses as f64 * 1.15,
+            "ADR {} vs FLT {}",
+            data.adr_total_misses,
+            data.flt_total_misses
+        );
+        assert!(data.render().contains("Figure 6"));
+    }
+}

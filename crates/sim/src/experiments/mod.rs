@@ -1,0 +1,39 @@
+//! Per-figure experiment harness.
+//!
+//! One module per artifact of the paper's evaluation section (§4). Each
+//! module exposes a `*Data` struct with `compute(...)` (structured results,
+//! asserted by the integration tests) and `render()` (the text tables and
+//! series the CLI prints — the rows behind the paper's plots).
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`fig1`] | Fig. 1 — FLT-only miss ratio over the replay year |
+//! | [`fig5`] | Fig. 5 — user activeness matrix per period length |
+//! | [`fig6`] | Fig. 6 — miss-ratio day histogram, FLT vs ActiveDR |
+//! | [`fig7`] | Fig. 7 — misses over time per user quadrant |
+//! | [`fig8`] | Fig. 8 — file-miss reduction ratio statistics |
+//! | [`snapshot_sweep`] | Figs. 9-11, Tables 4-6 — retained/purged bytes and affected users per quadrant across lifetimes |
+//! | [`fig12`] | Fig. 12 — memory/time performance probes |
+//! | [`tab1`] | Table 1 — facility FLT presets |
+//! | [`baselines`] | extension — all four §2 retention families measured head-to-head |
+//! | [`variance`] | extension — seed-robustness of the headline reductions |
+//! | [`target_sweep`] | extension — purge-target depth sensitivity |
+//! | [`churn`] | extension — quadrant transition dynamics (§1's motivating "dynamics of users' behavior") |
+//! | [`ablation`] | DESIGN.md ablations (retro passes, adjust mode, empty-period semantics) |
+
+pub mod ablation;
+pub mod baselines;
+pub mod churn;
+pub mod fig1;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig12;
+pub mod pair;
+pub mod snapshot_sweep;
+pub mod tab1;
+pub mod target_sweep;
+pub mod variance;
+
+pub use pair::{run_pair, PairResult};

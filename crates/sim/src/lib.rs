@@ -1,0 +1,32 @@
+//! # activedr-sim — trace-driven emulation of ActiveDR vs FLT
+//!
+//! The evaluation harness of the reproduction (§4 of the paper):
+//!
+//! * [`engine`] — the day-granularity replay engine: restore the initial
+//!   snapshot, replay file accesses, trigger retention every purge
+//!   interval, count file misses per user quadrant;
+//! * [`scenario`] — shared experiment world assembly (synthetic traces +
+//!   FLT-90 pre-purged file system) at three scales;
+//! * [`metrics`] — miss-ratio histograms, box statistics, per-quadrant
+//!   series;
+//! * [`experiments`] — one module per paper figure/table, each producing
+//!   structured data plus the printed rows behind the plot;
+//! * [`report`] — plain-text table rendering.
+
+#![forbid(unsafe_code)]
+
+pub mod archive;
+pub mod engine;
+pub mod experiments;
+pub mod metrics;
+pub mod parallel;
+pub mod report;
+pub mod scenario;
+
+pub use archive::{ArchiveConfig, ArchiveStats, ArchiveTier};
+pub use engine::{
+    build_initial_fs, pre_purge_flt, run, run_observed, run_until, EvalMode, PolicyKind,
+    RecoveryModel, SimConfig, SimResult,
+};
+pub use parallel::{parallel_evaluate, EvalShardReport, ParallelEvaluation};
+pub use scenario::{Scale, Scenario};

@@ -1,0 +1,242 @@
+//! Emulation metrics: daily miss accounting, the paper's miss-ratio range
+//! histogram (Figs. 1 and 6), and box-plot statistics (Fig. 8).
+
+use activedr_core::classify::Quadrant;
+use serde::{Deserialize, Serialize};
+
+/// Per-day replay counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DailyMetrics {
+    /// Absolute day index (from the simulation epoch).
+    pub day: i64,
+    pub reads: u64,
+    pub misses: u64,
+    pub writes: u64,
+    /// Files recovered from archive after a miss (the §2 re-transmission
+    /// burden; scratch-as-a-cache maximizes it).
+    pub restages: u64,
+    /// Bytes re-transmitted by those recoveries.
+    pub restage_bytes: u64,
+    /// Misses attributed to the owner's quadrant at the most recent
+    /// activeness evaluation, indexed by [`Quadrant::index`].
+    pub misses_by_quadrant: [u64; 4],
+}
+
+impl DailyMetrics {
+    pub fn new(day: i64) -> Self {
+        DailyMetrics { day, ..Default::default() }
+    }
+
+    /// The paper's daily file miss ratio: misses / read attempts.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.reads as f64
+        }
+    }
+}
+
+/// The eleven miss-ratio ranges of Figs. 1 and 6: 1-5 %, 5-10 %, 10-20 %,
+/// then 10-point buckets up to 100 %.
+pub const MISS_RATIO_RANGES: [(f64, f64); 11] = [
+    (0.01, 0.05),
+    (0.05, 0.10),
+    (0.10, 0.20),
+    (0.20, 0.30),
+    (0.30, 0.40),
+    (0.40, 0.50),
+    (0.50, 0.60),
+    (0.60, 0.70),
+    (0.70, 0.80),
+    (0.80, 0.90),
+    (0.90, 1.01),
+];
+
+/// Human labels for [`MISS_RATIO_RANGES`].
+pub fn range_label(i: usize) -> String {
+    let (lo, hi) = MISS_RATIO_RANGES[i];
+    format!("{:.0}%-{:.0}%", lo * 100.0, (hi.min(1.0)) * 100.0)
+}
+
+/// Number of days falling in each miss-ratio range — the bar chart of
+/// Figs. 1 (right) and 6. Days below 1 % do not appear in any bucket,
+/// matching the figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MissRatioHistogram {
+    pub days: [u64; 11],
+}
+
+impl MissRatioHistogram {
+    pub fn from_daily(daily: &[DailyMetrics]) -> Self {
+        let mut h = MissRatioHistogram::default();
+        for d in daily {
+            let r = d.miss_ratio();
+            for (i, (lo, hi)) in MISS_RATIO_RANGES.iter().enumerate() {
+                if r >= *lo && r < *hi {
+                    h.days[i] += 1;
+                    break;
+                }
+            }
+        }
+        h
+    }
+
+    /// Days with a miss ratio of at least `threshold` — the paper's
+    /// "number of days with more than 5 % file misses" headline.
+    pub fn days_at_least(&self, threshold: f64) -> u64 {
+        MISS_RATIO_RANGES
+            .iter()
+            .zip(self.days.iter())
+            .filter(|((lo, _), _)| *lo >= threshold - 1e-12)
+            .map(|(_, d)| d)
+            .sum()
+    }
+
+    pub fn total_days(&self) -> u64 {
+        self.days.iter().sum()
+    }
+}
+
+/// Five-number summary plus mean — the box-and-whisker statistics the
+/// paper reports in Fig. 8 (the green triangles are the means).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BoxStats {
+    pub n: usize,
+    pub min: f64,
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub max: f64,
+    pub mean: f64,
+}
+
+impl BoxStats {
+    pub fn compute(values: &[f64]) -> BoxStats {
+        if values.is_empty() {
+            return BoxStats::default();
+        }
+        let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return BoxStats::default();
+        }
+        v.sort_by(|a, b| a.total_cmp(b));
+        let q = |p: f64| -> f64 {
+            // Linear interpolation between closest ranks.
+            let idx = p * (v.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            if lo == hi {
+                v[lo]
+            } else {
+                v[lo] + (v[hi] - v[lo]) * (idx - lo as f64)
+            }
+        };
+        BoxStats {
+            n: v.len(),
+            min: v[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: *v.last().unwrap(),
+            mean: v.iter().sum::<f64>() / v.len() as f64,
+        }
+    }
+}
+
+/// Per-quadrant accumulation helper.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct QuadrantSeries {
+    /// One vector per quadrant, indexed by [`Quadrant::index`].
+    pub values: [Vec<f64>; 4],
+}
+
+impl QuadrantSeries {
+    pub fn push(&mut self, q: Quadrant, v: f64) {
+        self.values[q.index()].push(v);
+    }
+
+    pub fn stats(&self, q: Quadrant) -> BoxStats {
+        BoxStats::compute(&self.values[q.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day_with(reads: u64, misses: u64) -> DailyMetrics {
+        DailyMetrics { day: 0, reads, misses, ..Default::default() }
+    }
+
+    #[test]
+    fn miss_ratio_handles_zero_reads() {
+        assert_eq!(day_with(0, 0).miss_ratio(), 0.0);
+        assert!((day_with(10, 3).miss_ratio() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_match_paper_ranges() {
+        let daily = vec![
+            day_with(100, 0),   // 0% -> no bucket
+            day_with(100, 3),   // 3% -> 1-5%
+            day_with(100, 7),   // 7% -> 5-10%
+            day_with(100, 15),  // 15% -> 10-20%
+            day_with(100, 55),  // 55% -> 50-60%
+            day_with(100, 100), // 100% -> 90-100%
+            day_with(100, 1),   // 1% -> boundary, 1-5%
+        ];
+        let h = MissRatioHistogram::from_daily(&daily);
+        assert_eq!(h.days[0], 2);
+        assert_eq!(h.days[1], 1);
+        assert_eq!(h.days[2], 1);
+        assert_eq!(h.days[6], 1);
+        assert_eq!(h.days[10], 1);
+        assert_eq!(h.total_days(), 6);
+        // Days with >= 5% misses.
+        assert_eq!(h.days_at_least(0.05), 4);
+        assert_eq!(h.days_at_least(0.5), 2);
+    }
+
+    #[test]
+    fn range_labels() {
+        assert_eq!(range_label(0), "1%-5%");
+        assert_eq!(range_label(10), "90%-100%");
+    }
+
+    #[test]
+    fn box_stats_five_numbers() {
+        let s = BoxStats::compute(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+    }
+
+    #[test]
+    fn box_stats_edge_cases() {
+        assert_eq!(BoxStats::compute(&[]).n, 0);
+        let single = BoxStats::compute(&[7.0]);
+        assert_eq!(single.median, 7.0);
+        assert_eq!(single.min, 7.0);
+        assert_eq!(single.max, 7.0);
+        // NaN values are dropped, not propagated.
+        let s = BoxStats::compute(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.n, 2);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn quadrant_series() {
+        let mut qs = QuadrantSeries::default();
+        qs.push(Quadrant::BothActive, 0.5);
+        qs.push(Quadrant::BothActive, 1.5);
+        qs.push(Quadrant::BothInactive, 9.0);
+        assert_eq!(qs.stats(Quadrant::BothActive).mean, 1.0);
+        assert_eq!(qs.stats(Quadrant::BothInactive).n, 1);
+        assert_eq!(qs.stats(Quadrant::OutcomeActiveOnly).n, 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Plain-text rendering helpers for experiment reports, and the
+//! administrator digest — the "specified reporting mechanism" §3.4 says
+//! ActiveDR uses to report retention outcomes.
+
+use crate::engine::SimResult;
+use activedr_core::classify::Quadrant;
+
+/// Format a byte count with a binary-prefix unit.
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 6] = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"];
+    let mut v = bytes as f64;
+    let mut unit = 0usize;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.2} {}", UNITS[unit])
+    }
+}
+
+/// Format a signed byte delta.
+pub fn fmt_bytes_signed(delta: i64) -> String {
+    if delta < 0 {
+        format!("-{}", fmt_bytes(delta.unsigned_abs()))
+    } else {
+        fmt_bytes(delta as u64)
+    }
+}
+
+/// Render a fixed-width text table: header row plus data rows. Column
+/// widths adapt to content; numeric-looking cells are right-aligned.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let numeric: Vec<bool> = (0..cols)
+        .map(|i| {
+            rows.iter().all(|r| {
+                let c = r[i].trim_start_matches('-');
+                !c.is_empty()
+                    && c.chars().next().is_some_and(|ch| ch.is_ascii_digit())
+            }) && !rows.is_empty()
+        })
+        .collect();
+
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            if numeric[i] {
+                out.push_str(&format!("{:>width$}", cell, width = widths[i]));
+            } else {
+                out.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            }
+        }
+        // No trailing spaces.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    fmt_row(&header_cells, &mut out);
+    let total_width: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total_width));
+    out.push('\n');
+    for row in rows {
+        fmt_row(row, &mut out);
+    }
+    out
+}
+
+/// Render the administrator digest for one emulation run: per-trigger
+/// retention outcomes (§3.4 requires failures to reach the administrator),
+/// replay totals, and the final population census.
+pub fn admin_digest(result: &SimResult) -> String {
+    let mut out = format!(
+        "=== retention digest: {} ({}-day lifetime) ===\n\
+         capacity {:>14}   final used {:>14} ({:.1}%)\n\
+         replay: {} reads, {} misses ({:.2}%), {} files re-staged ({})\n\n",
+        result.policy,
+        result.lifetime_days,
+        fmt_bytes(result.capacity),
+        fmt_bytes(result.final_used),
+        if result.capacity > 0 {
+            100.0 * result.final_used as f64 / result.capacity as f64
+        } else {
+            0.0
+        },
+        result.total_reads(),
+        result.total_misses(),
+        if result.total_reads() > 0 {
+            100.0 * result.total_misses() as f64 / result.total_reads() as f64
+        } else {
+            0.0
+        },
+        result.total_restages(),
+        fmt_bytes(result.total_restage_bytes()),
+    );
+
+    if let Some(archive) = &result.archive {
+        out.push_str(&format!(
+            "archive tier: {} retrievals, {} recovered, mean recovery {:.1} h, worst {:.1} h\n\n",
+            archive.requests,
+            fmt_bytes(archive.bytes),
+            archive.mean_wait().secs() as f64 / 3600.0,
+            archive.max_wait_secs as f64 / 3600.0,
+        ));
+    }
+
+    if result.retentions.is_empty() {
+        out.push_str("no retention triggers fired (utilization stayed below target)\n");
+    } else {
+        let rows: Vec<Vec<String>> = result
+            .retentions
+            .iter()
+            .map(|r| {
+                vec![
+                    r.day.to_string(),
+                    fmt_bytes(r.used_before),
+                    fmt_bytes(r.used_after),
+                    r.purged_files.to_string(),
+                    fmt_bytes(r.purged_bytes),
+                    if r.target_met { "yes".into() } else { "NO <-- report".into() },
+                    r.users_affected.to_string(),
+                ]
+            })
+            .collect();
+        out.push_str(&render_table(
+            &["day", "used before", "used after", "files purged", "bytes", "target met", "users hit"],
+            &rows,
+        ));
+        let failures = result.retentions.iter().filter(|r| !r.target_met).count();
+        if failures > 0 {
+            out.push_str(&format!(
+                "\nWARNING: {failures} trigger(s) could not reach the purge target even \
+                 after all retrospective passes; capacity planning action required.\n"
+            ));
+        }
+    }
+
+    if let Some(last) = result.retentions.last() {
+        if !last.top_losers.is_empty() {
+            out.push_str(&format!("\nlargest losses at the last trigger (day {}):\n", last.day));
+            for (user, bytes) in &last.top_losers {
+                out.push_str(&format!("  {:<8} {}\n", user.to_string(), fmt_bytes(*bytes)));
+            }
+        }
+    }
+
+    out.push_str("\nfinal population census:\n");
+    let mut counts = [0usize; 4];
+    for q in result.final_quadrants.values() {
+        counts[q.index()] += 1;
+    }
+    for q in Quadrant::ALL {
+        out.push_str(&format!("  {:<24} {}\n", q.name(), counts[q.index()]));
+    }
+    out
+}
+
+/// A tiny horizontal ASCII bar for quick-look charts.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(1536), "1.50 KiB");
+        assert_eq!(fmt_bytes(5 * 1024 * 1024), "5.00 MiB");
+        assert_eq!(fmt_bytes(3 * (1 << 30)), "3.00 GiB");
+        assert_eq!(fmt_bytes_signed(-2048), "-2.00 KiB");
+        assert_eq!(fmt_bytes_signed(2048), "2.00 KiB");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "count"],
+            &[
+                vec!["alpha".into(), "5".into()],
+                vec!["b".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("alpha"));
+        // Numeric column right-aligned.
+        assert!(lines[3].ends_with("12345"));
+        assert!(lines[2].ends_with("    5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn admin_digest_renders_events_and_census() {
+        use crate::scenario::{Scale, Scenario};
+        use crate::{run, SimConfig};
+        let scenario = Scenario::build(Scale::Tiny, 12);
+        let result = run(&scenario.traces, scenario.initial_fs.clone(), &SimConfig::activedr(30));
+        let digest = admin_digest(&result);
+        assert!(digest.contains("retention digest: ActiveDR"));
+        assert!(digest.contains("final population census"));
+        assert!(digest.contains("Both Inactive"));
+        if result.retentions.iter().any(|r| !r.target_met) {
+            assert!(digest.contains("WARNING"));
+        }
+    }
+
+    #[test]
+    fn bars() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(20.0, 10.0, 10), "##########"); // clamped
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+}

@@ -1,0 +1,227 @@
+//! Bridging trace records to the unified activity model.
+//!
+//! The activeness evaluator consumes `(user, type, time, impact)` events;
+//! this module maps each trace stream onto the activity types registered by
+//! the administrator. Streams whose type name is absent from the registry
+//! are simply skipped, so the same trace bundle can drive both the paper's
+//! minimal setup (jobs + publications) and the extended Table 2 setup.
+
+use crate::records::TraceSet;
+use activedr_core::event::{ActivityEvent, ActivityTypeRegistry};
+use activedr_core::time::Timestamp;
+
+/// Type names this module understands, matching
+/// [`ActivityTypeRegistry::paper_default`] and
+/// [`ActivityTypeRegistry::extended`].
+pub mod type_names {
+    pub const JOB_SUBMISSION: &str = "job_submission";
+    pub const SHELL_LOGIN: &str = "shell_login";
+    pub const FILE_ACCESS: &str = "file_access";
+    pub const DATA_TRANSFER: &str = "data_transfer";
+    pub const JOB_COMPLETION: &str = "job_completion";
+    pub const DATASET_GENERATED: &str = "dataset_generated";
+    pub const PUBLICATION: &str = "publication";
+}
+
+/// Extract every activity event visible up to (and including) `up_to` from
+/// the traces, for the types present in `registry`.
+///
+/// Impact conventions (all configurable via registry weights):
+/// * job submission — core-hours (§4.1.3);
+/// * job completion — core-hours of successfully completed jobs, stamped at
+///   the job end time;
+/// * publication — Eq. (8) per author;
+/// * shell login — 1 per login;
+/// * data transfer — transferred GiB;
+/// * file access — 1 per access;
+/// * dataset generated — written GiB, stamped at write time.
+pub fn activity_events(
+    traces: &TraceSet,
+    registry: &ActivityTypeRegistry,
+    up_to: Timestamp,
+) -> Vec<ActivityEvent> {
+    let mut events = Vec::new();
+    const GIB: f64 = (1u64 << 30) as f64;
+
+    if let Some(t) = registry.lookup(type_names::JOB_SUBMISSION) {
+        for j in &traces.jobs {
+            if j.submit_ts <= up_to {
+                events.push(ActivityEvent::new(j.user, t, j.submit_ts, j.core_hours()));
+            }
+        }
+    }
+    if let Some(t) = registry.lookup(type_names::JOB_COMPLETION) {
+        for j in &traces.jobs {
+            if j.succeeded && j.end_ts <= up_to {
+                events.push(ActivityEvent::new(j.user, t, j.end_ts, j.core_hours()));
+            }
+        }
+    }
+    if let Some(t) = registry.lookup(type_names::PUBLICATION) {
+        for p in &traces.publications {
+            if p.ts <= up_to {
+                for author in &p.authors {
+                    let impact = p.impact_for(*author).expect("author listed");
+                    events.push(ActivityEvent::new(*author, t, p.ts, impact));
+                }
+            }
+        }
+    }
+    if let Some(t) = registry.lookup(type_names::SHELL_LOGIN) {
+        for l in &traces.logins {
+            if l.ts <= up_to {
+                events.push(ActivityEvent::new(l.user, t, l.ts, 1.0));
+            }
+        }
+    }
+    if let Some(t) = registry.lookup(type_names::DATA_TRANSFER) {
+        for tr in &traces.transfers {
+            if tr.ts <= up_to {
+                events.push(ActivityEvent::new(tr.user, t, tr.ts, tr.bytes as f64 / GIB));
+            }
+        }
+    }
+    if let Some(t) = registry.lookup(type_names::FILE_ACCESS) {
+        for a in &traces.accesses {
+            if a.ts <= up_to {
+                events.push(ActivityEvent::new(a.user, t, a.ts, 1.0));
+            }
+        }
+    }
+    if let Some(t) = registry.lookup(type_names::DATASET_GENERATED) {
+        for a in &traces.accesses {
+            if a.ts <= up_to {
+                if let crate::records::AccessKind::Write { size } = a.kind {
+                    events.push(ActivityEvent::new(a.user, t, a.ts, size as f64 / GIB));
+                }
+            }
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::*;
+    use crate::synth::Archetype;
+    use activedr_core::event::ActivityClass;
+    use activedr_core::time::TimeDelta;
+    use activedr_core::user::UserId;
+
+    fn sample_traces() -> TraceSet {
+        TraceSet {
+            horizon_days: 100,
+            replay_start_day: 0,
+            users: vec![
+                UserProfile { id: UserId(1), archetype: Archetype::Steady },
+                UserProfile { id: UserId(2), archetype: Archetype::Publisher },
+            ],
+            jobs: vec![JobRecord {
+                user: UserId(1),
+                submit_ts: Timestamp::from_days(10),
+                start_ts: Timestamp::from_days(10),
+                end_ts: Timestamp::from_days(10) + TimeDelta::from_hours(4),
+                cores: 32,
+                succeeded: true,
+            }],
+            publications: vec![PublicationRecord {
+                ts: Timestamp::from_days(20),
+                citations: 4,
+                authors: vec![UserId(2), UserId(1)],
+            }],
+            logins: vec![LoginRecord { user: UserId(1), ts: Timestamp::from_days(10) }],
+            transfers: vec![TransferRecord {
+                user: UserId(2),
+                ts: Timestamp::from_days(30),
+                bytes: 2 << 30,
+                inbound: true,
+            }],
+            accesses: vec![
+                AccessRecord {
+                    user: UserId(1),
+                    ts: Timestamp::from_days(11),
+                    path: "/a".into(),
+                    kind: AccessKind::Read,
+                },
+                AccessRecord {
+                    user: UserId(1),
+                    ts: Timestamp::from_days(12),
+                    path: "/b".into(),
+                    kind: AccessKind::Write { size: 1 << 30 },
+                },
+            ],
+            initial_files: vec![],
+        }
+    }
+
+    #[test]
+    fn paper_registry_yields_jobs_and_pubs_only() {
+        let traces = sample_traces();
+        let registry = ActivityTypeRegistry::paper_default();
+        let events = activity_events(&traces, &registry, Timestamp::from_days(100));
+        // 1 job event + 2 publication author events.
+        assert_eq!(events.len(), 3);
+        let job_events: Vec<_> = events
+            .iter()
+            .filter(|e| registry.spec(e.kind).name == "job_submission")
+            .collect();
+        assert_eq!(job_events.len(), 1);
+        assert!((job_events[0].impact - 128.0).abs() < 1e-9); // 32 cores × 4 h
+        let pub_events: Vec<_> = events
+            .iter()
+            .filter(|e| registry.spec(e.kind).class == ActivityClass::Outcome)
+            .collect();
+        assert_eq!(pub_events.len(), 2);
+        // First author u2: (4+1)·2 = 10; second author u1: (4+1)·1 = 5.
+        let u2 = pub_events.iter().find(|e| e.user == UserId(2)).unwrap();
+        assert!((u2.impact - 10.0).abs() < 1e-9);
+        let u1 = pub_events.iter().find(|e| e.user == UserId(1)).unwrap();
+        assert!((u1.impact - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extended_registry_yields_all_streams() {
+        let traces = sample_traces();
+        let registry = ActivityTypeRegistry::extended();
+        let events = activity_events(&traces, &registry, Timestamp::from_days(100));
+        // job_submission 1 + job_completion 1 + publication 2 + login 1 +
+        // transfer 1 + file_access 2 + dataset_generated 1.
+        assert_eq!(events.len(), 9);
+        let dataset = events
+            .iter()
+            .find(|e| registry.spec(e.kind).name == "dataset_generated")
+            .unwrap();
+        assert!((dataset.impact - 1.0).abs() < 1e-9); // 1 GiB write
+        let transfer = events
+            .iter()
+            .find(|e| registry.spec(e.kind).name == "data_transfer")
+            .unwrap();
+        assert!((transfer.impact - 2.0).abs() < 1e-9); // 2 GiB
+    }
+
+    #[test]
+    fn up_to_truncates_visibility() {
+        let traces = sample_traces();
+        let registry = ActivityTypeRegistry::paper_default();
+        // At day 15 the publication (day 20) is not yet visible.
+        let events = activity_events(&traces, &registry, Timestamp::from_days(15));
+        assert_eq!(events.len(), 1);
+        // At day 9 nothing has happened.
+        assert!(activity_events(&traces, &registry, Timestamp::from_days(9)).is_empty());
+    }
+
+    #[test]
+    fn failed_jobs_count_as_operations_not_outcomes() {
+        let mut traces = sample_traces();
+        traces.jobs[0].succeeded = false;
+        let registry = ActivityTypeRegistry::extended();
+        let events = activity_events(&traces, &registry, Timestamp::from_days(100));
+        assert!(events
+            .iter()
+            .any(|e| registry.spec(e.kind).name == "job_submission"));
+        assert!(!events
+            .iter()
+            .any(|e| registry.spec(e.kind).name == "job_completion"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Importing a facility publication list.
+//!
+//! Facilities track user publications in spreadsheets (the paper's OLCF
+//! list has 1,151 entries). Expected CSV columns:
+//!
+//! ```text
+//! date,citations,authors
+//! 2016-03-14,12,alice;bob;carol
+//! ```
+//!
+//! Authors are `;`-separated facility user names in byline order (the
+//! order feeds Eq. 8). A header line is detected and skipped if present.
+
+use super::datetime::{parse_iso8601, EpochDate};
+use super::{Imported, SkippedLine, UserDirectory};
+use crate::records::PublicationRecord;
+use std::io::BufRead;
+
+/// Parse a publication-list CSV.
+pub fn parse_publications<R: BufRead>(
+    reader: R,
+    epoch: EpochDate,
+    users: &mut UserDirectory,
+) -> std::io::Result<Imported<PublicationRecord>> {
+    let mut records = Vec::new();
+    let mut skipped = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if lineno == 1 && line.to_ascii_lowercase().starts_with("date,") {
+            continue; // header
+        }
+        let mut skip = |reason: String| skipped.push(SkippedLine { line: lineno, reason });
+        let fields: Vec<&str> = line.splitn(3, ',').collect();
+        if fields.len() != 3 {
+            skip(format!("expected 3 fields, got {}", fields.len()));
+            continue;
+        }
+        let Some(ts) = parse_iso8601(fields[0], epoch) else {
+            skip(format!("bad date {:?}", fields[0]));
+            continue;
+        };
+        let Ok(citations) = fields[1].trim().parse::<u32>() else {
+            skip(format!("bad citation count {:?}", fields[1]));
+            continue;
+        };
+        let authors: Vec<_> = fields[2]
+            .split(';')
+            .map(str::trim)
+            .filter(|a| !a.is_empty())
+            .map(|a| users.resolve(a))
+            .collect();
+        if authors.is_empty() {
+            skip("empty author list".into());
+            continue;
+        }
+        records.push(PublicationRecord { ts, citations, authors });
+    }
+    Ok(Imported { records, skipped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use activedr_core::user::UserId;
+
+    const SAMPLE: &str = "\
+date,citations,authors
+2016-03-14,12,alice;bob;carol
+# a comment
+2016-05-01,0,dave
+not-a-date,3,erin
+2016-06-01,many,frank
+2016-07-01,4,
+2016-08-01,7, alice ;  dave
+";
+
+    #[test]
+    fn parses_and_reports() {
+        let mut users = UserDirectory::new();
+        let imported =
+            parse_publications(SAMPLE.as_bytes(), EpochDate::PAPER, &mut users).unwrap();
+        assert_eq!(imported.records.len(), 3);
+        assert_eq!(imported.skipped.len(), 3);
+
+        let p = &imported.records[0];
+        assert_eq!(p.citations, 12);
+        assert_eq!(p.authors.len(), 3);
+        // Eq. 8: first author (alice) gets (12+1)·3.
+        assert_eq!(p.impact_for(users.get("alice").unwrap()), Some(39.0));
+        assert_eq!(p.impact_for(users.get("carol").unwrap()), Some(13.0));
+
+        // Whitespace-tolerant author parsing, ids shared across lines.
+        let last = &imported.records[2];
+        assert_eq!(last.authors[0], users.get("alice").unwrap());
+        assert_eq!(last.authors[1], users.get("dave").unwrap());
+        // Only authors of *parsed* records are allocated: alice, bob,
+        // carol, dave. erin/frank sit on skipped lines.
+        assert_eq!(users.len(), 4);
+        assert_eq!(users.get("erin"), None);
+    }
+
+    #[test]
+    fn headerless_input_works() {
+        let mut users = UserDirectory::new();
+        let imported = parse_publications(
+            "2016-01-10,2,zoe\n".as_bytes(),
+            EpochDate::PAPER,
+            &mut users,
+        )
+        .unwrap();
+        assert_eq!(imported.records.len(), 1);
+        assert_eq!(users.get("zoe"), Some(UserId(0)));
+    }
+}

@@ -1,0 +1,33 @@
+//! # activedr-trace — trace model and synthetic workload generation
+//!
+//! The data layer of the ActiveDR reproduction:
+//!
+//! * [`records`] — the trace record types mirroring the paper's OLCF
+//!   dataset (job scheduler logs, publication list, logins, transfers,
+//!   application-log file accesses, and the initial file population);
+//! * [`events`] — mapping trace records onto the unified
+//!   `(time, impact)` activity model of `activedr-core`;
+//! * [`synth`] — archetype-driven synthetic trace generation calibrated to
+//!   the population skew the paper reports (Fig. 5);
+//! * [`import`] — parsers for real facility logs (Slurm `sacct`,
+//!   publication CSVs, changelog-style access logs);
+//! * [`io`] — JSON persistence of trace bundles;
+//! * [`stats`] — dataset summary statistics (§4.1.1).
+
+#![forbid(unsafe_code)]
+
+pub mod events;
+pub mod import;
+pub mod io;
+pub mod records;
+pub mod stats;
+pub mod synth;
+
+pub use events::activity_events;
+pub use io::{read_traces, write_traces, TraceIoError};
+pub use records::{
+    AccessKind, AccessRecord, FileSeed, JobRecord, LoginRecord, PublicationRecord, TraceSet,
+    TransferRecord, UserProfile,
+};
+pub use stats::TraceStats;
+pub use synth::{generate, Archetype, SynthConfig};

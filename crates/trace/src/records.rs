@@ -1,0 +1,307 @@
+//! Trace record types.
+//!
+//! These mirror the OLCF dataset the paper evaluates on (§4.1.1): job
+//! scheduler logs, a publication list, user lists, and application logs
+//! whose command lines yield file paths — plus login and data-transfer
+//! records to exercise the wider activity spectrum of Table 2.
+
+use activedr_core::time::{TimeDelta, Timestamp};
+use activedr_core::user::UserId;
+use serde::{Deserialize, Serialize};
+
+/// One job submission from the scheduler log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    pub user: UserId,
+    pub submit_ts: Timestamp,
+    pub start_ts: Timestamp,
+    pub end_ts: Timestamp,
+    pub cores: u32,
+    pub succeeded: bool,
+}
+
+impl JobRecord {
+    /// Wall-clock duration of the job run.
+    pub fn duration(&self) -> TimeDelta {
+        self.end_ts - self.start_ts
+    }
+
+    /// The paper's operation impact for a job: core-hours
+    /// ("number of CPU cores multiplied with the job duration", §4.1.3).
+    pub fn core_hours(&self) -> f64 {
+        self.cores as f64 * (self.duration().secs().max(0) as f64 / 3600.0)
+    }
+}
+
+/// One publication from the facility publication list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PublicationRecord {
+    pub ts: Timestamp,
+    pub citations: u32,
+    /// Author list in byline order; position matters for Eq. (8).
+    pub authors: Vec<UserId>,
+}
+
+impl PublicationRecord {
+    /// Eq. (8): `D_pub = φ·θ = (c+1)·(n−i+1)` for the author at 1-based
+    /// position `i` of `n`. `None` if the user is not an author.
+    pub fn impact_for(&self, user: UserId) -> Option<f64> {
+        let n = self.authors.len();
+        self.authors
+            .iter()
+            .position(|a| *a == user)
+            .map(|idx| (self.citations as f64 + 1.0) * ((n - (idx + 1) + 1) as f64))
+    }
+}
+
+/// An interactive shell login.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoginRecord {
+    pub user: UserId,
+    pub ts: Timestamp,
+}
+
+/// A bulk data transfer in or out of scratch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferRecord {
+    pub user: UserId,
+    pub ts: Timestamp,
+    pub bytes: u64,
+    pub inbound: bool,
+}
+
+/// How a replayed file access touches the file system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Read an existing file (a miss if it is gone).
+    Read,
+    /// Write/create a file of the given size (never a miss; creates or
+    /// overwrites).
+    Write { size: u64 },
+}
+
+/// One file access extracted from the application logs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessRecord {
+    pub user: UserId,
+    pub ts: Timestamp,
+    pub path: String,
+    pub kind: AccessKind,
+}
+
+impl AccessRecord {
+    pub fn is_read(&self) -> bool {
+        matches!(self.kind, AccessKind::Read)
+    }
+}
+
+/// A file that exists at the start of the replay window — one line of the
+/// initial metadata snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileSeed {
+    pub path: String,
+    pub owner: UserId,
+    pub size: u64,
+    pub created: Timestamp,
+    pub atime: Timestamp,
+}
+
+/// A user with the archetype that generated them (kept for ground-truth
+/// analysis; policies never see it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UserProfile {
+    pub id: UserId,
+    pub archetype: crate::synth::Archetype,
+}
+
+/// A complete trace bundle: everything the emulation consumes.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TraceSet {
+    /// Trace horizon in days from the epoch.
+    pub horizon_days: u32,
+    /// Day index at which replay (and retention) begins; everything before
+    /// is warm-up that only shapes the initial file system and activity
+    /// history.
+    pub replay_start_day: u32,
+    pub users: Vec<UserProfile>,
+    pub initial_files: Vec<FileSeed>,
+    pub jobs: Vec<JobRecord>,
+    pub publications: Vec<PublicationRecord>,
+    pub logins: Vec<LoginRecord>,
+    pub transfers: Vec<TransferRecord>,
+    /// Replay stream, sorted by timestamp.
+    pub accesses: Vec<AccessRecord>,
+}
+
+impl TraceSet {
+    pub fn replay_start(&self) -> Timestamp {
+        Timestamp::from_days(self.replay_start_day as i64)
+    }
+
+    pub fn horizon(&self) -> Timestamp {
+        Timestamp::from_days(self.horizon_days as i64)
+    }
+
+    pub fn user_ids(&self) -> Vec<UserId> {
+        self.users.iter().map(|u| u.id).collect()
+    }
+
+    /// Sort every stream by timestamp (stable), as the generators and
+    /// loaders promise.
+    pub fn sort(&mut self) {
+        self.jobs.sort_by_key(|j| j.submit_ts);
+        self.publications.sort_by_key(|p| p.ts);
+        self.logins.sort_by_key(|l| l.ts);
+        self.transfers.sort_by_key(|t| t.ts);
+        self.accesses.sort_by_key(|a| a.ts);
+        self.initial_files.sort_by(|a, b| a.path.cmp(&b.path));
+    }
+
+    /// Quick structural sanity checks; returns human-readable problems.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.replay_start_day > self.horizon_days {
+            problems.push("replay_start_day beyond horizon".into());
+        }
+        let known: std::collections::HashSet<UserId> =
+            self.users.iter().map(|u| u.id).collect();
+        for j in &self.jobs {
+            if j.end_ts < j.start_ts {
+                problems.push(format!("job for {} ends before it starts", j.user));
+            }
+            if !known.contains(&j.user) {
+                problems.push(format!("job for unknown user {}", j.user));
+            }
+        }
+        for p in &self.publications {
+            if p.authors.is_empty() {
+                problems.push("publication with empty author list".into());
+            }
+        }
+        for f in &self.initial_files {
+            if f.atime < f.created {
+                problems.push(format!("file {} accessed before creation", f.path));
+            }
+        }
+        if !self.accesses.windows(2).all(|w| w[0].ts <= w[1].ts) {
+            problems.push("access stream not sorted".into());
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_hours() {
+        let j = JobRecord {
+            user: UserId(1),
+            submit_ts: Timestamp::from_days(1),
+            start_ts: Timestamp::from_days(1),
+            end_ts: Timestamp::from_days(1) + TimeDelta::from_hours(2),
+            cores: 64,
+            succeeded: true,
+        };
+        assert!((j.core_hours() - 128.0).abs() < 1e-9);
+        assert_eq!(j.duration(), TimeDelta::from_hours(2));
+    }
+
+    #[test]
+    fn publication_impact_matches_eq8() {
+        let p = PublicationRecord {
+            ts: Timestamp::EPOCH,
+            citations: 9,
+            authors: vec![UserId(1), UserId(2), UserId(3)],
+        };
+        // First author: (9+1)·(3−1+1) = 30.
+        assert_eq!(p.impact_for(UserId(1)), Some(30.0));
+        // Middle author: (9+1)·(3−2+1) = 20.
+        assert_eq!(p.impact_for(UserId(2)), Some(20.0));
+        // Last author: (9+1)·(3−3+1) = 10.
+        assert_eq!(p.impact_for(UserId(3)), Some(10.0));
+        assert_eq!(p.impact_for(UserId(4)), None);
+        // Zero citations still yield positive impact.
+        let q = PublicationRecord { ts: Timestamp::EPOCH, citations: 0, authors: vec![UserId(5)] };
+        assert_eq!(q.impact_for(UserId(5)), Some(1.0));
+    }
+
+    #[test]
+    fn traceset_sort_and_validate() {
+        let mut t = TraceSet {
+            horizon_days: 100,
+            replay_start_day: 50,
+            users: vec![UserProfile { id: UserId(1), archetype: crate::synth::Archetype::Steady }],
+            jobs: vec![
+                JobRecord {
+                    user: UserId(1),
+                    submit_ts: Timestamp::from_days(9),
+                    start_ts: Timestamp::from_days(9),
+                    end_ts: Timestamp::from_days(10),
+                    cores: 1,
+                    succeeded: true,
+                },
+                JobRecord {
+                    user: UserId(1),
+                    submit_ts: Timestamp::from_days(2),
+                    start_ts: Timestamp::from_days(2),
+                    end_ts: Timestamp::from_days(3),
+                    cores: 1,
+                    succeeded: true,
+                },
+            ],
+            accesses: vec![
+                AccessRecord {
+                    user: UserId(1),
+                    ts: Timestamp::from_days(60),
+                    path: "/a".into(),
+                    kind: AccessKind::Read,
+                },
+                AccessRecord {
+                    user: UserId(1),
+                    ts: Timestamp::from_days(55),
+                    path: "/b".into(),
+                    kind: AccessKind::Write { size: 5 },
+                },
+            ],
+            ..Default::default()
+        };
+        t.sort();
+        assert_eq!(t.jobs[0].submit_ts, Timestamp::from_days(2));
+        assert_eq!(t.accesses[0].ts, Timestamp::from_days(55));
+        assert!(t.validate().is_empty());
+        assert_eq!(t.replay_start(), Timestamp::from_days(50));
+    }
+
+    #[test]
+    fn validate_flags_problems() {
+        let t = TraceSet {
+            horizon_days: 10,
+            replay_start_day: 20,
+            jobs: vec![JobRecord {
+                user: UserId(9),
+                submit_ts: Timestamp::from_days(5),
+                start_ts: Timestamp::from_days(5),
+                end_ts: Timestamp::from_days(4),
+                cores: 1,
+                succeeded: false,
+            }],
+            publications: vec![PublicationRecord {
+                ts: Timestamp::EPOCH,
+                citations: 0,
+                authors: vec![],
+            }],
+            initial_files: vec![FileSeed {
+                path: "/x".into(),
+                owner: UserId(9),
+                size: 1,
+                created: Timestamp::from_days(5),
+                atime: Timestamp::from_days(2),
+            }],
+            ..Default::default()
+        };
+        let problems = t.validate();
+        assert!(problems.len() >= 4, "found: {problems:?}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Descriptive statistics over trace bundles — the §4.1.1 dataset summary
+//! table, for sanity-checking synthetic populations against the paper's.
+
+use crate::records::TraceSet;
+use crate::synth::Archetype;
+use activedr_core::user::UserId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Summary counts of one trace bundle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TraceStats {
+    pub users: usize,
+    pub jobs: usize,
+    pub publications: usize,
+    pub logins: usize,
+    pub transfers: usize,
+    pub replay_accesses: usize,
+    pub initial_files: usize,
+    pub initial_bytes: u64,
+    pub distinct_replay_paths: usize,
+    pub users_with_jobs: usize,
+    pub users_with_publications: usize,
+    pub archetype_counts: Vec<(Archetype, usize)>,
+}
+
+impl TraceStats {
+    pub fn compute(traces: &TraceSet) -> TraceStats {
+        let mut users_with_jobs: Vec<UserId> = traces.jobs.iter().map(|j| j.user).collect();
+        users_with_jobs.sort_unstable();
+        users_with_jobs.dedup();
+
+        let mut users_with_pubs: Vec<UserId> = traces
+            .publications
+            .iter()
+            .flat_map(|p| p.authors.iter().copied())
+            .collect();
+        users_with_pubs.sort_unstable();
+        users_with_pubs.dedup();
+
+        let mut paths: Vec<&str> =
+            traces.accesses.iter().map(|a| a.path.as_str()).collect();
+        paths.sort_unstable();
+        paths.dedup();
+
+        let mut arch: HashMap<Archetype, usize> = HashMap::new();
+        for u in &traces.users {
+            *arch.entry(u.archetype).or_default() += 1;
+        }
+        let mut archetype_counts: Vec<(Archetype, usize)> = Archetype::ALL
+            .iter()
+            .map(|a| (*a, arch.get(a).copied().unwrap_or(0)))
+            .collect();
+        archetype_counts.retain(|(_, n)| *n > 0);
+
+        TraceStats {
+            users: traces.users.len(),
+            jobs: traces.jobs.len(),
+            publications: traces.publications.len(),
+            logins: traces.logins.len(),
+            transfers: traces.transfers.len(),
+            replay_accesses: traces.accesses.len(),
+            initial_files: traces.initial_files.len(),
+            initial_bytes: traces.initial_files.iter().map(|f| f.size).sum(),
+            distinct_replay_paths: paths.len(),
+            users_with_jobs: users_with_jobs.len(),
+            users_with_publications: users_with_pubs.len(),
+            archetype_counts,
+        }
+    }
+
+    /// Render as the dataset table the paper prints in §4.1.1.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("users:                {}\n", self.users));
+        out.push_str(&format!("job submissions:      {}\n", self.jobs));
+        out.push_str(&format!("publications:         {}\n", self.publications));
+        out.push_str(&format!("logins:               {}\n", self.logins));
+        out.push_str(&format!("transfers:            {}\n", self.transfers));
+        out.push_str(&format!("replay accesses:      {}\n", self.replay_accesses));
+        out.push_str(&format!("distinct paths:       {}\n", self.distinct_replay_paths));
+        out.push_str(&format!(
+            "initial files:        {} ({:.2} GiB)\n",
+            self.initial_files,
+            self.initial_bytes as f64 / (1u64 << 30) as f64
+        ));
+        out.push_str(&format!("users with jobs:      {}\n", self.users_with_jobs));
+        out.push_str(&format!("users with pubs:      {}\n", self.users_with_publications));
+        out.push_str("archetypes:\n");
+        for (a, n) in &self.archetype_counts {
+            out.push_str(&format!("  {:<14} {}\n", a.name(), n));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+
+    #[test]
+    fn stats_cover_all_streams() {
+        let traces = generate(&SynthConfig::tiny(4));
+        let stats = TraceStats::compute(&traces);
+        assert_eq!(stats.users, traces.users.len());
+        assert_eq!(stats.jobs, traces.jobs.len());
+        assert_eq!(stats.replay_accesses, traces.accesses.len());
+        assert!(stats.users_with_jobs <= stats.users);
+        assert!(stats.initial_bytes > 0);
+        assert!(stats.distinct_replay_paths <= stats.replay_accesses);
+        let total_arch: usize = stats.archetype_counts.iter().map(|(_, n)| n).sum();
+        assert_eq!(total_arch, stats.users);
+    }
+
+    #[test]
+    fn render_is_humane() {
+        let traces = generate(&SynthConfig::tiny(4));
+        let text = TraceStats::compute(&traces).render();
+        assert!(text.contains("users:"));
+        assert!(text.contains("archetypes:"));
+        assert!(text.contains("dormant"));
+    }
+}

@@ -1,0 +1,311 @@
+//! Synthetic workload generation.
+//!
+//! The original evaluation replays two years of OLCF/Titan traces that are
+//! not publicly releasable. This module generates synthetic trace bundles
+//! with the *population structure* those traces exhibit and the paper
+//! exploits (Fig. 5): a small minority of operationally active users, a
+//! small minority of outcome-active users, and a heavily dominant mass of
+//! inactive accounts, plus the behavioural patterns the paper's motivation
+//! describes — interrupted campaigns that return to stale files, users who
+//! game FLT by touching files, and users who depart leaving data behind.
+//!
+//! Users are drawn from [`Archetype`]s; each archetype is a small
+//! generative model (campaign schedule × job process × publication process
+//! × file-access behaviour) whose parameters live in [`ArchetypeParams`].
+
+mod generator;
+mod schedule;
+mod sizes;
+
+pub use generator::{generate, SynthConfig};
+pub use schedule::{ActivePhases, PhaseParams};
+pub use sizes::FileSizeSampler;
+
+use serde::{Deserialize, Serialize};
+
+/// Behavioural classes of synthetic users.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Archetype {
+    /// Continuous heavy compute plus publications — the both-active elite.
+    PowerUser,
+    /// Continuous regular compute, no measurable outcomes.
+    Steady,
+    /// Rare compute but a steady publication record (analysis happens
+    /// elsewhere) — outcome-active-only.
+    Publisher,
+    /// Campaign-based: weeks of intense work separated by multi-month
+    /// interruptions (field studies, teaching, admin suspensions). The
+    /// population FLT hurts most: they come back to purged files.
+    Intermittent,
+    /// Games FLT by touching every file periodically while doing almost no
+    /// real work (§1, §2 — the Monti et al. observation).
+    Toucher,
+    /// Very sparse residual usage: a short burst every year or two.
+    Dormant,
+    /// Active during the warm-up year, silent afterwards; their files are
+    /// pure purge fodder.
+    Departed,
+    /// An account that never submits anything itself — project members,
+    /// PIs, students with data dropped into scratch for them. The dominant
+    /// population at a real facility and the bulk of the Fig. 5
+    /// both-inactive mass.
+    Ghost,
+    /// A user from an *imported* trace: no generative model, no ground
+    /// truth. Never produced by the generator.
+    Unknown,
+}
+
+impl Archetype {
+    pub const ALL: [Archetype; 9] = [
+        Archetype::PowerUser,
+        Archetype::Steady,
+        Archetype::Publisher,
+        Archetype::Intermittent,
+        Archetype::Toucher,
+        Archetype::Dormant,
+        Archetype::Departed,
+        Archetype::Ghost,
+        Archetype::Unknown,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Archetype::PowerUser => "power-user",
+            Archetype::Steady => "steady",
+            Archetype::Publisher => "publisher",
+            Archetype::Intermittent => "intermittent",
+            Archetype::Toucher => "toucher",
+            Archetype::Dormant => "dormant",
+            Archetype::Departed => "departed",
+            Archetype::Ghost => "ghost",
+            Archetype::Unknown => "unknown",
+        }
+    }
+
+    /// Generative parameters for this archetype.
+    pub fn params(self) -> ArchetypeParams {
+        match self {
+            Archetype::PowerUser => ArchetypeParams {
+                jobs_per_active_week: 4.0,
+                active_days: (60, 120),
+                gap_days: (3, 14),
+                pubs_per_year: 1.5,
+                initial_files: (60, 200),
+                reads_per_job: (2, 8),
+                writes_per_job: (1, 4),
+                old_read_bias: 0.12,
+                touch_interval_days: None,
+                departs: false,
+                cores: (256, 8192),
+                job_hours: (1.0, 24.0),
+            },
+            Archetype::Steady => ArchetypeParams {
+                jobs_per_active_week: 2.0,
+                active_days: (40, 90),
+                gap_days: (5, 21),
+                pubs_per_year: 0.05,
+                initial_files: (30, 120),
+                reads_per_job: (1, 6),
+                writes_per_job: (1, 3),
+                old_read_bias: 0.10,
+                touch_interval_days: None,
+                departs: false,
+                cores: (32, 1024),
+                job_hours: (0.5, 12.0),
+            },
+            Archetype::Publisher => ArchetypeParams {
+                jobs_per_active_week: 0.8,
+                active_days: (5, 14),
+                gap_days: (300, 700),
+                pubs_per_year: 2.0,
+                initial_files: (15, 60),
+                reads_per_job: (1, 5),
+                writes_per_job: (0, 2),
+                old_read_bias: 0.30,
+                touch_interval_days: None,
+                departs: false,
+                cores: (16, 256),
+                job_hours: (0.5, 8.0),
+            },
+            Archetype::Intermittent => ArchetypeParams {
+                jobs_per_active_week: 3.0,
+                active_days: (20, 50),
+                gap_days: (60, 160),
+                pubs_per_year: 0.3,
+                initial_files: (30, 120),
+                reads_per_job: (2, 8),
+                writes_per_job: (1, 4),
+                // The defining trait: campaigns reach back to files from
+                // earlier campaigns.
+                old_read_bias: 0.30,
+                touch_interval_days: None,
+                departs: false,
+                cores: (64, 2048),
+                job_hours: (1.0, 24.0),
+            },
+            Archetype::Toucher => ArchetypeParams {
+                jobs_per_active_week: 0.5,
+                active_days: (5, 15),
+                gap_days: (150, 400),
+                pubs_per_year: 0.05,
+                initial_files: (40, 150),
+                reads_per_job: (1, 3),
+                writes_per_job: (0, 1),
+                old_read_bias: 0.2,
+                // Touches every file comfortably inside the 90-day OLCF
+                // lifetime (but beyond ActiveDR's maximally decayed
+                // 0.8^5 * 90 ≈ 29.5-day cutoff, so the trick stops paying).
+                touch_interval_days: Some(60),
+                departs: false,
+                cores: (16, 128),
+                job_hours: (0.2, 4.0),
+            },
+            // Imported users share the inert parameter set: the generator
+            // never draws them, but params() must stay total.
+            Archetype::Unknown | Archetype::Ghost => ArchetypeParams {
+                jobs_per_active_week: 0.0,
+                active_days: (1, 1),
+                gap_days: (5000, 10000),
+                pubs_per_year: 0.0,
+                initial_files: (3, 30),
+                reads_per_job: (0, 0),
+                writes_per_job: (0, 0),
+                old_read_bias: 0.0,
+                touch_interval_days: None,
+                departs: false,
+                cores: (1, 1),
+                job_hours: (0.1, 0.1),
+            },
+            Archetype::Dormant => ArchetypeParams {
+                jobs_per_active_week: 1.0,
+                active_days: (3, 10),
+                gap_days: (600, 1500),
+                pubs_per_year: 0.02,
+                initial_files: (5, 40),
+                reads_per_job: (1, 4),
+                writes_per_job: (0, 2),
+                old_read_bias: 0.35,
+                touch_interval_days: None,
+                departs: false,
+                cores: (16, 256),
+                job_hours: (0.5, 8.0),
+            },
+            Archetype::Departed => ArchetypeParams {
+                jobs_per_active_week: 2.0,
+                active_days: (30, 90),
+                gap_days: (20, 60),
+                pubs_per_year: 0.2,
+                initial_files: (20, 100),
+                reads_per_job: (1, 6),
+                writes_per_job: (1, 3),
+                old_read_bias: 0.2,
+                touch_interval_days: None,
+                departs: true,
+                cores: (32, 1024),
+                job_hours: (0.5, 12.0),
+            },
+        }
+    }
+
+    /// Default population mix, tuned so the evaluated activeness matrix
+    /// reproduces the Fig. 5 skew: ≲1 % both-active, a few percent in each
+    /// single-active class, ≳90 % both-inactive.
+    pub fn default_mix() -> Vec<(Archetype, f64)> {
+        vec![
+            (Archetype::PowerUser, 0.01),
+            (Archetype::Steady, 0.015),
+            (Archetype::Publisher, 0.04),
+            (Archetype::Intermittent, 0.03),
+            (Archetype::Toucher, 0.02),
+            (Archetype::Dormant, 0.15),
+            (Archetype::Departed, 0.085),
+            (Archetype::Ghost, 0.65),
+        ]
+    }
+}
+
+impl std::fmt::Display for Archetype {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generative parameters of one archetype.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArchetypeParams {
+    /// Poisson rate of job submissions during active phases.
+    pub jobs_per_active_week: f64,
+    /// Uniform range of active-campaign lengths, days.
+    pub active_days: (u32, u32),
+    /// Uniform range of idle-gap lengths, days.
+    pub gap_days: (u32, u32),
+    /// Poisson rate of publications per year.
+    pub pubs_per_year: f64,
+    /// Files seeded during the warm-up period, before any job runs.
+    pub initial_files: (u32, u32),
+    /// Files read per job (uniform range).
+    pub reads_per_job: (u32, u32),
+    /// New files written per job (uniform range).
+    pub writes_per_job: (u32, u32),
+    /// Probability that a job read reaches back into the *older* half of
+    /// the user's files rather than the newest ones.
+    pub old_read_bias: f64,
+    /// If set, the user touches every owned file at this interval
+    /// (the FLT-gaming behaviour).
+    pub touch_interval_days: Option<u32>,
+    /// The user produces no events after a departure day sampled inside
+    /// the warm-up period.
+    pub departs: bool,
+    /// Uniform range of job core counts.
+    pub cores: (u32, u32),
+    /// Uniform range of job durations, hours.
+    pub job_hours: (f64, f64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_sums_to_one() {
+        let total: f64 = Archetype::default_mix().iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Every mix entry is a real archetype; Unknown is import-only and
+        // never generated.
+        for (a, _) in Archetype::default_mix() {
+            assert!(Archetype::ALL.contains(&a));
+            assert_ne!(a, Archetype::Unknown);
+        }
+        assert_eq!(Archetype::default_mix().len(), Archetype::ALL.len() - 1);
+    }
+
+    #[test]
+    fn params_are_sane() {
+        for a in Archetype::ALL {
+            let p = a.params();
+            assert!(p.jobs_per_active_week >= 0.0, "{a}");
+            assert!(p.active_days.0 <= p.active_days.1, "{a}");
+            assert!(p.gap_days.0 <= p.gap_days.1, "{a}");
+            assert!(p.initial_files.0 <= p.initial_files.1, "{a}");
+            assert!(p.cores.0 <= p.cores.1, "{a}");
+            assert!((0.0..=1.0).contains(&p.old_read_bias), "{a}");
+        }
+    }
+
+    #[test]
+    fn only_departed_departs_and_only_toucher_touches() {
+        for a in Archetype::ALL {
+            let p = a.params();
+            assert_eq!(p.departs, a == Archetype::Departed, "{a}");
+            assert_eq!(p.touch_interval_days.is_some(), a == Archetype::Toucher, "{a}");
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = Archetype::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Archetype::ALL.len());
+    }
+}

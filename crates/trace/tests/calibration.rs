@@ -1,0 +1,63 @@
+//! Calibration tests: the synthetic population, evaluated by the core
+//! activeness model, must reproduce the Fig. 5 population skew the paper
+//! exploits — a dominant both-inactive mass and small active minorities.
+
+use activedr_core::prelude::*;
+use activedr_trace::{activity_events, generate, SynthConfig};
+
+fn shares_at(period_days: u32, tc_day: i64, seed: u64) -> [f64; 4] {
+    let traces = generate(&SynthConfig::paper_scale(seed));
+    let registry = ActivityTypeRegistry::paper_default();
+    let evaluator = ActivenessEvaluator::new(
+        registry.clone(),
+        ActivenessConfig::year_window(period_days),
+    );
+    let tc = Timestamp::from_days(tc_day);
+    let events = activity_events(&traces, &registry, tc);
+    let table = evaluator.evaluate(tc, &traces.user_ids(), &events);
+    Classification::from_table(&table).shares()
+}
+
+#[test]
+fn population_skew_matches_fig5_shape() {
+    // Evaluate mid-replay (≈ Aug 2016 in paper terms).
+    let shares = shares_at(7, 365 + 200, 11);
+    let ba = shares[Quadrant::BothActive.index()];
+    let op = shares[Quadrant::OperationActiveOnly.index()];
+    let oc = shares[Quadrant::OutcomeActiveOnly.index()];
+    let bi = shares[Quadrant::BothInactive.index()];
+    // Paper (Fig. 5): BA 0.4-0.9 %, OpA 1.1-3.5 %, OcA 2.9-3.4 %,
+    // BI 92.7-95 %. We assert the same shape with generous bands.
+    assert!(ba < 0.05, "both-active share {ba}");
+    assert!(op > 0.005 && op < 0.15, "operation-active-only share {op}");
+    assert!(oc > 0.005 && oc < 0.15, "outcome-active-only share {oc}");
+    assert!(bi > 0.80, "both-inactive share {bi}");
+}
+
+#[test]
+fn operation_active_share_grows_with_period_length() {
+    // Fig. 5: OpA goes 1.1 % → 3.5 % as the period stretches 7 → 90 days
+    // (longer windows see more of the sparse users' activity).
+    let tc_day = 365 + 200;
+    let short = shares_at(7, tc_day, 11);
+    let long = shares_at(90, tc_day, 11);
+    let active_short = short[Quadrant::BothActive.index()]
+        + short[Quadrant::OperationActiveOnly.index()];
+    let active_long =
+        long[Quadrant::BothActive.index()] + long[Quadrant::OperationActiveOnly.index()];
+    assert!(
+        active_long >= active_short,
+        "op-active share should not shrink with period length: {active_short} -> {active_long}"
+    );
+}
+
+#[test]
+fn skew_is_stable_across_seeds() {
+    for seed in [1u64, 2, 3] {
+        let shares = shares_at(30, 365 + 150, seed);
+        assert!(
+            shares[Quadrant::BothInactive.index()] > 0.75,
+            "seed {seed}: {shares:?}"
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the log importers: arbitrary byte soup must never
+//! panic, and whatever parses must be internally consistent.
+
+use activedr_trace::import::{
+    parse_access_log, parse_iso8601, parse_publications, parse_sacct, EpochDate, UserDirectory,
+};
+use proptest::prelude::*;
+
+/// Lines assembled from plausible log fragments plus garbage.
+fn arb_log(tokens: Vec<&'static str>) -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop::collection::vec(prop::sample::select(tokens), 0..10),
+        0..30,
+    )
+    .prop_map(|lines| {
+        lines
+            .into_iter()
+            .map(|words| words.join(" "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sacct_never_panics(input in arb_log(vec![
+        "JobID|User|Submit|Start|End|NCPUS|State",
+        "1|alice|2015-06-01T08:00:00|2015-06-01T08:01:00|2015-06-01T10:01:00|64|COMPLETED",
+        "garbage", "|||||", "1|bob", "2015-13-99", "0",
+    ])) {
+        let mut users = UserDirectory::new();
+        let imported = parse_sacct(input.as_bytes(), EpochDate::PAPER, &mut users).unwrap();
+        // Everything parsed came with valid invariants.
+        for job in &imported.records {
+            prop_assert!(job.end_ts >= job.start_ts);
+            prop_assert!(job.core_hours() >= 0.0);
+            prop_assert!(users.name_of(job.user).is_some());
+        }
+    }
+
+    #[test]
+    fn publications_never_panic(input in arb_log(vec![
+        "date,citations,authors", "2016-03-14,12,alice;bob", ",,,", "x,y,z",
+        "2016-05-01,0,", "#comment", "2016-05-01,3,a;;b",
+    ])) {
+        let mut users = UserDirectory::new();
+        let imported =
+            parse_publications(input.as_bytes(), EpochDate::PAPER, &mut users).unwrap();
+        for p in &imported.records {
+            prop_assert!(!p.authors.is_empty());
+            // Eq. 8 impact is positive for every author.
+            for a in &p.authors {
+                prop_assert!(p.impact_for(*a).unwrap() >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn access_log_never_panics(input in arb_log(vec![
+        "2016-02-03T10:20:00", "alice", "READ", "WRITE", "/scratch/a", "relative",
+        "1024", "nonsense", "#", "CHMOD",
+    ])) {
+        let mut users = UserDirectory::new();
+        let imported =
+            parse_access_log(input.as_bytes(), EpochDate::PAPER, &mut users).unwrap();
+        // Output is sorted and every path is absolute.
+        prop_assert!(imported.records.windows(2).all(|w| w[0].ts <= w[1].ts));
+        for a in &imported.records {
+            prop_assert!(a.path.starts_with('/'));
+        }
+    }
+
+    /// The date parser handles any string without panicking, and accepts
+    /// exactly the well-formed ones.
+    #[test]
+    fn iso8601_total_and_consistent(s in "\\PC{0,30}") {
+        let _ = parse_iso8601(&s, EpochDate::PAPER); // must not panic
+    }
+
+    #[test]
+    fn iso8601_roundtrips_generated_dates(
+        year in 1990i64..2100,
+        month in 1u32..=12,
+        day in 1u32..=28,
+        h in 0i64..24,
+        m in 0i64..60,
+        sec in 0i64..60,
+    ) {
+        let text = format!("{year:04}-{month:02}-{day:02}T{h:02}:{m:02}:{sec:02}");
+        let ts = parse_iso8601(&text, EpochDate::PAPER).expect("well-formed date");
+        // Seconds-of-day must match.
+        let rem = ts.secs().rem_euclid(86_400);
+        prop_assert_eq!(rem, h * 3600 + m * 60 + sec);
+        // Date-only parse lands at midnight of the same day.
+        let date_only = parse_iso8601(&text[..10], EpochDate::PAPER).unwrap();
+        prop_assert_eq!(ts.day(), date_only.day());
+        prop_assert_eq!(date_only.secs().rem_euclid(86_400), 0);
+    }
+}

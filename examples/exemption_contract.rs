@@ -1,0 +1,69 @@
+//! The purge-exemption contract (§3.4): reserved paths survive any purge,
+//! but renaming a reserved file silently cancels its reservation.
+//!
+//! ```text
+//! cargo run --example exemption_contract
+//! ```
+
+use activedr_core::prelude::*;
+use activedr_fs::{ExemptionList, VirtualFs};
+
+fn main() {
+    let owner = UserId(7);
+    let mut fs = VirtualFs::with_capacity(0);
+    let day0 = Timestamp::from_days(0);
+    fs.create("/scratch/u7/keep/reference-genome.fa", owner, 5 << 30, day0).unwrap();
+    fs.create("/scratch/u7/keep/calibration.h5", owner, 1 << 30, day0).unwrap();
+    fs.create("/scratch/u7/tmp/run-output.dat", owner, 3 << 30, day0).unwrap();
+    fs.create("/scratch/u7/project-x/shared.dat", owner, 2 << 30, day0).unwrap();
+
+    // The administrator's reservation list: one exact file, one directory.
+    let exemptions = ExemptionList::from_lines(
+        "# ticket #4411 — long-term reference data\n\
+         /scratch/u7/keep/reference-genome.fa\n\
+         /scratch/u7/project-x/\n"
+            .lines(),
+    );
+    println!(
+        "reservation list: {} exact paths, {} directory reservations",
+        exemptions.exact_count(),
+        exemptions.prefix_count()
+    );
+
+    // A year later everything is stale; the user is inactive; a purge runs.
+    let tc = Timestamp::from_days(365);
+    let catalog = fs.catalog(&exemptions);
+    let table = ActivenessTable::new();
+    let outcome = ActiveDrPolicy::new(RetentionConfig::new(90)).run(PurgeRequest {
+        tc,
+        catalog: &catalog,
+        activeness: &table,
+        target_bytes: None,
+    });
+    fs.apply(&outcome);
+
+    println!("\nafter the purge at day 365:");
+    for path in [
+        "/scratch/u7/keep/reference-genome.fa",
+        "/scratch/u7/keep/calibration.h5",
+        "/scratch/u7/tmp/run-output.dat",
+        "/scratch/u7/project-x/shared.dat",
+    ] {
+        println!(
+            "  {:<42} {}",
+            path,
+            if fs.exists(path) { "retained (reserved)" } else { "purged" }
+        );
+    }
+    println!("  ({} files skipped as exempt)", outcome.exempt_skipped);
+
+    // The contract: moving a reserved file cancels the reservation.
+    fs.create("/scratch/u7/keep2/reference-genome.fa", owner, 5 << 30, Timestamp::from_days(366))
+        .unwrap();
+    let renamed = "/scratch/u7/keep2/reference-genome.fa";
+    println!(
+        "\nrenamed copy {renamed} is exempt? {} — \
+         per §3.4 a moved file has cancelled its reservation",
+        exemptions.is_exempt(renamed)
+    );
+}

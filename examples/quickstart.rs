@@ -1,0 +1,121 @@
+//! Quickstart: evaluate user activeness and run one retention pass.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Walks the whole ActiveDR pipeline on a hand-built world: register
+//! activity types, feed `(time, impact)` events, classify users, and let
+//! the policy decide which files to purge to reach a byte target.
+
+use activedr_core::prelude::*;
+
+fn main() {
+    // -- 1. One-time administrator setup --------------------------------
+    // The paper's evaluation uses job submissions (operations, impact =
+    // core-hours) and publications (outcomes, impact = Eq. 8).
+    let registry = ActivityTypeRegistry::paper_default();
+    let job = registry.lookup("job_submission").unwrap();
+    let publication = registry.lookup("publication").unwrap();
+
+    // Weekly periods over a one-year window.
+    let evaluator =
+        ActivenessEvaluator::new(registry.clone(), ActivenessConfig::year_window(7));
+
+    // -- 2. Activity history ---------------------------------------------
+    // alice: computes every week and published recently (both active).
+    // bob: one burst of jobs months ago (fading operation rank).
+    // carol: no recorded activity at all (both inactive).
+    let tc = Timestamp::from_days(400);
+    let (alice, bob, carol) = (UserId(1), UserId(2), UserId(3));
+    let mut events = Vec::new();
+    for week in 0..52 {
+        events.push(ActivityEvent::new(
+            alice,
+            job,
+            tc - TimeDelta::from_days(7 * week + 1),
+            2048.0, // core-hours
+        ));
+    }
+    events.push(ActivityEvent::new(alice, publication, tc - TimeDelta::from_days(30), 42.0));
+    for day in [300, 305, 310] {
+        events.push(ActivityEvent::new(bob, job, tc - TimeDelta::from_days(day), 512.0));
+    }
+
+    let table = evaluator.evaluate(tc, &[alice, bob, carol], &events);
+    println!("activeness ranks at {tc}:");
+    for user in [alice, bob, carol] {
+        let a = table.get(user);
+        println!(
+            "  {user}: op = {}, outcome = {}  ->  {}",
+            a.op,
+            a.oc,
+            Quadrant::of(a)
+        );
+    }
+
+    // -- 3. The file population ------------------------------------------
+    // Everyone owns one fresh file and one 100-day-old file.
+    let gib = 1u64 << 30;
+    let catalog = Catalog::new(
+        [alice, bob, carol]
+            .iter()
+            .enumerate()
+            .map(|(i, &user)| {
+                UserFiles::new(
+                    user,
+                    vec![
+                        FileRecord::new(
+                            FileId(i as u64 * 2),
+                            gib,
+                            tc - TimeDelta::from_days(2),
+                        ),
+                        FileRecord::new(
+                            FileId(i as u64 * 2 + 1),
+                            gib,
+                            tc - TimeDelta::from_days(100),
+                        ),
+                    ],
+                )
+            })
+            .collect(),
+    );
+
+    // -- 4. Retention ------------------------------------------------------
+    // Free 1 GiB with a 90-day initial lifetime. ActiveDR scans the
+    // least-active users first, so carol's stale file goes and alice's
+    // survive even though alice's old file is just as stale.
+    let policy = ActiveDrPolicy::new(RetentionConfig::new(90));
+    let outcome = policy.run(PurgeRequest {
+        tc,
+        catalog: &catalog,
+        activeness: &table,
+        target_bytes: Some(gib),
+    });
+
+    println!("\npurge decisions (target 1 GiB):");
+    for p in &outcome.purged {
+        println!("  purge {} of {} ({} bytes)", p.id, p.user, p.size);
+    }
+    println!(
+        "target met: {}   purged: {} bytes   exempt skipped: {}",
+        outcome.target_met, outcome.purged_bytes, outcome.exempt_skipped
+    );
+
+    // Compare with what FLT would have done: every 100-day-old file goes,
+    // including the active user's.
+    let flt = FltPolicy::days(90).run(PurgeRequest {
+        tc,
+        catalog: &catalog,
+        activeness: &table,
+        target_bytes: None,
+    });
+    println!(
+        "\nFLT for comparison: {} files purged ({} of them owned by active users)",
+        flt.purged.len(),
+        flt.purged
+            .iter()
+            .filter(|p| Quadrant::of(table.get(p.user)) != Quadrant::BothInactive)
+            .count()
+    );
+}

@@ -1,0 +1,40 @@
+//! Integration: every externally consumed result type serializes — the
+//! `--format json` contract of the CLI and downstream tooling.
+
+use activedr_sim::{run, Scale, Scenario, SimConfig};
+
+#[test]
+fn sim_result_round_trips_through_json() {
+    let scenario = Scenario::build(Scale::Tiny, 90);
+    let result = run(&scenario.traces, scenario.initial_fs.clone(), &SimConfig::activedr(30));
+    let json = serde_json::to_string(&result).expect("SimResult serializes");
+    let back: activedr_sim::SimResult = serde_json::from_str(&json).expect("and parses back");
+    assert_eq!(back.daily, result.daily);
+    assert_eq!(back.final_used, result.final_used);
+    assert_eq!(back.retentions.len(), result.retentions.len());
+    for (a, b) in back.retentions.iter().zip(result.retentions.iter()) {
+        assert_eq!(a.day, b.day);
+        assert_eq!(a.purged_bytes, b.purged_bytes);
+        assert_eq!(a.breakdown, b.breakdown);
+        assert_eq!(a.top_losers, b.top_losers);
+    }
+    assert_eq!(back.final_quadrants, result.final_quadrants);
+}
+
+#[test]
+fn experiment_data_structures_serialize() {
+    use activedr_sim::experiments::{fig5::Fig5Data, fig6::Fig6Data, tab1::Tab1Data};
+    let scenario = Scenario::build(Scale::Tiny, 91);
+
+    let fig5 = Fig5Data::compute(&scenario);
+    let json = serde_json::to_value(&fig5).unwrap();
+    assert!(json.get("rows").is_some());
+
+    let fig6 = Fig6Data::compute(&scenario);
+    let json = serde_json::to_value(&fig6).unwrap();
+    assert!(json.get("flt").is_some());
+
+    let tab1 = Tab1Data::compute(&scenario);
+    let json = serde_json::to_value(&tab1).unwrap();
+    assert!(json.get("rows").is_some());
+}

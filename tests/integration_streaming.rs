@@ -1,0 +1,45 @@
+//! Integration: streaming (incremental) activeness evaluation drives the
+//! full emulation to results identical to batch mode.
+
+use activedr_sim::{run, EvalMode, Scale, Scenario, SimConfig};
+
+#[test]
+fn streaming_and_batch_runs_are_identical() {
+    let scenario = Scenario::build(Scale::Tiny, 61);
+    for lifetime in [30u32, 90] {
+        let batch_cfg = SimConfig::activedr(lifetime);
+        let mut streaming_cfg = SimConfig::activedr(lifetime);
+        streaming_cfg.eval_mode = EvalMode::Streaming;
+
+        let batch = run(&scenario.traces, scenario.initial_fs.clone(), &batch_cfg);
+        let streaming = run(&scenario.traces, scenario.initial_fs.clone(), &streaming_cfg);
+
+        assert_eq!(batch.daily, streaming.daily, "lifetime {lifetime}");
+        assert_eq!(batch.final_used, streaming.final_used);
+        assert_eq!(batch.final_quadrants, streaming.final_quadrants);
+        assert_eq!(
+            batch.retentions.len(),
+            streaming.retentions.len(),
+            "lifetime {lifetime}"
+        );
+        for (b, s) in batch.retentions.iter().zip(streaming.retentions.iter()) {
+            assert_eq!(b.day, s.day);
+            assert_eq!(b.purged_bytes, s.purged_bytes);
+            assert_eq!(b.purged_files, s.purged_files);
+            assert_eq!(b.breakdown, s.breakdown);
+        }
+    }
+}
+
+#[test]
+fn streaming_works_for_flt_attribution_too() {
+    // FLT ignores activeness for decisions, but miss attribution still
+    // uses the evaluated quadrants — they must match across modes.
+    let scenario = Scenario::build(Scale::Tiny, 62);
+    let batch = run(&scenario.traces, scenario.initial_fs.clone(), &SimConfig::flt(90));
+    let mut cfg = SimConfig::flt(90);
+    cfg.eval_mode = EvalMode::Streaming;
+    let streaming = run(&scenario.traces, scenario.initial_fs.clone(), &cfg);
+    assert_eq!(batch.daily, streaming.daily);
+    assert_eq!(batch.misses_by_quadrant(), streaming.misses_by_quadrant());
+}
