@@ -2,6 +2,19 @@
 //! log-domain vs saturating-linear rank arithmetic, retrospective-pass
 //! depth, and lifetime-adjustment mode.
 
+#![allow(
+    clippy::indexing_slicing,
+    reason = "bench harness code may panic on a broken fixture"
+)]
+#![allow(
+    clippy::unwrap_used,
+    reason = "bench harness code may panic on a broken fixture"
+)]
+#![allow(
+    clippy::cast_possible_truncation,
+    reason = "bench harness code may panic on a broken fixture"
+)]
+
 use activedr_bench::{decision_fixture, tiny_scenario};
 use activedr_core::prelude::*;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -30,8 +43,9 @@ fn log_rank_product(ratios: &[(f64, u32)]) -> Rank {
 fn bench(c: &mut Criterion) {
     // 1. Rank arithmetic: log-domain vs saturating linear.
     {
-        let ratios: Vec<(f64, u32)> =
-            (1..=53).map(|e| (0.2 + (e as f64 * 0.37) % 4.0, e)).collect();
+        let ratios: Vec<(f64, u32)> = (1..=53)
+            .map(|e| (0.2 + (e as f64 * 0.37) % 4.0, e))
+            .collect();
         let mut group = c.benchmark_group("ablation_rank_arithmetic");
         group.bench_function("log_domain", |b| {
             b.iter(|| black_box(log_rank_product(black_box(&ratios))).ln())
@@ -50,24 +64,18 @@ fn bench(c: &mut Criterion) {
     {
         let mut group = c.benchmark_group("ablation_retro_passes");
         for passes in [0u32, 1, 3, 5] {
-            group.bench_with_input(
-                BenchmarkId::new("passes", passes),
-                &passes,
-                |b, &passes| {
-                    let policy = ActiveDrPolicy::new(
-                        RetentionConfig::new(30).with_retro(passes, 0.2),
-                    );
-                    b.iter(|| {
-                        black_box(policy.run(PurgeRequest {
-                            tc: fixture.tc,
-                            catalog: &fixture.catalog,
-                            activeness: &fixture.table,
-                            target_bytes: Some(deep_target),
-                        }))
-                        .purged_bytes
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("passes", passes), &passes, |b, &passes| {
+                let policy = ActiveDrPolicy::new(RetentionConfig::new(30).with_retro(passes, 0.2));
+                b.iter(|| {
+                    black_box(policy.run(PurgeRequest {
+                        tc: fixture.tc,
+                        catalog: &fixture.catalog,
+                        activeness: &fixture.table,
+                        target_bytes: Some(deep_target),
+                    }))
+                    .purged_bytes
+                })
+            });
         }
         group.finish();
     }
@@ -98,11 +106,8 @@ fn bench(c: &mut Criterion) {
         });
 
         group.bench_function("streaming_maintain_weekly", |b| {
-            let mut all_events = activity_events(
-                &scenario.traces,
-                &registry,
-                *weeks.last().unwrap(),
-            );
+            let mut all_events =
+                activity_events(&scenario.traces, &registry, *weeks.last().unwrap());
             all_events.sort_by_key(|e| e.ts);
             b.iter(|| {
                 let mut ev = StreamingEvaluator::new(registry.clone(), config);
@@ -131,8 +136,7 @@ fn bench(c: &mut Criterion) {
             ("raw_eq7", LifetimeAdjust::Raw),
         ] {
             group.bench_function(name, |b| {
-                let policy =
-                    ActiveDrPolicy::new(RetentionConfig::new(30).with_adjust(adjust));
+                let policy = ActiveDrPolicy::new(RetentionConfig::new(30).with_adjust(adjust));
                 b.iter(|| {
                     black_box(policy.run(PurgeRequest {
                         tc: fixture.tc,

@@ -3,6 +3,11 @@
 //! varying shard counts (12c/d; shards stand in for the paper's 20 MPI
 //! ranks).
 
+#![allow(
+    clippy::unwrap_used,
+    reason = "bench harness code may panic on a broken fixture"
+)]
+
 use activedr_bench::{bench_scenario, decision_fixture};
 use activedr_core::prelude::*;
 use activedr_fs::{parallel_catalog, ExemptionList, Snapshot};
@@ -42,10 +47,8 @@ fn bench(c: &mut Criterion) {
     {
         let mut group = c.benchmark_group("fig12b_eval_and_decide");
         group.throughput(Throughput::Elements(fixture.events.len() as u64));
-        let evaluator = ActivenessEvaluator::new(
-            fixture.registry.clone(),
-            ActivenessConfig::year_window(7),
-        );
+        let evaluator =
+            ActivenessEvaluator::new(fixture.registry.clone(), ActivenessConfig::year_window(7));
         group.bench_function("extract_activity_events", |b| {
             b.iter(|| {
                 black_box(activity_events(&scenario.traces, &fixture.registry, fixture.tc).len())
@@ -84,8 +87,7 @@ fn bench(c: &mut Criterion) {
                 &shards,
                 |b, &shards| {
                     b.iter(|| {
-                        black_box(parallel_catalog(&fixture.fs, &exemptions, shards))
-                            .total_files()
+                        black_box(parallel_catalog(&fixture.fs, &exemptions, shards)).total_files()
                     })
                 },
             );

@@ -19,10 +19,8 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_activeness");
     group.throughput(Throughput::Elements(events.len() as u64));
     for period in [7u32, 30, 60, 90] {
-        let evaluator = ActivenessEvaluator::new(
-            registry.clone(),
-            ActivenessConfig::year_window(period),
-        );
+        let evaluator =
+            ActivenessEvaluator::new(registry.clone(), ActivenessConfig::year_window(period));
         group.bench_with_input(
             BenchmarkId::new("evaluate_population", period),
             &period,
@@ -36,8 +34,7 @@ fn bench(c: &mut Criterion) {
     }
 
     // Classification on top of an evaluated table.
-    let evaluator =
-        ActivenessEvaluator::new(registry.clone(), ActivenessConfig::year_window(7));
+    let evaluator = ActivenessEvaluator::new(registry.clone(), ActivenessConfig::year_window(7));
     let table = evaluator.evaluate(tc, &users, &events);
     group.bench_function("classify_population", |b| {
         b.iter(|| black_box(Classification::from_table(&table).shares()))

@@ -2,6 +2,11 @@
 //! index ablation (DESIGN.md §7): the trie buys prefix queries and
 //! path-ordered iteration, the hash map buys flat lookups.
 
+#![allow(
+    clippy::unwrap_used,
+    reason = "bench harness code may panic on a broken fixture"
+)]
+
 use activedr_core::time::Timestamp;
 use activedr_core::user::UserId;
 use activedr_fs::{FileMeta, PathTrie};

@@ -42,11 +42,18 @@ pub fn decision_fixture(scenario: &Scenario) -> DecisionFixture {
     let registry = ActivityTypeRegistry::paper_default();
     let events = activity_events(&scenario.traces, &registry, tc);
     let users = scenario.traces.user_ids();
-    let evaluator =
-        ActivenessEvaluator::new(registry.clone(), ActivenessConfig::year_window(7));
+    let evaluator = ActivenessEvaluator::new(registry.clone(), ActivenessConfig::year_window(7));
     let table = evaluator.evaluate(tc, &users, &events);
     let catalog = fs.catalog(&activedr_fs::ExemptionList::new());
-    DecisionFixture { fs, catalog, table, tc, events, users, registry }
+    DecisionFixture {
+        fs,
+        catalog,
+        table,
+        tc,
+        events,
+        users,
+        registry,
+    }
 }
 
 #[cfg(test)]

@@ -10,10 +10,14 @@
 //! activedr stats --scale small
 //! ```
 
+#![allow(
+    clippy::indexing_slicing,
+    reason = "operator-facing CLI: a panic on malformed input is an acceptable failure mode"
+)]
+
 use activedr_sim::experiments::{
     ablation::AblationData, baselines::BaselinesData, churn::ChurnData, fig1::Fig1Data,
-    fig12::Fig12Data,
-    fig5::Fig5Data, fig6::Fig6Data, fig7::Fig7Data, fig8::Fig8Data,
+    fig12::Fig12Data, fig5::Fig5Data, fig6::Fig6Data, fig7::Fig7Data, fig8::Fig8Data,
     snapshot_sweep::SnapshotSweepData, tab1::Tab1Data, target_sweep::TargetSweepData,
     variance::VarianceData,
 };
@@ -158,14 +162,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 i += 2;
             }
             "--accesses" => {
-                opts.accesses =
-                    Some(args.get(i + 1).ok_or("--accesses needs a value")?.clone());
+                opts.accesses = Some(args.get(i + 1).ok_or("--accesses needs a value")?.clone());
                 i += 2;
             }
             "--replay-start" => {
                 let v = args.get(i + 1).ok_or("--replay-start needs a value")?;
-                opts.replay_start =
-                    v.parse().map_err(|_| format!("bad replay-start {v:?}"))?;
+                opts.replay_start = v.parse().map_err(|_| format!("bad replay-start {v:?}"))?;
                 i += 2;
             }
             "--horizon" => {
@@ -232,25 +234,40 @@ fn run_experiment(name: &str, opts: &Options) -> Result<String, String> {
         "fig7" => render(json, &Fig7Data::compute(&scenario), Fig7Data::render)?,
         "fig8" => render(json, &Fig8Data::compute(&scenario), Fig8Data::render)?,
         "fig9" => render(json, &SnapshotSweepData::compute(&scenario), |d| {
-            format!("{}\n{}\n{}", d.render_fig9(), d.render_tab4(), d.render_tab5())
+            format!(
+                "{}\n{}\n{}",
+                d.render_fig9(),
+                d.render_tab4(),
+                d.render_tab5()
+            )
         })?,
         "fig10" => render(json, &SnapshotSweepData::compute(&scenario), |d| {
             d.render_fig10_tab6()
         })?,
-        "fig11" => {
-            render(json, &SnapshotSweepData::compute(&scenario), |d| d.render_fig11())?
-        }
-        "fig12" => {
-            render(json, &Fig12Data::compute(&scenario, opts.shards), Fig12Data::render)?
-        }
+        "fig11" => render(json, &SnapshotSweepData::compute(&scenario), |d| {
+            d.render_fig11()
+        })?,
+        "fig12" => render(
+            json,
+            &Fig12Data::compute(&scenario, opts.shards),
+            Fig12Data::render,
+        )?,
         "tab1" => render(json, &Tab1Data::compute(&scenario), Tab1Data::render)?,
-        "baselines" => {
-            render(json, &BaselinesData::compute(&scenario), BaselinesData::render)?
-        }
-        "ablation" => render(json, &AblationData::compute(&scenario), AblationData::render)?,
-        "targets" => {
-            render(json, &TargetSweepData::compute(&scenario), TargetSweepData::render)?
-        }
+        "baselines" => render(
+            json,
+            &BaselinesData::compute(&scenario),
+            BaselinesData::render,
+        )?,
+        "ablation" => render(
+            json,
+            &AblationData::compute(&scenario),
+            AblationData::render,
+        )?,
+        "targets" => render(
+            json,
+            &TargetSweepData::compute(&scenario),
+            TargetSweepData::render,
+        )?,
         "churn" => render(json, &ChurnData::compute(&scenario), ChurnData::render)?,
         "all" => {
             let mut all = String::new();
@@ -318,8 +335,7 @@ fn import_traces(opts: &Options) -> Result<String, String> {
     let mut summary = String::new();
 
     if let Some(path) = &opts.sacct {
-        let imported =
-            parse_sacct(open(path)?, epoch, &mut users).map_err(|e| e.to_string())?;
+        let imported = parse_sacct(open(path)?, epoch, &mut users).map_err(|e| e.to_string())?;
         summary.push_str(&format!(
             "sacct: {} jobs, {} lines skipped ({:.1}% parsed)\n",
             imported.records.len(),
@@ -365,10 +381,8 @@ fn import_traces(opts: &Options) -> Result<String, String> {
 
     match &opts.out {
         Some(path) => {
-            let file = std::fs::File::create(path)
-                .map_err(|e| format!("creating {path}: {e}"))?;
-            write_traces(&traces, std::io::BufWriter::new(file))
-                .map_err(|e| e.to_string())?;
+            let file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+            write_traces(&traces, std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
             summary.push_str(&format!("wrote {path}\n"));
         }
         None => {
@@ -426,8 +440,8 @@ fn main() -> ExitCode {
                         .and_then(|_| stdout.flush().map_err(|e| e.to_string()))
                 }
                 Some(path) => {
-                    let file = std::fs::File::create(path)
-                        .map_err(|e| format!("creating {path}: {e}"))?;
+                    let file =
+                        std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
                     write_traces(&traces, std::io::BufWriter::new(file))
                         .map_err(|e| e.to_string())?;
                     eprintln!("wrote {path}");
@@ -472,8 +486,18 @@ mod tests {
     #[test]
     fn full_flag_set() {
         let o = parse_options(&args(&[
-            "--scale", "paper", "--seed", "7", "--shards", "4", "--out", "x.txt",
-            "--policy", "flt", "--lifetime", "30",
+            "--scale",
+            "paper",
+            "--seed",
+            "7",
+            "--shards",
+            "4",
+            "--out",
+            "x.txt",
+            "--policy",
+            "flt",
+            "--lifetime",
+            "30",
         ]))
         .unwrap();
         assert_eq!(o.scale, Scale::Paper);

@@ -1,5 +1,10 @@
 //! End-to-end tests of the `activedr` binary.
 
+#![allow(
+    clippy::expect_used,
+    reason = "test harness: failing fast with a message is the point"
+)]
+
 use std::process::Command;
 
 fn activedr(args: &[&str]) -> std::process::Output {
@@ -15,8 +20,21 @@ fn help_lists_every_experiment() {
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     for exp in [
-        "fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "tab1",
-        "baselines", "variance", "targets", "ablation", "all",
+        "fig1",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "tab1",
+        "baselines",
+        "variance",
+        "targets",
+        "ablation",
+        "all",
     ] {
         assert!(text.contains(exp), "help missing {exp}");
     }
@@ -25,7 +43,11 @@ fn help_lists_every_experiment() {
 #[test]
 fn run_tab1_tiny_produces_the_table() {
     let out = activedr(&["run", "tab1", "--scale", "tiny", "--seed", "3"]);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("Table 1"));
     assert!(text.contains("OLCF"));
@@ -42,7 +64,14 @@ fn json_format_emits_parseable_json() {
 #[test]
 fn simulate_prints_a_digest() {
     let out = activedr(&[
-        "simulate", "--scale", "tiny", "--policy", "flt", "--lifetime", "30", "--recovery",
+        "simulate",
+        "--scale",
+        "tiny",
+        "--policy",
+        "flt",
+        "--lifetime",
+        "30",
+        "--recovery",
         "none",
     ]);
     assert!(out.status.success());
@@ -56,10 +85,19 @@ fn gen_and_stats_round_trip() {
     std::fs::create_dir_all(&dir).unwrap();
     let trace_path = dir.join("traces.json");
     let out = activedr(&[
-        "gen", "--scale", "tiny", "--seed", "9", "--out",
+        "gen",
+        "--scale",
+        "tiny",
+        "--seed",
+        "9",
+        "--out",
         trace_path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(trace_path.exists());
     let stats = activedr(&["stats", "--scale", "tiny", "--seed", "9"]);
     assert!(stats.status.success());
@@ -80,9 +118,17 @@ fn import_pipeline_via_binary() {
     .unwrap();
     let out_path = dir.join("traces.json");
     let out = activedr(&[
-        "import", "--sacct", sacct.to_str().unwrap(), "--out", out_path.to_str().unwrap(),
+        "import",
+        "--sacct",
+        sacct.to_str().unwrap(),
+        "--out",
+        out_path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("sacct: 1 jobs"));
     assert!(out_path.exists());

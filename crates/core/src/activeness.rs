@@ -22,6 +22,15 @@
 //! * Users entirely unknown to the table (new accounts) default to the
 //!   neutral rank `Φ = 1` per §3.4.
 
+#![allow(
+    clippy::cast_possible_truncation,
+    reason = "periods_back is clamped to the window length before the cast"
+)]
+#![allow(
+    clippy::indexing_slicing,
+    reason = "index sites here are counted and ratcheted by `cargo xtask check` (crates/xtask/panic-baseline.txt)"
+)]
+
 use crate::config::ActivenessConfig;
 use crate::event::{ActivityClass, ActivityEvent, ActivityTypeId, ActivityTypeRegistry};
 use crate::rank::Rank;
@@ -47,6 +56,7 @@ pub enum EmptyPeriods {
 /// vector" of Fig. 3).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TypeActiveness {
+    /// The recency-weighted rank `Φ_λ` (Eq. 5).
     pub rank: Rank,
     /// `D_{p_e}` indexed by `e − 1` (index `m − 1` is the newest period).
     pub period_activeness: Vec<f64>,
@@ -58,9 +68,15 @@ pub struct TypeActiveness {
 
 impl TypeActiveness {
     /// The activeness ratio `b_{p_e}` for period `e` (1-based).
+    ///
+    /// # Panics
+    /// Panics if `e` is 0 or beyond the evaluation window.
     pub fn ratio(&self, e: usize) -> f64 {
-        assert!(e >= 1 && e <= self.period_activeness.len(), "period index out of range");
-        if self.average == 0.0 {
+        assert!(
+            e >= 1 && e <= self.period_activeness.len(),
+            "period index out of range"
+        );
+        if crate::approx::is_exactly_zero(self.average) {
             0.0
         } else {
             self.period_activeness[e - 1] / self.average
@@ -72,13 +88,20 @@ impl TypeActiveness {
 /// Fig. 4/Fig. 5 classification matrix).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct UserActiveness {
+    /// Operation-class rank `Φ_op`.
     pub op: Rank,
+    /// Outcome-class rank `Φ_oc`.
     pub oc: Rank,
 }
 
 impl UserActiveness {
-    pub const NEUTRAL: UserActiveness = UserActiveness { op: Rank::NEUTRAL, oc: Rank::NEUTRAL };
+    /// The §3.4 default for users not yet evaluated: rank 1 on both axes.
+    pub const NEUTRAL: UserActiveness = UserActiveness {
+        op: Rank::NEUTRAL,
+        oc: Rank::NEUTRAL,
+    };
 
+    /// Pair an operation rank with an outcome rank.
     pub fn new(op: Rank, oc: Rank) -> Self {
         UserActiveness { op, oc }
     }
@@ -95,17 +118,22 @@ pub struct ActivenessTable {
 }
 
 impl ActivenessTable {
+    /// An empty table (every user reads back neutral).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Record the evaluated rank pair for `user`.
     pub fn insert(&mut self, user: UserId, activeness: UserActiveness) {
         self.map.insert(user, activeness);
     }
 
     /// Rank pair for `user`; neutral if the user is unknown (new account).
     pub fn get(&self, user: UserId) -> UserActiveness {
-        self.map.get(&user).copied().unwrap_or(UserActiveness::NEUTRAL)
+        self.map
+            .get(&user)
+            .copied()
+            .unwrap_or(UserActiveness::NEUTRAL)
     }
 
     /// Whether the user was present in the evaluated population.
@@ -113,18 +141,22 @@ impl ActivenessTable {
         self.map.contains_key(&user)
     }
 
+    /// Number of evaluated users.
     pub fn len(&self) -> usize {
         self.map.len()
     }
 
+    /// Whether no user has been evaluated.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
 
+    /// All evaluated `(user, rank pair)` entries, in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = (UserId, UserActiveness)> + '_ {
         self.map.iter().map(|(u, a)| (*u, *a))
     }
 
+    /// All evaluated users, in arbitrary order.
     pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
         self.map.keys().copied()
     }
@@ -132,7 +164,9 @@ impl ActivenessTable {
 
 impl FromIterator<(UserId, UserActiveness)> for ActivenessTable {
     fn from_iter<T: IntoIterator<Item = (UserId, UserActiveness)>>(iter: T) -> Self {
-        ActivenessTable { map: iter.into_iter().collect() }
+        ActivenessTable {
+            map: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -145,19 +179,27 @@ pub struct ActivenessEvaluator {
 }
 
 impl ActivenessEvaluator {
+    /// An evaluator over the given activity types and window configuration.
     pub fn new(registry: ActivityTypeRegistry, config: ActivenessConfig) -> Self {
-        ActivenessEvaluator { registry, config, empty_periods: EmptyPeriods::default() }
+        ActivenessEvaluator {
+            registry,
+            config,
+            empty_periods: EmptyPeriods::default(),
+        }
     }
 
+    /// Select the empty-period semantics (ablation hook).
     pub fn with_empty_periods(mut self, semantics: EmptyPeriods) -> Self {
         self.empty_periods = semantics;
         self
     }
 
+    /// The activity-type registry this evaluator was built with.
     pub fn registry(&self) -> &ActivityTypeRegistry {
         &self.registry
     }
 
+    /// The window configuration this evaluator was built with.
     pub fn config(&self) -> ActivenessConfig {
         self.config
     }
@@ -236,8 +278,7 @@ impl ActivenessEvaluator {
         events: &[ActivityEvent],
     ) -> ActivenessTable {
         // Group (user, type) -> impact list, applying type weights once.
-        let mut grouped: HashMap<(UserId, ActivityTypeId), Vec<(Timestamp, f64)>> =
-            HashMap::new();
+        let mut grouped: HashMap<(UserId, ActivityTypeId), Vec<(Timestamp, f64)>> = HashMap::new();
         for ev in events {
             grouped
                 .entry((ev.user, ev.kind))
@@ -279,7 +320,11 @@ impl ActivenessEvaluator {
 /// Eq. (6): the class rank is the product of the per-type ranks, taken over
 /// the types that have any activity; zero when none do.
 fn class_rank(type_ranks: &[Rank]) -> Rank {
-    let active: Vec<Rank> = type_ranks.iter().copied().filter(|r| !r.is_zero()).collect();
+    let active: Vec<Rank> = type_ranks
+        .iter()
+        .copied()
+        .filter(|r| !r.is_zero())
+        .collect();
     if active.is_empty() {
         Rank::ZERO
     } else {
@@ -288,6 +333,10 @@ fn class_rank(type_ranks: &[Rank]) -> Rank {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::float_cmp,
+    reason = "tests assert exact values produced by exact arithmetic"
+)]
 mod tests {
     use super::*;
     use crate::event::ActivityTypeSpec;
@@ -399,8 +448,10 @@ mod tests {
             .with_empty_periods(EmptyPeriods::Zero);
         let ta = ev.type_activeness(day(3.0), vec![(day(2.5), 5.0), (day(1.5), 5.0)]);
         assert!(ta.rank.is_zero()); // period 1 idle
-        let full =
-            ev.type_activeness(day(3.0), vec![(day(2.5), 5.0), (day(1.5), 5.0), (day(0.5), 5.0)]);
+        let full = ev.type_activeness(
+            day(3.0),
+            vec![(day(2.5), 5.0), (day(1.5), 5.0), (day(0.5), 5.0)],
+        );
         assert!(!full.rank.is_zero());
     }
 
@@ -422,8 +473,7 @@ mod tests {
         let job = reg.lookup("job_submission").unwrap();
         let ev = ActivenessEvaluator::new(reg, ActivenessConfig::new(7, 4));
         let tc = day(28.0);
-        let events =
-            vec![ActivityEvent::new(UserId(1), job, day(27.0), 100.0)];
+        let events = vec![ActivityEvent::new(UserId(1), job, day(27.0), 100.0)];
         let table = ev.evaluate(tc, &[UserId(1), UserId(2)], &events);
         assert_eq!(table.len(), 2);
         assert!(table.get(UserId(1)).op.is_active());
@@ -475,9 +525,7 @@ mod tests {
         };
         let ev2 = ActivenessEvaluator::new(reg2, ActivenessConfig::new(1, 3));
         let table2 = ev2.evaluate(tc, &[UserId(0)], &events);
-        assert!(
-            (table.get(UserId(0)).op.ln() - table2.get(UserId(0)).op.ln()).abs() < 1e-9
-        );
+        assert!((table.get(UserId(0)).op.ln() - table2.get(UserId(0)).op.ln()).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! The one sanctioned home for exact floating-point comparison.
+//!
+//! `cargo xtask check` (the `float-cmp` invariant) forbids `==`/`!=` on
+//! floats everywhere else in the workspace: almost every such comparison in
+//! simulation code is a bug waiting for an accumulated rounding error.
+//! The handful of comparisons that are *exactly* right — sentinel values
+//! and true zero checks, where the value was assigned, not computed — live
+//! here, each with the justification attached.
+
+/// Is `x` exactly `0.0`?
+///
+/// Correct only when zero is a *sentinel* (the value was assigned as a
+/// literal, e.g. an average over an empty window), not the result of
+/// arithmetic that merely ought to cancel.
+#[must_use]
+pub fn is_exactly_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+/// Is `x` the `-∞` sentinel?
+///
+/// Log-space ranks use `f64::NEG_INFINITY` as the exact encoding of
+/// "probability zero" (`ln(0)`); IEEE 754 guarantees the comparison is
+/// exact, and no finite arithmetic result can collide with it.
+#[must_use]
+pub fn is_neg_infinity(x: f64) -> bool {
+    x == f64::NEG_INFINITY
+}
+
+/// Are `a` and `b` within `tol` of each other?
+///
+/// The tolerance is absolute, which suits this codebase: ranks, ratios and
+/// figure values all live within a few orders of magnitude of 1.
+#[must_use]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_exact() {
+        assert!(is_exactly_zero(0.0));
+        assert!(is_exactly_zero(-0.0));
+        assert!(!is_exactly_zero(f64::MIN_POSITIVE));
+    }
+
+    #[test]
+    fn neg_infinity_is_sentinel() {
+        assert!(is_neg_infinity(f64::NEG_INFINITY));
+        assert!(!is_neg_infinity(f64::MIN));
+        assert!(!is_neg_infinity(f64::NAN));
+    }
+
+    #[test]
+    fn approx_eq_is_symmetric_and_bounded() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(approx_eq(1.0 + 1e-12, 1.0, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+    }
+}

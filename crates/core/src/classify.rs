@@ -8,6 +8,11 @@
 //! ascending `(Φ_op, Φ_oc)`; within the last two by ascending
 //! `(Φ_oc, Φ_op)` ("in an ascending order of the outcome activeness").
 
+#![allow(
+    clippy::indexing_slicing,
+    reason = "index sites here are counted and ratcheted by `cargo xtask check` (crates/xtask/panic-baseline.txt)"
+)]
+
 use crate::activeness::{ActivenessTable, UserActiveness};
 use crate::user::UserId;
 use serde::{Deserialize, Serialize};
@@ -16,9 +21,13 @@ use std::fmt;
 /// One cell of the Fig. 4 classification matrix. `G(1)`..`G(4)` in Fig. 5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Quadrant {
+    /// Active on both axes (G1) — most protected.
     BothActive,
+    /// Operation-active but outcome-inactive (G2).
     OperationActiveOnly,
+    /// Outcome-active but operation-inactive (G3).
     OutcomeActiveOnly,
+    /// Inactive on both axes (G4) — purged first.
     BothInactive,
 }
 
@@ -39,6 +48,7 @@ impl Quadrant {
         Quadrant::BothActive,
     ];
 
+    /// The matrix cell a rank pair falls in, per the `Φ ≥ 1` threshold.
     pub fn of(a: UserActiveness) -> Quadrant {
         match (a.op.is_active(), a.oc.is_active()) {
             (true, true) => Quadrant::BothActive,
@@ -48,6 +58,7 @@ impl Quadrant {
         }
     }
 
+    /// Human-readable quadrant name.
     pub fn name(self) -> &'static str {
         match self {
             Quadrant::BothActive => "Both Active",
@@ -78,8 +89,11 @@ impl fmt::Display for Quadrant {
 /// the retention scan.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ClassifiedUser {
+    /// The classified user.
     pub user: UserId,
+    /// The user's evaluated rank pair.
     pub activeness: UserActiveness,
+    /// The matrix cell the rank pair falls in.
     pub quadrant: Quadrant,
 }
 
@@ -96,18 +110,29 @@ impl Classification {
         let mut groups: [Vec<ClassifiedUser>; 4] = Default::default();
         for (user, activeness) in table.iter() {
             let quadrant = Quadrant::of(activeness);
-            groups[quadrant.index()].push(ClassifiedUser { user, activeness, quadrant });
+            groups[quadrant.index()].push(ClassifiedUser {
+                user,
+                activeness,
+                quadrant,
+            });
         }
         for q in Quadrant::ALL {
-            let key_op_first = matches!(
-                q,
-                Quadrant::BothInactive | Quadrant::OutcomeActiveOnly
-            );
+            let key_op_first = matches!(q, Quadrant::BothInactive | Quadrant::OutcomeActiveOnly);
             groups[q.index()].sort_by(|a, b| {
                 let (a1, a2, b1, b2) = if key_op_first {
-                    (a.activeness.op, a.activeness.oc, b.activeness.op, b.activeness.oc)
+                    (
+                        a.activeness.op,
+                        a.activeness.oc,
+                        b.activeness.op,
+                        b.activeness.oc,
+                    )
                 } else {
-                    (a.activeness.oc, a.activeness.op, b.activeness.oc, b.activeness.op)
+                    (
+                        a.activeness.oc,
+                        a.activeness.op,
+                        b.activeness.oc,
+                        b.activeness.op,
+                    )
                 };
                 a1.total_cmp(b1)
                     .then(a2.total_cmp(b2))
@@ -124,9 +149,12 @@ impl Classification {
 
     /// All users in full §3.4 scan order (group by group).
     pub fn scan_order(&self) -> impl Iterator<Item = &ClassifiedUser> {
-        Quadrant::SCAN_ORDER.into_iter().flat_map(|q| self.group(q).iter())
+        Quadrant::SCAN_ORDER
+            .into_iter()
+            .flat_map(|q| self.group(q).iter())
     }
 
+    /// Population size across all quadrants.
     pub fn total_users(&self) -> usize {
         self.groups.iter().map(Vec::len).sum()
     }
@@ -142,12 +170,19 @@ impl Classification {
         out
     }
 
+    /// The quadrant `user` was classified into, if present.
     pub fn quadrant_of(&self, user: UserId) -> Option<Quadrant> {
-        Quadrant::ALL.into_iter().find(|&q| self.group(q).iter().any(|c| c.user == user))
+        Quadrant::ALL
+            .into_iter()
+            .find(|&q| self.group(q).iter().any(|c| c.user == user))
     }
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::float_cmp,
+    reason = "tests assert exact values produced by exact arithmetic"
+)]
 mod tests {
     use super::*;
     use crate::rank::Rank;
@@ -187,21 +222,29 @@ mod tests {
     #[test]
     fn classification_groups_and_sorts() {
         let t = table(&[
-            (1, 5.0, 2.0),  // both active
-            (2, 3.0, 9.0),  // both active, lower oc -> scanned first in group
-            (3, 0.1, 0.2),  // both inactive
-            (4, 0.5, 0.1),  // both inactive, higher op
-            (5, 2.0, 0.0),  // op only
-            (6, 0.0, 4.0),  // oc only
+            (1, 5.0, 2.0), // both active
+            (2, 3.0, 9.0), // both active, lower oc -> scanned first in group
+            (3, 0.1, 0.2), // both inactive
+            (4, 0.5, 0.1), // both inactive, higher op
+            (5, 2.0, 0.0), // op only
+            (6, 0.0, 4.0), // oc only
         ]);
         let c = Classification::from_table(&t);
         assert_eq!(c.total_users(), 6);
         assert_eq!(c.group(Quadrant::BothActive).len(), 2);
         // Both-active sorted ascending by (oc, op): u1 (oc 2) before u2 (oc 9).
-        let ba: Vec<u32> = c.group(Quadrant::BothActive).iter().map(|x| x.user.0).collect();
+        let ba: Vec<u32> = c
+            .group(Quadrant::BothActive)
+            .iter()
+            .map(|x| x.user.0)
+            .collect();
         assert_eq!(ba, vec![1, 2]);
         // Both-inactive sorted ascending by (op, oc): u3 (op .1) before u4 (op .5).
-        let bi: Vec<u32> = c.group(Quadrant::BothInactive).iter().map(|x| x.user.0).collect();
+        let bi: Vec<u32> = c
+            .group(Quadrant::BothInactive)
+            .iter()
+            .map(|x| x.user.0)
+            .collect();
         assert_eq!(bi, vec![3, 4]);
         // Global scan order starts with both-inactive and ends with both-active.
         let order: Vec<u32> = c.scan_order().map(|x| x.user.0).collect();
@@ -237,7 +280,11 @@ mod tests {
     fn ties_break_by_user_id() {
         let t = table(&[(9, 0.5, 0.5), (3, 0.5, 0.5)]);
         let c = Classification::from_table(&t);
-        let bi: Vec<u32> = c.group(Quadrant::BothInactive).iter().map(|x| x.user.0).collect();
+        let bi: Vec<u32> = c
+            .group(Quadrant::BothInactive)
+            .iter()
+            .map(|x| x.user.0)
+            .collect();
         assert_eq!(bi, vec![3, 9]);
     }
 

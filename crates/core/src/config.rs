@@ -29,6 +29,9 @@ pub struct ActivenessConfig {
 impl ActivenessConfig {
     /// Window covering roughly one year with the given period length —
     /// the shape used throughout the paper's evaluation.
+    ///
+    /// # Panics
+    /// Panics if `period_days` is 0.
     pub fn year_window(period_days: u32) -> Self {
         assert!(period_days > 0, "period length must be positive");
         ActivenessConfig {
@@ -37,9 +40,16 @@ impl ActivenessConfig {
         }
     }
 
+    /// A window of `periods_in_window` periods of `period_days` days each.
+    ///
+    /// # Panics
+    /// Panics if either argument is 0.
     pub fn new(period_days: u32, periods_in_window: u32) -> Self {
         assert!(period_days > 0, "period length must be positive");
-        assert!(periods_in_window > 0, "window must contain at least one period");
+        assert!(
+            periods_in_window > 0,
+            "window must contain at least one period"
+        );
         ActivenessConfig {
             period: TimeDelta::from_days(period_days as i64),
             periods_in_window,
@@ -107,6 +117,7 @@ pub struct RetentionConfig {
 }
 
 impl RetentionConfig {
+    /// A config with the given initial lifetime and paper defaults elsewhere.
     pub fn new(initial_lifetime_days: u32) -> Self {
         RetentionConfig {
             initial_lifetime: TimeDelta::from_days(initial_lifetime_days as i64),
@@ -119,11 +130,16 @@ impl RetentionConfig {
         RetentionConfig::new(90)
     }
 
+    /// Select the lifetime-adjustment rule.
     pub fn with_adjust(mut self, adjust: LifetimeAdjust) -> Self {
         self.adjust = adjust;
         self
     }
 
+    /// Configure retrospective-scan passes and the per-pass rank decay.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ decay < 1`.
     pub fn with_retro(mut self, passes: u32, decay: f64) -> Self {
         assert!((0.0..1.0).contains(&decay), "decay must be in [0,1)");
         self.retro_passes = passes;
@@ -131,13 +147,24 @@ impl RetentionConfig {
         self
     }
 
+    /// Sanity-check the configuration.
+    ///
+    /// # Panics
+    /// Panics if any field is outside its documented range (non-positive
+    /// lifetime, multiplier cap below 1 or non-finite, decay outside `[0,1)`).
     pub fn validate(&self) {
-        assert!(self.initial_lifetime.secs() > 0, "initial lifetime must be positive");
+        assert!(
+            self.initial_lifetime.secs() > 0,
+            "initial lifetime must be positive"
+        );
         assert!(
             self.multiplier_cap >= 1.0 && self.multiplier_cap.is_finite(),
             "multiplier cap must be finite and >= 1"
         );
-        assert!((0.0..1.0).contains(&self.retro_decay), "decay must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&self.retro_decay),
+            "decay must be in [0,1)"
+        );
     }
 }
 
@@ -168,8 +195,13 @@ pub enum Facility {
 }
 
 impl Facility {
-    pub const ALL: [Facility; 4] =
-        [Facility::Ncar, Facility::Olcf, Facility::Tacc, Facility::Nersc];
+    /// All Table 1 facilities, in presentation order.
+    pub const ALL: [Facility; 4] = [
+        Facility::Ncar,
+        Facility::Olcf,
+        Facility::Tacc,
+        Facility::Nersc,
+    ];
 
     /// The fixed file lifetime of this facility's scratch purge policy.
     pub fn lifetime(self) -> TimeDelta {
@@ -181,6 +213,7 @@ impl Facility {
         }
     }
 
+    /// Facility display name.
     pub fn name(self) -> &'static str {
         match self {
             Facility::Ncar => "NCAR",

@@ -8,6 +8,15 @@
 //! operation or an outcome, and feed streams of `(time, impact)` events per
 //! user; everything downstream (Eqs. 1-6) is type-agnostic.
 
+#![allow(
+    clippy::indexing_slicing,
+    reason = "index sites here are counted and ratcheted by `cargo xtask check` (crates/xtask/panic-baseline.txt)"
+)]
+#![allow(
+    clippy::cast_possible_truncation,
+    reason = "registry size is asserted below u16::MAX before each cast"
+)]
+
 use crate::time::Timestamp;
 use crate::user::UserId;
 use serde::{Deserialize, Serialize};
@@ -36,13 +45,12 @@ impl fmt::Display for ActivityClass {
 
 /// Identifier of a registered activity type (`λ` in the paper). Indexes into
 /// an [`ActivityTypeRegistry`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct ActivityTypeId(pub u16);
 
 impl ActivityTypeId {
+    /// Dense index of this type for flat per-type vectors.
     pub fn index(self) -> usize {
         self.0 as usize
     }
@@ -54,7 +62,9 @@ impl ActivityTypeId {
 /// measure the impact", §3.2).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ActivityTypeSpec {
+    /// Unique administrator-chosen name (the registry lookup key).
     pub name: String,
+    /// Whether the type counts as an operation or an outcome.
     pub class: ActivityClass,
     /// Impact multiplier applied to every event of this type. Must be
     /// positive; defaults to 1.0.
@@ -62,12 +72,24 @@ pub struct ActivityTypeSpec {
 }
 
 impl ActivityTypeSpec {
+    /// A spec with the given name and class, at weight 1.0.
     pub fn new(name: impl Into<String>, class: ActivityClass) -> Self {
-        ActivityTypeSpec { name: name.into(), class, weight: 1.0 }
+        ActivityTypeSpec {
+            name: name.into(),
+            class,
+            weight: 1.0,
+        }
     }
 
+    /// Set the impact weight used when aggregating this type's events.
+    ///
+    /// # Panics
+    /// Panics unless `weight` is positive and finite.
     pub fn with_weight(mut self, weight: f64) -> Self {
-        assert!(weight > 0.0 && weight.is_finite(), "weight must be positive and finite");
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "weight must be positive and finite"
+        );
         self.weight = weight;
         self
     }
@@ -82,6 +104,7 @@ pub struct ActivityTypeRegistry {
 }
 
 impl ActivityTypeRegistry {
+    /// An empty registry.
     pub fn new() -> Self {
         Self::default()
     }
@@ -91,7 +114,10 @@ impl ActivityTypeRegistry {
     /// (impact = (c+1)·(n−i+1), Eq. 8) as the outcome type.
     pub fn paper_default() -> Self {
         let mut r = Self::new();
-        r.register(ActivityTypeSpec::new("job_submission", ActivityClass::Operation));
+        r.register(ActivityTypeSpec::new(
+            "job_submission",
+            ActivityClass::Operation,
+        ));
         r.register(ActivityTypeSpec::new("publication", ActivityClass::Outcome));
         r
     }
@@ -99,17 +125,39 @@ impl ActivityTypeRegistry {
     /// A richer registry exercising the full Table 2 spectrum.
     pub fn extended() -> Self {
         let mut r = Self::new();
-        r.register(ActivityTypeSpec::new("job_submission", ActivityClass::Operation));
-        r.register(ActivityTypeSpec::new("shell_login", ActivityClass::Operation));
-        r.register(ActivityTypeSpec::new("file_access", ActivityClass::Operation));
-        r.register(ActivityTypeSpec::new("data_transfer", ActivityClass::Operation));
-        r.register(ActivityTypeSpec::new("job_completion", ActivityClass::Outcome));
-        r.register(ActivityTypeSpec::new("dataset_generated", ActivityClass::Outcome));
+        r.register(ActivityTypeSpec::new(
+            "job_submission",
+            ActivityClass::Operation,
+        ));
+        r.register(ActivityTypeSpec::new(
+            "shell_login",
+            ActivityClass::Operation,
+        ));
+        r.register(ActivityTypeSpec::new(
+            "file_access",
+            ActivityClass::Operation,
+        ));
+        r.register(ActivityTypeSpec::new(
+            "data_transfer",
+            ActivityClass::Operation,
+        ));
+        r.register(ActivityTypeSpec::new(
+            "job_completion",
+            ActivityClass::Outcome,
+        ));
+        r.register(ActivityTypeSpec::new(
+            "dataset_generated",
+            ActivityClass::Outcome,
+        ));
         r.register(ActivityTypeSpec::new("publication", ActivityClass::Outcome));
         r
     }
 
     /// Register a new activity type, returning its id.
+    ///
+    /// # Panics
+    /// Panics if the id space (`u16`) is exhausted or the name is already
+    /// registered.
     pub fn register(&mut self, spec: ActivityTypeSpec) -> ActivityTypeId {
         assert!(
             self.types.len() < u16::MAX as usize,
@@ -125,18 +173,22 @@ impl ActivityTypeRegistry {
         id
     }
 
+    /// Number of registered types.
     pub fn len(&self) -> usize {
         self.types.len()
     }
 
+    /// Whether no type is registered.
     pub fn is_empty(&self) -> bool {
         self.types.is_empty()
     }
 
+    /// The spec registered under `id`.
     pub fn spec(&self, id: ActivityTypeId) -> &ActivityTypeSpec {
         &self.types[id.index()]
     }
 
+    /// Look up a type id by name.
     pub fn lookup(&self, name: &str) -> Option<ActivityTypeId> {
         self.types
             .iter()
@@ -144,6 +196,7 @@ impl ActivityTypeRegistry {
             .map(|i| ActivityTypeId(i as u16))
     }
 
+    /// All registered types with their ids, in registration order.
     pub fn iter(&self) -> impl Iterator<Item = (ActivityTypeId, &ActivityTypeSpec)> {
         self.types
             .iter()
@@ -164,8 +217,11 @@ impl ActivityTypeRegistry {
 /// plus the performing user and the activity type.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ActivityEvent {
+    /// The performing user.
     pub user: UserId,
+    /// The registered activity type.
     pub kind: ActivityTypeId,
+    /// When the activity occurred.
     pub ts: Timestamp,
     /// Raw impact `D_{a_x}` *before* the type weight is applied. Must be
     /// non-negative and finite.
@@ -173,9 +229,18 @@ pub struct ActivityEvent {
 }
 
 impl ActivityEvent {
+    /// An event carrying the raw (pre-weight) impact `D_{a_x}`.
     pub fn new(user: UserId, kind: ActivityTypeId, ts: Timestamp, impact: f64) -> Self {
-        debug_assert!(impact >= 0.0 && impact.is_finite(), "impact must be non-negative");
-        ActivityEvent { user, kind, ts, impact }
+        debug_assert!(
+            impact >= 0.0 && impact.is_finite(),
+            "impact must be non-negative"
+        );
+        ActivityEvent {
+            user,
+            kind,
+            ts,
+            impact,
+        }
     }
 
     /// Impact after the registry weight for this event's type is applied.
@@ -185,6 +250,10 @@ impl ActivityEvent {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::float_cmp,
+    reason = "tests assert exact values produced by exact arithmetic"
+)]
 mod tests {
     use super::*;
 

@@ -14,9 +14,7 @@ use std::fmt;
 
 /// Opaque file identity assigned by the catalog owner (in `activedr-fs`
 /// this is the path-trie node id).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct FileId(pub u64);
 
@@ -29,7 +27,9 @@ impl fmt::Display for FileId {
 /// One file as the retention scan sees it.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FileRecord {
+    /// Catalog-assigned identity.
     pub id: FileId,
+    /// File size in bytes.
     pub size: u64,
     /// Last access time — what both FLT and ActiveDR age against.
     pub atime: Timestamp,
@@ -42,20 +42,31 @@ pub struct FileRecord {
 }
 
 impl FileRecord {
+    /// A plain record: `ctime = atime`, zero access count, not exempt.
     pub fn new(id: FileId, size: u64, atime: Timestamp) -> Self {
-        FileRecord { id, size, atime, ctime: atime, access_count: 0, exempt: false }
+        FileRecord {
+            id,
+            size,
+            atime,
+            ctime: atime,
+            access_count: 0,
+            exempt: false,
+        }
     }
 
+    /// Mark the file as purge-exempt.
     pub fn exempt(mut self) -> Self {
         self.exempt = true;
         self
     }
 
+    /// Set the creation time.
     pub fn with_ctime(mut self, ctime: Timestamp) -> Self {
         self.ctime = ctime;
         self
     }
 
+    /// Set the access count.
     pub fn with_access_count(mut self, count: u32) -> Self {
         self.access_count = count;
         self
@@ -70,19 +81,24 @@ impl FileRecord {
 /// A user's directory listing, as produced by one catalog scan.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct UserFiles {
+    /// The owning user.
     pub user: UserId,
+    /// The user's files, in scan order.
     pub files: Vec<FileRecord>,
 }
 
 impl UserFiles {
+    /// A listing of `files` owned by `user`.
     pub fn new(user: UserId, files: Vec<FileRecord>) -> Self {
         UserFiles { user, files }
     }
 
+    /// Sum of the listed files' sizes.
     pub fn total_bytes(&self) -> u64 {
         self.files.iter().map(|f| f.size).sum()
     }
 
+    /// Number of listed files.
     pub fn file_count(&self) -> usize {
         self.files.len()
     }
@@ -91,26 +107,32 @@ impl UserFiles {
 /// A whole-population catalog snapshot handed to a policy.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Catalog {
+    /// Per-user listings, in scan order.
     pub users: Vec<UserFiles>,
 }
 
 impl Catalog {
+    /// A catalog over the given per-user listings.
     pub fn new(users: Vec<UserFiles>) -> Self {
         Catalog { users }
     }
 
+    /// Total bytes across all users.
     pub fn total_bytes(&self) -> u64 {
         self.users.iter().map(UserFiles::total_bytes).sum()
     }
 
+    /// Total files across all users.
     pub fn total_files(&self) -> usize {
         self.users.iter().map(UserFiles::file_count).sum()
     }
 
+    /// The owners present in the catalog, in scan order.
     pub fn user_ids(&self) -> Vec<UserId> {
         self.users.iter().map(|u| u.user).collect()
     }
 
+    /// The listing for `user`, if present.
     pub fn get(&self, user: UserId) -> Option<&UserFiles> {
         self.users.iter().find(|u| u.user == user)
     }

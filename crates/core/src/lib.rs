@@ -55,10 +55,10 @@
 //! ```
 
 #![warn(missing_docs)]
-#![allow(missing_docs)] // item-level docs are present; field-level enforced selectively
 #![forbid(unsafe_code)]
 
 pub mod activeness;
+pub mod approx;
 pub mod classify;
 pub mod config;
 pub mod event;
@@ -76,23 +76,23 @@ pub mod prelude {
         ActivenessEvaluator, ActivenessTable, EmptyPeriods, TypeActiveness, UserActiveness,
     };
     pub use crate::classify::{Classification, ClassifiedUser, Quadrant};
-    pub use crate::config::{
-        ActivenessConfig, Facility, LifetimeAdjust, RetentionConfig,
-    };
+    pub use crate::config::{ActivenessConfig, Facility, LifetimeAdjust, RetentionConfig};
     pub use crate::event::{
         ActivityClass, ActivityEvent, ActivityTypeId, ActivityTypeRegistry, ActivityTypeSpec,
     };
     pub use crate::files::{Catalog, FileId, FileRecord, UserFiles};
     pub use crate::policy::{
-        activedr::ActiveDrPolicy, flt::FltPolicy, scratch_cache::ScratchCachePolicy,
+        activedr::ActiveDrPolicy,
+        flt::FltPolicy,
+        scratch_cache::ScratchCachePolicy,
         value_based::{ValueBasedPolicy, ValueParams},
         GroupScan, PurgeRequest, PurgedFile, RetentionOutcome, RetentionPolicy,
     };
     pub use crate::rank::Rank;
-    pub use crate::streaming::StreamingEvaluator;
     pub use crate::report::{
         retained_delta, retained_delta_pct, QuadrantStats, RetentionBreakdown,
     };
+    pub use crate::streaming::StreamingEvaluator;
     pub use crate::time::{TimeDelta, Timestamp, SECS_PER_DAY};
     pub use crate::user::UserId;
 }

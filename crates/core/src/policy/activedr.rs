@@ -20,6 +20,15 @@
 //! New users (absent from the activeness table) are folded in with the
 //! neutral rank 1.0 so their files enjoy the full initial lifetime (§3.4).
 
+#![allow(
+    clippy::indexing_slicing,
+    reason = "index sites here are counted and ratcheted by `cargo xtask check` (crates/xtask/panic-baseline.txt)"
+)]
+#![allow(
+    clippy::cast_possible_truncation,
+    reason = "values are bounded far below the narrow type's range at paper scale"
+)]
+
 use super::{GroupScan, PurgeRequest, PurgedFile, RetentionOutcome, RetentionPolicy};
 use crate::activeness::{ActivenessTable, UserActiveness};
 use crate::classify::{Classification, Quadrant};
@@ -32,10 +41,15 @@ use std::collections::HashMap;
 /// The activeness-based data retention policy.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ActiveDrPolicy {
+    /// The retention parameters this policy runs with.
     pub config: RetentionConfig,
 }
 
 impl ActiveDrPolicy {
+    /// A policy over a validated config.
+    ///
+    /// # Panics
+    /// Panics if `config` fails [`RetentionConfig::validate`].
     pub fn new(config: RetentionConfig) -> Self {
         config.validate();
         ActiveDrPolicy { config }
@@ -85,7 +99,11 @@ impl<'a> UserCursor<'a> {
     fn new(files: &'a [FileRecord]) -> Self {
         let mut order: Vec<u32> = (0..files.len() as u32).collect();
         order.sort_by_key(|&i| files[i as usize].atime);
-        UserCursor { files, order, cursor: 0 }
+        UserCursor {
+            files,
+            order,
+            cursor: 0,
+        }
     }
 }
 
@@ -127,13 +145,24 @@ impl RetentionPolicy for ActiveDrPolicy {
 
         'groups: for quadrant in Quadrant::SCAN_ORDER {
             let group = classification.group(quadrant);
-            let mut scan = GroupScan { quadrant, passes: 0, purged_files: 0, purged_bytes: 0 };
+            let mut scan = GroupScan {
+                quadrant,
+                passes: 0,
+                purged_files: 0,
+                purged_bytes: 0,
+            };
             // Pass 0 always runs; retrospective passes only chase a target.
-            let max_pass = if target.is_some() { self.config.retro_passes } else { 0 };
+            let max_pass = if target.is_some() {
+                self.config.retro_passes
+            } else {
+                0
+            };
             for pass in 0..=max_pass {
                 scan.passes += 1;
                 for cu in group {
-                    let Some(state) = cursors.get_mut(&cu.user) else { continue };
+                    let Some(state) = cursors.get_mut(&cu.user) else {
+                        continue;
+                    };
                     let cutoff = self.cutoff(request.tc, self.multiplier(cu.activeness, pass));
                     while state.cursor < state.order.len() {
                         let file = &state.files[state.order[state.cursor] as usize];
@@ -173,6 +202,10 @@ impl RetentionPolicy for ActiveDrPolicy {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::float_cmp,
+    reason = "tests assert exact values produced by exact arithmetic"
+)]
 mod tests {
     use super::*;
     use crate::files::{Catalog, FileId, FileRecord, UserFiles};
@@ -218,9 +251,8 @@ mod tests {
         assert_eq!(p.multiplier(op_only, 0), 0.0);
         // With the §3.4 protection floor the same user keeps at least the
         // initial lifetime, because their operation rank is active.
-        let protected = ActiveDrPolicy::new(
-            RetentionConfig::new(90).with_adjust(LifetimeAdjust::Raw),
-        );
+        let protected =
+            ActiveDrPolicy::new(RetentionConfig::new(90).with_adjust(LifetimeAdjust::Raw));
         assert_eq!(protected.multiplier(op_only, 0), 1.0);
     }
 
@@ -232,11 +264,15 @@ mod tests {
         // u1 both-active, mult 2 → ε = 180 d: only files older than 180 d go.
         // u2 both-inactive, mult 1 → ε = 90 d.
         let catalog = Catalog::new(vec![
-            UserFiles::new(UserId(1), vec![file(1, 10, 10), file(2, 10, 30), file(3, 10, 150)]),
+            UserFiles::new(
+                UserId(1),
+                vec![file(1, 10, 10), file(2, 10, 30), file(3, 10, 150)],
+            ),
             UserFiles::new(UserId(2), vec![file(4, 10, 10), file(5, 10, 150)]),
         ]);
-        let table: ActivenessTable =
-            [(UserId(1), act(2.0, 1.0)), (UserId(2), act(0.0, 0.0))].into_iter().collect();
+        let table: ActivenessTable = [(UserId(1), act(2.0, 1.0)), (UserId(2), act(0.0, 0.0))]
+            .into_iter()
+            .collect();
         let out = policy(90).run(PurgeRequest {
             tc: Timestamp::from_days(200),
             catalog: &catalog,
@@ -264,8 +300,9 @@ mod tests {
             UserFiles::new(UserId(1), vec![file(1, 100, 0)]), // active
             UserFiles::new(UserId(2), vec![file(2, 100, 0)]), // inactive
         ]);
-        let table: ActivenessTable =
-            [(UserId(1), act(3.0, 3.0)), (UserId(2), act(0.0, 0.0))].into_iter().collect();
+        let table: ActivenessTable = [(UserId(1), act(3.0, 3.0)), (UserId(2), act(0.0, 0.0))]
+            .into_iter()
+            .collect();
         let out = policy(90).run(PurgeRequest {
             tc: Timestamp::from_days(365),
             catalog: &catalog,
@@ -286,8 +323,7 @@ mod tests {
         // One inactive user; file age 80 d < 90 d lifetime, so pass 0
         // purges nothing. Decay: ε = 90·0.8 = 72 d at pass 1 → age 80 > 72,
         // purged on the first retrospective pass.
-        let catalog =
-            Catalog::new(vec![UserFiles::new(UserId(1), vec![file(1, 10, 20)])]);
+        let catalog = Catalog::new(vec![UserFiles::new(UserId(1), vec![file(1, 10, 20)])]);
         let table: ActivenessTable = [(UserId(1), act(0.0, 0.0))].into_iter().collect();
         let out = policy(90).run(PurgeRequest {
             tc: Timestamp::from_days(100),
@@ -304,8 +340,7 @@ mod tests {
     fn reports_failure_when_target_unreachable() {
         // All files too young even after maximal decay (0.8^5 ≈ 0.33:
         // ε_min ≈ 29.5 d; file age 10 d).
-        let catalog =
-            Catalog::new(vec![UserFiles::new(UserId(1), vec![file(1, 10, 90)])]);
+        let catalog = Catalog::new(vec![UserFiles::new(UserId(1), vec![file(1, 10, 90)])]);
         let table: ActivenessTable = [(UserId(1), act(0.0, 0.0))].into_iter().collect();
         let out = policy(90).run(PurgeRequest {
             tc: Timestamp::from_days(100),
@@ -360,11 +395,8 @@ mod tests {
 
     #[test]
     fn raw_mode_wipes_zero_rank_users_on_first_pass() {
-        let p = ActiveDrPolicy::new(
-            RetentionConfig::new(90).with_adjust(LifetimeAdjust::Raw),
-        );
-        let catalog =
-            Catalog::new(vec![UserFiles::new(UserId(1), vec![file(1, 10, 99)])]);
+        let p = ActiveDrPolicy::new(RetentionConfig::new(90).with_adjust(LifetimeAdjust::Raw));
+        let catalog = Catalog::new(vec![UserFiles::new(UserId(1), vec![file(1, 10, 99)])]);
         let table: ActivenessTable = [(UserId(1), act(0.0, 0.0))].into_iter().collect();
         let out = p.run(PurgeRequest {
             tc: Timestamp::from_days(100),

@@ -25,11 +25,20 @@ pub struct FltPolicy {
 }
 
 impl FltPolicy {
+    /// A fixed-lifetime policy purging files older than `lifetime`.
+    ///
+    /// # Panics
+    /// Panics if `lifetime` is not positive.
     pub fn new(lifetime: TimeDelta) -> Self {
         assert!(lifetime.secs() > 0, "lifetime must be positive");
-        FltPolicy { lifetime, honor_exemptions: true, bounded_by_target: false }
+        FltPolicy {
+            lifetime,
+            honor_exemptions: true,
+            bounded_by_target: false,
+        }
     }
 
+    /// Shorthand for [`FltPolicy::new`] with a day count.
     pub fn days(lifetime_days: u32) -> Self {
         FltPolicy::new(TimeDelta::from_days(lifetime_days as i64))
     }
@@ -39,11 +48,13 @@ impl FltPolicy {
         FltPolicy::new(f.lifetime())
     }
 
+    /// Stop purging once the byte target is met.
     pub fn bounded(mut self) -> Self {
         self.bounded_by_target = true;
         self
     }
 
+    /// Purge exempt files too (ablation hook).
     pub fn ignoring_exemptions(mut self) -> Self {
         self.honor_exemptions = false;
         self
@@ -61,7 +72,10 @@ impl RetentionPolicy for FltPolicy {
     }
 
     fn run(&self, request: PurgeRequest<'_>) -> RetentionOutcome {
-        let mut outcome = RetentionOutcome { target_met: request.target_bytes.is_none(), ..Default::default() };
+        let mut outcome = RetentionOutcome {
+            target_met: request.target_bytes.is_none(),
+            ..Default::default()
+        };
         'scan: for user_files in &request.catalog.users {
             for file in &user_files.files {
                 if self.honor_exemptions && file.exempt {
@@ -164,7 +178,9 @@ mod tests {
     fn exemptions_can_be_disabled() {
         let c = catalog();
         let t = ActivenessTable::new();
-        let out = FltPolicy::days(90).ignoring_exemptions().run(request(&c, &t));
+        let out = FltPolicy::days(90)
+            .ignoring_exemptions()
+            .run(request(&c, &t));
         let ids: Vec<u64> = out.purged.iter().map(|p| p.id.0).collect();
         assert_eq!(ids, vec![1, 3, 4]);
         assert_eq!(out.exempt_skipped, 0);

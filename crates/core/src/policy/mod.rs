@@ -48,18 +48,24 @@ pub struct PurgeRequest<'a> {
 /// One purge decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PurgedFile {
+    /// Owner of the purged file.
     pub user: UserId,
+    /// The purged file.
     pub id: FileId,
+    /// Bytes freed by the purge.
     pub size: u64,
 }
 
 /// Per-group diagnostics from an ActiveDR run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct GroupScan {
+    /// The group this scan covered.
     pub quadrant: Quadrant,
     /// 1 normal pass + retrospective passes actually executed.
     pub passes: u32,
+    /// Files purged from this group.
     pub purged_files: u64,
+    /// Bytes purged from this group.
     pub purged_bytes: u64,
 }
 
@@ -68,6 +74,7 @@ pub struct GroupScan {
 pub struct RetentionOutcome {
     /// Files to purge, in purge order.
     pub purged: Vec<PurgedFile>,
+    /// Total bytes across `purged`.
     pub purged_bytes: u64,
     /// Whether the requested byte target was reached (`true` when no target
     /// was set and the scan completed).
@@ -79,6 +86,7 @@ pub struct RetentionOutcome {
 }
 
 impl RetentionOutcome {
+    /// Number of purge decisions.
     pub fn purged_files(&self) -> u64 {
         self.purged.len() as u64
     }
@@ -118,9 +126,21 @@ mod tests {
     fn outcome_aggregations() {
         let o = RetentionOutcome {
             purged: vec![
-                PurgedFile { user: UserId(1), id: FileId(1), size: 10 },
-                PurgedFile { user: UserId(1), id: FileId(2), size: 5 },
-                PurgedFile { user: UserId(2), id: FileId(3), size: 7 },
+                PurgedFile {
+                    user: UserId(1),
+                    id: FileId(1),
+                    size: 10,
+                },
+                PurgedFile {
+                    user: UserId(1),
+                    id: FileId(2),
+                    size: 5,
+                },
+                PurgedFile {
+                    user: UserId(2),
+                    id: FileId(3),
+                    size: 7,
+                },
             ],
             purged_bytes: 22,
             target_met: true,

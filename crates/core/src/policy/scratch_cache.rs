@@ -25,11 +25,19 @@ pub struct ScratchCachePolicy {
 }
 
 impl ScratchCachePolicy {
+    /// A scratch-as-cache policy keeping files touched within `job_window`.
+    ///
+    /// # Panics
+    /// Panics if `job_window` is not positive.
     pub fn new(job_window: TimeDelta) -> Self {
         assert!(job_window.secs() > 0, "job window must be positive");
-        ScratchCachePolicy { job_window, honor_exemptions: true }
+        ScratchCachePolicy {
+            job_window,
+            honor_exemptions: true,
+        }
     }
 
+    /// Shorthand for [`ScratchCachePolicy::new`] with a day count.
     pub fn days(days: u32) -> Self {
         ScratchCachePolicy::new(TimeDelta::from_days(days as i64))
     }
@@ -47,8 +55,10 @@ impl RetentionPolicy for ScratchCachePolicy {
     }
 
     fn run(&self, request: PurgeRequest<'_>) -> RetentionOutcome {
-        let mut outcome =
-            RetentionOutcome { target_met: request.target_bytes.is_none(), ..Default::default() };
+        let mut outcome = RetentionOutcome {
+            target_met: request.target_bytes.is_none(),
+            ..Default::default()
+        };
         for user_files in &request.catalog.users {
             for file in &user_files.files {
                 if self.honor_exemptions && file.exempt {

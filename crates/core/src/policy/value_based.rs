@@ -33,8 +33,11 @@ use serde::{Deserialize, Serialize};
 /// Weights and scales of the file-value score.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ValueParams {
+    /// Weight of the recency term.
     pub w_recency: f64,
+    /// Weight of the access-frequency term.
     pub w_frequency: f64,
+    /// Weight of the (inverse) size term.
     pub w_size: f64,
     /// Recency decay constant τ.
     pub tau: TimeDelta,
@@ -57,7 +60,9 @@ impl Default for ValueParams {
 /// Global file-value ranking retention.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ValueBasedPolicy {
+    /// Score weights and scales.
     pub params: ValueParams,
+    /// Whether the exemption list is honored.
     pub honor_exemptions: bool,
 }
 
@@ -68,13 +73,20 @@ impl Default for ValueBasedPolicy {
 }
 
 impl ValueBasedPolicy {
+    /// A value-based policy with the given scoring parameters.
+    ///
+    /// # Panics
+    /// Panics if `tau` is not positive or any weight is negative.
     pub fn new(params: ValueParams) -> Self {
         assert!(params.tau.secs() > 0, "tau must be positive");
         assert!(
             params.w_recency >= 0.0 && params.w_frequency >= 0.0 && params.w_size >= 0.0,
             "weights must be non-negative"
         );
-        ValueBasedPolicy { params, honor_exemptions: true }
+        ValueBasedPolicy {
+            params,
+            honor_exemptions: true,
+        }
     }
 
     /// The value score of one file at `t_c`.
@@ -105,7 +117,11 @@ impl RetentionPolicy for ValueBasedPolicy {
                 }
                 scored.push((
                     self.value(file, request.tc),
-                    PurgedFile { user: user_files.user, id: file.id, size: file.size },
+                    PurgedFile {
+                        user: user_files.user,
+                        id: file.id,
+                        size: file.size,
+                    },
                 ));
             }
         }
@@ -238,6 +254,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "tau must be positive")]
     fn zero_tau_rejected() {
-        ValueBasedPolicy::new(ValueParams { tau: TimeDelta::ZERO, ..Default::default() });
+        ValueBasedPolicy::new(ValueParams {
+            tau: TimeDelta::ZERO,
+            ..Default::default()
+        });
     }
 }

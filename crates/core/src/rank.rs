@@ -58,7 +58,10 @@ impl Rank {
     /// # Panics
     /// Panics if `phi` is negative or NaN.
     pub fn from_value(phi: f64) -> Rank {
-        assert!(phi >= 0.0 && !phi.is_nan(), "rank value must be >= 0, got {phi}");
+        assert!(
+            phi >= 0.0 && !phi.is_nan(),
+            "rank value must be >= 0, got {phi}"
+        );
         Rank(phi.ln())
     }
 
@@ -87,8 +90,9 @@ impl Rank {
         self.0 >= 0.0
     }
 
+    /// Is this the zero rank (`Φ = 0`, no in-window activity)?
     pub fn is_zero(self) -> bool {
-        self.0 == f64::NEG_INFINITY
+        crate::approx::is_neg_infinity(self.0)
     }
 
     /// `Φ^k` — used for the per-period exponentiation `(b_{p_e})^e`.
@@ -119,7 +123,10 @@ impl Rank {
     /// # Panics
     /// Panics unless `0 ≤ fraction < 1`.
     pub fn decay(self, fraction: f64) -> Rank {
-        assert!((0.0..1.0).contains(&fraction), "decay fraction must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "decay fraction must be in [0,1)"
+        );
         if self.is_zero() {
             return self;
         }
@@ -182,6 +189,10 @@ impl fmt::Display for Rank {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::float_cmp,
+    reason = "tests assert exact values produced by exact arithmetic"
+)]
 mod tests {
     use super::*;
 
@@ -272,10 +283,12 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_matches_values() {
-        let mut v = [Rank::from_value(3.0),
+        let mut v = [
+            Rank::from_value(3.0),
             Rank::ZERO,
             Rank::NEUTRAL,
-            Rank::from_value(0.5)];
+            Rank::from_value(0.5),
+        ];
         v.sort_by(|a, b| a.total_cmp(*b));
         let vals: Vec<f64> = v.iter().map(|r| r.value()).collect();
         let expected = [0.0, 0.5, 1.0, 3.0];

@@ -6,6 +6,11 @@
 //! module derives those numbers from a [`RetentionOutcome`] plus the
 //! activeness table that drove it.
 
+#![allow(
+    clippy::indexing_slicing,
+    reason = "index sites here are counted and ratcheted by `cargo xtask check` (crates/xtask/panic-baseline.txt)"
+)]
+
 use crate::activeness::ActivenessTable;
 use crate::classify::Quadrant;
 use crate::files::Catalog;
@@ -17,16 +22,22 @@ use std::collections::HashSet;
 /// Retention accounting for one activeness quadrant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct QuadrantStats {
+    /// Users classified into the quadrant.
     pub users_total: u64,
     /// Users that lost at least one file (Fig. 11).
     pub users_affected: u64,
+    /// Files purged from the quadrant's users.
     pub purged_files: u64,
+    /// Bytes purged from the quadrant's users.
     pub purged_bytes: u64,
+    /// Files that survived the run.
     pub retained_files: u64,
+    /// Bytes that survived the run.
     pub retained_bytes: u64,
 }
 
 impl QuadrantStats {
+    /// Purged plus retained bytes.
     pub fn total_bytes(&self) -> u64 {
         self.purged_bytes + self.retained_bytes
     }
@@ -73,18 +84,22 @@ impl RetentionBreakdown {
         RetentionBreakdown { by_quadrant }
     }
 
+    /// Stats for one quadrant.
     pub fn get(&self, q: Quadrant) -> QuadrantStats {
         self.by_quadrant[q.index()]
     }
 
+    /// Bytes purged across all quadrants.
     pub fn total_purged_bytes(&self) -> u64 {
         self.by_quadrant.iter().map(|s| s.purged_bytes).sum()
     }
 
+    /// Bytes retained across all quadrants.
     pub fn total_retained_bytes(&self) -> u64 {
         self.by_quadrant.iter().map(|s| s.retained_bytes).sum()
     }
 
+    /// Users that lost files, across all quadrants.
     pub fn total_users_affected(&self) -> u64 {
         self.by_quadrant.iter().map(|s| s.users_affected).sum()
     }
@@ -95,8 +110,7 @@ impl RetentionBreakdown {
 pub fn retained_delta(a: &RetentionBreakdown, b: &RetentionBreakdown) -> [i64; 4] {
     let mut out = [0i64; 4];
     for q in Quadrant::ALL {
-        out[q.index()] =
-            a.get(q).retained_bytes as i64 - b.get(q).retained_bytes as i64;
+        out[q.index()] = a.get(q).retained_bytes as i64 - b.get(q).retained_bytes as i64;
     }
     out
 }
@@ -146,12 +160,21 @@ mod tests {
                 vec![FileRecord::new(FileId(4), 25, Timestamp::EPOCH)],
             ),
         ]);
-        let table: ActivenessTable =
-            [(UserId(1), act(2.0, 2.0)), (UserId(2), act(0.0, 0.0))].into_iter().collect();
+        let table: ActivenessTable = [(UserId(1), act(2.0, 2.0)), (UserId(2), act(0.0, 0.0))]
+            .into_iter()
+            .collect();
         let outcome = RetentionOutcome {
             purged: vec![
-                PurgedFile { user: UserId(1), id: FileId(2), size: 50 },
-                PurgedFile { user: UserId(2), id: FileId(3), size: 200 },
+                PurgedFile {
+                    user: UserId(1),
+                    id: FileId(2),
+                    size: 50,
+                },
+                PurgedFile {
+                    user: UserId(2),
+                    id: FileId(3),
+                    size: 200,
+                },
             ],
             purged_bytes: 250,
             target_met: true,
@@ -181,15 +204,17 @@ mod tests {
         assert_eq!(b.total_purged_bytes(), 250);
         assert_eq!(b.total_retained_bytes(), 125);
         assert_eq!(b.total_users_affected(), 2);
-        assert_eq!(b.get(Quadrant::OperationActiveOnly), QuadrantStats::default());
+        assert_eq!(
+            b.get(Quadrant::OperationActiveOnly),
+            QuadrantStats::default()
+        );
     }
 
     #[test]
     fn deltas_between_breakdowns() {
         let (catalog, table, outcome) = setup();
         let with_purge = RetentionBreakdown::compute(&catalog, &table, &outcome);
-        let no_purge =
-            RetentionBreakdown::compute(&catalog, &table, &RetentionOutcome::default());
+        let no_purge = RetentionBreakdown::compute(&catalog, &table, &RetentionOutcome::default());
         let delta = retained_delta(&no_purge, &with_purge);
         assert_eq!(delta[Quadrant::BothActive.index()], 50);
         assert_eq!(delta[Quadrant::BothInactive.index()], 200);

@@ -56,6 +56,7 @@ pub struct StreamingEvaluator {
 }
 
 impl StreamingEvaluator {
+    /// A streaming evaluator sharing the batch evaluator's rank math.
     pub fn new(registry: ActivityTypeRegistry, config: ActivenessConfig) -> Self {
         StreamingEvaluator {
             inner: ActivenessEvaluator::new(registry, config),
@@ -65,11 +66,13 @@ impl StreamingEvaluator {
         }
     }
 
+    /// Select the empty-period semantics (ablation hook).
     pub fn with_empty_periods(mut self, semantics: EmptyPeriods) -> Self {
         self.inner = self.inner.with_empty_periods(semantics);
         self
     }
 
+    /// The activity-type registry this evaluator was built with.
     pub fn registry(&self) -> &ActivityTypeRegistry {
         self.inner.registry()
     }
@@ -113,6 +116,7 @@ impl StreamingEvaluator {
         self.windows.values().map(VecDeque::len).sum()
     }
 
+    /// Number of known users (registered or observed).
     pub fn user_count(&self) -> usize {
         self.users.len()
     }
@@ -165,17 +169,26 @@ impl StreamingEvaluator {
 
         let mut per_user: HashMap<UserId, UserActiveness> = HashMap::new();
         for (user, kind, rank) in per_type {
-            let entry =
-                per_user.entry(user).or_insert(UserActiveness::new(Rank::ZERO, Rank::ZERO));
+            let entry = per_user
+                .entry(user)
+                .or_insert(UserActiveness::new(Rank::ZERO, Rank::ZERO));
             if rank.is_zero() {
                 continue;
             }
             match self.inner.registry().spec(kind).class {
                 crate::event::ActivityClass::Operation => {
-                    entry.op = if entry.op.is_zero() { rank } else { entry.op * rank };
+                    entry.op = if entry.op.is_zero() {
+                        rank
+                    } else {
+                        entry.op * rank
+                    };
                 }
                 crate::event::ActivityClass::Outcome => {
-                    entry.oc = if entry.oc.is_zero() { rank } else { entry.oc * rank };
+                    entry.oc = if entry.oc.is_zero() {
+                        rank
+                    } else {
+                        entry.oc * rank
+                    };
                 }
             }
         }
@@ -228,8 +241,16 @@ mod tests {
         let b = batch.evaluate(day(28), &users, &events);
         assert_eq!(s.len(), b.len());
         for u in users {
-            assert_eq!(s.get(u).op.ln().to_bits(), b.get(u).op.ln().to_bits(), "{u} op");
-            assert_eq!(s.get(u).oc.ln().to_bits(), b.get(u).oc.ln().to_bits(), "{u} oc");
+            assert_eq!(
+                s.get(u).op.ln().to_bits(),
+                b.get(u).op.ln().to_bits(),
+                "{u} op"
+            );
+            assert_eq!(
+                s.get(u).oc.ln().to_bits(),
+                b.get(u).oc.ln().to_bits(),
+                "{u} oc"
+            );
         }
     }
 

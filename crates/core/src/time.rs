@@ -10,6 +10,11 @@
 //! window — for the paper's dataset that is 2015-01-01 00:00:00. Day indices
 //! therefore run 0..365 for 2015 and 365..731 for (leap year) 2016.
 
+#![allow(
+    clippy::cast_possible_truncation,
+    reason = "the simulated horizon keeps second counts far below i64::MAX"
+)]
+
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Sub};
@@ -111,24 +116,30 @@ impl Sub<Timestamp> for Timestamp {
 pub struct TimeDelta(pub i64);
 
 impl TimeDelta {
+    /// The empty span.
     pub const ZERO: TimeDelta = TimeDelta(0);
 
+    /// A span of `days` whole days.
     pub fn from_days(days: i64) -> Self {
         TimeDelta(days * SECS_PER_DAY)
     }
 
+    /// A span of a fractional number of days, rounded to whole seconds.
     pub fn from_days_f64(days: f64) -> Self {
         TimeDelta((days * SECS_PER_DAY as f64).round() as i64)
     }
 
+    /// A span of `hours` whole hours.
     pub fn from_hours(hours: i64) -> Self {
         TimeDelta(hours * 3600)
     }
 
+    /// The span in seconds.
     pub fn secs(self) -> i64 {
         self.0
     }
 
+    /// The span in (fractional) days.
     pub fn days_f64(self) -> f64 {
         self.0 as f64 / SECS_PER_DAY as f64
     }
@@ -219,7 +230,10 @@ mod tests {
         // Exactly 7 days -> boundary counts as the first period.
         assert_eq!(TimeDelta::from_days(7).div_ceil_periods(week), 1);
         // 7 days + 1 s -> second period back.
-        assert_eq!((TimeDelta::from_days(7) + TimeDelta(1)).div_ceil_periods(week), 2);
+        assert_eq!(
+            (TimeDelta::from_days(7) + TimeDelta(1)).div_ceil_periods(week),
+            2
+        );
         assert_eq!(TimeDelta::from_days(35).div_ceil_periods(week), 5);
     }
 

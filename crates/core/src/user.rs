@@ -15,6 +15,7 @@ use std::fmt;
 pub struct UserId(pub u32);
 
 impl UserId {
+    /// Dense index for flat per-user vectors.
     pub fn index(self) -> usize {
         self.0 as usize
     }

@@ -1,5 +1,10 @@
 //! Property-based tests for the activeness model and retention policies.
 
+#![allow(
+    clippy::cast_possible_truncation,
+    reason = "property inputs are tiny; casts cannot truncate"
+)]
+
 use activedr_core::prelude::*;
 use proptest::prelude::*;
 use proptest::strategy::ValueTree;
@@ -13,10 +18,7 @@ fn evaluator(period_days: u32, m: u32) -> ActivenessEvaluator {
 
 /// Arbitrary activity history: (day offset in window, impact) pairs.
 fn history(max_days: i64) -> impl Strategy<Value = Vec<(f64, f64)>> {
-    prop::collection::vec(
-        (0.0..max_days as f64, 0.01f64..1000.0),
-        0..40,
-    )
+    prop::collection::vec((0.0..max_days as f64, 0.01f64..1000.0), 0..40)
 }
 
 proptest! {
@@ -176,19 +178,18 @@ fn arb_catalog() -> impl Strategy<Value = Catalog> {
 }
 
 fn arb_table(n_users: u32) -> impl Strategy<Value = ActivenessTable> {
-    prop::collection::vec((0.0f64..20.0, 0.0f64..20.0), n_users as usize)
-        .prop_map(|ranks| {
-            ranks
-                .into_iter()
-                .enumerate()
-                .map(|(u, (op, oc))| {
-                    (
-                        UserId(u as u32),
-                        UserActiveness::new(Rank::from_value(op), Rank::from_value(oc)),
-                    )
-                })
-                .collect()
-        })
+    prop::collection::vec((0.0f64..20.0, 0.0f64..20.0), n_users as usize).prop_map(|ranks| {
+        ranks
+            .into_iter()
+            .enumerate()
+            .map(|(u, (op, oc))| {
+                (
+                    UserId(u as u32),
+                    UserActiveness::new(Rank::from_value(op), Rank::from_value(oc)),
+                )
+            })
+            .collect()
+    })
 }
 
 proptest! {

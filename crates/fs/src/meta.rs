@@ -5,6 +5,11 @@
 //! *synthesized* file size (the snapshots expose stripe counts, not sizes —
 //! see [`crate::striping`]).
 
+#![allow(
+    clippy::missing_panics_doc,
+    reason = "asserts guard scenario invariants; every panic site is tracked by the xtask panic-freedom ratchet"
+)]
+
 use activedr_core::time::Timestamp;
 use activedr_core::user::UserId;
 use serde::{Deserialize, Serialize};
@@ -30,7 +35,14 @@ pub struct FileMeta {
 
 impl FileMeta {
     pub fn new(owner: UserId, size: u64, atime: Timestamp) -> Self {
-        FileMeta { owner, size, atime, ctime: atime, stripes: 1, access_count: 0 }
+        FileMeta {
+            owner,
+            size,
+            atime,
+            ctime: atime,
+            stripes: 1,
+            access_count: 0,
+        }
     }
 
     pub fn with_stripes(mut self, stripes: u8) -> Self {

@@ -50,12 +50,9 @@ impl ScanResult {
 /// Functionally identical to [`VirtualFs::catalog`] (same `FileId` space,
 /// same ordering) but the per-file work — exemption classification —
 /// fans out across the rayon pool.
-pub fn parallel_catalog(
-    fs: &VirtualFs,
-    exemptions: &ExemptionList,
-    shards: usize,
-) -> ScanResult {
+pub fn parallel_catalog(fs: &VirtualFs, exemptions: &ExemptionList, shards: usize) -> ScanResult {
     let shards = shards.max(1);
+    // xtask-allow: determinism -- scan timing for the Fig. 12 performance report
     let start = std::time::Instant::now();
 
     // Trie iteration is inherently sequential (parent links); collect the
@@ -70,9 +67,13 @@ pub fn parallel_catalog(
         .par_chunks(chunk)
         .enumerate()
         .map(|(shard_idx, chunk_files)| {
+            // xtask-allow: determinism -- per-shard timing for the performance report
             let shard_start = std::time::Instant::now();
             let mut per_user: BTreeMap<UserId, Vec<FileRecord>> = BTreeMap::new();
-            let mut report = ShardReport { shard: shard_idx, ..Default::default() };
+            let mut report = ShardReport {
+                shard: shard_idx,
+                ..Default::default()
+            };
             for (path, id, meta) in chunk_files {
                 let mut rec = FileRecord::new(FileId(*id), meta.size, meta.atime)
                     .with_ctime(meta.ctime)
@@ -104,9 +105,16 @@ pub fn parallel_catalog(
     }
 
     let catalog = Catalog::new(
-        merged.into_iter().map(|(user, files)| UserFiles::new(user, files)).collect(),
+        merged
+            .into_iter()
+            .map(|(user, files)| UserFiles::new(user, files))
+            .collect(),
     );
-    ScanResult { catalog, shards: reports, elapsed: start.elapsed() }
+    ScanResult {
+        catalog,
+        shards: reports,
+        elapsed: start.elapsed(),
+    }
 }
 
 #[cfg(test)]

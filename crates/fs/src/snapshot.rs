@@ -6,6 +6,11 @@
 //! file — serialized as JSON lines so the CLI can persist and reload
 //! populations, and so experiments can restart from a captured state.
 
+#![allow(
+    clippy::cast_possible_truncation,
+    reason = "values are bounded far below the narrow type's range at paper scale"
+)]
+
 use crate::meta::FileMeta;
 use crate::vfs::VirtualFs;
 use activedr_core::time::Timestamp;
@@ -62,7 +67,10 @@ impl SnapshotDiff<'_> {
 pub enum SnapshotError {
     Io(std::io::Error),
     /// A malformed line, with its 1-based line number.
-    Parse { line: usize, source: serde_json::Error },
+    Parse {
+        line: usize,
+        source: serde_json::Error,
+    },
     /// The header line was missing or malformed.
     MissingHeader,
 }
@@ -108,7 +116,11 @@ impl Snapshot {
                 stripes: meta.stripes,
             })
             .collect();
-        Snapshot { captured_at: at, capacity: fs.capacity(), entries }
+        Snapshot {
+            captured_at: at,
+            capacity: fs.capacity(),
+            entries,
+        }
     }
 
     /// Rebuild a virtual file system from this snapshot. Entries with
@@ -179,10 +191,8 @@ impl Snapshot {
             capacity: self.capacity,
             files: self.entries.len() as u64,
         };
-        serde_json::to_writer(&mut w, &header).map_err(|e| SnapshotError::Parse {
-            line: 1,
-            source: e,
-        })?;
+        serde_json::to_writer(&mut w, &header)
+            .map_err(|e| SnapshotError::Parse { line: 1, source: e })?;
         w.write_all(b"\n")?;
         for (i, e) in self.entries.iter().enumerate() {
             serde_json::to_writer(&mut w, e).map_err(|er| SnapshotError::Parse {
@@ -198,19 +208,26 @@ impl Snapshot {
     pub fn read_jsonl<R: BufRead>(r: R) -> Result<Snapshot, SnapshotError> {
         let mut lines = r.lines();
         let header_line = lines.next().ok_or(SnapshotError::MissingHeader)??;
-        let header: Header = serde_json::from_str(&header_line)
-            .map_err(|_| SnapshotError::MissingHeader)?;
+        let header: Header =
+            serde_json::from_str(&header_line).map_err(|_| SnapshotError::MissingHeader)?;
         let mut entries = Vec::with_capacity(header.files as usize);
         for (i, line) in lines.enumerate() {
             let line = line?;
             if line.trim().is_empty() {
                 continue;
             }
-            let entry: SnapshotEntry = serde_json::from_str(&line)
-                .map_err(|e| SnapshotError::Parse { line: i + 2, source: e })?;
+            let entry: SnapshotEntry =
+                serde_json::from_str(&line).map_err(|e| SnapshotError::Parse {
+                    line: i + 2,
+                    source: e,
+                })?;
             entries.push(entry);
         }
-        Ok(Snapshot { captured_at: header.captured_at, capacity: header.capacity, entries })
+        Ok(Snapshot {
+            captured_at: header.captured_at,
+            capacity: header.capacity,
+            entries,
+        })
     }
 }
 
@@ -220,9 +237,12 @@ mod tests {
 
     fn sample_fs() -> VirtualFs {
         let mut fs = VirtualFs::with_capacity(10_000);
-        fs.create("/u1/a.dat", UserId(1), 100, Timestamp::from_days(3)).unwrap();
-        fs.create("/u1/deep/b.dat", UserId(1), 200, Timestamp::from_days(5)).unwrap();
-        fs.create("/u2/c.dat", UserId(2), 300, Timestamp::from_days(7)).unwrap();
+        fs.create("/u1/a.dat", UserId(1), 100, Timestamp::from_days(3))
+            .unwrap();
+        fs.create("/u1/deep/b.dat", UserId(1), 200, Timestamp::from_days(5))
+            .unwrap();
+        fs.create("/u2/c.dat", UserId(2), 300, Timestamp::from_days(7))
+            .unwrap();
         fs
     }
 
@@ -238,7 +258,10 @@ mod tests {
         assert_eq!(skipped, 0);
         assert_eq!(restored.file_count(), 3);
         assert_eq!(restored.used_bytes(), 600);
-        assert_eq!(restored.meta("/u1/deep/b.dat").unwrap().atime, Timestamp::from_days(5));
+        assert_eq!(
+            restored.meta("/u1/deep/b.dat").unwrap().atime,
+            Timestamp::from_days(5)
+        );
         assert_eq!(restored.meta("/u2/c.dat").unwrap().owner, UserId(2));
     }
 
@@ -316,7 +339,8 @@ mod tests {
         let before = Snapshot::capture(&fs, Timestamp::from_days(10));
 
         fs.remove("/u2/c.dat").unwrap();
-        fs.create("/u3/new.dat", UserId(3), 77, Timestamp::from_days(11)).unwrap();
+        fs.create("/u3/new.dat", UserId(3), 77, Timestamp::from_days(11))
+            .unwrap();
         fs.access("/u1/a.dat", Timestamp::from_days(12));
         let after = Snapshot::capture(&fs, Timestamp::from_days(14));
 

@@ -17,6 +17,19 @@
 //! for as long as the file exists and doubles as the
 //! [`FileId`](activedr_core::files::FileId) seen by the retention policies.
 
+#![allow(
+    clippy::indexing_slicing,
+    reason = "index sites here are counted and ratcheted by `cargo xtask check` (crates/xtask/panic-baseline.txt)"
+)]
+#![allow(
+    clippy::expect_used,
+    reason = "expect sites here are counted and ratcheted by `cargo xtask check` (crates/xtask/panic-baseline.txt)"
+)]
+#![allow(
+    clippy::missing_panics_doc,
+    reason = "asserts guard scenario invariants; every panic site is tracked by the xtask panic-freedom ratchet"
+)]
+
 use crate::meta::FileMeta;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -205,7 +218,11 @@ impl Default for PathTrie {
 
 impl PathTrie {
     pub fn new() -> PathTrie {
-        PathTrie { nodes: vec![Node::empty()], free: Vec::new(), file_count: 0 }
+        PathTrie {
+            nodes: vec![Node::empty()],
+            free: Vec::new(),
+            file_count: 0,
+        }
     }
 
     /// Number of files (not internal nodes) stored.
@@ -316,7 +333,9 @@ impl PathTrie {
                     meta: None,
                     live: true,
                 });
-                self.node_mut(mid).children.insert(child_key_after_split, child);
+                self.node_mut(mid)
+                    .children
+                    .insert(child_key_after_split, child);
                 {
                     let c = self.node_mut(child);
                     c.edge = tail;
@@ -384,12 +403,18 @@ impl PathTrie {
 
     /// Metadata by node id.
     pub fn meta(&self, id: NodeId) -> Option<&FileMeta> {
-        self.nodes.get(id.idx()).filter(|n| n.live).and_then(|n| n.meta.as_ref())
+        self.nodes
+            .get(id.idx())
+            .filter(|n| n.live)
+            .and_then(|n| n.meta.as_ref())
     }
 
     /// Mutable metadata by node id.
     pub fn meta_mut(&mut self, id: NodeId) -> Option<&mut FileMeta> {
-        self.nodes.get_mut(id.idx()).filter(|n| n.live).and_then(|n| n.meta.as_mut())
+        self.nodes
+            .get_mut(id.idx())
+            .filter(|n| n.live)
+            .and_then(|n| n.meta.as_mut())
     }
 
     /// Does `path` exist as a directory? With path compression most
@@ -433,7 +458,12 @@ impl PathTrie {
 
     /// Remove a file by node id.
     pub fn remove_id(&mut self, id: NodeId) -> Option<FileMeta> {
-        let meta = self.nodes.get_mut(id.idx()).filter(|n| n.live)?.meta.take()?;
+        let meta = self
+            .nodes
+            .get_mut(id.idx())
+            .filter(|n| n.live)?
+            .meta
+            .take()?;
         self.file_count -= 1;
         // Prune childless non-file nodes upward.
         let mut cur = id;
@@ -547,8 +577,7 @@ impl PathTrie {
             if overlap < edge.len() {
                 // Inside the compressed edge: exactly one child component.
                 let name = edge[overlap].to_string();
-                let is_file =
-                    overlap + 1 == edge.len() && self.node(child).meta.is_some();
+                let is_file = overlap + 1 == edge.len() && self.node(child).meta.is_some();
                 return vec![DirEntry { name, is_file }];
             }
             cur = child;
@@ -655,7 +684,11 @@ impl PathTrie {
             if !n.live {
                 continue;
             }
-            bytes += n.edge.iter().map(|c| c.len() + size_of::<Box<str>>()).sum::<usize>();
+            bytes += n
+                .edge
+                .iter()
+                .map(|c| c.len() + size_of::<Box<str>>())
+                .sum::<usize>();
             bytes += n
                 .children
                 .keys()
@@ -675,11 +708,17 @@ pub struct TrieIter<'t> {
 
 impl<'t> TrieIter<'t> {
     fn new(trie: &'t PathTrie, root: NodeId, base: String) -> Self {
-        TrieIter { trie, stack: vec![(root, base)] }
+        TrieIter {
+            trie,
+            stack: vec![(root, base)],
+        }
     }
 
     fn empty(trie: &'t PathTrie) -> Self {
-        TrieIter { trie, stack: Vec::new() }
+        TrieIter {
+            trie,
+            stack: Vec::new(),
+        }
     }
 }
 
@@ -707,6 +746,10 @@ impl<'t> Iterator for TrieIter<'t> {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::float_cmp,
+    reason = "tests assert exact values produced by exact arithmetic"
+)]
 mod tests {
     use super::*;
     use activedr_core::time::Timestamp;
@@ -719,7 +762,10 @@ mod tests {
     #[test]
     fn insert_lookup_roundtrip() {
         let mut t = PathTrie::new();
-        let id = t.insert("/lustre/atlas/u1/a.dat", meta(1, 100)).unwrap().id();
+        let id = t
+            .insert("/lustre/atlas/u1/a.dat", meta(1, 100))
+            .unwrap()
+            .id();
         assert_eq!(t.len(), 1);
         assert_eq!(t.lookup("/lustre/atlas/u1/a.dat"), Some(id));
         assert_eq!(t.get("/lustre/atlas/u1/a.dat").unwrap().size, 100);
@@ -785,13 +831,24 @@ mod tests {
         let err = t.insert("/a/b/c", meta(1, 2)).unwrap_err();
         assert_eq!(
             err,
-            InsertError::FileIsNotADirectory { file_prefix: "/a/b".into() }
+            InsertError::FileIsNotADirectory {
+                file_prefix: "/a/b".into()
+            }
         );
         // And a directory cannot become a file.
         t.insert("/d/e/f", meta(1, 1)).unwrap();
-        assert_eq!(t.insert("/d/e", meta(1, 2)).unwrap_err(), InsertError::DirectoryExists);
-        assert_eq!(t.insert("", meta(1, 1)).unwrap_err(), InsertError::EmptyPath);
-        assert_eq!(t.insert("///", meta(1, 1)).unwrap_err(), InsertError::EmptyPath);
+        assert_eq!(
+            t.insert("/d/e", meta(1, 2)).unwrap_err(),
+            InsertError::DirectoryExists
+        );
+        assert_eq!(
+            t.insert("", meta(1, 1)).unwrap_err(),
+            InsertError::EmptyPath
+        );
+        assert_eq!(
+            t.insert("///", meta(1, 1)).unwrap_err(),
+            InsertError::EmptyPath
+        );
     }
 
     #[test]
@@ -878,8 +935,11 @@ mod tests {
         let mut t = PathTrie::new();
         let empty = t.memory_estimate();
         for i in 0..100 {
-            t.insert(&format!("/users/u{}/data/file{}.dat", i % 10, i), meta(i % 10, 1))
-                .unwrap();
+            t.insert(
+                &format!("/users/u{}/data/file{}.dat", i % 10, i),
+                meta(i % 10, 1),
+            )
+            .unwrap();
         }
         assert!(t.memory_estimate() > empty);
     }
@@ -894,20 +954,32 @@ mod tests {
         // Root readdir: one implicit directory.
         assert_eq!(
             t.list_dir("/"),
-            vec![DirEntry { name: "proj".into(), is_file: false }]
+            vec![DirEntry {
+                name: "proj".into(),
+                is_file: false
+            }]
         );
         // /proj: a (dir) and b (file), lexicographic.
         assert_eq!(
             t.list_dir("/proj"),
             vec![
-                DirEntry { name: "a".into(), is_file: false },
-                DirEntry { name: "b".into(), is_file: true },
+                DirEntry {
+                    name: "a".into(),
+                    is_file: false
+                },
+                DirEntry {
+                    name: "b".into(),
+                    is_file: true
+                },
             ]
         );
         // Inside a compressed edge: /proj/a has the single child "deep".
         assert_eq!(
             t.list_dir("/proj/a"),
-            vec![DirEntry { name: "deep".into(), is_file: false }]
+            vec![DirEntry {
+                name: "deep".into(),
+                is_file: false
+            }]
         );
         assert_eq!(t.list_dir("/proj/a/deep").len(), 2);
         // Files and missing paths list nothing.
@@ -972,7 +1044,8 @@ mod tests {
         assert_eq!(empty.compression_ratio(), 0.0);
         // Deep shared prefixes compress well.
         for i in 0..10 {
-            t.insert(&format!("/lustre/atlas/proj/u1/run/f{i}"), meta(1, 1)).unwrap();
+            t.insert(&format!("/lustre/atlas/proj/u1/run/f{i}"), meta(1, 1))
+                .unwrap();
         }
         let s = t.stats();
         assert_eq!(s.files, 10);

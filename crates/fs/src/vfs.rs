@@ -7,6 +7,11 @@
 //! wraps [`PathTrie`] with capacity accounting and the catalog-scan bridge
 //! to the `activedr-core` policy layer.
 
+#![allow(
+    clippy::cast_possible_truncation,
+    reason = "values are bounded far below the narrow type's range at paper scale"
+)]
+
 use crate::exemption::ExemptionList;
 use crate::meta::FileMeta;
 use crate::trie::{InsertError, Inserted, NodeId, PathTrie};
@@ -45,7 +50,11 @@ impl VirtualFs {
     /// systems overfill — that is why purges exist), but utilization
     /// reports are relative to it.
     pub fn with_capacity(capacity: u64) -> Self {
-        VirtualFs { trie: PathTrie::new(), used_bytes: 0, capacity }
+        VirtualFs {
+            trie: PathTrie::new(),
+            used_bytes: 0,
+            capacity,
+        }
     }
 
     pub fn capacity(&self) -> u64 {
@@ -216,7 +225,11 @@ impl VirtualFs {
         // replace; its bytes must leave the accounting (unless this is a
         // no-op rename onto itself).
         let same = crate::trie::components(from).eq(crate::trie::components(to));
-        let replaced = if same { None } else { self.trie.get(to).map(|m| m.size) };
+        let replaced = if same {
+            None
+        } else {
+            self.trie.get(to).map(|m| m.size)
+        };
         let id = self.trie.rename(from, to)?;
         if let Some(size) = replaced {
             self.used_bytes -= size;
@@ -258,6 +271,10 @@ impl VirtualFs {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::float_cmp,
+    reason = "tests assert exact values produced by exact arithmetic"
+)]
 mod tests {
     use super::*;
 
@@ -335,9 +352,17 @@ mod tests {
         fs.create("/u1/b", UserId(1), 20, day(0)).unwrap();
         let outcome = RetentionOutcome {
             purged: vec![
-                PurgedFile { user: UserId(1), id: FileId(a.0 as u64), size: 10 },
+                PurgedFile {
+                    user: UserId(1),
+                    id: FileId(a.0 as u64),
+                    size: 10,
+                },
                 // A stale decision for a node that never existed.
-                PurgedFile { user: UserId(1), id: FileId(9999), size: 1 },
+                PurgedFile {
+                    user: UserId(1),
+                    id: FileId(9999),
+                    size: 1,
+                },
             ],
             purged_bytes: 11,
             target_met: true,

@@ -36,7 +36,10 @@ fn arb_op() -> impl Strategy<Value = Op> {
 }
 
 fn norm(path: &str) -> String {
-    let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty() && *c != ".").collect();
+    let comps: Vec<&str> = path
+        .split('/')
+        .filter(|c| !c.is_empty() && *c != ".")
+        .collect();
     format!("/{}", comps.join("/"))
 }
 

@@ -9,6 +9,15 @@
 //! to turn each miss into a *measured* recovery time instead of a fixed
 //! delay.
 
+#![allow(
+    clippy::indexing_slicing,
+    reason = "index sites here are counted and ratcheted by `cargo xtask check` (crates/xtask/panic-baseline.txt)"
+)]
+#![allow(
+    clippy::missing_panics_doc,
+    reason = "asserts guard scenario invariants; every panic site is tracked by the xtask panic-freedom ratchet"
+)]
+
 use activedr_core::time::{TimeDelta, Timestamp};
 use serde::{Deserialize, Serialize};
 
@@ -37,9 +46,15 @@ impl Default for ArchiveConfig {
 
 impl ArchiveConfig {
     pub fn validate(&self) {
-        assert!(self.bandwidth_bytes_per_sec > 0, "bandwidth must be positive");
+        assert!(
+            self.bandwidth_bytes_per_sec > 0,
+            "bandwidth must be positive"
+        );
         assert!(self.streams > 0, "need at least one stream");
-        assert!(self.request_latency.secs() >= 0, "latency cannot be negative");
+        assert!(
+            self.request_latency.secs() >= 0,
+            "latency cannot be negative"
+        );
     }
 }
 
@@ -92,8 +107,7 @@ impl ArchiveTier {
             .iter()
             .enumerate()
             .min_by_key(|(_, t)| t.secs())
-            .map(|(i, _)| i)
-            .expect("streams > 0 by validation");
+            .map_or(0, |(i, _)| i);
         let start = Timestamp(
             (now + self.config.request_latency)
                 .secs()

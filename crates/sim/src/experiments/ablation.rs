@@ -16,6 +16,15 @@
 //!    accesses, job completions, generated datasets) — how much does the
 //!    classification move when more activity types are tracked?
 
+#![allow(
+    clippy::indexing_slicing,
+    reason = "index sites here are counted and ratcheted by `cargo xtask check` (crates/xtask/panic-baseline.txt)"
+)]
+#![allow(
+    clippy::cast_possible_truncation,
+    reason = "values are bounded far below the narrow type's range at paper scale"
+)]
+
 use crate::engine::{run_until, SimConfig};
 use crate::report::{fmt_bytes, render_table};
 use crate::scenario::Scenario;
@@ -85,9 +94,7 @@ impl AblationData {
         // 1. Retrospective passes.
         let retro = (0..=5u32)
             .map(|passes| {
-                let policy = ActiveDrPolicy::new(
-                    RetentionConfig::new(30).with_retro(passes, 0.2),
-                );
+                let policy = ActiveDrPolicy::new(RetentionConfig::new(30).with_retro(passes, 0.2));
                 let outcome = policy.run(PurgeRequest {
                     tc,
                     catalog: &catalog,
@@ -111,8 +118,7 @@ impl AblationData {
         let adjust = [LifetimeAdjust::ClampedPerClass, LifetimeAdjust::Raw]
             .iter()
             .map(|&mode| {
-                let policy =
-                    ActiveDrPolicy::new(RetentionConfig::new(30).with_adjust(mode));
+                let policy = ActiveDrPolicy::new(RetentionConfig::new(30).with_adjust(mode));
                 let outcome = policy.run(PurgeRequest {
                     tc,
                     catalog: &catalog,
@@ -136,11 +142,9 @@ impl AblationData {
         let empty_periods = [EmptyPeriods::Neutral, EmptyPeriods::Zero]
             .iter()
             .map(|&sem| {
-                let ev = ActivenessEvaluator::new(
-                    registry.clone(),
-                    ActivenessConfig::year_window(30),
-                )
-                .with_empty_periods(sem);
+                let ev =
+                    ActivenessEvaluator::new(registry.clone(), ActivenessConfig::year_window(30))
+                        .with_empty_periods(sem);
                 let t = ev.evaluate(tc, &users, &events);
                 EmptyPeriodRow {
                     semantics: format!("{sem:?}"),
@@ -170,11 +174,17 @@ impl AblationData {
         })
         .collect();
 
-        AblationData { retro, adjust, empty_periods, registries }
+        AblationData {
+            retro,
+            adjust,
+            empty_periods,
+            registries,
+        }
     }
 
     pub fn render(&self) -> String {
-        let mut out = String::from("Ablations\n\n1. Retrospective passes (target 70% of snapshot)\n");
+        let mut out =
+            String::from("Ablations\n\n1. Retrospective passes (target 70% of snapshot)\n");
         let rows: Vec<Vec<String>> = self
             .retro
             .iter()
@@ -223,7 +233,13 @@ impl AblationData {
             })
             .collect();
         out.push_str(&render_table(
-            &["semantics", "both active", "op only", "outcome only", "both inactive"],
+            &[
+                "semantics",
+                "both active",
+                "op only",
+                "outcome only",
+                "both inactive",
+            ],
             &rows,
         ));
 
@@ -244,7 +260,15 @@ impl AblationData {
             })
             .collect();
         out.push_str(&render_table(
-            &["registry", "types", "events", "both active", "op only", "outcome only", "both inactive"],
+            &[
+                "registry",
+                "types",
+                "events",
+                "both active",
+                "op only",
+                "outcome only",
+                "both inactive",
+            ],
             &rows,
         ));
         out
@@ -273,9 +297,7 @@ mod tests {
         // The literal zero semantics can only shrink the active shares.
         let neutral = data.empty_periods[0].shares;
         let zero = data.empty_periods[1].shares;
-        assert!(
-            zero[Quadrant::BothInactive.index()] >= neutral[Quadrant::BothInactive.index()]
-        );
+        assert!(zero[Quadrant::BothInactive.index()] >= neutral[Quadrant::BothInactive.index()]);
         assert!(data.render().contains("Ablations"));
     }
 }

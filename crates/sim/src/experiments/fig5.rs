@@ -5,8 +5,13 @@
 //! the share of users in each quadrant (the paper's G(1)..G(4)
 //! annotations), plus the rank spread inside each quadrant.
 
-use crate::scenario::Scenario;
+#![allow(
+    clippy::indexing_slicing,
+    reason = "index sites here are counted and ratcheted by `cargo xtask check` (crates/xtask/panic-baseline.txt)"
+)]
+
 use crate::report::render_table;
+use crate::scenario::Scenario;
 use activedr_core::prelude::*;
 use activedr_trace::activity_events;
 use serde::{Deserialize, Serialize};
@@ -85,13 +90,16 @@ impl Fig5Data {
     }
 
     pub fn shares(&self, period_days: u32) -> Option<[f64; 4]> {
-        self.rows.iter().find(|r| r.period_days == period_days).map(|r| {
-            let mut out = [0.0; 4];
-            for c in &r.cells {
-                out[c.quadrant.index()] = c.share;
-            }
-            out
-        })
+        self.rows
+            .iter()
+            .find(|r| r.period_days == period_days)
+            .map(|r| {
+                let mut out = [0.0; 4];
+                for c in &r.cells {
+                    out[c.quadrant.index()] = c.share;
+                }
+                out
+            })
     }
 
     pub fn render(&self) -> String {
@@ -140,8 +148,16 @@ mod tests {
         for row in &data.rows {
             let total: f64 = row.cells.iter().map(|c| c.share).sum();
             assert!((total - 1.0).abs() < 1e-9, "period {}", row.period_days);
-            let bi = row.cells.iter().find(|c| c.quadrant == Quadrant::BothInactive).unwrap();
-            assert!(bi.share > 0.5, "inactive mass should dominate: {}", bi.share);
+            let bi = row
+                .cells
+                .iter()
+                .find(|c| c.quadrant == Quadrant::BothInactive)
+                .unwrap();
+            assert!(
+                bi.share > 0.5,
+                "inactive mass should dominate: {}",
+                bi.share
+            );
         }
         assert!(data.shares(7).is_some());
         assert!(data.shares(13).is_none());

@@ -25,11 +25,11 @@ pub mod ablation;
 pub mod baselines;
 pub mod churn;
 pub mod fig1;
+pub mod fig12;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
-pub mod fig12;
 pub mod pair;
 pub mod snapshot_sweep;
 pub mod tab1;

@@ -13,7 +13,11 @@ pub struct PairResult {
 /// Replay the scenario once under FLT and once under ActiveDR, both at the
 /// given lifetime (paper default: 90 days, 7-day trigger, 50 % target).
 pub fn run_pair(scenario: &Scenario, lifetime_days: u32) -> PairResult {
-    let flt = run(&scenario.traces, scenario.initial_fs.clone(), &SimConfig::flt(lifetime_days));
+    let flt = run(
+        &scenario.traces,
+        scenario.initial_fs.clone(),
+        &SimConfig::flt(lifetime_days),
+    );
     let adr = run(
         &scenario.traces,
         scenario.initial_fs.clone(),

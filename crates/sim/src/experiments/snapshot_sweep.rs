@@ -14,6 +14,11 @@
 //! * Fig. 11 — number of users affected by the purge (far fewer active
 //!   users affected under ActiveDR).
 
+#![allow(
+    clippy::indexing_slicing,
+    reason = "index sites here are counted and ratcheted by `cargo xtask check` (crates/xtask/panic-baseline.txt)"
+)]
+
 use crate::engine::{run_until, SimConfig};
 use crate::report::{fmt_bytes, fmt_bytes_signed, render_table};
 use crate::scenario::Scenario;
@@ -47,8 +52,10 @@ impl SweepCell {
     pub fn users_affected(&self) -> [(u64, u64); 4] {
         let mut out = [(0u64, 0u64); 4];
         for q in Quadrant::ALL {
-            out[q.index()] =
-                (self.flt.get(q).users_affected, self.adr.get(q).users_affected);
+            out[q.index()] = (
+                self.flt.get(q).users_affected,
+                self.adr.get(q).users_affected,
+            );
         }
         out
     }
@@ -97,8 +104,8 @@ impl SnapshotSweepData {
                     activeness: &table,
                     target_bytes: None,
                 });
-                let adr_outcome = ActiveDrPolicy::new(RetentionConfig::new(lifetime_days))
-                    .run(PurgeRequest {
+                let adr_outcome =
+                    ActiveDrPolicy::new(RetentionConfig::new(lifetime_days)).run(PurgeRequest {
                         tc,
                         catalog: &catalog,
                         activeness: &table,
@@ -115,7 +122,10 @@ impl SnapshotSweepData {
             })
             .collect();
 
-        SnapshotSweepData { snapshot_day: scenario.snapshot_day(), cells }
+        SnapshotSweepData {
+            snapshot_day: scenario.snapshot_day(),
+            cells,
+        }
     }
 
     pub fn cell(&self, lifetime_days: u32) -> Option<&SweepCell> {
@@ -123,7 +133,12 @@ impl SnapshotSweepData {
     }
 
     fn quadrant_headers() -> [&'static str; 4] {
-        ["Both Active", "Op Active Only", "Outcome Active Only", "Both Inactive"]
+        [
+            "Both Active",
+            "Op Active Only",
+            "Outcome Active Only",
+            "Both Inactive",
+        ]
     }
 
     /// Fig. 9: retained bytes per quadrant.
@@ -176,9 +191,8 @@ impl SnapshotSweepData {
 
     /// Table 5: retained-bytes difference (ActiveDR − FLT).
     pub fn render_tab5(&self) -> String {
-        let mut out = String::from(
-            "Table 5: difference between total size retained by ActiveDR and FLT\n\n",
-        );
+        let mut out =
+            String::from("Table 5: difference between total size retained by ActiveDR and FLT\n\n");
         let mut rows = Vec::new();
         for cell in &self.cells {
             let delta = cell.retained_delta();
@@ -281,12 +295,24 @@ mod tests {
                 cell.snapshot_bytes
             );
             // ActiveDR never affects more active users than FLT.
-            for q in [Quadrant::BothActive, Quadrant::OperationActiveOnly, Quadrant::OutcomeActiveOnly] {
+            for q in [
+                Quadrant::BothActive,
+                Quadrant::OperationActiveOnly,
+                Quadrant::OutcomeActiveOnly,
+            ] {
                 let (f, a) = cell.users_affected()[q.index()];
-                assert!(a <= f, "{} days, {q}: ADR {a} vs FLT {f}", cell.lifetime_days);
+                assert!(
+                    a <= f,
+                    "{} days, {q}: ADR {a} vs FLT {f}",
+                    cell.lifetime_days
+                );
             }
             // And never retains less for active users.
-            for q in [Quadrant::BothActive, Quadrant::OperationActiveOnly, Quadrant::OutcomeActiveOnly] {
+            for q in [
+                Quadrant::BothActive,
+                Quadrant::OperationActiveOnly,
+                Quadrant::OutcomeActiveOnly,
+            ] {
                 assert!(
                     cell.adr.get(q).retained_bytes >= cell.flt.get(q).retained_bytes,
                     "{} days, {q}",

@@ -54,13 +54,15 @@ impl Tab1Data {
                 }
             })
             .collect();
-        Tab1Data { snapshot_bytes: catalog.total_bytes(), rows }
+        Tab1Data {
+            snapshot_bytes: catalog.total_bytes(),
+            rows,
+        }
     }
 
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Table 1: facility FLT presets applied to the same snapshot\n\n",
-        );
+        let mut out =
+            String::from("Table 1: facility FLT presets applied to the same snapshot\n\n");
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
@@ -70,12 +72,21 @@ impl Tab1Data {
                     format!("{} days", r.lifetime_days),
                     r.purged_files.to_string(),
                     fmt_bytes(r.purged_bytes),
-                    format!("{:.1}%", 100.0 * r.purged_bytes as f64 / self.snapshot_bytes.max(1) as f64),
+                    format!(
+                        "{:.1}%",
+                        100.0 * r.purged_bytes as f64 / self.snapshot_bytes.max(1) as f64
+                    ),
                 ]
             })
             .collect();
         out.push_str(&render_table(
-            &["facility", "lifetime", "purged files", "purged bytes", "of snapshot"],
+            &[
+                "facility",
+                "lifetime",
+                "purged files",
+                "purged bytes",
+                "of snapshot",
+            ],
             &rows,
         ));
         out

@@ -60,7 +60,12 @@ impl Scenario {
         // size of the files in the last warm-up snapshot — which is
         // already FLT-filtered, so the replay starts at 100 % utilization.
         initial_fs.set_capacity(initial_fs.used_bytes());
-        Scenario { traces, initial_fs, seed, scale }
+        Scenario {
+            traces,
+            initial_fs,
+            seed,
+            scale,
+        }
     }
 
     /// The day index (paper: Aug 23, 2016) used for the single-snapshot

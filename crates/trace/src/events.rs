@@ -61,8 +61,11 @@ pub fn activity_events(
         for p in &traces.publications {
             if p.ts <= up_to {
                 for author in &p.authors {
-                    let impact = p.impact_for(*author).expect("author listed");
-                    events.push(ActivityEvent::new(*author, t, p.ts, impact));
+                    // impact_for covers every listed author; skip
+                    // defensively rather than panic if that ever changes.
+                    if let Some(impact) = p.impact_for(*author) {
+                        events.push(ActivityEvent::new(*author, t, p.ts, impact));
+                    }
                 }
             }
         }
@@ -114,8 +117,14 @@ mod tests {
             horizon_days: 100,
             replay_start_day: 0,
             users: vec![
-                UserProfile { id: UserId(1), archetype: Archetype::Steady },
-                UserProfile { id: UserId(2), archetype: Archetype::Publisher },
+                UserProfile {
+                    id: UserId(1),
+                    archetype: Archetype::Steady,
+                },
+                UserProfile {
+                    id: UserId(2),
+                    archetype: Archetype::Publisher,
+                },
             ],
             jobs: vec![JobRecord {
                 user: UserId(1),
@@ -130,7 +139,10 @@ mod tests {
                 citations: 4,
                 authors: vec![UserId(2), UserId(1)],
             }],
-            logins: vec![LoginRecord { user: UserId(1), ts: Timestamp::from_days(10) }],
+            logins: vec![LoginRecord {
+                user: UserId(1),
+                ts: Timestamp::from_days(10),
+            }],
             transfers: vec![TransferRecord {
                 user: UserId(2),
                 ts: Timestamp::from_days(30),

@@ -33,7 +33,12 @@ pub fn parse_access_log<R: BufRead>(
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut skip = |reason: String| skipped.push(SkippedLine { line: lineno, reason });
+        let mut skip = |reason: String| {
+            skipped.push(SkippedLine {
+                line: lineno,
+                reason,
+            })
+        };
         let mut fields = line.split_whitespace();
         let (Some(ts_str), Some(user), Some(op), Some(path)) =
             (fields.next(), fields.next(), fields.next(), fields.next())
@@ -98,8 +103,7 @@ short line
     #[test]
     fn parses_sorts_and_reports() {
         let mut users = UserDirectory::new();
-        let imported =
-            parse_access_log(SAMPLE.as_bytes(), EpochDate::PAPER, &mut users).unwrap();
+        let imported = parse_access_log(SAMPLE.as_bytes(), EpochDate::PAPER, &mut users).unwrap();
         assert_eq!(imported.records.len(), 3);
         assert_eq!(imported.skipped.len(), 4);
         // Sorted by timestamp despite input order.

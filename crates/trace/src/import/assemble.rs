@@ -7,6 +7,11 @@
 //! pre-replay access), and the replay stream keeps everything from the
 //! replay window on.
 
+#![allow(
+    clippy::missing_panics_doc,
+    reason = "asserts guard scenario invariants; every panic site is tracked by the xtask panic-freedom ratchet"
+)]
+
 use crate::records::{
     AccessKind, AccessRecord, FileSeed, JobRecord, PublicationRecord, TraceSet, UserProfile,
 };
@@ -51,14 +56,20 @@ pub fn assemble(
     replay_start_day: u32,
     horizon_days: u32,
 ) -> (TraceSet, AssembleReport) {
-    assert!(replay_start_day < horizon_days, "replay must fit in horizon");
+    assert!(
+        replay_start_day < horizon_days,
+        "replay must fit in horizon"
+    );
     let replay_start = Timestamp::from_days(replay_start_day as i64);
     let horizon = Timestamp::from_days(horizon_days as i64);
 
     // Ledger of pre-replay files: path -> (owner, size, created, atime).
     let mut ledger: HashMap<String, FileSeed> = HashMap::new();
     let mut replay: Vec<AccessRecord> = Vec::new();
-    let mut report = AssembleReport { reads_of_unknown_paths: 0, dropped_accesses: 0 };
+    let mut report = AssembleReport {
+        reads_of_unknown_paths: 0,
+        dropped_accesses: 0,
+    };
 
     for a in bundle.accesses {
         if a.ts >= horizon {
@@ -105,7 +116,10 @@ pub fn assemble(
         users: users
             .user_ids()
             .into_iter()
-            .map(|id| UserProfile { id, archetype: Archetype::Unknown })
+            .map(|id| UserProfile {
+                id,
+                archetype: Archetype::Unknown,
+            })
             .collect(),
         initial_files: ledger.into_values().collect(),
         jobs: bundle.jobs,
@@ -167,14 +181,20 @@ mod tests {
 
         assert!(traces.validate().is_empty(), "{:?}", traces.validate());
         assert_eq!(traces.users.len(), 2); // alice, bob
-        assert!(traces.users.iter().all(|u| u.archetype == Archetype::Unknown));
+        assert!(traces
+            .users
+            .iter()
+            .all(|u| u.archetype == Archetype::Unknown));
 
         // One pre-replay file, atime renewed by the August read.
         assert_eq!(traces.initial_files.len(), 1);
         let seed = &traces.initial_files[0];
         assert_eq!(seed.path, "/scratch/alice/a.dat");
         assert_eq!(seed.size, 1000);
-        assert_eq!(seed.atime, Timestamp::from_days(212) + activedr_core::time::TimeDelta::from_hours(9));
+        assert_eq!(
+            seed.atime,
+            Timestamp::from_days(212) + activedr_core::time::TimeDelta::from_hours(9)
+        );
 
         // Replay keeps only the 2016 window; the 2099 access is dropped.
         assert_eq!(traces.accesses.len(), 2);
@@ -183,11 +203,7 @@ mod tests {
 
         // The bundle drives the engine's inputs: events extract cleanly.
         let registry = activedr_core::event::ActivityTypeRegistry::paper_default();
-        let events = crate::events::activity_events(
-            &traces,
-            &registry,
-            Timestamp::from_days(731),
-        );
+        let events = crate::events::activity_events(&traces, &registry, Timestamp::from_days(731));
         assert_eq!(events.len(), 2 + 2); // 2 jobs + 2 pub author slots
     }
 

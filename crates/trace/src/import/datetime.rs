@@ -30,7 +30,11 @@ pub struct EpochDate {
 
 impl EpochDate {
     /// The paper's trace window starts at 2015-01-01.
-    pub const PAPER: EpochDate = EpochDate { year: 2015, month: 1, day: 1 };
+    pub const PAPER: EpochDate = EpochDate {
+        year: 2015,
+        month: 1,
+        day: 1,
+    };
 
     fn unix_days(self) -> i64 {
         days_from_civil(self.year, self.month, self.day)
@@ -61,7 +65,10 @@ pub fn parse_iso8601(s: &str, epoch: EpochDate) -> Option<Timestamp> {
             Some(v) => v.parse().ok()?,
             None => 0,
         };
-        if hms.next().is_some() || !(0..24).contains(&h) || !(0..60).contains(&m) || !(0..60).contains(&sec)
+        if hms.next().is_some()
+            || !(0..24).contains(&h)
+            || !(0..60).contains(&m)
+            || !(0..60).contains(&sec)
         {
             return None;
         }
@@ -86,14 +93,29 @@ mod tests {
     #[test]
     fn paper_epoch_dates() {
         let e = EpochDate::PAPER;
-        assert_eq!(parse_iso8601("2015-01-01", e), Some(Timestamp::from_days(0)));
-        assert_eq!(parse_iso8601("2015-01-02", e), Some(Timestamp::from_days(1)));
+        assert_eq!(
+            parse_iso8601("2015-01-01", e),
+            Some(Timestamp::from_days(0))
+        );
+        assert_eq!(
+            parse_iso8601("2015-01-02", e),
+            Some(Timestamp::from_days(1))
+        );
         // 2016-01-01 is day 365 (2015 is not a leap year).
-        assert_eq!(parse_iso8601("2016-01-01", e), Some(Timestamp::from_days(365)));
+        assert_eq!(
+            parse_iso8601("2016-01-01", e),
+            Some(Timestamp::from_days(365))
+        );
         // 2016 is a leap year: 2017-01-01 is day 365 + 366.
-        assert_eq!(parse_iso8601("2017-01-01", e), Some(Timestamp::from_days(731)));
+        assert_eq!(
+            parse_iso8601("2017-01-01", e),
+            Some(Timestamp::from_days(731))
+        );
         // Pre-epoch dates go negative (the 2013 job history).
-        assert_eq!(parse_iso8601("2014-12-31", e), Some(Timestamp::from_days(-1)));
+        assert_eq!(
+            parse_iso8601("2014-12-31", e),
+            Some(Timestamp::from_days(-1))
+        );
     }
 
     #[test]
@@ -103,7 +125,10 @@ mod tests {
             parse_iso8601("2015-01-01T01:02:03", e),
             Some(Timestamp(3723))
         );
-        assert_eq!(parse_iso8601("2015-01-01 12:00:00", e), Some(Timestamp(43200)));
+        assert_eq!(
+            parse_iso8601("2015-01-01 12:00:00", e),
+            Some(Timestamp(43200))
+        );
         assert_eq!(parse_iso8601("2015-01-01T12:30", e), Some(Timestamp(45000)));
     }
 
@@ -111,8 +136,17 @@ mod tests {
     fn rejects_garbage() {
         let e = EpochDate::PAPER;
         for bad in [
-            "", "Unknown", "None", "2015", "2015-13-01", "2015-00-10", "2015-01-32",
-            "2015-01-01T25:00:00", "2015-01-01T00:61:00", "2015-1-1-1", "15-01-01T1:2:3:4",
+            "",
+            "Unknown",
+            "None",
+            "2015",
+            "2015-13-01",
+            "2015-00-10",
+            "2015-01-32",
+            "2015-01-01T25:00:00",
+            "2015-01-01T00:61:00",
+            "2015-1-1-1",
+            "15-01-01T1:2:3:4",
         ] {
             assert!(parse_iso8601(bad, e).is_none(), "{bad:?} parsed");
         }

@@ -5,6 +5,11 @@
 //! whose command lines yield file paths — plus login and data-transfer
 //! records to exercise the wider activity spectrum of Table 2.
 
+#![allow(
+    clippy::indexing_slicing,
+    reason = "index sites here are counted and ratcheted by `cargo xtask check` (crates/xtask/panic-baseline.txt)"
+)]
+
 use activedr_core::time::{TimeDelta, Timestamp};
 use activedr_core::user::UserId;
 use serde::{Deserialize, Serialize};
@@ -163,8 +168,7 @@ impl TraceSet {
         if self.replay_start_day > self.horizon_days {
             problems.push("replay_start_day beyond horizon".into());
         }
-        let known: std::collections::HashSet<UserId> =
-            self.users.iter().map(|u| u.id).collect();
+        let known: std::collections::HashSet<UserId> = self.users.iter().map(|u| u.id).collect();
         for j in &self.jobs {
             if j.end_ts < j.start_ts {
                 problems.push(format!("job for {} ends before it starts", j.user));
@@ -223,7 +227,11 @@ mod tests {
         assert_eq!(p.impact_for(UserId(3)), Some(10.0));
         assert_eq!(p.impact_for(UserId(4)), None);
         // Zero citations still yield positive impact.
-        let q = PublicationRecord { ts: Timestamp::EPOCH, citations: 0, authors: vec![UserId(5)] };
+        let q = PublicationRecord {
+            ts: Timestamp::EPOCH,
+            citations: 0,
+            authors: vec![UserId(5)],
+        };
         assert_eq!(q.impact_for(UserId(5)), Some(1.0));
     }
 
@@ -232,7 +240,10 @@ mod tests {
         let mut t = TraceSet {
             horizon_days: 100,
             replay_start_day: 50,
-            users: vec![UserProfile { id: UserId(1), archetype: crate::synth::Archetype::Steady }],
+            users: vec![UserProfile {
+                id: UserId(1),
+                archetype: crate::synth::Archetype::Steady,
+            }],
             jobs: vec![
                 JobRecord {
                     user: UserId(1),

@@ -38,8 +38,7 @@ impl TraceStats {
         users_with_pubs.sort_unstable();
         users_with_pubs.dedup();
 
-        let mut paths: Vec<&str> =
-            traces.accesses.iter().map(|a| a.path.as_str()).collect();
+        let mut paths: Vec<&str> = traces.accesses.iter().map(|a| a.path.as_str()).collect();
         paths.sort_unstable();
         paths.dedup();
 
@@ -78,14 +77,20 @@ impl TraceStats {
         out.push_str(&format!("logins:               {}\n", self.logins));
         out.push_str(&format!("transfers:            {}\n", self.transfers));
         out.push_str(&format!("replay accesses:      {}\n", self.replay_accesses));
-        out.push_str(&format!("distinct paths:       {}\n", self.distinct_replay_paths));
+        out.push_str(&format!(
+            "distinct paths:       {}\n",
+            self.distinct_replay_paths
+        ));
         out.push_str(&format!(
             "initial files:        {} ({:.2} GiB)\n",
             self.initial_files,
             self.initial_bytes as f64 / (1u64 << 30) as f64
         ));
         out.push_str(&format!("users with jobs:      {}\n", self.users_with_jobs));
-        out.push_str(&format!("users with pubs:      {}\n", self.users_with_publications));
+        out.push_str(&format!(
+            "users with pubs:      {}\n",
+            self.users_with_publications
+        ));
         out.push_str("archetypes:\n");
         for (a, n) in &self.archetype_counts {
             out.push_str(&format!("  {:<14} {}\n", a.name(), n));

@@ -297,7 +297,11 @@ mod tests {
         for a in Archetype::ALL {
             let p = a.params();
             assert_eq!(p.departs, a == Archetype::Departed, "{a}");
-            assert_eq!(p.touch_interval_days.is_some(), a == Archetype::Toucher, "{a}");
+            assert_eq!(
+                p.touch_interval_days.is_some(),
+                a == Archetype::Toucher,
+                "{a}"
+            );
         }
     }
 

@@ -6,7 +6,7 @@
 //! of active `[start, end)` day intervals clipped to the horizon and, for
 //! departing users, to their departure day.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the alternating-renewal schedule process.
@@ -109,7 +109,10 @@ mod tests {
             let p = ActivePhases::generate(
                 &mut rng(seed),
                 730,
-                PhaseParams { active_days: (10, 40), gap_days: (30, 120) },
+                PhaseParams {
+                    active_days: (10, 40),
+                    gap_days: (30, 120),
+                },
                 None,
             );
             let mut prev_end = 0.0f64;
@@ -127,7 +130,10 @@ mod tests {
         let p = ActivePhases::generate(
             &mut rng(1),
             730,
-            PhaseParams { active_days: (20, 30), gap_days: (5, 10) },
+            PhaseParams {
+                active_days: (20, 30),
+                gap_days: (5, 10),
+            },
             Some(200.0),
         );
         assert!(p.phases.iter().all(|(_, e)| *e <= 200.0));
@@ -139,7 +145,10 @@ mod tests {
         let p = ActivePhases::generate(
             &mut rng(2),
             730,
-            PhaseParams { active_days: (60, 120), gap_days: (3, 14) },
+            PhaseParams {
+                active_days: (60, 120),
+                gap_days: (3, 14),
+            },
             None,
         );
         assert!(p.active_days() > 500.0, "got {}", p.active_days());
@@ -152,7 +161,10 @@ mod tests {
             let p = ActivePhases::generate(
                 &mut rng(seed),
                 730,
-                PhaseParams { active_days: (3, 10), gap_days: (300, 700) },
+                PhaseParams {
+                    active_days: (3, 10),
+                    gap_days: (300, 700),
+                },
                 None,
             );
             total += p.active_days();
@@ -165,7 +177,10 @@ mod tests {
         let p = ActivePhases::generate(
             &mut rng(3),
             730,
-            PhaseParams { active_days: (100, 100), gap_days: (50, 50) },
+            PhaseParams {
+                active_days: (100, 100),
+                gap_days: (50, 50),
+            },
             None,
         );
         let arrivals = p.poisson_arrivals(&mut rng(4), 0.5);
@@ -187,7 +202,10 @@ mod tests {
         let p = ActivePhases::generate(
             &mut rng(6),
             100,
-            PhaseParams { active_days: (10, 10), gap_days: (20, 20) },
+            PhaseParams {
+                active_days: (10, 10),
+                gap_days: (20, 20),
+            },
             None,
         );
         assert!(p.active_days() > 0.0);

@@ -6,6 +6,11 @@
 //! with clamping, which is enough for retention experiments where only the
 //! *relative* byte mass across users matters.
 
+#![allow(
+    clippy::cast_possible_truncation,
+    reason = "values are bounded far below the narrow type's range at paper scale"
+)]
+
 use rand::Rng;
 use rand_distr::{Distribution, LogNormal};
 use serde::{Deserialize, Serialize};
@@ -39,9 +44,12 @@ impl Default for FileSizeSampler {
 impl FileSizeSampler {
     pub fn sample(&self, rng: &mut impl Rng) -> u64 {
         debug_assert!(self.min <= self.max && self.median >= 1);
-        let dist = LogNormal::new((self.median as f64).ln(), self.sigma)
-            .expect("valid log-normal parameters");
-        (dist.sample(rng) as u64).clamp(self.min, self.max)
+        // Bad parameters degrade to the configured median instead of a panic.
+        let raw = match LogNormal::new((self.median as f64).ln(), self.sigma) {
+            Ok(dist) => dist.sample(rng),
+            Err(_) => self.median as f64,
+        };
+        (raw as u64).clamp(self.min, self.max)
     }
 }
 

@@ -8,10 +8,8 @@ use activedr_trace::{activity_events, generate, SynthConfig};
 fn shares_at(period_days: u32, tc_day: i64, seed: u64) -> [f64; 4] {
     let traces = generate(&SynthConfig::paper_scale(seed));
     let registry = ActivityTypeRegistry::paper_default();
-    let evaluator = ActivenessEvaluator::new(
-        registry.clone(),
-        ActivenessConfig::year_window(period_days),
-    );
+    let evaluator =
+        ActivenessEvaluator::new(registry.clone(), ActivenessConfig::year_window(period_days));
     let tc = Timestamp::from_days(tc_day);
     let events = activity_events(&traces, &registry, tc);
     let table = evaluator.evaluate(tc, &traces.user_ids(), &events);
@@ -41,8 +39,8 @@ fn operation_active_share_grows_with_period_length() {
     let tc_day = 365 + 200;
     let short = shares_at(7, tc_day, 11);
     let long = shares_at(90, tc_day, 11);
-    let active_short = short[Quadrant::BothActive.index()]
-        + short[Quadrant::OperationActiveOnly.index()];
+    let active_short =
+        short[Quadrant::BothActive.index()] + short[Quadrant::OperationActiveOnly.index()];
     let active_long =
         long[Quadrant::BothActive.index()] + long[Quadrant::OperationActiveOnly.index()];
     assert!(

@@ -1,0 +1,17 @@
+//! Fixture for the `determinism` check: wall clocks and ambient-entropy RNGs
+//! break seed-driven replay. This file is test data, never compiled.
+
+fn violations(seed: u64) -> u64 {
+    let t0 = std::time::Instant::now(); //~ determinism
+    let wall = std::time::SystemTime::now(); //~ determinism
+    let byte: u8 = rand::random(); //~ determinism
+    let mut rng = rand::thread_rng(); //~ determinism
+    seed + byte as u64 + t0.elapsed().as_nanos() as u64 + rng.next_u64()
+        + wall.elapsed().map(|d| d.as_secs()).unwrap_or(seed)
+}
+
+fn negatives(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed); // seeded: replayable
+    let d = std::time::Duration::from_secs(1); // durations are just values
+    rng.next_u64() + d.as_secs()
+}

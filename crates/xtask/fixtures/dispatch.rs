@@ -1,0 +1,45 @@
+//! Fixture for the `dispatch` check. The harness monitors `PolicyKind` and
+//! `ActivityClass`; wildcard arms in matches that dispatch on either must be
+//! flagged. This file is test data, never compiled.
+
+enum PolicyKind {
+    Flt,
+    ActiveDr,
+    ScratchCache,
+}
+
+enum Other {
+    A,
+    B,
+}
+
+fn violations(k: PolicyKind, cold: bool) -> u32 {
+    let coarse = match k {
+        PolicyKind::Flt => 1,
+        _ => 0, //~ dispatch
+    };
+    let guarded = match k {
+        PolicyKind::ActiveDr => 2,
+        PolicyKind::Flt => 1,
+        _ if cold => 9, //~ dispatch
+        PolicyKind::ScratchCache => 0,
+    };
+    coarse + guarded
+}
+
+fn negatives(k: PolicyKind, o: Other, n: u32) -> u32 {
+    let exhaustive = match k {
+        PolicyKind::Flt => 1,
+        PolicyKind::ActiveDr => 2,
+        PolicyKind::ScratchCache => 3,
+    };
+    let unmonitored = match o {
+        Other::A => 1,
+        _ => 0,
+    };
+    let plain = match n {
+        0 => 0,
+        _ => 1,
+    };
+    exhaustive + unmonitored + plain
+}

@@ -1,0 +1,16 @@
+//! Fixture for the `float-cmp` check: direct `==`/`!=` on floats belongs in
+//! `core::approx` only. This file is test data, never compiled.
+
+fn violations(x: f64, y: f64) -> bool {
+    let zero = x == 0.0; //~ float-cmp
+    let inf = y != f64::INFINITY; //~ float-cmp
+    let left = 1.5 == x; //~ float-cmp
+    zero || inf || left
+}
+
+fn negatives(x: f64, n: u32) -> bool {
+    let int_eq = n == 0; // integer equality is exact
+    let ordered = x < 1.0; // float ordering is allowed
+    let banded = (x - 1.0).abs() < 1e-9; // tolerance comparison is the idiom
+    int_eq || ordered || banded
+}

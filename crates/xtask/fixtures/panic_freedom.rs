@@ -1,0 +1,38 @@
+//! Fixture for the `panic-freedom` check. Lines tagged with a
+//! `panic-freedom:<category>` marker must be flagged with exactly that
+//! category; untagged lines must stay silent. This file is test data,
+//! never compiled.
+
+fn violations(v: Vec<u32>, o: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = o.unwrap(); //~ panic-freedom:unwrap
+    let b = r.expect("present"); //~ panic-freedom:expect
+    if v.is_empty() {
+        panic!("empty input"); //~ panic-freedom:panic
+    }
+    let c = v[0]; //~ panic-freedom:index
+    match a {
+        0 => unreachable!(), //~ panic-freedom:unreachable
+        1 => todo!(), //~ panic-freedom:todo
+        2 => unimplemented!(), //~ panic-freedom:unimplemented
+        _ => a + b + c,
+    }
+}
+
+fn negatives(v: Vec<u32>, o: Option<u32>) -> u32 {
+    let m = vec![1, 2, 3]; // macro brackets are not index expressions
+    let s = "strings may say .unwrap() or panic! freely";
+    let first = v.first().copied().unwrap_or(0); // unwrap_or is fine
+    let pair: [u32; 2] = [7, 8]; // array type + literal, no base expression
+    o.unwrap_or(first) + pair.len() as u32 + m.len() as u32 + s.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_inside_tests_is_exempt() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+        let v = vec![1, 2];
+        assert_eq!(v[0], 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! The panic-freedom baseline ratchet.
+//!
+//! The seed codebase predates the panic-freedom invariant, so it carries a
+//! known set of `.unwrap()`/indexing sites. Rather than waiving them one by
+//! one, their per-file-per-category counts are checked in here and compared
+//! exactly on every run: a count above its baseline entry is a regression,
+//! a count below it is a *stale* baseline (the ratchet must be tightened
+//! with `cargo xtask check --update-baseline` so the improvement can never
+//! be silently given back). New files start at an implicit baseline of zero.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Location of the ratchet file, relative to the workspace root.
+pub const BASELINE_PATH: &str = "crates/xtask/panic-baseline.txt";
+
+/// Per-file, per-category violation counts. Keys are
+/// `(workspace-relative path with forward slashes, category)`.
+pub type Counts = BTreeMap<(String, String), u32>;
+
+/// One baseline comparison problem, already formatted for display.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineIssue {
+    pub file: String,
+    pub category: String,
+    pub message: String,
+    /// True for count increases (regressions), false for stale entries.
+    pub regression: bool,
+}
+
+/// Parse the checked-in baseline. Lines are `<count> <category> <path>`;
+/// `#` lines and blanks are comments.
+///
+/// # Errors
+/// Returns a message for unreadable or malformed files (a malformed ratchet
+/// must fail the build, not silently allow everything).
+pub fn parse(text: &str) -> Result<Counts, String> {
+    let mut counts = Counts::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, ' ');
+        let (count, category, path) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(c), Some(cat), Some(p)) => (c, cat, p),
+            _ => {
+                return Err(format!(
+                    "baseline line {}: expected `<count> <category> <path>`",
+                    idx + 1
+                ))
+            }
+        };
+        let count: u32 = count
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad count {count:?}", idx + 1))?;
+        counts.insert((path.to_string(), category.to_string()), count);
+    }
+    Ok(counts)
+}
+
+/// Render counts in the baseline file format, stable order, zeros dropped.
+pub fn render(counts: &Counts) -> String {
+    let mut out = String::from(
+        "# panic-freedom baseline: per-file counts of potentially panicking sites\n\
+         # in non-test library code. Maintained by `cargo xtask check --update-baseline`.\n\
+         # The ratchet only goes down: raising a count requires editing this file by\n\
+         # hand in the same change that justifies the new panic site.\n",
+    );
+    for ((path, category), count) in counts {
+        if *count > 0 {
+            out.push_str(&format!("{count} {category} {path}\n"));
+        }
+    }
+    out
+}
+
+/// Compare current counts against the baseline.
+pub fn compare(current: &Counts, baseline: &Counts) -> Vec<BaselineIssue> {
+    let mut issues = Vec::new();
+    for ((path, category), &now) in current {
+        let allowed = baseline
+            .get(&(path.clone(), category.clone()))
+            .copied()
+            .unwrap_or(0);
+        if now > allowed {
+            issues.push(BaselineIssue {
+                file: path.clone(),
+                category: category.clone(),
+                message: format!(
+                    "{now} `{category}` site(s), baseline allows {allowed}; remove the new \
+                     site(s) or justify raising the baseline by hand"
+                ),
+                regression: true,
+            });
+        } else if now < allowed {
+            issues.push(BaselineIssue {
+                file: path.clone(),
+                category: category.clone(),
+                message: format!(
+                    "{now} `{category}` site(s) but baseline still says {allowed}; run \
+                     `cargo xtask check --update-baseline` to lock in the improvement"
+                ),
+                regression: false,
+            });
+        }
+    }
+    for (path, category) in baseline.keys() {
+        if !current.contains_key(&(path.clone(), category.clone())) {
+            issues.push(BaselineIssue {
+                file: path.clone(),
+                category: category.clone(),
+                message: format!(
+                    "baseline entry `{category}` is obsolete (no sites remain); run \
+                     `cargo xtask check --update-baseline`"
+                ),
+                regression: false,
+            });
+        }
+    }
+    issues
+}
+
+/// Load the baseline from `root`, tolerating a missing file (empty baseline).
+///
+/// # Errors
+/// Propagates parse errors; a present-but-broken file must fail loudly.
+pub fn load(root: &Path) -> Result<Counts, String> {
+    let path = root.join(BASELINE_PATH);
+    match std::fs::read_to_string(&path) {
+        Ok(text) => parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Counts::new()),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
+
+/// Write `counts` as the new baseline under `root`.
+///
+/// # Errors
+/// Returns a message when the file cannot be written.
+pub fn store(root: &Path, counts: &Counts) -> Result<(), String> {
+    let path = root.join(BASELINE_PATH);
+    std::fs::write(&path, render(counts))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(entries: &[(&str, &str, u32)]) -> Counts {
+        entries
+            .iter()
+            .map(|(p, c, n)| ((p.to_string(), c.to_string()), *n))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let c = counts(&[
+            ("crates/fs/src/trie.rs", "unwrap", 5),
+            ("crates/sim/src/engine.rs", "index", 2),
+        ]);
+        let parsed = parse(&render(&c)).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn regression_and_stale_are_distinguished() {
+        let base = counts(&[("a.rs", "unwrap", 2), ("b.rs", "index", 1)]);
+        let now = counts(&[("a.rs", "unwrap", 3)]);
+        let issues = compare(&now, &base);
+        assert_eq!(issues.len(), 2);
+        assert!(issues.iter().any(|i| i.regression && i.file == "a.rs"));
+        assert!(issues.iter().any(|i| !i.regression && i.file == "b.rs"));
+    }
+
+    #[test]
+    fn new_file_has_zero_baseline() {
+        let issues = compare(&counts(&[("new.rs", "unwrap", 1)]), &Counts::new());
+        assert_eq!(issues.len(), 1);
+        assert!(issues.first().is_some_and(|i| i.regression));
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(parse("not a baseline").is_err());
+        assert!(parse("x unwrap a.rs").is_err());
+        assert!(parse("# comment\n\n3 unwrap a.rs\n").is_ok());
+    }
+}

@@ -1,0 +1,26 @@
+//! Repo-specific static analysis for the ActiveDR workspace.
+//!
+//! `cargo xtask check` enforces five invariants that rustc and clippy cannot
+//! express because they are about *this* codebase's architecture:
+//!
+//! 1. **panic-freedom** — no `.unwrap()`/`.expect()`/panicking macros/index
+//!    expressions in non-test library code, ratcheted by a checked-in
+//!    baseline ([`baseline`]).
+//! 2. **newtype** — no raw arithmetic on `.0` of the domain newtypes
+//!    (`Timestamp`, `TimeDelta`, `UserId`, `FileId`, …) outside their
+//!    defining modules.
+//! 3. **dispatch** — no `_` wildcard arms in matches over the policy and
+//!    activity enums, so adding a variant forces every dispatch site to be
+//!    revisited.
+//! 4. **float-cmp** — no `==`/`!=` against floats outside `core::approx`.
+//! 5. **determinism** — no wall clocks or ambient-entropy RNGs; replay must
+//!    be reproducible from a seed.
+//!
+//! Individual findings can be waived in place with a
+//! `// xtask-allow: <check> -- <reason>` comment on the same line or the
+//! line above; unused waivers are themselves errors.
+
+pub mod baseline;
+pub mod checks;
+pub mod lexer;
+pub mod runner;

@@ -1,0 +1,97 @@
+//! `cargo xtask` — workspace automation entry point.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::runner::{self, Config};
+
+const USAGE: &str = "\
+Usage: cargo xtask <command>
+
+Commands:
+  check                 run all invariant checks
+    --update-baseline   rewrite the panic-freedom ratchet file
+    --only <names>      comma-separated subset of checks to run
+    --root <dir>        workspace root (default: this repository)
+  help                  show this message
+
+Checks: panic-freedom, newtype, dispatch, float-cmp, determinism
+";
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> crates -> workspace root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("check") => {}
+        Some("help") | Some("--help") | Some("-h") => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        // A bare `cargo xtask` is almost always a typo'd CI line; succeeding
+        // silently would make the invariant gate vacuous.
+        None => {
+            eprint!("missing command\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut cfg = Config {
+        root: workspace_root(),
+        only: None,
+        update_baseline: false,
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--update-baseline" => cfg.update_baseline = true,
+            "--only" => match it.next() {
+                Some(names) => {
+                    cfg.only = Some(names.split(',').map(|s| s.trim().to_string()).collect());
+                }
+                None => {
+                    eprintln!("--only needs a comma-separated list of checks\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--root" => match it.next() {
+                Some(dir) => cfg.root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other:?}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match runner::run(&cfg) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("xtask: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Orchestration: file discovery, check scoping, waivers, reporting.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use crate::baseline::{self, BaselineIssue, Counts};
+use crate::checks::{self, Finding};
+use crate::lexer;
+
+/// Crates whose non-test code must be panic-free (ratcheted) and must keep
+/// newtype discipline. The binaries (`cli`) and the bench harness are
+/// allowed to panic at the edges but still get the other checks.
+const LIB_CRATES: &[&str] = &["core", "fs", "trace", "sim"];
+
+/// Every product crate scanned by the workspace-wide checks. The vendored
+/// dependency stubs under `stubs/` and xtask itself (whose sources literally
+/// spell the needles it greps for) are deliberately out of scope.
+const ALL_CRATES: &[&str] = &["core", "fs", "trace", "sim", "cli", "bench"];
+
+/// Files that define the integer/float newtypes: raw `.0` arithmetic is the
+/// point of these modules, so the newtype check skips them.
+const NEWTYPE_HOMES: &[&str] = &[
+    "crates/core/src/time.rs",
+    "crates/core/src/user.rs",
+    "crates/core/src/files.rs",
+    "crates/core/src/event.rs",
+    "crates/core/src/rank.rs",
+    "crates/fs/src/trie.rs",
+];
+
+/// Enums whose dispatch must stay exhaustive, with their defining file
+/// (inside which wildcard arms are the module author's business).
+const DISPATCH_ENUMS: &[(&str, &str)] = &[
+    ("PolicyKind", "crates/sim/src/engine.rs"),
+    ("ActivityClass", "crates/core/src/event.rs"),
+    ("AccessKind", "crates/trace/src/records.rs"),
+    ("Quadrant", "crates/core/src/classify.rs"),
+];
+
+/// The one module where exact float comparison is allowed (and documented).
+const FLOAT_HOME: &str = "crates/core/src/approx.rs";
+
+/// How to invoke a run.
+#[derive(Debug, Default)]
+pub struct Config {
+    /// Workspace root (the directory holding the top-level Cargo.toml).
+    pub root: PathBuf,
+    /// Restrict to these check names; `None` runs all five.
+    pub only: Option<Vec<String>>,
+    /// Rewrite the panic-freedom baseline instead of comparing against it.
+    pub update_baseline: bool,
+}
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub check: String,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+/// Everything a run produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Hard failures: non-ratcheted check findings, baseline regressions,
+    /// stale baselines/waivers.
+    pub errors: Vec<Violation>,
+    /// Findings silenced by an `xtask-allow` waiver, kept for the summary.
+    pub waived: Vec<Violation>,
+    /// Current panic-freedom counts (after waivers).
+    pub panic_counts: Counts,
+    /// Every ratcheted panic site: `(file, category, line, message)`.
+    pub panic_sites: Vec<(String, String, u32, String)>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Set when `--update-baseline` rewrote the ratchet file.
+    pub baseline_updated: bool,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Human-readable rendering: one `error[...]` block per violation (the
+    /// `file:line` form is what editors and CI annotations pick up), then a
+    /// one-paragraph summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for v in &self.errors {
+            out.push_str(&format!(
+                "error[xtask::{}]: {}\n  --> {}:{}\n",
+                v.check, v.message, v.file, v.line
+            ));
+        }
+        let panic_total: u32 = self.panic_counts.values().sum();
+        out.push_str(&format!(
+            "xtask check: {} files scanned, {} error(s), {} waived finding(s), \
+             {} ratcheted panic site(s)\n",
+            self.files_scanned,
+            self.errors.len(),
+            self.waived.len(),
+            panic_total,
+        ));
+        if self.baseline_updated {
+            out.push_str(&format!(
+                "baseline rewritten: {}\n",
+                baseline::BASELINE_PATH
+            ));
+        }
+        out
+    }
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for stable output.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            out.extend(rust_files(&path));
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn enabled(cfg: &Config, check: &str) -> bool {
+    cfg.only
+        .as_ref()
+        .is_none_or(|names| names.iter().any(|n| n == check))
+}
+
+/// Run the configured checks over the workspace at `cfg.root`.
+///
+/// # Errors
+/// Returns a message for infrastructure problems (unreadable files, broken
+/// baseline, unknown check names) — distinct from check findings, which are
+/// reported in the [`Report`].
+pub fn run(cfg: &Config) -> Result<Report, String> {
+    if let Some(names) = &cfg.only {
+        for n in names {
+            if !checks::CHECK_NAMES.contains(&n.as_str()) {
+                return Err(format!(
+                    "unknown check {n:?}; valid names: {}",
+                    checks::CHECK_NAMES.join(", ")
+                ));
+            }
+        }
+    }
+
+    let mut report = Report::default();
+    let lib_files: BTreeSet<String> = LIB_CRATES
+        .iter()
+        .flat_map(|c| rust_files(&cfg.root.join("crates").join(c).join("src")))
+        .map(|p| rel(&cfg.root, &p))
+        .collect();
+
+    let all_files: Vec<PathBuf> = ALL_CRATES
+        .iter()
+        .flat_map(|c| rust_files(&cfg.root.join("crates").join(c).join("src")))
+        .collect();
+
+    for path in &all_files {
+        let file = rel(&cfg.root, path);
+        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {file}: {e}"))?;
+        let lexed = lexer::lex(&src);
+        let waivers = lexed.waivers;
+        let tokens = lexer::strip_test_regions(lexed.tokens);
+        report.files_scanned += 1;
+
+        // Collect (check, findings) pairs for this file.
+        let mut findings: Vec<(&str, Vec<Finding>)> = Vec::new();
+        let in_lib = lib_files.contains(&file);
+
+        if enabled(cfg, "panic-freedom") && in_lib {
+            findings.push(("panic-freedom", checks::check_panic_freedom(&tokens)));
+        }
+        if enabled(cfg, "newtype") && in_lib && !NEWTYPE_HOMES.contains(&file.as_str()) {
+            findings.push(("newtype", checks::check_newtype(&tokens)));
+        }
+        if enabled(cfg, "dispatch") {
+            let monitored: Vec<&str> = DISPATCH_ENUMS
+                .iter()
+                .filter(|(_, home)| *home != file)
+                .map(|(name, _)| *name)
+                .collect();
+            findings.push(("dispatch", checks::check_dispatch(&tokens, &monitored)));
+        }
+        if enabled(cfg, "float-cmp") && file != FLOAT_HOME {
+            findings.push(("float-cmp", checks::check_float_cmp(&tokens)));
+        }
+        if enabled(cfg, "determinism") {
+            findings.push(("determinism", checks::check_determinism(&tokens)));
+        }
+
+        // Apply waivers: `// xtask-allow: <check>` covers findings on its
+        // own line and the line directly below.
+        let mut used_waivers: BTreeSet<usize> = BTreeSet::new();
+        for (check, list) in findings {
+            for f in list {
+                let waiver = waivers
+                    .iter()
+                    .enumerate()
+                    .find(|(_, (wline, wname))| {
+                        wname == check && (*wline == f.line || wline + 1 == f.line)
+                    })
+                    .map(|(idx, _)| idx);
+                let v = Violation {
+                    check: check.to_string(),
+                    file: file.clone(),
+                    line: f.line,
+                    message: f.message.clone(),
+                };
+                if let Some(idx) = waiver {
+                    used_waivers.insert(idx);
+                    report.waived.push(v);
+                } else if check == "panic-freedom" {
+                    // Ratcheted, not individually fatal: count it, and keep
+                    // the site so baseline regressions can be pinpointed.
+                    *report
+                        .panic_counts
+                        .entry((file.clone(), f.category.to_string()))
+                        .or_insert(0) += 1;
+                    report.panic_sites.push((
+                        file.clone(),
+                        f.category.to_string(),
+                        f.line,
+                        f.message.clone(),
+                    ));
+                } else {
+                    report.errors.push(v);
+                }
+            }
+        }
+
+        // A waiver that matched nothing is itself an error: stale waivers
+        // rot into misleading documentation.
+        for (idx, (wline, wname)) in waivers.iter().enumerate() {
+            let known = checks::CHECK_NAMES.contains(&wname.as_str());
+            // A waiver for a check that was scoped out by `--only` is not
+            // stale — it just was not exercised this run.
+            if known && !enabled(cfg, wname) {
+                continue;
+            }
+            if !used_waivers.contains(&idx) {
+                report.errors.push(Violation {
+                    check: "stale-waiver".to_string(),
+                    file: file.clone(),
+                    line: *wline,
+                    message: if known {
+                        format!("`xtask-allow: {wname}` waives nothing on this or the next line")
+                    } else {
+                        format!(
+                            "unknown check {wname:?} in xtask-allow (valid: {})",
+                            checks::CHECK_NAMES.join(", ")
+                        )
+                    },
+                });
+            }
+        }
+    }
+
+    // Baseline: compare or rewrite.
+    if enabled(cfg, "panic-freedom") {
+        if cfg.update_baseline {
+            baseline::store(&cfg.root, &report.panic_counts)?;
+            report.baseline_updated = true;
+        } else {
+            let base = baseline::load(&cfg.root)?;
+            for BaselineIssue {
+                file,
+                category,
+                message,
+                regression,
+            } in baseline::compare(&report.panic_counts, &base)
+            {
+                // Point regressions at the individual sites so the offender
+                // is one click away.
+                if regression {
+                    for (sfile, _, line, smsg) in report
+                        .panic_sites
+                        .iter()
+                        .filter(|(sfile, scat, _, _)| *sfile == file && *scat == category)
+                    {
+                        report.errors.push(Violation {
+                            check: "panic-freedom".to_string(),
+                            file: sfile.clone(),
+                            line: *line,
+                            message: format!("{smsg} [{message}]"),
+                        });
+                    }
+                } else {
+                    report.errors.push(Violation {
+                        check: "panic-freedom".to_string(),
+                        file,
+                        line: 0,
+                        message,
+                    });
+                }
+            }
+        }
+    }
+
+    report
+        .errors
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_only_name_is_an_error() {
+        let cfg = Config {
+            root: PathBuf::from("."),
+            only: Some(vec!["no-such-check".to_string()]),
+            update_baseline: false,
+        };
+        assert!(run(&cfg).is_err());
+    }
+}

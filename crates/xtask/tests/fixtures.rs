@@ -1,0 +1,104 @@
+//! Fixture-driven tests for the five checks.
+//!
+//! Each file under `fixtures/` annotates every line that must be flagged with
+//! a trailing `//~ <check>` marker (`//~ panic-freedom:<category>` for the
+//! ratcheted check). The harness runs *all* checks over each fixture and
+//! requires the produced findings to equal the markers exactly — so a fixture
+//! both proves its check fires and proves the other four stay silent on it.
+
+#![allow(
+    clippy::cast_possible_truncation,
+    reason = "fixture files are tiny; line numbers fit in u32"
+)]
+
+use std::path::Path;
+
+use xtask::checks;
+use xtask::lexer;
+
+/// Enums the dispatch check monitors when run over fixtures.
+const MONITORED: [&str; 2] = ["PolicyKind", "ActivityClass"];
+
+/// `(line, key)` pairs expected from the `//~` markers, sorted.
+fn expected(src: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let Some(pos) = line.find("//~") else {
+            continue;
+        };
+        let key = line[pos + 3..]
+            .split_whitespace()
+            .next()
+            .unwrap_or_else(|| panic!("fixture line {}: empty //~ marker", idx + 1));
+        out.push((idx as u32 + 1, key.to_string()));
+    }
+    out.sort();
+    out
+}
+
+/// `(line, key)` pairs actually produced by running every check, sorted.
+fn produced(src: &str) -> Vec<(u32, String)> {
+    let lexed = lexer::lex(src);
+    let tokens = lexer::strip_test_regions(lexed.tokens);
+    let mut out = Vec::new();
+    for f in checks::check_panic_freedom(&tokens) {
+        out.push((f.line, format!("panic-freedom:{}", f.category)));
+    }
+    for f in checks::check_newtype(&tokens) {
+        out.push((f.line, "newtype".to_string()));
+    }
+    for f in checks::check_dispatch(&tokens, &MONITORED) {
+        out.push((f.line, "dispatch".to_string()));
+    }
+    for f in checks::check_float_cmp(&tokens) {
+        out.push((f.line, "float-cmp".to_string()));
+    }
+    for f in checks::check_determinism(&tokens) {
+        out.push((f.line, "determinism".to_string()));
+    }
+    out.sort();
+    out
+}
+
+fn assert_fixture(name: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()));
+    let want = expected(&src);
+    assert!(
+        !want.is_empty(),
+        "fixture {name} has no //~ markers — harness would pass vacuously"
+    );
+    let got = produced(&src);
+    assert_eq!(
+        got, want,
+        "fixture {name}: findings (left) do not match //~ markers (right)"
+    );
+}
+
+#[test]
+fn panic_freedom_fixture() {
+    assert_fixture("panic_freedom.rs");
+}
+
+#[test]
+fn newtype_fixture() {
+    assert_fixture("newtype.rs");
+}
+
+#[test]
+fn dispatch_fixture() {
+    assert_fixture("dispatch.rs");
+}
+
+#[test]
+fn float_cmp_fixture() {
+    assert_fixture("float_cmp.rs");
+}
+
+#[test]
+fn determinism_fixture() {
+    assert_fixture("determinism.rs");
+}

@@ -1,0 +1,61 @@
+//! The checker must pass over the tree that ships it: `cargo xtask check`
+//! clean, and the panic-freedom ratchet strictly below its pre-introduction
+//! level (18 `.unwrap()`/`.expect()` sites in non-test library code).
+
+#![allow(
+    clippy::expect_used,
+    reason = "test harness: failing fast with a message is the point"
+)]
+
+use std::path::Path;
+
+use xtask::runner::{run, Config};
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask has a workspace root two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_clean() {
+    let cfg = Config {
+        root: workspace_root(),
+        only: None,
+        update_baseline: false,
+    };
+    let report = run(&cfg).expect("checker runs over the shipped tree");
+    assert!(
+        report.is_clean(),
+        "xtask check found errors on the shipped tree:\n{}",
+        report.render()
+    );
+    assert!(
+        report.files_scanned > 50,
+        "only {} files scanned — crate discovery is broken",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn unwrap_expect_ratchet_is_below_pre_introduction_level() {
+    let cfg = Config {
+        root: workspace_root(),
+        only: Some(vec!["panic-freedom".to_string()]),
+        update_baseline: false,
+    };
+    let report = run(&cfg).expect("checker runs over the shipped tree");
+    let total: u32 = report
+        .panic_counts
+        .iter()
+        .filter(|((_, cat), _)| cat == "unwrap" || cat == "expect")
+        .map(|(_, n)| *n)
+        .sum();
+    assert!(
+        total < 18,
+        "{total} unwrap/expect sites in library code — the ratchet started at 18 \
+         and must only go down"
+    );
+}

@@ -6,6 +6,15 @@
 //! cargo run --release --example admin_workflow
 //! ```
 
+#![allow(
+    clippy::unwrap_used,
+    reason = "example code: unwrap keeps the walkthrough focused on the API"
+)]
+#![allow(
+    clippy::cast_possible_truncation,
+    reason = "example code: unwrap keeps the walkthrough focused on the API"
+)]
+
 use activedr_core::prelude::*;
 use activedr_fs::{ExemptionList, Snapshot, VirtualFs};
 
@@ -125,7 +134,11 @@ fn main() {
     );
 
     // -- a user moves a reserved file: the reservation lapses --------------
-    fs.rename("/scratch/u2/calib/tables.bin", "/scratch/u2/moved/tables.bin").unwrap();
+    fs.rename(
+        "/scratch/u2/calib/tables.bin",
+        "/scratch/u2/moved/tables.bin",
+    )
+    .unwrap();
     println!(
         "\nu2 moved their calibration tables; still exempt? {} (per the §3.4 contract)",
         exemptions.is_exempt("/scratch/u2/moved/tables.bin")

@@ -8,6 +8,11 @@
 //! cargo run --example campaign_interrupted
 //! ```
 
+#![allow(
+    clippy::unwrap_used,
+    reason = "example code: unwrap keeps the walkthrough focused on the API"
+)]
+
 use activedr_core::prelude::*;
 use activedr_fs::{ExemptionList, VirtualFs};
 
@@ -52,8 +57,7 @@ fn main() {
         (12 + 1) as f64, // 12 citations, sole author (Eq. 8)
     )];
     let tc = Timestamp::from_days(100);
-    let evaluator =
-        ActivenessEvaluator::new(registry.clone(), ActivenessConfig::year_window(30));
+    let evaluator = ActivenessEvaluator::new(registry.clone(), ActivenessConfig::year_window(30));
     let users: Vec<UserId> = (0..=50).map(UserId).collect();
     let table = evaluator.evaluate(tc, &users, &events);
     println!(
@@ -74,8 +78,7 @@ fn main() {
         activeness: &table,
         target_bytes: None,
     });
-    let researcher_losses_flt =
-        flt.purged.iter().filter(|p| p.user == researcher).count();
+    let researcher_losses_flt = flt.purged.iter().filter(|p| p.user == researcher).count();
 
     // Under ActiveDR the target is met entirely from the idle accounts.
     let adr = ActiveDrPolicy::new(RetentionConfig::new(90)).run(PurgeRequest {
@@ -84,8 +87,7 @@ fn main() {
         activeness: &table,
         target_bytes: target,
     });
-    let researcher_losses_adr =
-        adr.purged.iter().filter(|p| p.user == researcher).count();
+    let researcher_losses_adr = adr.purged.iter().filter(|p| p.user == researcher).count();
 
     println!("\nretention at day 100 (lifetime 90d):");
     println!(

@@ -5,6 +5,11 @@
 //! cargo run --example exemption_contract
 //! ```
 
+#![allow(
+    clippy::unwrap_used,
+    reason = "example code: unwrap keeps the walkthrough focused on the API"
+)]
+
 use activedr_core::prelude::*;
 use activedr_fs::{ExemptionList, VirtualFs};
 
@@ -12,10 +17,14 @@ fn main() {
     let owner = UserId(7);
     let mut fs = VirtualFs::with_capacity(0);
     let day0 = Timestamp::from_days(0);
-    fs.create("/scratch/u7/keep/reference-genome.fa", owner, 5 << 30, day0).unwrap();
-    fs.create("/scratch/u7/keep/calibration.h5", owner, 1 << 30, day0).unwrap();
-    fs.create("/scratch/u7/tmp/run-output.dat", owner, 3 << 30, day0).unwrap();
-    fs.create("/scratch/u7/project-x/shared.dat", owner, 2 << 30, day0).unwrap();
+    fs.create("/scratch/u7/keep/reference-genome.fa", owner, 5 << 30, day0)
+        .unwrap();
+    fs.create("/scratch/u7/keep/calibration.h5", owner, 1 << 30, day0)
+        .unwrap();
+    fs.create("/scratch/u7/tmp/run-output.dat", owner, 3 << 30, day0)
+        .unwrap();
+    fs.create("/scratch/u7/project-x/shared.dat", owner, 2 << 30, day0)
+        .unwrap();
 
     // The administrator's reservation list: one exact file, one directory.
     let exemptions = ExemptionList::from_lines(
@@ -52,14 +61,23 @@ fn main() {
         println!(
             "  {:<42} {}",
             path,
-            if fs.exists(path) { "retained (reserved)" } else { "purged" }
+            if fs.exists(path) {
+                "retained (reserved)"
+            } else {
+                "purged"
+            }
         );
     }
     println!("  ({} files skipped as exempt)", outcome.exempt_skipped);
 
     // The contract: moving a reserved file cancels the reservation.
-    fs.create("/scratch/u7/keep2/reference-genome.fa", owner, 5 << 30, Timestamp::from_days(366))
-        .unwrap();
+    fs.create(
+        "/scratch/u7/keep2/reference-genome.fa",
+        owner,
+        5 << 30,
+        Timestamp::from_days(366),
+    )
+    .unwrap();
     let renamed = "/scratch/u7/keep2/reference-genome.fa";
     println!(
         "\nrenamed copy {renamed} is exempt? {} — \

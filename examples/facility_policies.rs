@@ -43,7 +43,10 @@ fn main() {
 
     // What each facility's fixed-lifetime preset would purge.
     let empty_table = ActivenessTable::new();
-    println!("{:<8} {:>10} {:>16} {:>16}", "site", "lifetime", "purged files", "purged bytes");
+    println!(
+        "{:<8} {:>10} {:>16} {:>16}",
+        "site", "lifetime", "purged files", "purged bytes"
+    );
     let mut flt90_purged = 0u64;
     for facility in Facility::ALL {
         let outcome = FltPolicy::facility(facility).run(PurgeRequest {
@@ -67,8 +70,7 @@ fn main() {
     // ActiveDR reaching the same byte target as OLCF's FLT-90 — but from
     // the least active users first.
     let registry = ActivityTypeRegistry::paper_default();
-    let evaluator =
-        ActivenessEvaluator::new(registry.clone(), ActivenessConfig::year_window(90));
+    let evaluator = ActivenessEvaluator::new(registry.clone(), ActivenessConfig::year_window(90));
     let events = activity_events(&scenario.traces, &registry, tc);
     let table = evaluator.evaluate(tc, &scenario.traces.user_ids(), &events);
     let outcome = ActiveDrPolicy::new(RetentionConfig::new(90)).run(PurgeRequest {

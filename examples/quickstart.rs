@@ -8,6 +8,11 @@
 //! activity types, feed `(time, impact)` events, classify users, and let
 //! the policy decide which files to purge to reach a byte target.
 
+#![allow(
+    clippy::unwrap_used,
+    reason = "example code: unwrap keeps the walkthrough focused on the API"
+)]
+
 use activedr_core::prelude::*;
 
 fn main() {
@@ -19,8 +24,7 @@ fn main() {
     let publication = registry.lookup("publication").unwrap();
 
     // Weekly periods over a one-year window.
-    let evaluator =
-        ActivenessEvaluator::new(registry.clone(), ActivenessConfig::year_window(7));
+    let evaluator = ActivenessEvaluator::new(registry.clone(), ActivenessConfig::year_window(7));
 
     // -- 2. Activity history ---------------------------------------------
     // alice: computes every week and published recently (both active).
@@ -37,9 +41,19 @@ fn main() {
             2048.0, // core-hours
         ));
     }
-    events.push(ActivityEvent::new(alice, publication, tc - TimeDelta::from_days(30), 42.0));
+    events.push(ActivityEvent::new(
+        alice,
+        publication,
+        tc - TimeDelta::from_days(30),
+        42.0,
+    ));
     for day in [300, 305, 310] {
-        events.push(ActivityEvent::new(bob, job, tc - TimeDelta::from_days(day), 512.0));
+        events.push(ActivityEvent::new(
+            bob,
+            job,
+            tc - TimeDelta::from_days(day),
+            512.0,
+        ));
     }
 
     let table = evaluator.evaluate(tc, &[alice, bob, carol], &events);
@@ -65,11 +79,7 @@ fn main() {
                 UserFiles::new(
                     user,
                     vec![
-                        FileRecord::new(
-                            FileId(i as u64 * 2),
-                            gib,
-                            tc - TimeDelta::from_days(2),
-                        ),
+                        FileRecord::new(FileId(i as u64 * 2), gib, tc - TimeDelta::from_days(2)),
                         FileRecord::new(
                             FileId(i as u64 * 2 + 1),
                             gib,

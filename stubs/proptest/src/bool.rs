@@ -1,0 +1,23 @@
+//! Boolean strategies: `prop::bool::weighted`.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// `true` with probability `p`.
+pub fn weighted(p: f64) -> Weighted {
+    assert!((0.0..=1.0).contains(&p), "probability out of [0, 1]");
+    Weighted { p }
+}
+
+/// See [`weighted`].
+#[derive(Debug, Clone, Copy)]
+pub struct Weighted {
+    p: f64,
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.unit_f64() < self.p
+    }
+}

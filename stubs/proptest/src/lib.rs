@@ -1,0 +1,189 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`,
+//! range/tuple/vec/select/oneof/option/bool strategies, `prop_map`, and
+//! the `TestRunner`/`ValueTree` escape hatch.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs'
+//!   case number; reproduce it by re-running the test (generation is a
+//!   pure function of the test name and case index).
+//! * **Deterministic.** There is no OS entropy; every run of a given
+//!   binary explores the same cases. `.proptest-regressions` files are
+//!   ignored.
+//! * **Regex string strategies** support only the `\PC{lo,hi}` shape the
+//!   workspace uses (arbitrary printable strings with bounded length);
+//!   any other pattern falls back to short alphanumeric strings.
+
+pub mod bool;
+pub mod collection;
+pub mod option;
+pub mod rng;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// `use proptest::prelude::*;` surface.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// The `prop::` module alias used inside `proptest!` bodies.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Deterministic seed for a named test case: FNV-1a over the test path,
+/// mixed with the case index.
+pub fn seed_for(test_path: &str, case: u64) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_path.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The macro behind every property test: runs the body over `cases`
+/// deterministic samples of the argument strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (
+        @impl ($config:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let path = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..u64::from(config.cases) {
+                    let mut rng =
+                        $crate::rng::TestRng::from_seed($crate::seed_for(path, case));
+                    let ($($arg,)+) = (
+                        $($crate::strategy::Strategy::generate(&$strategy, &mut rng),)+
+                    );
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(
+            @impl ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        );
+    };
+}
+
+/// Assert inside a property test. Panics (no shrinking) with the message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Choose uniformly among several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::ValueTree;
+
+    #[test]
+    fn seeds_differ_across_cases_and_names() {
+        assert_ne!(crate::seed_for("a::b", 0), crate::seed_for("a::b", 1));
+        assert_ne!(crate::seed_for("a::b", 0), crate::seed_for("a::c", 0));
+        assert_eq!(crate::seed_for("a::b", 7), crate::seed_for("a::b", 7));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs_generate_in_bounds(
+            x in 10u64..20,
+            f in 0.5f64..2.0,
+            v in prop::collection::vec(0i64..5, 1..10),
+        ) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((0.5..2.0).contains(&f));
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            prop_assert!(v.iter().all(|&i| (0..5).contains(&i)));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            s in prop_oneof![
+                (0u32..5).prop_map(|n| format!("lo{n}")),
+                (100u32..105).prop_map(|n| format!("hi{n}")),
+            ],
+        ) {
+            prop_assert!(s.starts_with("lo") || s.starts_with("hi"));
+        }
+    }
+
+    #[test]
+    fn new_tree_escape_hatch_samples() {
+        let mut runner = crate::test_runner::TestRunner::deterministic();
+        let strategy = prop::collection::vec(0u8..10, 3..=3);
+        let value = strategy.new_tree(&mut runner).expect("samples").current();
+        assert_eq!(value.len(), 3);
+        assert!(value.iter().all(|&b| b < 10));
+    }
+
+    #[test]
+    fn select_weighted_option_cover_their_domains() {
+        let mut rng = crate::rng::TestRng::from_seed(3);
+        let select = prop::sample::select(vec!["a", "b"]);
+        let weighted = prop::bool::weighted(0.5);
+        let opt = prop::option::of(0u32..3);
+        let mut saw = std::collections::HashSet::new();
+        for _ in 0..200 {
+            saw.insert(select.generate(&mut rng).to_string());
+            let _ = weighted.generate(&mut rng);
+            let _ = opt.generate(&mut rng);
+        }
+        assert_eq!(saw.len(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn regex_like_strings_respect_bounds(s in "\\PC{0,30}") {
+            prop_assert!(s.chars().count() <= 30);
+            prop_assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Sampling strategies: `prop::sample::select`.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Uniform choice from a fixed list.
+///
+/// # Panics
+/// Panics if `options` is empty, like upstream proptest.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select from an empty list");
+    Select { options }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.options.len());
+        match self.options.get(pick) {
+            Some(value) => value.clone(),
+            None => unreachable!("below() stays in bounds"),
+        }
+    }
+}

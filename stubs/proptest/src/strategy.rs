@@ -1,0 +1,231 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::rng::TestRng;
+use crate::test_runner::TestRunner;
+
+/// A recipe for generating values of one type. The stub's contract is a
+/// single method — [`Strategy::generate`] — plus combinators built on it.
+pub trait Strategy {
+    /// Type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, map }
+    }
+
+    /// Sample one value through a [`TestRunner`] — the escape hatch the
+    /// real crate exposes for composing strategies imperatively.
+    ///
+    /// # Errors
+    /// Never fails in the stub; the `Result` mirrors the upstream
+    /// signature.
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<Sampled<Self::Value>, String>
+    where
+        Self: Sized,
+    {
+        Ok(Sampled {
+            value: self.generate(runner.rng_mut()),
+        })
+    }
+}
+
+/// A sampled value wrapped in the upstream `ValueTree` shape.
+#[derive(Debug, Clone)]
+pub struct Sampled<V> {
+    value: V,
+}
+
+/// Mirror of `proptest::strategy::ValueTree` (sans shrinking).
+pub trait ValueTree {
+    /// Type of the held value.
+    type Value;
+    /// The current (only) value of this tree.
+    fn current(&self) -> Self::Value;
+}
+
+impl<V: Clone> ValueTree for Sampled<V> {
+    type Value = V;
+    fn current(&self) -> V {
+        self.value.clone()
+    }
+}
+
+/// `prop_map` adaptor.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+/// Box a strategy for heterogeneous storage (used by `prop_oneof!`).
+pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies — `prop_oneof!`'s engine.
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Build from the macro's boxed arms.
+    ///
+    /// # Panics
+    /// Panics if `arms` is empty (the macro guarantees at least one).
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let pick = rng.below(self.arms.len());
+        match self.arms.get(pick) {
+            Some(arm) => arm.generate(rng),
+            None => unreachable!("below() stays in bounds"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = rng.unit_f64() as $t;
+                self.start + (self.end - self.start) * unit
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let unit = rng.unit_f64() as $t;
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+// ---------------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+// ---------------------------------------------------------------------------
+// String strategies (the `\PC{lo,hi}` shape only)
+// ---------------------------------------------------------------------------
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_repeat_bounds(self).unwrap_or((0, 16));
+        let len = if hi > lo {
+            lo + rng.below(hi - lo + 1)
+        } else {
+            lo
+        };
+        (0..len).map(|_| random_printable_char(rng)).collect()
+    }
+}
+
+/// Extract `{lo,hi}` from the tail of a pattern like `\PC{0,30}`.
+fn parse_repeat_bounds(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_suffix('}')?;
+    let brace = body.rfind('{')?;
+    let (lo, hi) = body.get(brace + 1..)?.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+/// A printable (non-control) char, biased toward ASCII with a sprinkle of
+/// multi-byte code points so UTF-8 handling gets exercised.
+fn random_printable_char(rng: &mut TestRng) -> char {
+    const EXOTIC: &[char] = &['é', 'ß', '中', '🦀', '𝒜', '\u{200B}', 'Ω', 'ʼ'];
+    if rng.below(8) == 0 {
+        EXOTIC[rng.below(EXOTIC.len())]
+    } else {
+        // Printable ASCII: 0x20..=0x7E.
+        let offset = rng.below(0x7F - 0x20) as u32;
+        char::from_u32(0x20 + offset).unwrap_or(' ')
+    }
+}

@@ -1,0 +1,47 @@
+//! The imperative sampling surface: `ProptestConfig` and `TestRunner`.
+
+use crate::rng::TestRng;
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 48 cases: far fewer than upstream's 256 (no shrinking means failing
+    /// cases replay instantly, so breadth costs less), still enough to
+    /// exercise size/shape edges.
+    fn default() -> Self {
+        ProptestConfig { cases: 48 }
+    }
+}
+
+/// Sampling context for [`crate::strategy::Strategy::new_tree`].
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// A runner with a fixed, documented seed — mirrors
+    /// `proptest::test_runner::TestRunner::deterministic()`.
+    pub fn deterministic() -> Self {
+        TestRunner {
+            rng: TestRng::from_seed(0x5EED_5EED_5EED_5EED),
+        }
+    }
+
+    /// Access the underlying RNG.
+    pub fn rng_mut(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}

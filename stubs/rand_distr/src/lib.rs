@@ -1,0 +1,115 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Implements only what the workspace samples: the log-normal distribution
+//! used by the Lustre-style file-size synthesizer (`activedr-trace`) and
+//! the stripe-size model (`activedr-fs`). Normal deviates come from the
+//! Box–Muller transform — slower than the real crate's ziggurat but exact
+//! in distribution and fully deterministic given the seeded [`rand`] stub.
+
+use rand::RngCore;
+
+/// Types which can be sampled from, given an RNG. Mirrors
+/// `rand_distr::Distribution`.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Invalid distribution parameters. Mirrors `rand_distr::NormalError`
+/// loosely: one opaque error type for every constructor in this stub.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error {
+    what: &'static str,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Log-normal distribution: `exp(mu + sigma * Z)` with `Z ~ N(0, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Construct from the mean (`mu`) and standard deviation (`sigma`) of
+    /// the underlying normal.
+    ///
+    /// # Errors
+    /// Rejects non-finite `mu` and negative or non-finite `sigma`, like
+    /// upstream `rand_distr`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if !mu.is_finite() {
+            return Err(Error {
+                what: "log-normal mu must be finite",
+            });
+        }
+        if !(sigma >= 0.0 && sigma.is_finite()) {
+            return Err(Error {
+                what: "log-normal sigma must be finite and >= 0",
+            });
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// One standard normal deviate via Box–Muller.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so the log is finite; u2 in [0, 1).
+    let u1 = ((rng.next_u64() >> 11) as f64 + 1.0) * (1.0 / (1u64 << 53) as f64);
+    let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::INFINITY).is_err());
+        assert!(LogNormal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn median_is_roughly_exp_mu() {
+        let dist = LogNormal::new(3.0, 0.8).expect("valid parameters");
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut samples: Vec<f64> = (0..4001).map(|_| dist.sample(&mut rng)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[2000];
+        let expected = 3.0f64.exp();
+        assert!(
+            (median / expected).ln().abs() < 0.15,
+            "median {median} too far from {expected}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let dist = LogNormal::new(1.0, 0.5).expect("valid parameters");
+        let a: Vec<f64> = (0..10)
+            .map(|_| dist.sample(&mut StdRng::seed_from_u64(9)))
+            .collect();
+        let b: Vec<f64> = (0..10)
+            .map(|_| dist.sample(&mut StdRng::seed_from_u64(9)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,100 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment for this repository is hermetic: no crates can be
+//! fetched from a registry. This crate provides the *subset* of rayon's API
+//! that the workspace uses (`into_par_iter`, `par_chunks`) with sequential
+//! fallbacks built on `std::iter`. Parallel call sites keep their shape, so
+//! swapping the real rayon back in is a one-line `Cargo.toml` change.
+//!
+//! Correctness note: every algorithm in this workspace that fans out via
+//! rayon is required to be deterministic and order-insensitive (shard
+//! results are merged by shard index), so a sequential execution is
+//! observationally equivalent apart from wall-clock time.
+
+/// The traits a `use rayon::prelude::*;` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelSlice};
+}
+
+/// Sequential re-implementations of the parallel iterator entry points.
+pub mod iter {
+    /// Mirror of `rayon::iter::IntoParallelIterator`: converts a collection
+    /// into a (here: sequential) iterator. All downstream adaptors
+    /// (`map`, `zip`, `enumerate`, `collect`, ...) are the plain
+    /// [`std::iter::Iterator`] ones.
+    pub trait IntoParallelIterator {
+        /// Item type produced by the iterator.
+        type Item;
+        /// Concrete iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Convert `self` into the "parallel" iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = std::ops::Range<usize>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    /// Mirror of `rayon::slice::ParallelSlice`: chunked traversal of a
+    /// slice. Sequential here.
+    pub trait ParallelSlice<T: Sync> {
+        /// Split into chunks of at most `chunk_size` items.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn into_par_iter_matches_sequential() {
+        let v = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let zipped: Vec<(u64, u64)> = v.clone().into_par_iter().zip(v.into_par_iter()).collect();
+        assert_eq!(zipped.len(), 4);
+    }
+
+    #[test]
+    fn par_chunks_covers_all_elements() {
+        let v: Vec<u32> = (0..10).collect();
+        let chunks: Vec<&[u32]> = v.par_chunks(3).collect();
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks.iter().map(|c| c.len()).sum::<usize>(), 10);
+    }
+}

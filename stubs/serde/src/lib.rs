@@ -1,0 +1,509 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real serde is a zero-copy visitor framework; this stub collapses the
+//! data model to an owned tree ([`value::Value`]) because every serialization
+//! in this workspace is "struct → JSON text" or back, where the intermediate
+//! tree costs one allocation pass and removes an enormous amount of trait
+//! machinery that cannot be compiled offline. The public surface — the
+//! `Serialize`/`Deserialize` traits, `#[derive(Serialize, Deserialize)]`,
+//! `#[serde(transparent)]` — matches what the workspace uses, and the JSON
+//! conventions (externally tagged enums, transparent newtypes, integer map
+//! keys as strings, non-finite floats as null) follow upstream
+//! serde_json so recorded fixtures stay valid if the real crates return.
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;
+
+/// Serialization: convert `self` into the tree model.
+pub trait Serialize {
+    /// Build the [`Value`] tree for `self`.
+    fn to_model(&self) -> Value;
+}
+
+/// Deserialization: rebuild `Self` from the tree model.
+pub trait Deserialize: Sized {
+    /// Parse a [`Value`] tree into `Self`.
+    ///
+    /// # Errors
+    /// Returns [`DeError`] when the tree's shape or types do not match.
+    fn from_model(v: &Value) -> Result<Self, DeError>;
+
+    /// Value to use when a struct field of this type is absent. The
+    /// default is an error; `Option<T>` overrides it to `None`.
+    ///
+    /// # Errors
+    /// Returns [`DeError::MissingField`] unless overridden.
+    fn from_missing(field: &'static str) -> Result<Self, DeError> {
+        Err(DeError::MissingField(field))
+    }
+}
+
+/// Why a [`Deserialize`] call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeError {
+    /// The tree node had the wrong variant (e.g. string where number
+    /// expected). Payload: `(expected, found)`.
+    TypeMismatch(&'static str, &'static str),
+    /// A required struct field was absent from the map.
+    MissingField(&'static str),
+    /// An enum tag did not name any variant. Payload: `(enum, tag)`.
+    UnknownVariant(&'static str, String),
+    /// Anything else (bad numeric range, bad map key, bad length...).
+    Message(String),
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeError::TypeMismatch(expected, found) => {
+                write!(f, "invalid type: expected {expected}, found {found}")
+            }
+            DeError::MissingField(name) => write!(f, "missing field `{name}`"),
+            DeError::UnknownVariant(what, tag) => {
+                write!(f, "unknown variant `{tag}` for enum {what}")
+            }
+            DeError::Message(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for DeError {}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_model(&self) -> Value {
+                Value::Int(i64::from(*self))
+            }
+        }
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64);
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_model(&self) -> Value {
+                Value::UInt(u64::from(*self))
+            }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_model(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl Serialize for isize {
+    fn to_model(&self) -> Value {
+        Value::Int(*self as i64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_model(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_model(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_model(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_model(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_model(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_model(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_model(&self) -> Value {
+        (**self).to_model()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_model(&self) -> Value {
+        (**self).to_model()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_model(&self) -> Value {
+        match self {
+            Some(v) => v.to_model(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_model(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_model).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_model(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_model).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_model(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_model).collect())
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_model(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_model()),+])
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+}
+
+impl Serialize for std::time::Duration {
+    fn to_model(&self) -> Value {
+        Value::Map(vec![
+            ("secs".to_string(), Value::UInt(self.as_secs())),
+            (
+                "nanos".to_string(),
+                Value::UInt(u64::from(self.subsec_nanos())),
+            ),
+        ])
+    }
+}
+
+/// Render a serialized map key the way serde_json prints it: strings pass
+/// through, integer-like keys (including transparent newtypes over integers)
+/// become their decimal text.
+fn render_key(key: &Value) -> String {
+    match key {
+        Value::Str(s) => s.clone(),
+        Value::Int(i) => i.to_string(),
+        Value::UInt(u) => u.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => format!("<unsupported {} map key>", other.kind()),
+    }
+}
+
+/// Parse a JSON object key back into a key type: try the string form first,
+/// then the integer forms (covers integer keys and transparent newtypes over
+/// integers), then booleans.
+fn parse_key<K: Deserialize>(s: &str) -> Result<K, DeError> {
+    if let Ok(key) = K::from_model(&Value::Str(s.to_string())) {
+        return Ok(key);
+    }
+    if let Ok(unsigned) = s.parse::<u64>() {
+        if let Ok(key) = K::from_model(&Value::UInt(unsigned)) {
+            return Ok(key);
+        }
+    }
+    if let Ok(signed) = s.parse::<i64>() {
+        if let Ok(key) = K::from_model(&Value::Int(signed)) {
+            return Ok(key);
+        }
+    }
+    if let Ok(flag) = s.parse::<bool>() {
+        if let Ok(key) = K::from_model(&Value::Bool(flag)) {
+            return Ok(key);
+        }
+    }
+    Err(DeError::Message(format!("unparseable map key: {s:?}")))
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_model(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (render_key(&k.to_model()), v.to_model()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_model(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (render_key(&k.to_model()), v.to_model()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Value {
+    fn to_model(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_model(v: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match v {
+                    Value::Int(i) => i128::from(*i),
+                    Value::UInt(u) => i128::from(*u),
+                    Value::Float(f) if f.fract() == 0.0 => *f as i128,
+                    other => {
+                        return Err(DeError::TypeMismatch("integer", other.kind()))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    DeError::Message(format!(
+                        "integer {wide} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+deserialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_float {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_model(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    other => Err(DeError::TypeMismatch("float", other.kind())),
+                }
+            }
+        }
+    )*};
+}
+deserialize_float!(f32, f64);
+
+impl Deserialize for bool {
+    fn from_model(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::TypeMismatch("bool", other.kind())),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_model(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::TypeMismatch("string", other.kind())),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_model(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap_or('\0')),
+            other => Err(DeError::TypeMismatch("single-char string", other.kind())),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_model(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_model(other).map(Some),
+        }
+    }
+    fn from_missing(_field: &'static str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_model(v: &Value) -> Result<Self, DeError> {
+        T::from_model(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_model(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_model).collect(),
+            other => Err(DeError::TypeMismatch("array", other.kind())),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_model(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_model(v)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::Message(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal; $($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_model(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Seq(items) if items.len() == $len => Ok((
+                        $($name::from_model(&items[$idx])?,)+
+                    )),
+                    Value::Seq(items) => Err(DeError::Message(format!(
+                        "expected tuple of length {}, found {}",
+                        $len,
+                        items.len()
+                    ))),
+                    other => Err(DeError::TypeMismatch("tuple array", other.kind())),
+                }
+            }
+        }
+    )*};
+}
+deserialize_tuple! {
+    (1; A 0)
+    (2; A 0, B 1)
+    (3; A 0, B 1, C 2)
+    (4; A 0, B 1, C 2, D 3)
+    (5; A 0, B 1, C 2, D 3, E 4)
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_model(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(fields) => {
+                let secs: u64 = field(fields, "secs")?;
+                let nanos: u64 = field(fields, "nanos")?;
+                let nanos = u32::try_from(nanos)
+                    .map_err(|_| DeError::Message(format!("nanos {nanos} out of range")))?;
+                Ok(std::time::Duration::new(secs, nanos))
+            }
+            other => Err(DeError::TypeMismatch("duration map", other.kind())),
+        }
+    }
+}
+
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_model(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((parse_key(k)?, V::from_model(v)?)))
+                .collect(),
+            other => Err(DeError::TypeMismatch("object", other.kind())),
+        }
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_model(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((parse_key(k)?, V::from_model(v)?)))
+                .collect(),
+            other => Err(DeError::TypeMismatch("object", other.kind())),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_model(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the derive-generated code
+// ---------------------------------------------------------------------------
+
+/// Look up and deserialize struct field `name` in a field map, falling back
+/// to [`Deserialize::from_missing`] when absent.
+///
+/// # Errors
+/// Propagates the field's [`DeError`].
+pub fn field<T: Deserialize>(fields: &[(String, Value)], name: &'static str) -> Result<T, DeError> {
+    match fields.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_model(v),
+        None => T::from_missing(name),
+    }
+}
+
+/// Index into a serialized tuple body, with a shape error on overrun.
+///
+/// # Errors
+/// Returns [`DeError`] when `items` is shorter than `idx + 1`.
+pub fn seq_item<'v>(
+    items: &'v [Value],
+    idx: usize,
+    what: &'static str,
+) -> Result<&'v Value, DeError> {
+    items
+        .get(idx)
+        .ok_or_else(|| DeError::Message(format!("tuple for {what} too short: missing index {idx}")))
+}
+
+/// Interpret `v` as a struct body (a map of fields).
+///
+/// # Errors
+/// Returns [`DeError::TypeMismatch`] for non-map values.
+pub fn struct_body<'v>(
+    v: &'v Value,
+    type_name: &'static str,
+) -> Result<&'v [(String, Value)], DeError> {
+    match v {
+        Value::Map(fields) => Ok(fields),
+        other => Err(DeError::Message(format!(
+            "expected struct {type_name} as object, found {}",
+            other.kind()
+        ))),
+    }
+}

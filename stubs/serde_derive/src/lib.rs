@@ -1,0 +1,298 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crate parses items with `syn` and emits visitor plumbing with
+//! `quote`; neither is available in this hermetic build, so this macro walks
+//! the raw [`proc_macro::TokenStream`] by hand and emits source as strings.
+//! It supports exactly the item shapes this workspace derives on:
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums with unit, tuple, and struct variants (externally tagged);
+//! * the `#[serde(transparent)]` attribute;
+//! * no generic parameters (the workspace derives only on concrete types).
+//!
+//! JSON conventions mirror upstream serde: newtype structs serialize as
+//! their payload, unit variants as strings, data variants as single-key
+//! maps.
+
+use proc_macro::TokenStream;
+
+mod parse;
+
+use parse::{Input, Kind, Shape};
+
+/// Derive the stub `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse::parse(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    render(&serialize_impl(&item))
+}
+
+/// Derive the stub `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse::parse(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    render(&deserialize_impl(&item))
+}
+
+fn render(src: &str) -> TokenStream {
+    src.parse()
+        .unwrap_or_else(|e| compile_error(&format!("serde_derive stub produced invalid Rust: {e}")))
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", format!("serde_derive stub: {msg}"))
+        .parse()
+        .unwrap_or_else(|_| TokenStream::new())
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn serialize_impl(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_model(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_model(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Kind::NamedStruct(fields) if item.transparent && fields.len() == 1 => {
+            format!("::serde::Serialize::to_model(&self.{})", fields[0])
+        }
+        Kind::NamedStruct(fields) => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_model(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", pushes.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\
+                             ::std::string::String::from({vn:?})),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from({vn:?}), \
+                             ::serde::Serialize::to_model(f0))]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_model(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => \
+                                 ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from({vn:?}), \
+                                 ::serde::Value::Seq(::std::vec![{items}]))]),",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_model({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => \
+                                 ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from({vn:?}), \
+                                 ::serde::Value::Map(::std::vec![{pairs}]))]),",
+                                pairs = pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_model(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+fn deserialize_impl(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => format!(
+            "match v {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 other => ::std::result::Result::Err(\
+                     ::serde::DeError::TypeMismatch(\"null\", other.kind())),\n\
+             }}"
+        ),
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_model(v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_model(\
+                         ::serde::seq_item(items, {i}, {name:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Seq(items) => ::std::result::Result::Ok(\
+                         {name}({items})),\n\
+                     other => ::std::result::Result::Err(\
+                         ::serde::DeError::TypeMismatch(\"array\", other.kind())),\n\
+                 }}",
+                items = items.join(", ")
+            )
+        }
+        Kind::NamedStruct(fields) if item.transparent && fields.len() == 1 => {
+            format!(
+                "::std::result::Result::Ok({name} {{ {field}: \
+                 ::serde::Deserialize::from_model(v)? }})",
+                field = fields[0]
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(fields__, {f:?})?"))
+                .collect();
+            format!(
+                "let fields__ = ::serde::struct_body(v, {name:?})?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    let path = format!("{name}::{vn}");
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(1) => Some(format!(
+                            "{vn:?} => ::std::result::Result::Ok({path}(\
+                             ::serde::Deserialize::from_model(_payload)?)),"
+                        )),
+                        Shape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_model(\
+                                         ::serde::seq_item(items, {i}, {path:?})?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => match _payload {{\n\
+                                     ::serde::Value::Seq(items) => \
+                                         ::std::result::Result::Ok({path}({items})),\n\
+                                     other => ::std::result::Result::Err(\
+                                         ::serde::DeError::TypeMismatch(\
+                                         \"array\", other.kind())),\n\
+                                 }},",
+                                items = items.join(", ")
+                            ))
+                        }
+                        Shape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::field(fields__, {f:?})?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                     let fields__ = \
+                                         ::serde::struct_body(_payload, {path:?})?;\n\
+                                     ::std::result::Result::Ok({path} {{ {} }})\n\
+                                 }},",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(\
+                             ::serde::DeError::UnknownVariant(\
+                             {name:?}, other.to_string())),\n\
+                     }},\n\
+                     ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                         let (tag, _payload) = match entries.first() {{\n\
+                             ::std::option::Option::Some(entry) => \
+                                 (&entry.0, &entry.1),\n\
+                             ::std::option::Option::None => ::std::unreachable!(),\n\
+                         }};\n\
+                         match tag.as_str() {{\n\
+                             {data_arms}\n\
+                             other => ::std::result::Result::Err(\
+                                 ::serde::DeError::UnknownVariant(\
+                                 {name:?}, other.to_string())),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(\
+                         ::serde::DeError::TypeMismatch(\
+                         \"enum tag\", other.kind())),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                data_arms = data_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_model(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,242 @@
+//! Minimal item parser: walks the derive input token stream and extracts the
+//! type name, the `#[serde(transparent)]` flag, and the field/variant
+//! layout. Types are skipped, not parsed — the generated code never needs
+//! them (field types are inferred at the construction site).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed derive input.
+pub struct Input {
+    /// Type name.
+    pub name: String,
+    /// `#[serde(transparent)]` present on the item.
+    pub transparent: bool,
+    /// Item layout.
+    pub kind: Kind,
+}
+
+/// Layout of the derived item.
+pub enum Kind {
+    /// `struct S { a: A, b: B }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct S(A, B);` — field count.
+    TupleStruct(usize),
+    /// `struct S;`
+    UnitStruct,
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+/// One enum variant.
+pub struct Variant {
+    /// Variant name.
+    pub name: String,
+    /// Variant payload shape.
+    pub shape: Shape,
+}
+
+/// Payload shape of an enum variant.
+pub enum Shape {
+    /// `V`
+    Unit,
+    /// `V(A, B)` — field count.
+    Tuple(usize),
+    /// `V { a: A }` — field names.
+    Named(Vec<String>),
+}
+
+/// Parse a derive input stream.
+pub fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let transparent = skip_attrs_checking_transparent(&tokens, &mut pos)?;
+    skip_visibility(&tokens, &mut pos);
+
+    let item_kw = expect_any_ident(&tokens, &mut pos)?;
+    if item_kw != "struct" && item_kw != "enum" {
+        return Err(format!("expected `struct` or `enum`, found `{item_kw}`"));
+    }
+    let name = expect_any_ident(&tokens, &mut pos)?;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "generic type `{name}` is not supported by the serde_derive stub"
+        ));
+    }
+
+    let kind = if item_kw == "struct" {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => {
+                return Err(format!("unsupported struct body: {other:?}"));
+            }
+        }
+    } else {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unsupported enum body: {other:?}")),
+        }
+    };
+
+    Ok(Input {
+        name,
+        transparent,
+        kind,
+    })
+}
+
+/// Skip leading attributes; report whether any was `#[serde(transparent)]`.
+fn skip_attrs_checking_transparent(tokens: &[TokenTree], pos: &mut usize) -> Result<bool, String> {
+    let mut transparent = false;
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1;
+        match tokens.get(*pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                if attr_is_serde_transparent(g.stream()) {
+                    transparent = true;
+                }
+                *pos += 1;
+            }
+            other => return Err(format!("malformed attribute: {other:?}")),
+        }
+    }
+    Ok(transparent)
+}
+
+fn attr_is_serde_transparent(attr: TokenStream) -> bool {
+    let mut tokens = attr.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "transparent")),
+        _ => false,
+    }
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(
+            tokens.get(*pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_any_ident(tokens: &[TokenTree], pos: &mut usize) -> Result<String, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            Ok(i.to_string())
+        }
+        other => Err(format!("expected identifier, found {other:?}")),
+    }
+}
+
+/// Skip a type (or discriminant expression) up to a top-level `,`. Only
+/// `<`/`>` need depth tracking — grouped delimiters arrive pre-matched.
+fn skip_to_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth: i32 = 0;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                ',' if angle_depth == 0 => return,
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Field names of a named-field body (struct or struct variant).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_checking_transparent(&tokens, &mut pos)?;
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let field = expect_any_ident(&tokens, &mut pos)?;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected `:` after field `{field}`: {other:?}")),
+        }
+        skip_to_comma(&tokens, &mut pos);
+        pos += 1; // consume the comma (or run off the end)
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a tuple body `(A, B, ...)`.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        skip_to_comma(&tokens, &mut pos);
+        pos += 1;
+        count += 1;
+    }
+    count
+}
+
+/// Variants of an enum body.
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_checking_transparent(&tokens, &mut pos)?;
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_any_ident(&tokens, &mut pos)?;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant, then the trailing comma.
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            skip_to_comma(&tokens, &mut pos);
+        }
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            None => {}
+            other => return Err(format!("expected `,` after variant `{name}`: {other:?}")),
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}

@@ -1,0 +1,199 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Text layer over the [`serde`] stub's tree model: a recursive-descent
+//! JSON parser and a compact/pretty printer. Output conventions follow
+//! upstream serde_json — two-space pretty indent, `null` for non-finite
+//! floats, shortest-round-trip float text with a trailing `.0` for
+//! integral values.
+
+use serde::{DeError, Deserialize, Serialize};
+
+pub use serde::Value;
+
+mod de;
+mod ser;
+
+/// Serialization or deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serialize `value` to a compact JSON string.
+///
+/// # Errors
+/// Infallible for tree-model values; kept fallible to match serde_json.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(ser::compact(&value.to_model()))
+}
+
+/// Serialize `value` to a pretty-printed JSON string (2-space indent).
+///
+/// # Errors
+/// Infallible for tree-model values; kept fallible to match serde_json.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(ser::pretty(&value.to_model()))
+}
+
+/// Serialize `value` to a JSON byte vector.
+///
+/// # Errors
+/// Infallible for tree-model values; kept fallible to match serde_json.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serialize `value` into `writer` as compact JSON.
+///
+/// # Errors
+/// Returns an [`Error`] when the underlying writer fails.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    writer
+        .write_all(ser::compact(&value.to_model()).as_bytes())
+        .map_err(|e| Error::new(format!("write failed: {e}")))
+}
+
+/// Convert any serializable value into a tree [`Value`].
+///
+/// # Errors
+/// Infallible for tree-model values; kept fallible to match serde_json.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_model())
+}
+
+/// Rebuild a `T` from a tree [`Value`].
+///
+/// # Errors
+/// Returns an [`Error`] when the tree does not match `T`'s shape.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_model(value)?)
+}
+
+/// Parse JSON text into a `T`.
+///
+/// # Errors
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let value = de::parse(input)?;
+    Ok(T::from_model(&value)?)
+}
+
+/// Parse JSON bytes into a `T`.
+///
+/// # Errors
+/// Returns an [`Error`] on invalid UTF-8, malformed JSON, or a shape
+/// mismatch.
+pub fn from_slice<T: Deserialize>(input: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(input)
+        .map_err(|e| Error::new(format!("invalid UTF-8 in JSON input: {e}")))?;
+    from_str(text)
+}
+
+/// Read all of `reader` and parse it as JSON into a `T`.
+///
+/// # Errors
+/// Returns an [`Error`] on I/O failure, malformed JSON, or a shape
+/// mismatch.
+pub fn from_reader<R: std::io::Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut buf = Vec::new();
+    reader
+        .read_to_end(&mut buf)
+        .map_err(|e| Error::new(format!("read failed: {e}")))?;
+    from_slice(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_string(&42u64).expect("serializes"), "42");
+        assert_eq!(to_string(&-7i64).expect("serializes"), "-7");
+        assert_eq!(to_string(&true).expect("serializes"), "true");
+        assert_eq!(to_string(&1.5f64).expect("serializes"), "1.5");
+        assert_eq!(to_string(&1.0f64).expect("serializes"), "1.0");
+        assert_eq!(
+            to_string("hi\n\"there\"").expect("serializes"),
+            r#""hi\n\"there\"""#
+        );
+        assert_eq!(from_str::<u64>("42").expect("parses"), 42);
+        assert_eq!(from_str::<f64>("1.0").expect("parses"), 1.0);
+        assert_eq!(from_str::<String>(r#""aAb""#).expect("parses"), "aAb");
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u64, 2, 3];
+        let json = to_string(&v).expect("serializes");
+        assert_eq!(json, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u64>>(&json).expect("parses"), v);
+
+        let pairs: Vec<(String, f64)> = vec![("a".into(), 0.5), ("b".into(), 2.0)];
+        let json = to_string(&pairs).expect("serializes");
+        let back: Vec<(String, f64)> = from_str(&json).expect("parses");
+        assert_eq!(back, pairs);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN).expect("serializes"), "null");
+        assert_eq!(to_string(&f64::INFINITY).expect("serializes"), "null");
+        assert!(from_str::<f64>("null").is_err());
+        assert_eq!(from_str::<Option<f64>>("null").expect("parses"), None);
+    }
+
+    #[test]
+    fn value_get_walks_objects() {
+        let value: Value = from_str(r#"{"rows": [1, 2], "n": 2}"#).expect("parses");
+        assert!(value.get("rows").is_some());
+        assert!(value.get("missing").is_none());
+        assert_eq!(value.get("n").and_then(Value::as_u64), Some(2));
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let value: Value = from_str(r#"{"a":[1,2],"b":{}}"#).expect("parses");
+        let pretty = to_string_pretty(&value).expect("serializes");
+        assert_eq!(pretty, "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": {}\n}");
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_slice::<Value>(&[0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let deep = "[".repeat(50_000) + &"]".repeat(50_000);
+        assert!(from_str::<Value>(&deep).is_err());
+    }
+}

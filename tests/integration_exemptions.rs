@@ -13,8 +13,12 @@ fn reserved_paths_survive_every_policy() {
 
     // Pick reserved files from the *initial snapshot survivors* so they
     // exist when the replay starts.
-    let survivors: Vec<String> =
-        scenario.initial_fs.iter().map(|(p, _, _)| p).take(5).collect();
+    let survivors: Vec<String> = scenario
+        .initial_fs
+        .iter()
+        .map(|(p, _, _)| p)
+        .take(5)
+        .collect();
     assert!(!survivors.is_empty());
     let reserved_dir_owner = scenario
         .initial_fs
@@ -38,12 +42,7 @@ fn reserved_paths_survive_every_policy() {
     ] {
         let config = config.with_exemptions(exemptions.clone());
         let policy = config.policy.name();
-        let (result, fs) = run_until(
-            &scenario.traces,
-            scenario.initial_fs.clone(),
-            &config,
-            None,
-        );
+        let (result, fs) = run_until(&scenario.traces, scenario.initial_fs.clone(), &config, None);
         for p in &survivors {
             assert!(fs.exists(p), "{policy}: reserved file {p} was purged");
         }
@@ -54,7 +53,10 @@ fn reserved_paths_survive_every_policy() {
             .map(|(p, _, _)| p)
             .collect();
         for p in &initial_under {
-            assert!(fs.exists(p), "{policy}: file {p} under reserved dir was purged");
+            assert!(
+                fs.exists(p),
+                "{policy}: file {p} under reserved dir was purged"
+            );
         }
         // And the scan actually encountered exempt files (the contract was
         // exercised, not vacuously true) whenever this policy purged at all.
@@ -77,12 +79,7 @@ fn blanket_reservation_disables_purging() {
     for config in [SimConfig::flt(7), SimConfig::activedr(7)] {
         let config = config.with_exemptions(exemptions.clone());
         let policy = config.policy.name();
-        let (result, _) = run_until(
-            &scenario.traces,
-            scenario.initial_fs.clone(),
-            &config,
-            None,
-        );
+        let (result, _) = run_until(&scenario.traces, scenario.initial_fs.clone(), &config, None);
         let purged: u64 = result.retentions.iter().map(|r| r.purged_bytes).sum();
         assert_eq!(purged, 0, "{policy}: purged despite blanket reservation");
         // With nothing purged there is nothing to re-stage.

@@ -17,7 +17,11 @@ fn fig1_flt_misses_are_substantial() {
     let data = Fig1Data::compute(&scenario());
     // The paper's motivation: FLT interrupts users on a substantial number
     // of days across the year.
-    assert!(data.days_over_1pct > 10, "only {} days over 1%", data.days_over_1pct);
+    assert!(
+        data.days_over_1pct > 10,
+        "only {} days over 1%",
+        data.days_over_1pct
+    );
     assert!(data.total_misses > 0);
 }
 
@@ -49,11 +53,12 @@ fn fig6_fig7_fig8_share_one_pair_and_follow_the_paper() {
     // (the paper's "uprising trend"), and ActiveDR totals stay at or
     // below FLT overall.
     let fig7 = Fig7Data::from_pair(&pair, scenario.traces.replay_start_day as i64);
-    let total = |series: &[Vec<u64>; 4]| -> u64 {
-        (0..4).map(|q| *series[q].last().unwrap()).sum()
-    };
+    let total =
+        |series: &[Vec<u64>; 4]| -> u64 { (0..4).map(|q| *series[q].last().unwrap()).sum() };
     assert!(total(&fig7.adr_cumulative) <= total(&fig7.flt_cumulative));
-    let first_quarter: u64 = (0..4).map(|q| fig7.flt_cumulative[q][fig7.days.len() / 4]).sum();
+    let first_quarter: u64 = (0..4)
+        .map(|q| fig7.flt_cumulative[q][fig7.days.len() / 4])
+        .sum();
     let last: u64 = total(&fig7.flt_cumulative);
     assert!(last >= first_quarter, "misses should accumulate");
 
@@ -125,7 +130,10 @@ fn fig12_reports_fast_evaluation() {
         data.eval_micros
     );
     assert!(data.files_decided > 0);
-    assert_eq!(data.shard_scan_micros.len(), data.shards.min(data.shard_scan_micros.len()));
+    assert_eq!(
+        data.shard_scan_micros.len(),
+        data.shards.min(data.shard_scan_micros.len())
+    );
 }
 
 #[test]

@@ -4,9 +4,7 @@
 use activedr_core::prelude::*;
 use activedr_fs::{ExemptionList, Snapshot, SnapshotEntry, VirtualFs};
 use activedr_sim::{build_initial_fs, run, Scale, Scenario, SimConfig};
-use activedr_trace::{
-    generate, read_traces, write_traces, AccessKind, AccessRecord, SynthConfig,
-};
+use activedr_trace::{generate, read_traces, write_traces, AccessKind, AccessRecord, SynthConfig};
 
 #[test]
 fn truncated_trace_stream_is_an_error_not_a_panic() {
@@ -138,9 +136,7 @@ fn empty_world_runs_cleanly() {
 
 #[test]
 fn exemption_list_with_weird_entries() {
-    let list = ExemptionList::from_lines(
-        ["", "   ", "#only a comment", "/", "///", "/x//y/../z"],
-    );
+    let list = ExemptionList::from_lines(["", "   ", "#only a comment", "/", "///", "/x//y/../z"]);
     // "/" normalizes to empty and is ignored as a file; nothing panics.
     assert!(!list.is_exempt("/anything"));
     let mut fs = VirtualFs::with_capacity(0);
@@ -153,8 +149,7 @@ fn exemption_list_with_weird_entries() {
 fn future_timestamped_activities_do_not_break_evaluation() {
     let registry = ActivityTypeRegistry::paper_default();
     let job = registry.lookup("job_submission").unwrap();
-    let evaluator =
-        ActivenessEvaluator::new(registry, ActivenessConfig::year_window(7));
+    let evaluator = ActivenessEvaluator::new(registry, ActivenessConfig::year_window(7));
     let tc = Timestamp::from_days(100);
     let events = vec![
         ActivityEvent::new(UserId(1), job, Timestamp::from_days(500), 100.0), // future

@@ -1,6 +1,11 @@
 //! Cross-crate integration: the full replay pipeline from synthetic trace
 //! generation through the virtual file system to the emulation engine.
 
+#![allow(
+    clippy::cast_possible_truncation,
+    reason = "values are bounded far below the narrow type's range at paper scale"
+)]
+
 use activedr_core::prelude::*;
 use activedr_sim::{build_initial_fs, pre_purge_flt, run, run_until, Scale, Scenario, SimConfig};
 use activedr_trace::{generate, AccessKind, SynthConfig};
@@ -8,8 +13,16 @@ use activedr_trace::{generate, AccessKind, SynthConfig};
 #[test]
 fn end_to_end_flt_replay_counts_misses_deterministically() {
     let scenario = Scenario::build(Scale::Tiny, 101);
-    let a = run(&scenario.traces, scenario.initial_fs.clone(), &SimConfig::flt(90));
-    let b = run(&scenario.traces, scenario.initial_fs.clone(), &SimConfig::flt(90));
+    let a = run(
+        &scenario.traces,
+        scenario.initial_fs.clone(),
+        &SimConfig::flt(90),
+    );
+    let b = run(
+        &scenario.traces,
+        scenario.initial_fs.clone(),
+        &SimConfig::flt(90),
+    );
     assert_eq!(a.daily, b.daily);
     assert!(a.total_reads() > 0);
     assert!(a.total_misses() <= a.total_reads());
@@ -72,7 +85,11 @@ fn run_until_is_a_prefix_of_the_full_run() {
         &SimConfig::activedr(90),
         Some(stop),
     );
-    let full = run(&scenario.traces, scenario.initial_fs.clone(), &SimConfig::activedr(90));
+    let full = run(
+        &scenario.traces,
+        scenario.initial_fs.clone(),
+        &SimConfig::activedr(90),
+    );
     assert_eq!(partial.daily.len(), 60);
     assert_eq!(&full.daily[..60], &partial.daily[..]);
     assert!(fs_state.file_count() > 0);
@@ -81,7 +98,11 @@ fn run_until_is_a_prefix_of_the_full_run() {
 #[test]
 fn retention_events_report_consistent_quadrant_breakdowns() {
     let scenario = Scenario::build(Scale::Tiny, 13);
-    let result = run(&scenario.traces, scenario.initial_fs.clone(), &SimConfig::activedr(60));
+    let result = run(
+        &scenario.traces,
+        scenario.initial_fs.clone(),
+        &SimConfig::activedr(60),
+    );
     for event in &result.retentions {
         let q_purged: u64 = Quadrant::ALL
             .iter()
@@ -98,7 +119,11 @@ fn retention_events_report_consistent_quadrant_breakdowns() {
 #[test]
 fn final_quadrants_cover_every_user() {
     let scenario = Scenario::build(Scale::Tiny, 13);
-    let result = run(&scenario.traces, scenario.initial_fs.clone(), &SimConfig::flt(90));
+    let result = run(
+        &scenario.traces,
+        scenario.initial_fs.clone(),
+        &SimConfig::flt(90),
+    );
     for u in scenario.traces.user_ids() {
         assert!(result.final_quadrants.contains_key(&u), "missing {u}");
     }

@@ -6,7 +6,11 @@ use activedr_sim::{run, Scale, Scenario, SimConfig};
 #[test]
 fn sim_result_round_trips_through_json() {
     let scenario = Scenario::build(Scale::Tiny, 90);
-    let result = run(&scenario.traces, scenario.initial_fs.clone(), &SimConfig::activedr(30));
+    let result = run(
+        &scenario.traces,
+        scenario.initial_fs.clone(),
+        &SimConfig::activedr(30),
+    );
     let json = serde_json::to_string(&result).expect("SimResult serializes");
     let back: activedr_sim::SimResult = serde_json::from_str(&json).expect("and parses back");
     assert_eq!(back.daily, result.daily);

@@ -1,6 +1,11 @@
 //! Integration: snapshot and trace persistence across the full pipeline —
 //! capture mid-replay state, serialize, reload, and continue identically.
 
+#![allow(
+    clippy::cast_possible_truncation,
+    reason = "values are bounded far below the narrow type's range at paper scale"
+)]
+
 use activedr_core::prelude::*;
 use activedr_fs::{Snapshot, VirtualFs};
 use activedr_sim::{run_until, Scale, Scenario, SimConfig};
@@ -88,8 +93,7 @@ fn restored_snapshot_continues_the_replay_identically() {
     // events may not align day-for-day; daily reads, however, must match
     // exactly, and total misses should be close. We assert reads exactly
     // and misses within a tolerance that would catch any systemic drift.
-    let cont_tail: Vec<_> =
-        continuous.daily.iter().filter(|d| d.day >= mid).collect();
+    let cont_tail: Vec<_> = continuous.daily.iter().filter(|d| d.day >= mid).collect();
     assert_eq!(cont_tail.len(), resumed.daily.len());
     for (c, r) in cont_tail.iter().zip(resumed.daily.iter()) {
         assert_eq!(c.day, r.day);
@@ -101,6 +105,9 @@ fn restored_snapshot_continues_the_replay_identically() {
     let hi = cont_misses.max(resumed_misses) as f64;
     if hi > 0.0 {
         let rel = (cont_misses as f64 - resumed_misses as f64).abs() / hi;
-        assert!(rel < 0.35, "misses diverged: {cont_misses} vs {resumed_misses}");
+        assert!(
+            rel < 0.35,
+            "misses diverged: {cont_misses} vs {resumed_misses}"
+        );
     }
 }

@@ -42,9 +42,10 @@ fn weekly_snapshots_cross_validate_retention_accounting() {
     // The last snapshot restores to the final state's totals once the
     // post-snapshot replay tail is accounted: restore and re-check against
     // a fresh capture of the final fs instead.
-    let final_snap = Snapshot::capture(&final_fs, Timestamp::from_days(
-        scenario.traces.horizon_days as i64,
-    ));
+    let final_snap = Snapshot::capture(
+        &final_fs,
+        Timestamp::from_days(scenario.traces.horizon_days as i64),
+    );
     let (restored, skipped) = final_snap.restore();
     assert_eq!(skipped, 0);
     assert_eq!(restored.used_bytes(), final_fs.used_bytes());

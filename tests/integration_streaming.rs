@@ -12,7 +12,11 @@ fn streaming_and_batch_runs_are_identical() {
         streaming_cfg.eval_mode = EvalMode::Streaming;
 
         let batch = run(&scenario.traces, scenario.initial_fs.clone(), &batch_cfg);
-        let streaming = run(&scenario.traces, scenario.initial_fs.clone(), &streaming_cfg);
+        let streaming = run(
+            &scenario.traces,
+            scenario.initial_fs.clone(),
+            &streaming_cfg,
+        );
 
         assert_eq!(batch.daily, streaming.daily, "lifetime {lifetime}");
         assert_eq!(batch.final_used, streaming.final_used);
@@ -36,7 +40,11 @@ fn streaming_works_for_flt_attribution_too() {
     // FLT ignores activeness for decisions, but miss attribution still
     // uses the evaluated quadrants — they must match across modes.
     let scenario = Scenario::build(Scale::Tiny, 62);
-    let batch = run(&scenario.traces, scenario.initial_fs.clone(), &SimConfig::flt(90));
+    let batch = run(
+        &scenario.traces,
+        scenario.initial_fs.clone(),
+        &SimConfig::flt(90),
+    );
     let mut cfg = SimConfig::flt(90);
     cfg.eval_mode = EvalMode::Streaming;
     let streaming = run(&scenario.traces, scenario.initial_fs.clone(), &cfg);

@@ -6,7 +6,10 @@ use activedr_trace::{generate, SynthConfig};
 use proptest::prelude::*;
 
 fn configs() -> impl Strategy<Value = SimConfig> {
-    (prop::sample::select(vec![0u8, 1, 2, 3]), prop::sample::select(vec![7u32, 30, 60, 90]))
+    (
+        prop::sample::select(vec![0u8, 1, 2, 3]),
+        prop::sample::select(vec![7u32, 30, 60, 90]),
+    )
         .prop_map(|(kind, lifetime)| match kind {
             0 => SimConfig::flt(lifetime),
             1 => SimConfig::activedr(lifetime),
