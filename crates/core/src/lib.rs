@@ -61,6 +61,7 @@ pub mod activeness;
 pub mod approx;
 pub mod classify;
 pub mod config;
+pub mod convert;
 pub mod event;
 pub mod files;
 pub mod policy;
@@ -93,6 +94,6 @@ pub mod prelude {
         retained_delta, retained_delta_pct, QuadrantStats, RetentionBreakdown,
     };
     pub use crate::streaming::StreamingEvaluator;
-    pub use crate::time::{TimeDelta, Timestamp, SECS_PER_DAY};
+    pub use crate::time::{TimeDelta, Timestamp, SECS_PER_DAY, SECS_PER_DAY_F64};
     pub use crate::user::UserId;
 }

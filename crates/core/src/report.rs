@@ -13,6 +13,7 @@
 
 use crate::activeness::ActivenessTable;
 use crate::classify::Quadrant;
+use crate::convert;
 use crate::files::Catalog;
 use crate::policy::RetentionOutcome;
 use crate::user::UserId;
@@ -110,7 +111,8 @@ impl RetentionBreakdown {
 pub fn retained_delta(a: &RetentionBreakdown, b: &RetentionBreakdown) -> [i64; 4] {
     let mut out = [0i64; 4];
     for q in Quadrant::ALL {
-        out[q.index()] = a.get(q).retained_bytes as i64 - b.get(q).retained_bytes as i64;
+        out[q.index()] = convert::i64_from_u64(a.get(q).retained_bytes)
+            - convert::i64_from_u64(b.get(q).retained_bytes);
     }
     out
 }
@@ -122,8 +124,8 @@ pub fn retained_delta_pct(a: &RetentionBreakdown, b: &RetentionBreakdown) -> [Op
     for q in Quadrant::ALL {
         let base = b.get(q).retained_bytes;
         if base > 0 {
-            let delta = a.get(q).retained_bytes as f64 - base as f64;
-            out[q.index()] = Some(100.0 * delta / base as f64);
+            let delta = convert::approx_f64(a.get(q).retained_bytes) - convert::approx_f64(base);
+            out[q.index()] = Some(100.0 * delta / convert::approx_f64(base));
         }
     }
     out

@@ -10,11 +10,7 @@
 //! window — for the paper's dataset that is 2015-01-01 00:00:00. Day indices
 //! therefore run 0..365 for 2015 and 365..731 for (leap year) 2016.
 
-#![allow(
-    clippy::cast_possible_truncation,
-    reason = "the simulated horizon keeps second counts far below i64::MAX"
-)]
-
+use crate::convert;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Sub};
@@ -22,6 +18,9 @@ use std::ops::{Add, Sub};
 /// Seconds per day; the paper's `to_ts(d)` conversion (Eq. 1) with
 /// second-resolution timestamps.
 pub const SECS_PER_DAY: i64 = 86_400;
+
+/// [`SECS_PER_DAY`] as a float, for fractional-day arithmetic.
+pub const SECS_PER_DAY_F64: f64 = 86_400.0;
 
 /// Days in the replay year of the paper's evaluation (2016 was a leap year;
 /// the paper reports results "during the 366 days in 2016").
@@ -51,7 +50,7 @@ impl Timestamp {
 
     /// Construct from days expressed as a float (e.g. "day 3.5").
     pub fn from_days_f64(days: f64) -> Self {
-        Timestamp((days * SECS_PER_DAY as f64).round() as i64)
+        Timestamp(convert::round_to_i64(days * SECS_PER_DAY_F64))
     }
 
     /// Seconds since the epoch.
@@ -67,7 +66,7 @@ impl Timestamp {
 
     /// Fractional days since the epoch.
     pub fn days_f64(self) -> f64 {
-        self.0 as f64 / SECS_PER_DAY as f64
+        convert::approx_f64_i64(self.0) / SECS_PER_DAY_F64
     }
 
     /// Saturating difference `self - earlier`, clamped at zero, as a
@@ -126,7 +125,7 @@ impl TimeDelta {
 
     /// A span of a fractional number of days, rounded to whole seconds.
     pub fn from_days_f64(days: f64) -> Self {
-        TimeDelta((days * SECS_PER_DAY as f64).round() as i64)
+        TimeDelta(convert::round_to_i64(days * SECS_PER_DAY_F64))
     }
 
     /// A span of `hours` whole hours.
@@ -141,7 +140,7 @@ impl TimeDelta {
 
     /// The span in (fractional) days.
     pub fn days_f64(self) -> f64 {
-        self.0 as f64 / SECS_PER_DAY as f64
+        convert::approx_f64_i64(self.0) / SECS_PER_DAY_F64
     }
 
     /// Whole days, rounded toward negative infinity.
@@ -164,12 +163,9 @@ impl TimeDelta {
     /// Scale by a non-negative factor, saturating at `i64::MAX`.
     pub fn scale(self, factor: f64) -> TimeDelta {
         debug_assert!(factor >= 0.0);
-        let v = self.0 as f64 * factor;
-        if v >= i64::MAX as f64 {
-            TimeDelta(i64::MAX)
-        } else {
-            TimeDelta(v as i64)
-        }
+        TimeDelta(convert::trunc_to_i64(
+            convert::approx_f64_i64(self.0) * factor,
+        ))
     }
 }
 

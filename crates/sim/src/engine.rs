@@ -19,13 +19,10 @@
     clippy::missing_panics_doc,
     reason = "asserts guard scenario invariants; every panic site is tracked by the xtask panic-freedom ratchet"
 )]
-#![allow(
-    clippy::cast_possible_truncation,
-    reason = "values are bounded far below the narrow type's range at paper scale"
-)]
 
 use crate::archive::{ArchiveConfig, ArchiveStats, ArchiveTier};
 use crate::metrics::DailyMetrics;
+use activedr_core::convert;
 use activedr_core::prelude::*;
 use activedr_fs::{ExemptionList, VirtualFs};
 use activedr_trace::{activity_events, AccessKind, TraceSet};
@@ -317,10 +314,10 @@ pub fn run_observed(
     let evaluator = ActivenessEvaluator::new(config.registry.clone(), config.activeness);
     let users = traces.user_ids();
 
-    let replay_start = traces.replay_start_day as i64;
+    let replay_start = i64::from(traces.replay_start_day);
     let horizon = until_day
-        .map(|d| d.min(traces.horizon_days as i64))
-        .unwrap_or(traces.horizon_days as i64);
+        .map(|d| d.min(i64::from(traces.horizon_days)))
+        .unwrap_or(i64::from(traces.horizon_days));
 
     let mut result = SimResult {
         policy: config.policy.name().to_string(),
@@ -371,7 +368,7 @@ pub fn run_observed(
             for (u, a) in table.iter() {
                 quadrant_of.insert(u, Quadrant::of(a));
             }
-            (table, start.elapsed().as_micros() as u64)
+            (table, convert::u64_from_micros(start.elapsed().as_micros()))
         };
     let (_, _) = evaluate(Timestamp::from_days(replay_start), &mut quadrant_of);
 
@@ -412,18 +409,18 @@ pub fn run_observed(
         // Retention triggers at the start of the day, every interval,
         // beginning one interval into the replay.
         let days_in = day - replay_start;
-        if days_in > 0 && days_in % config.purge_interval_days as i64 == 0 {
+        if days_in > 0 && days_in % i64::from(config.purge_interval_days) == 0 {
             let tc = Timestamp::from_days(day);
             let (table, eval_micros) = evaluate(tc, &mut quadrant_of);
 
             // xtask-allow: determinism -- phase timing for the performance report
             let scan_start = Instant::now();
             let catalog = fs.catalog(&config.exemptions);
-            let scan_micros = scan_start.elapsed().as_micros() as u64;
+            let scan_micros = convert::u64_from_micros(scan_start.elapsed().as_micros());
 
             let utilization_target = || {
                 config.purge_target_utilization.map(|u| {
-                    let allowed = (fs.capacity() as f64 * u) as u64;
+                    let allowed = convert::trunc_to_u64(convert::approx_f64(fs.capacity()) * u);
                     fs.used_bytes().saturating_sub(allowed)
                 })
             };
@@ -451,30 +448,31 @@ pub fn run_observed(
                 let outcome = match config.policy {
                     PolicyKind::Flt => FltPolicy::days(config.lifetime_days).run(request),
                     PolicyKind::ActiveDr => ActiveDrPolicy::new(RetentionConfig {
-                        initial_lifetime: TimeDelta::from_days(config.lifetime_days as i64),
+                        initial_lifetime: TimeDelta::from_days(i64::from(config.lifetime_days)),
                         ..config.retention
                     })
                     .run(request),
                     PolicyKind::ScratchCache => ScratchCachePolicy::new(TimeDelta::from_days(
-                        config.purge_interval_days as i64,
+                        i64::from(config.purge_interval_days),
                     ))
                     .run(request),
                     PolicyKind::ValueBased => ValueBasedPolicy::default().run(request),
                 };
-                let decision_micros = decision_start.elapsed().as_micros() as u64;
+                let decision_micros =
+                    convert::u64_from_micros(decision_start.elapsed().as_micros());
 
                 // xtask-allow: determinism -- phase timing for the performance report
                 let apply_start = Instant::now();
                 if config.recovery.enabled() {
                     for p in &outcome.purged {
-                        let path = fs.path_of(activedr_fs::NodeId(p.id.0 as u32));
+                        let path = fs.path_of(activedr_fs::NodeId(convert::u32_from_u64(p.id.0)));
                         if !path.is_empty() {
                             purged_meta.insert(path, (p.user, p.size));
                         }
                     }
                 }
                 fs.apply(&outcome);
-                let apply_micros = apply_start.elapsed().as_micros() as u64;
+                let apply_micros = convert::u64_from_micros(apply_start.elapsed().as_micros());
 
                 let breakdown = RetentionBreakdown::compute(&catalog, &table, &outcome);
                 let mut top_losers: Vec<(UserId, u64)> =
@@ -546,6 +544,7 @@ pub fn run_observed(
                     // Overwrites and fresh creates both succeed; conflicts
                     // (a path shadowing a directory) are ignored like any
                     // failed write in the paper's emulator.
+                    // xtask-allow: ignored-result -- failed writes are dropped by design, matching the paper's emulator
                     let _ = fs.create(&a.path, a.user, size, a.ts);
                 }
             }
@@ -554,7 +553,7 @@ pub fn run_observed(
     }
 
     result.final_used = fs.used_bytes();
-    result.final_files = fs.file_count() as u64;
+    result.final_files = convert::u64_from_usize(fs.file_count());
     result.final_quadrants = quadrant_of;
     result.archive = archive_tier.map(|t| t.stats());
     (result, fs)
@@ -602,7 +601,7 @@ mod tests {
     fn flt_run_produces_daily_series_and_retentions() {
         let (traces, fs) = scenario();
         let result = run(&traces, fs, &SimConfig::flt(90));
-        let replay_days = (traces.horizon_days - traces.replay_start_day) as usize;
+        let replay_days = convert::usize_from_u32(traces.horizon_days - traces.replay_start_day);
         assert_eq!(result.daily.len(), replay_days);
         // Weekly trigger -> one event per full week of replay.
         let expected_retentions = (replay_days - 1) / 7;

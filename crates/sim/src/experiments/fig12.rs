@@ -6,14 +6,10 @@
 //! 20-process MPI emulation. The single-node analog reports the same
 //! quantities with rayon shards standing in for MPI ranks.
 
-#![allow(
-    clippy::cast_possible_truncation,
-    reason = "values are bounded far below the narrow type's range at paper scale"
-)]
-
 use crate::engine::{run_until, SimConfig};
 use crate::report::render_table;
 use crate::scenario::Scenario;
+use activedr_core::convert;
 use activedr_core::prelude::*;
 use activedr_fs::{parallel_catalog, ExemptionList};
 use activedr_trace::activity_events;
@@ -32,8 +28,11 @@ where
     let start = Instant::now();
     let json = serde_json::to_vec(items).unwrap_or_default();
     let _parsed: Option<Vec<T>> = serde_json::from_slice(&json).ok();
-    start.elapsed().as_micros() as u64
+    convert::u64_from_micros(start.elapsed().as_micros())
 }
+
+/// Bytes per mebibyte, for the resident-size columns.
+const MIB: f64 = 1_048_576.0;
 
 /// One probed component of Fig. 12a.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -116,7 +115,7 @@ impl Fig12Data {
         let evaluator =
             ActivenessEvaluator::new(registry.clone(), ActivenessConfig::year_window(7));
         let table = evaluator.evaluate(tc, &traces.user_ids(), &events);
-        let eval_micros = eval_start.elapsed().as_micros() as u64;
+        let eval_micros = convert::u64_from_micros(eval_start.elapsed().as_micros());
 
         // The data-parallel evaluation (rank analog of Fig. 12b).
         let par_eval =
@@ -124,11 +123,11 @@ impl Fig12Data {
         let eval_shard_micros: Vec<u64> = par_eval
             .shards
             .iter()
-            .map(|s| s.elapsed.as_micros() as u64)
+            .map(|s| convert::u64_from_micros(s.elapsed.as_micros()))
             .collect();
 
         let catalog = fs.catalog(&ExemptionList::new());
-        let files_decided = catalog.total_files() as u64;
+        let files_decided = convert::u64_from_usize(catalog.total_files());
         // xtask-allow: determinism -- purge-decision time is Fig. 12b's payload
         let decision_start = Instant::now();
         let target = catalog.total_bytes() / 2;
@@ -138,14 +137,14 @@ impl Fig12Data {
             activeness: &table,
             target_bytes: Some(target),
         });
-        let decision_micros = decision_start.elapsed().as_micros() as u64;
+        let decision_micros = convert::u64_from_micros(decision_start.elapsed().as_micros());
 
         // (c/d) Parallel snapshot scan.
         let scan = parallel_catalog(&fs, &ExemptionList::new(), shards);
         let shard_scan_micros: Vec<u64> = scan
             .shards
             .iter()
-            .map(|s| s.elapsed.as_micros() as u64)
+            .map(|s| convert::u64_from_micros(s.elapsed.as_micros()))
             .collect();
 
         Fig12Data {
@@ -156,7 +155,7 @@ impl Fig12Data {
             files_decided,
             shards,
             shard_scan_micros,
-            total_scan_micros: scan.elapsed.as_micros() as u64,
+            total_scan_micros: convert::u64_from_micros(scan.elapsed.as_micros()),
             scanned_files: scan.total_files(),
             index_bytes: fs.memory_estimate(),
         }
@@ -171,8 +170,8 @@ impl Fig12Data {
                 vec![
                     l.component.clone(),
                     l.records.to_string(),
-                    format!("{:.2} MiB", l.bytes as f64 / (1 << 20) as f64),
-                    format!("{:.1} ms", l.load_micros as f64 / 1000.0),
+                    format!("{:.2} MiB", convert::approx_f64_usize(l.bytes) / MIB),
+                    format!("{:.1} ms", convert::approx_f64(l.load_micros) / 1000.0),
                 ]
             })
             .collect();
@@ -182,9 +181,9 @@ impl Fig12Data {
         ));
         out.push_str(&format!(
             "\n(b) activeness evaluation: {:.1} ms; purge decision for {} files: {:.1} ms\n",
-            self.eval_micros as f64 / 1000.0,
+            convert::approx_f64(self.eval_micros) / 1000.0,
             self.files_decided,
-            self.decision_micros as f64 / 1000.0,
+            convert::approx_f64(self.decision_micros) / 1000.0,
         ));
         out.push_str(
             "    (paper: evaluation 700 ms on rank 0; decisions for 1,040,886 files in 1-5 s)\n",
@@ -195,15 +194,15 @@ impl Fig12Data {
             out.push_str(&format!(
                 "    parallel evaluation across {} shards: {:.2}-{:.2} ms per shard\n",
                 self.eval_shard_micros.len(),
-                min as f64 / 1000.0,
-                max as f64 / 1000.0
+                convert::approx_f64(min) / 1000.0,
+                convert::approx_f64(max) / 1000.0
             ));
         }
         out.push_str(&format!(
             "\n(c/d) parallel snapshot scan: {} files across {} shards in {:.1} ms\n",
             self.scanned_files,
             self.shards,
-            self.total_scan_micros as f64 / 1000.0
+            convert::approx_f64(self.total_scan_micros) / 1000.0
         ));
         let rows: Vec<Vec<String>> = self
             .shard_scan_micros
@@ -212,14 +211,14 @@ impl Fig12Data {
             .map(|(i, us)| {
                 vec![
                     format!("shard {i}"),
-                    format!("{:.2} ms", *us as f64 / 1000.0),
+                    format!("{:.2} ms", convert::approx_f64(*us) / 1000.0),
                 ]
             })
             .collect();
         out.push_str(&render_table(&["rank", "scan time"], &rows));
         out.push_str(&format!(
             "\nvirtual FS index footprint: {:.2} MiB\n",
-            self.index_bytes as f64 / (1 << 20) as f64
+            convert::approx_f64_usize(self.index_bytes) / MIB
         ));
         out
     }

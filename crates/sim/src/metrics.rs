@@ -2,15 +2,12 @@
 //! histogram (Figs. 1 and 6), and box-plot statistics (Fig. 8).
 
 #![allow(
-    clippy::cast_possible_truncation,
-    reason = "values are bounded far below the narrow type's range at paper scale"
-)]
-#![allow(
     clippy::indexing_slicing,
     reason = "index sites here are counted and ratcheted by `cargo xtask check` (crates/xtask/panic-baseline.txt)"
 )]
 
 use activedr_core::classify::Quadrant;
+use activedr_core::convert;
 use serde::{Deserialize, Serialize};
 
 /// Per-day replay counters.
@@ -44,7 +41,7 @@ impl DailyMetrics {
         if self.reads == 0 {
             0.0
         } else {
-            self.misses as f64 / self.reads as f64
+            convert::ratio(self.misses, self.reads)
         }
     }
 }
@@ -135,13 +132,13 @@ impl BoxStats {
         v.sort_by(|a, b| a.total_cmp(b));
         let q = |p: f64| -> f64 {
             // Linear interpolation between closest ranks.
-            let idx = p * (v.len() - 1) as f64;
-            let lo = idx.floor() as usize;
-            let hi = idx.ceil() as usize;
+            let idx = p * convert::approx_f64_usize(v.len() - 1);
+            let lo = convert::trunc_to_usize(idx.floor());
+            let hi = convert::trunc_to_usize(idx.ceil());
             if lo == hi {
                 v[lo]
             } else {
-                v[lo] + (v[hi] - v[lo]) * (idx - lo as f64)
+                v[lo] + (v[hi] - v[lo]) * (idx - convert::approx_f64_usize(lo))
             }
         };
         BoxStats {
@@ -151,7 +148,7 @@ impl BoxStats {
             median: q(0.5),
             q3: q(0.75),
             max: v.last().copied().unwrap_or_default(),
-            mean: v.iter().sum::<f64>() / v.len() as f64,
+            mean: v.iter().sum::<f64>() / convert::approx_f64_usize(v.len()),
         }
     }
 }

@@ -3,10 +3,6 @@
 //! ActiveDR uses to report retention outcomes.
 
 #![allow(
-    clippy::cast_possible_truncation,
-    reason = "values are bounded far below the narrow type's range at paper scale"
-)]
-#![allow(
     clippy::indexing_slicing,
     reason = "index sites here are counted and ratcheted by `cargo xtask check` (crates/xtask/panic-baseline.txt)"
 )]
@@ -17,11 +13,12 @@
 
 use crate::engine::SimResult;
 use activedr_core::classify::Quadrant;
+use activedr_core::convert;
 
 /// Format a byte count with a binary-prefix unit.
 pub fn fmt_bytes(bytes: u64) -> String {
     const UNITS: [&str; 6] = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"];
-    let mut v = bytes as f64;
+    let mut v = convert::approx_f64(bytes);
     let mut unit = 0usize;
     while v >= 1024.0 && unit < UNITS.len() - 1 {
         v /= 1024.0;
@@ -39,7 +36,7 @@ pub fn fmt_bytes_signed(delta: i64) -> String {
     if delta < 0 {
         format!("-{}", fmt_bytes(delta.unsigned_abs()))
     } else {
-        fmt_bytes(delta as u64)
+        fmt_bytes(delta.unsigned_abs())
     }
 }
 
@@ -105,14 +102,14 @@ pub fn admin_digest(result: &SimResult) -> String {
         fmt_bytes(result.capacity),
         fmt_bytes(result.final_used),
         if result.capacity > 0 {
-            100.0 * result.final_used as f64 / result.capacity as f64
+            100.0 * convert::ratio(result.final_used, result.capacity)
         } else {
             0.0
         },
         result.total_reads(),
         result.total_misses(),
         if result.total_reads() > 0 {
-            100.0 * result.total_misses() as f64 / result.total_reads() as f64
+            100.0 * convert::ratio(result.total_misses(), result.total_reads())
         } else {
             0.0
         },
@@ -125,8 +122,8 @@ pub fn admin_digest(result: &SimResult) -> String {
             "archive tier: {} retrievals, {} recovered, mean recovery {:.1} h, worst {:.1} h\n\n",
             archive.requests,
             fmt_bytes(archive.bytes),
-            archive.mean_wait().secs() as f64 / 3600.0,
-            archive.max_wait_secs as f64 / 3600.0,
+            convert::approx_f64_i64(archive.mean_wait().secs()) / 3600.0,
+            convert::approx_f64_i64(archive.max_wait_secs) / 3600.0,
         ));
     }
 
@@ -205,7 +202,7 @@ pub fn bar(value: f64, max: f64, width: usize) -> String {
     if max <= 0.0 {
         return String::new();
     }
-    let n = ((value / max) * width as f64).round() as usize;
+    let n = convert::round_to_usize((value / max) * convert::approx_f64_usize(width));
     "#".repeat(n.min(width))
 }
 

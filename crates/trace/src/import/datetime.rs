@@ -6,7 +6,7 @@
 //! are written in local facility time and the retention math only cares
 //! about day-scale differences.
 
-use activedr_core::time::{Timestamp, SECS_PER_DAY};
+use activedr_core::time::{TimeDelta, Timestamp};
 
 /// Days from civil 1970-01-01 (proleptic Gregorian); Howard Hinnant's
 /// `days_from_civil` algorithm.
@@ -75,7 +75,7 @@ pub fn parse_iso8601(s: &str, epoch: EpochDate) -> Option<Timestamp> {
         secs = h * 3600 + m * 60 + sec;
     }
     let days = days_from_civil(year, month, day) - epoch.unix_days();
-    Some(Timestamp(days * SECS_PER_DAY + secs))
+    Some(Timestamp::from_days(days) + TimeDelta(secs))
 }
 
 #[cfg(test)]

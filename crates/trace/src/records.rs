@@ -10,6 +10,7 @@
     reason = "index sites here are counted and ratcheted by `cargo xtask check` (crates/xtask/panic-baseline.txt)"
 )]
 
+use activedr_core::convert;
 use activedr_core::time::{TimeDelta, Timestamp};
 use activedr_core::user::UserId;
 use serde::{Deserialize, Serialize};
@@ -34,7 +35,7 @@ impl JobRecord {
     /// The paper's operation impact for a job: core-hours
     /// ("number of CPU cores multiplied with the job duration", §4.1.3).
     pub fn core_hours(&self) -> f64 {
-        self.cores as f64 * (self.duration().secs().max(0) as f64 / 3600.0)
+        f64::from(self.cores) * (convert::approx_f64_i64(self.duration().secs().max(0)) / 3600.0)
     }
 }
 
@@ -52,10 +53,9 @@ impl PublicationRecord {
     /// position `i` of `n`. `None` if the user is not an author.
     pub fn impact_for(&self, user: UserId) -> Option<f64> {
         let n = self.authors.len();
-        self.authors
-            .iter()
-            .position(|a| *a == user)
-            .map(|idx| (self.citations as f64 + 1.0) * ((n - (idx + 1) + 1) as f64))
+        self.authors.iter().position(|a| *a == user).map(|idx| {
+            (f64::from(self.citations) + 1.0) * convert::approx_f64_usize(n - (idx + 1) + 1)
+        })
     }
 }
 
@@ -140,11 +140,11 @@ pub struct TraceSet {
 
 impl TraceSet {
     pub fn replay_start(&self) -> Timestamp {
-        Timestamp::from_days(self.replay_start_day as i64)
+        Timestamp::from_days(i64::from(self.replay_start_day))
     }
 
     pub fn horizon(&self) -> Timestamp {
-        Timestamp::from_days(self.horizon_days as i64)
+        Timestamp::from_days(i64::from(self.horizon_days))
     }
 
     pub fn user_ids(&self) -> Vec<UserId> {

@@ -26,6 +26,7 @@ use crate::records::{
     AccessKind, AccessRecord, FileSeed, JobRecord, LoginRecord, PublicationRecord, TraceSet,
     TransferRecord, UserProfile,
 };
+use activedr_core::convert;
 use activedr_core::time::{TimeDelta, Timestamp};
 use activedr_core::user::UserId;
 use rand::rngs::StdRng;
@@ -175,7 +176,7 @@ struct UserState {
 /// Generate a full trace bundle.
 pub fn generate(config: &SynthConfig) -> TraceSet {
     config.validate();
-    let replay_start = Timestamp::from_days(config.replay_start_day as i64);
+    let replay_start = Timestamp::from_days(i64::from(config.replay_start_day));
 
     let mut traces = TraceSet {
         horizon_days: config.horizon_days,
@@ -190,7 +191,7 @@ pub fn generate(config: &SynthConfig) -> TraceSet {
         return traces;
     };
     let mut assignment_rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9));
-    let mut archetypes = Vec::with_capacity(config.n_users as usize);
+    let mut archetypes = Vec::with_capacity(convert::usize_from_u32(config.n_users));
     for _ in 0..config.n_users {
         let roll: f64 = assignment_rng.random_range(0.0..1.0);
         let mut acc = 0.0;
@@ -210,7 +211,7 @@ pub fn generate(config: &SynthConfig) -> TraceSet {
         .iter()
         .enumerate()
         .filter(|(_, a)| matches!(a, Archetype::PowerUser | Archetype::Publisher))
-        .map(|(i, _)| UserId(i as u32))
+        .map(|(i, _)| UserId(convert::u32_from_usize(i)))
         .collect();
 
     let mut all_accesses: Vec<AccessRecord> = Vec::new();
@@ -219,16 +220,17 @@ pub fn generate(config: &SynthConfig) -> TraceSet {
     let mut states: Vec<UserState> = Vec::with_capacity(archetypes.len());
     let mut shared_pool: Vec<String> = Vec::new();
     for (idx, &archetype) in archetypes.iter().enumerate() {
-        let uid = UserId(idx as u32);
+        let uid = UserId(convert::u32_from_usize(idx));
         traces.users.push(UserProfile { id: uid, archetype });
         let params = archetype.params();
-        let mut rng =
-            StdRng::seed_from_u64(config.seed ^ (idx as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+        let mut rng = StdRng::seed_from_u64(
+            config.seed ^ convert::u64_from_usize(idx).wrapping_mul(0xA076_1D64_78BD_642F),
+        );
 
         // Departures are spread over the warm-up year so that by mid-replay
         // most departed users have aged out of every evaluation window.
         let departure = params.departs.then(|| {
-            let hi = ((config.replay_start_day.saturating_sub(1)).max(61) as f64).min(170.0);
+            let hi = f64::from((config.replay_start_day.saturating_sub(1)).max(61)).min(170.0);
             rng.random_range(60.0..hi.max(61.0))
         });
         let phases = ActivePhases::generate(
@@ -259,7 +261,7 @@ pub fn generate(config: &SynthConfig) -> TraceSet {
             // though the owner may be silent.
             let age = state.rng.random_range(0.0..30.0);
             let atime = Timestamp::from_days_f64(
-                (config.replay_start_day as f64 - age).max(created.days_f64()),
+                (f64::from(config.replay_start_day) - age).max(created.days_f64()),
             );
             state.ledger.push(LedgerFile {
                 path: path.clone(),
@@ -274,7 +276,7 @@ pub fn generate(config: &SynthConfig) -> TraceSet {
 
     // -- phase 2: jobs, accesses (own + shared), touches, publications ---
     for (idx, &archetype) in archetypes.iter().enumerate() {
-        let uid = UserId(idx as u32);
+        let uid = UserId(convert::u32_from_usize(idx));
         let params = archetype.params();
         let state = &mut states[idx];
         let job_days = state
@@ -330,11 +332,16 @@ fn seed_initial_files(
     let n = sample_u32(&mut state.rng, params.initial_files);
     let latest_seed_day = config
         .replay_start_day
-        .min(state.departure.map(|d| d as u32).unwrap_or(u32::MAX))
+        .min(
+            state
+                .departure
+                .map(convert::trunc_to_u32)
+                .unwrap_or(u32::MAX),
+        )
         .saturating_sub(1)
         .max(1);
     for i in 0..n {
-        let day = state.rng.random_range(0.0..latest_seed_day as f64);
+        let day = state.rng.random_range(0.0..f64::from(latest_seed_day));
         let created = Timestamp::from_days_f64(day);
         let size = config.sizes.sample(&mut state.rng);
         // The warm-up snapshot is post-FLT: most surviving files carry a
@@ -342,7 +349,7 @@ fn seed_initial_files(
         // clamped so atime never precedes creation.
         let u: f64 = state.rng.random_range(f64::EPSILON..1.0);
         let age_days = -u.ln() * config.seed_age_mean_days;
-        let atime_day = (config.replay_start_day as f64 - age_days).max(created.days_f64());
+        let atime_day = (f64::from(config.replay_start_day) - age_days).max(created.days_f64());
         state.ledger.push(LedgerFile {
             path: format!("/scratch/{uid}/seed/f{i:04}.dat"),
             size,
@@ -366,12 +373,14 @@ fn emit_jobs_and_accesses(
 ) {
     for (job_idx, &day) in job_days.iter().enumerate() {
         let submit = Timestamp::from_days_f64(day);
-        let queue_delay = TimeDelta((state.rng.random_range(0.0..6.0 * 3600.0)) as i64);
+        let queue_delay = TimeDelta(convert::trunc_to_i64(
+            state.rng.random_range(0.0..6.0 * 3600.0),
+        ));
         let start = submit + queue_delay;
         let hours = state
             .rng
             .random_range(params.job_hours.0..=params.job_hours.1);
-        let end = start + TimeDelta((hours * 3600.0) as i64);
+        let end = start + TimeDelta(convert::trunc_to_i64(hours * 3600.0));
         let cores = sample_u32(&mut state.rng, params.cores);
         let succeeded = state.rng.random_range(0.0..1.0) < 0.9;
         traces.jobs.push(JobRecord {
@@ -420,7 +429,8 @@ fn emit_jobs_and_accesses(
                 // most recent quarter), the way jobs consume the outputs
                 // of the jobs just before them.
                 let u: f64 = state.rng.random_range(0.0..1.0);
-                let back = (u.powi(3) * (n as f64 / 4.0)) as usize;
+                let back =
+                    convert::trunc_to_usize(u.powi(3) * (convert::approx_f64_usize(n) / 4.0));
                 n - 1 - back.min(n - 1)
             };
             let ts = start + TimeDelta(state.rng.random_range(0..3600));
@@ -502,10 +512,10 @@ fn emit_touches(
     let Some(interval) = params.touch_interval_days else {
         return;
     };
-    let replay_start = Timestamp::from_days(config.replay_start_day as i64);
+    let replay_start = Timestamp::from_days(i64::from(config.replay_start_day));
     let mut day = interval;
     while day < config.horizon_days {
-        let ts = Timestamp::from_days(day as i64) + TimeDelta::from_hours(2);
+        let ts = Timestamp::from_days(i64::from(day)) + TimeDelta::from_hours(2);
         for i in 0..state.ledger.len() {
             if state.ledger[i].created < ts {
                 record_access(&mut state.ledger[i], uid, ts, replay_start, accesses);
@@ -523,13 +533,14 @@ fn emit_publications(
     research_pool: &[UserId],
     traces: &mut TraceSet,
 ) {
-    let years = config.horizon_days as f64 / 365.0;
+    let years = f64::from(config.horizon_days) / 365.0;
     let n = poisson(&mut state.rng, params.pubs_per_year * years);
     for _ in 0..n {
-        let ts = Timestamp::from_days_f64(state.rng.random_range(0.0..config.horizon_days as f64));
+        let ts =
+            Timestamp::from_days_f64(state.rng.random_range(0.0..f64::from(config.horizon_days)));
         // Citation counts: heavy-tailed, most publications cited a handful
         // of times, a few cited hundreds of times.
-        let citations = (state.rng.random_range(0.0f64..1.0).powi(4) * 300.0) as u32;
+        let citations = convert::trunc_to_u32(state.rng.random_range(0.0f64..1.0).powi(4) * 300.0);
         let mut authors = vec![uid];
         let coauthors = state.rng.random_range(0..=3usize);
         for _ in 0..coauthors {

@@ -1,0 +1,26 @@
+//! Fixture for the `cast-audit` check: potentially lossy numeric `as` casts
+//! must be flagged with the target type as the category; provably lossless
+//! casts and `From`-based conversions must stay silent. This file is test
+//! data, never compiled.
+
+fn violations(n: usize, x: f64, id: u64) -> f64 {
+    let narrowed = n as u64; //~ cast-audit:u64
+    let truncated = x as i64; //~ cast-audit:i64
+    let clipped = id as u32; //~ cast-audit:u32
+    let approx = id as f64; //~ cast-audit:f64
+    let overflowing = 256 as u8; //~ cast-audit:u8
+    let shifted = narrowed + u64::from(clipped) + u64::from(overflowing);
+    approx + f64::from(u32::try_from(shifted + truncated.unsigned_abs()).unwrap_or(0))
+}
+
+fn negatives(small: u32) -> u64 {
+    let fits = 255 as u8; // literal in range: lossless
+    let minus_one = -1 as i64; // small negative literal: lossless
+    let exact_float = 7 as f64; // small literal is exact in f64
+    let from_char = 'x' as u32; // char literal -> u32 is defined lossless
+    let from_bool = true as u64; // bool literal -> int is 0 or 1
+    let level = 2 as Level; // non-numeric target: out of scope
+    let widened = u64::from(small); // `From`, not `as`
+    widened + from_bool + u64::from(from_char) + u64::from(fits) + level.rank()
+        + minus_one.unsigned_abs()
+}

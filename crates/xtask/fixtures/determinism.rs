@@ -6,7 +6,7 @@ fn violations(seed: u64) -> u64 {
     let wall = std::time::SystemTime::now(); //~ determinism
     let byte: u8 = rand::random(); //~ determinism
     let mut rng = rand::thread_rng(); //~ determinism
-    seed + byte as u64 + t0.elapsed().as_nanos() as u64 + rng.next_u64()
+    seed + u64::from(byte) + t0.elapsed().as_secs() + rng.next_u64()
         + wall.elapsed().map(|d| d.as_secs()).unwrap_or(seed)
 }
 

@@ -1,0 +1,40 @@
+//! Fixture for the `ignored-result` check: `let _ =` and bare-`;` discards
+//! of `Result`-returning or `#[must_use]` calls. The signature table is
+//! built from this file itself, so `save` and `compute` below are the
+//! workspace functions under test; `write_all`/`writeln!` exercise the std
+//! builtins. This file is test data, never compiled.
+
+struct Error;
+
+fn save(path: &str) -> Result<(), Error> {
+    let bytes = path.len();
+    if bytes == 0 {
+        Err(Error)
+    } else {
+        Ok(())
+    }
+}
+
+#[must_use]
+fn compute(n: u64) -> u64 {
+    n + 1
+}
+
+fn violations(out: &mut String, sink: &mut Sink) {
+    let _ = save("scan"); //~ ignored-result
+    save("retry"); //~ ignored-result
+    let _ = writeln!(out, "digest"); //~ ignored-result
+    let _ = compute(3); //~ ignored-result
+    sink.write_all(out.as_bytes()); //~ ignored-result
+}
+
+fn negatives(out: &mut String) -> Result<(), Error> {
+    save("checked")?; // `?` propagates the error
+    let bound = compute(3); // bound to a name, not discarded
+    let infallible = out.len(); // not in the signature table
+    let sum = bound + u64::try_from(infallible).unwrap_or(0);
+    if sum == 0 {
+        return Err(Error);
+    }
+    save("tail") // tail expression: the Result is returned, not dropped
+}

@@ -23,7 +23,7 @@ fn negatives(v: Vec<u32>, o: Option<u32>) -> u32 {
     let s = "strings may say .unwrap() or panic! freely";
     let first = v.first().copied().unwrap_or(0); // unwrap_or is fine
     let pair: [u32; 2] = [7, 8]; // array type + literal, no base expression
-    o.unwrap_or(first) + pair.len() as u32 + m.len() as u32 + s.len() as u32
+    o.unwrap_or(first) + u32::try_from(pair.len() + m.len() + s.len()).unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -1,0 +1,30 @@
+//! Fixture for the `par-determinism` check: constructs inside rayon
+//! parallel chains that break bit-identical replay — float reductions,
+//! interior-mutability captures, and locks. This file is test data, never
+//! compiled.
+
+fn violations(v: &[f64], cell: &RefCell<u64>, m: &Mutex<u64>, data: &Mutex<Vec<u64>>) -> f64 {
+    let float_sum: f64 = v.par_iter().sum::<f64>(); //~ par-determinism
+    let folded = v.par_iter().copied().reduce(|| 0.0, |a, b| a + b); //~ par-determinism
+    v.par_iter().for_each(|_| {
+        let scratch = Cell::new(0u64); //~ par-determinism
+        scratch.set(scratch.get() + 1);
+    });
+    v.par_iter().for_each(|_| {
+        *cell.borrow_mut() += 1; //~ par-determinism
+    });
+    v.par_iter().for_each(|_| {
+        if let Ok(mut guard) = m.lock() { //~ par-determinism
+            *guard += 1;
+        }
+    });
+    let serialized: u64 = data.lock().unwrap_or_default().par_iter().copied().sum(); //~ par-determinism
+    float_sum + folded + f64::from(u32::try_from(serialized).unwrap_or(0))
+}
+
+fn negatives(v: &[u64], w: &[f64]) -> f64 {
+    let int_sum: u64 = v.par_iter().copied().sum(); // integer reduction: associative
+    let seq_float: f64 = w.iter().copied().sum::<f64>(); // sequential float sum is ordered
+    let scaled: Vec<f64> = w.par_iter().map(|x| x * 0.5).collect(); // collect preserves order
+    seq_float + scaled.iter().copied().sum::<f64>() + f64::from(u32::try_from(int_sum).unwrap_or(0))
+}

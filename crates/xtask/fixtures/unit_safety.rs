@@ -1,0 +1,22 @@
+//! Fixture for the `unit-safety` check: additive arithmetic or comparisons
+//! mixing seconds, days, bytes, and the `Timestamp`/`TimeDelta` newtypes,
+//! plus manual day-to-second conversion via `SECS_PER_DAY`. This file is
+//! test data, never compiled.
+
+fn violations(t: Timestamp, d: TimeDelta, day: i64, c: Catalog) -> bool {
+    let mixed = t.secs() + t.day(); //~ unit-safety
+    let manual = day * SECS_PER_DAY; //~ unit-safety
+    let apples = t.secs() - c.total_bytes(); //~ unit-safety
+    let ordered = d.whole_days() < d.secs(); //~ unit-safety
+    let typed_vs_raw = Timestamp::from_days(2) == d.secs(); //~ unit-safety
+    mixed + manual + apples > 0 && ordered && typed_vs_raw
+}
+
+fn negatives(t: Timestamp, d: TimeDelta, c: Catalog) -> bool {
+    let later = Timestamp::from_days(2) + TimeDelta::from_days(1); // typed op
+    let seconds = d.secs() + SECS_PER_DAY; // both sides are seconds
+    let days = t.day() < REPLAY_YEAR_DAYS; // both sides are days
+    let bytes = c.total_bytes() - c.retained_bytes(); // both sides are bytes
+    let age = t.age_since(later) + TimeDelta::ZERO; // both are TimeDelta
+    days && seconds + bytes > 0 && age.secs() > 0
+}

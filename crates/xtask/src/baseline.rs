@@ -1,18 +1,61 @@
-//! The panic-freedom baseline ratchet.
+//! The baseline ratchets (panic-freedom and cast-audit).
 //!
-//! The seed codebase predates the panic-freedom invariant, so it carries a
-//! known set of `.unwrap()`/indexing sites. Rather than waiving them one by
-//! one, their per-file-per-category counts are checked in here and compared
-//! exactly on every run: a count above its baseline entry is a regression,
-//! a count below it is a *stale* baseline (the ratchet must be tightened
-//! with `cargo xtask check --update-baseline` so the improvement can never
-//! be silently given back). New files start at an implicit baseline of zero.
+//! The seed codebase predates both invariants, so it carries a known set of
+//! `.unwrap()`/indexing sites and raw numeric casts. Rather than waiving
+//! them one by one, their per-file-per-category counts are checked in here
+//! and compared exactly on every run: a count above its baseline entry is a
+//! regression, a count below it is a *stale* baseline (the ratchet must be
+//! tightened with `cargo xtask check --update-baseline` so the improvement
+//! can never be silently given back). New files start at an implicit
+//! baseline of zero.
 
 use std::collections::BTreeMap;
 use std::path::Path;
 
-/// Location of the ratchet file, relative to the workspace root.
+/// Location of the panic-freedom ratchet file, relative to the workspace
+/// root.
 pub const BASELINE_PATH: &str = "crates/xtask/panic-baseline.txt";
+
+/// Location of the cast-audit ratchet file, relative to the workspace root.
+pub const CAST_BASELINE_PATH: &str = "crates/xtask/cast-baseline.txt";
+
+/// Header comment written at the top of each ratchet file.
+const PANIC_HEADER: &str =
+    "# panic-freedom baseline: per-file counts of potentially panicking sites\n\
+     # in non-test library code. Maintained by `cargo xtask check --update-baseline`.\n\
+     # The ratchet only goes down: raising a count requires editing this file by\n\
+     # hand in the same change that justifies the new panic site.\n";
+
+const CAST_HEADER: &str =
+    "# cast-audit baseline: per-file counts of potentially lossy numeric `as`\n\
+     # casts in non-test library code, categorised by target type. Maintained by\n\
+     # `cargo xtask check --update-baseline`. The ratchet only goes down: new raw\n\
+     # casts must go through core::convert (or carry an `xtask-allow: cast-audit`\n\
+     # waiver) instead of raising a count here.\n";
+
+/// Which ratchet file a load/store call addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ratchet {
+    PanicFreedom,
+    CastAudit,
+}
+
+impl Ratchet {
+    /// Workspace-relative path of the ratchet file.
+    pub fn path(self) -> &'static str {
+        match self {
+            Ratchet::PanicFreedom => BASELINE_PATH,
+            Ratchet::CastAudit => CAST_BASELINE_PATH,
+        }
+    }
+
+    fn header(self) -> &'static str {
+        match self {
+            Ratchet::PanicFreedom => PANIC_HEADER,
+            Ratchet::CastAudit => CAST_HEADER,
+        }
+    }
+}
 
 /// Per-file, per-category violation counts. Keys are
 /// `(workspace-relative path with forward slashes, category)`.
@@ -60,13 +103,8 @@ pub fn parse(text: &str) -> Result<Counts, String> {
 }
 
 /// Render counts in the baseline file format, stable order, zeros dropped.
-pub fn render(counts: &Counts) -> String {
-    let mut out = String::from(
-        "# panic-freedom baseline: per-file counts of potentially panicking sites\n\
-         # in non-test library code. Maintained by `cargo xtask check --update-baseline`.\n\
-         # The ratchet only goes down: raising a count requires editing this file by\n\
-         # hand in the same change that justifies the new panic site.\n",
-    );
+pub fn render(ratchet: Ratchet, counts: &Counts) -> String {
+    let mut out = String::from(ratchet.header());
     for ((path, category), count) in counts {
         if *count > 0 {
             out.push_str(&format!("{count} {category} {path}\n"));
@@ -121,12 +159,12 @@ pub fn compare(current: &Counts, baseline: &Counts) -> Vec<BaselineIssue> {
     issues
 }
 
-/// Load the baseline from `root`, tolerating a missing file (empty baseline).
+/// Load a baseline from `root`, tolerating a missing file (empty baseline).
 ///
 /// # Errors
 /// Propagates parse errors; a present-but-broken file must fail loudly.
-pub fn load(root: &Path) -> Result<Counts, String> {
-    let path = root.join(BASELINE_PATH);
+pub fn load(root: &Path, ratchet: Ratchet) -> Result<Counts, String> {
+    let path = root.join(ratchet.path());
     match std::fs::read_to_string(&path) {
         Ok(text) => parse(&text),
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Counts::new()),
@@ -134,13 +172,13 @@ pub fn load(root: &Path) -> Result<Counts, String> {
     }
 }
 
-/// Write `counts` as the new baseline under `root`.
+/// Write `counts` as the new baseline for `ratchet` under `root`.
 ///
 /// # Errors
 /// Returns a message when the file cannot be written.
-pub fn store(root: &Path, counts: &Counts) -> Result<(), String> {
-    let path = root.join(BASELINE_PATH);
-    std::fs::write(&path, render(counts))
+pub fn store(root: &Path, ratchet: Ratchet, counts: &Counts) -> Result<(), String> {
+    let path = root.join(ratchet.path());
+    std::fs::write(&path, render(ratchet, counts))
         .map_err(|e| format!("cannot write {}: {e}", path.display()))
 }
 
@@ -161,8 +199,10 @@ mod tests {
             ("crates/fs/src/trie.rs", "unwrap", 5),
             ("crates/sim/src/engine.rs", "index", 2),
         ]);
-        let parsed = parse(&render(&c)).unwrap();
-        assert_eq!(parsed, c);
+        for ratchet in [Ratchet::PanicFreedom, Ratchet::CastAudit] {
+            let parsed = parse(&render(ratchet, &c)).unwrap();
+            assert_eq!(parsed, c);
+        }
     }
 
     #[test]

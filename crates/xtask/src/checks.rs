@@ -28,12 +28,18 @@ impl Finding {
 }
 
 /// Names of the checks as used on the command line and in waiver comments.
-pub const CHECK_NAMES: [&str; 5] = [
+/// The first five are the token-window checks in this module; the last four
+/// are the AST-based families in [`crate::semantic`].
+pub const CHECK_NAMES: [&str; 9] = [
     "panic-freedom",
     "newtype",
     "dispatch",
     "float-cmp",
     "determinism",
+    "cast-audit",
+    "ignored-result",
+    "unit-safety",
+    "par-determinism",
 ];
 
 fn tok_at(tokens: &[Token], i: usize) -> Option<&Tok> {

@@ -138,6 +138,38 @@ pub fn lex(src: &str) -> Lexed {
             continue;
         }
 
+        // Byte char literal `b'x'` — one Char token, not Ident("b") + char.
+        if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+            let start_line = line;
+            i = skip_quoted(&chars, i + 2, '\'', &mut line);
+            out.tokens.push(Token {
+                tok: Tok::Char,
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Raw identifier `r#ident` — lexes as the bare identifier, the way
+        // rustc resolves it (`r#type` names `type`). The raw-string branch
+        // above already claimed `r#"…"#`, so a `#` here followed by an
+        // identifier start can only be a raw identifier.
+        if c == 'r'
+            && chars.get(i + 1) == Some(&'#')
+            && chars.get(i + 2).is_some_and(|c| is_ident_start(*c))
+        {
+            let start = i + 2;
+            i = start;
+            while i < chars.len() && chars.get(i).is_some_and(|c| is_ident_continue(*c)) {
+                i += 1;
+            }
+            let text: String = chars.get(start..i).unwrap_or_default().iter().collect();
+            out.tokens.push(Token {
+                tok: Tok::Ident(text),
+                line,
+            });
+            continue;
+        }
+
         if is_ident_start(c) {
             let start = i;
             while i < chars.len() && chars.get(i).is_some_and(|c| is_ident_continue(*c)) {
@@ -582,6 +614,97 @@ mod tests {
             .collect();
         assert!(!names.contains(&"probe".to_string()));
         assert!(names.contains(&"stays".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_their_bare_name() {
+        let names = idents("fn r#type(r#match: u32) -> u32 { r#match }");
+        assert_eq!(names, vec!["fn", "type", "match", "u32", "u32", "match"]);
+        assert!(!names.contains(&"r".to_string()));
+    }
+
+    #[test]
+    fn raw_identifier_does_not_swallow_raw_strings() {
+        let lexed = lex(r###"let s = r#"raw"#; r#fn"###);
+        assert_eq!(lexed.tokens.iter().filter(|t| t.tok == Tok::Str).count(), 1);
+        assert!(idents(r###"let s = r#"raw"#; r#fn"###).contains(&"fn".to_string()));
+    }
+
+    #[test]
+    fn byte_char_is_a_single_char_token() {
+        for src in ["b'x'", "b'\\''", "b'\\n'"] {
+            let lexed = lex(src);
+            let toks: Vec<&Tok> = lexed.tokens.iter().map(|t| &t.tok).collect();
+            assert_eq!(toks, vec![&Tok::Char], "{src}");
+        }
+        // A following token is not eaten by the literal.
+        assert!(idents("b'x' tail").contains(&"tail".to_string()));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_single_tokens() {
+        for src in ["b\"bytes\"", "br#\"raw bytes\"#", "br\"plain\""] {
+            let lexed = lex(src);
+            assert_eq!(
+                lexed.tokens.iter().filter(|t| t.tok == Tok::Str).count(),
+                1,
+                "{src}"
+            );
+            assert!(idents(src).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn nested_block_comments_hide_everything() {
+        let names = idents("/* outer /* inner .unwrap() */ still comment */ real");
+        assert_eq!(names, vec!["real"]);
+    }
+
+    #[test]
+    fn nested_block_comments_keep_line_numbers() {
+        let lexed = lex("/* a\n/* b\n*/\nc */\nlet t = 9;");
+        let nine = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Int("9".to_string()))
+            .map(|t| t.line);
+        assert_eq!(nine, Some(5));
+    }
+
+    #[test]
+    fn doc_comments_hide_their_text() {
+        let names = idents("/// call .unwrap() freely\n//! inner docs panic!\nfn real() {}");
+        assert_eq!(names, vec!["fn", "real"]);
+        let block = idents("/** block doc .unwrap() */ fn real() {}");
+        assert_eq!(block, vec!["fn", "real"]);
+    }
+
+    #[test]
+    fn static_and_anonymous_lifetimes() {
+        let lexed = lex("fn f(x: &'static str, y: &'_ u32) -> char { '\\n' }");
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.tok == Tok::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            lexed.tokens.iter().filter(|t| t.tok == Tok::Char).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn multiline_raw_strings_keep_line_numbers() {
+        let lexed = lex("let s = r#\"a\nb\nc\"#;\nlet t = 9;");
+        let nine = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Int("9".to_string()))
+            .map(|t| t.line);
+        assert_eq!(nine, Some(4));
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Repo-specific static analysis for the ActiveDR workspace.
 //!
-//! `cargo xtask check` enforces five invariants that rustc and clippy cannot
-//! express because they are about *this* codebase's architecture:
+//! `cargo xtask check` enforces nine invariants that rustc and clippy cannot
+//! express because they are about *this* codebase's architecture. Five are
+//! token-level (over the [`lexer`] stream):
 //!
 //! 1. **panic-freedom** — no `.unwrap()`/`.expect()`/panicking macros/index
 //!    expressions in non-test library code, ratcheted by a checked-in
@@ -16,11 +17,28 @@
 //! 5. **determinism** — no wall clocks or ambient-entropy RNGs; replay must
 //!    be reproducible from a seed.
 //!
+//! Four are semantic, over the expression tree built by [`ast`] and
+//! traversed via [`visit`] (see [`semantic`]):
+//!
+//! 6. **cast-audit** — every potentially lossy numeric `as` cast in library
+//!    code is counted per file and target type against a second ratchet
+//!    file (`cast-baseline.txt`); new casts must go through `core::convert`.
+//! 7. **ignored-result** — no `let _ =` or bare-statement discards of
+//!    `Result`-returning or `#[must_use]` calls resolved against a
+//!    workspace-wide signature table.
+//! 8. **unit-safety** — no arithmetic mixing seconds, days, bytes, and
+//!    timestamps without going through the typed conversions.
+//! 9. **par-determinism** — no `RefCell`/`Cell` captures, held locks, or
+//!    order-sensitive float reductions inside rayon parallel pipelines.
+//!
 //! Individual findings can be waived in place with a
 //! `// xtask-allow: <check> -- <reason>` comment on the same line or the
 //! line above; unused waivers are themselves errors.
 
+pub mod ast;
 pub mod baseline;
 pub mod checks;
 pub mod lexer;
 pub mod runner;
+pub mod semantic;
+pub mod visit;

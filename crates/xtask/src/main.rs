@@ -10,12 +10,13 @@ Usage: cargo xtask <command>
 
 Commands:
   check                 run all invariant checks
-    --update-baseline   rewrite the panic-freedom ratchet file
+    --update-baseline   rewrite the panic-freedom and cast-audit ratchet files
     --only <names>      comma-separated subset of checks to run
     --root <dir>        workspace root (default: this repository)
   help                  show this message
 
-Checks: panic-freedom, newtype, dispatch, float-cmp, determinism
+Checks: panic-freedom, newtype, dispatch, float-cmp, determinism,
+        cast-audit, ignored-result, unit-safety, par-determinism
 ";
 
 fn workspace_root() -> PathBuf {

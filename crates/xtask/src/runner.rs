@@ -3,9 +3,10 @@
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
-use crate::baseline::{self, BaselineIssue, Counts};
+use crate::baseline::{self, BaselineIssue, Counts, Ratchet};
 use crate::checks::{self, Finding};
-use crate::lexer;
+use crate::semantic::{self, Signatures};
+use crate::{ast, lexer};
 
 /// Crates whose non-test code must be panic-free (ratcheted) and must keep
 /// newtype discipline. The binaries (`cli`) and the bench harness are
@@ -40,14 +41,24 @@ const DISPATCH_ENUMS: &[(&str, &str)] = &[
 /// The one module where exact float comparison is allowed (and documented).
 const FLOAT_HOME: &str = "crates/core/src/approx.rs";
 
+/// The module that exists to hold the workspace's numeric conversions: raw
+/// `as` casts are its implementation technique, so cast-audit skips it.
+const CAST_HOME: &str = "crates/core/src/convert.rs";
+
+/// Modules that define the unit-bearing types and conversions: raw
+/// second/day/byte arithmetic is their whole point, so unit-safety skips
+/// them.
+const UNIT_HOMES: &[&str] = &["crates/core/src/time.rs", "crates/core/src/convert.rs"];
+
 /// How to invoke a run.
 #[derive(Debug, Default)]
 pub struct Config {
     /// Workspace root (the directory holding the top-level Cargo.toml).
     pub root: PathBuf,
-    /// Restrict to these check names; `None` runs all five.
+    /// Restrict to these check names; `None` runs all nine.
     pub only: Option<Vec<String>>,
-    /// Rewrite the panic-freedom baseline instead of comparing against it.
+    /// Rewrite the panic-freedom and cast-audit baselines instead of
+    /// comparing against them.
     pub update_baseline: bool,
 }
 
@@ -72,9 +83,14 @@ pub struct Report {
     pub panic_counts: Counts,
     /// Every ratcheted panic site: `(file, category, line, message)`.
     pub panic_sites: Vec<(String, String, u32, String)>,
+    /// Current cast-audit counts (after waivers), keyed by
+    /// `(file, target type)`.
+    pub cast_counts: Counts,
+    /// Every ratcheted cast site: `(file, category, line, message)`.
+    pub cast_sites: Vec<(String, String, u32, String)>,
     /// Files scanned.
     pub files_scanned: usize,
-    /// Set when `--update-baseline` rewrote the ratchet file.
+    /// Set when `--update-baseline` rewrote the ratchet files.
     pub baseline_updated: bool,
 }
 
@@ -95,18 +111,21 @@ impl Report {
             ));
         }
         let panic_total: u32 = self.panic_counts.values().sum();
+        let cast_total: u32 = self.cast_counts.values().sum();
         out.push_str(&format!(
             "xtask check: {} files scanned, {} error(s), {} waived finding(s), \
-             {} ratcheted panic site(s)\n",
+             {} ratcheted panic site(s), {} ratcheted cast site(s)\n",
             self.files_scanned,
             self.errors.len(),
             self.waived.len(),
             panic_total,
+            cast_total,
         ));
         if self.baseline_updated {
             out.push_str(&format!(
-                "baseline rewritten: {}\n",
-                baseline::BASELINE_PATH
+                "baselines rewritten: {}, {}\n",
+                baseline::BASELINE_PATH,
+                baseline::CAST_BASELINE_PATH
             ));
         }
         out
@@ -174,12 +193,44 @@ pub fn run(cfg: &Config) -> Result<Report, String> {
         .flat_map(|c| rust_files(&cfg.root.join("crates").join(c).join("src")))
         .collect();
 
+    // Pass 1: lex and parse every file once, and build the workspace-wide
+    // signature table from the library crates (ignored-result resolves
+    // callee names against it, so `fs.create(…)` in `sim` sees the
+    // `Result`-returning signature defined in `fs`).
+    struct Parsed {
+        file: String,
+        waivers: Vec<(u32, String)>,
+        tokens: Vec<lexer::Token>,
+        ast: ast::File,
+    }
+    let mut parsed: Vec<Parsed> = Vec::with_capacity(all_files.len());
+    let mut sigs = Signatures::with_builtins();
     for path in &all_files {
         let file = rel(&cfg.root, path);
         let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {file}: {e}"))?;
         let lexed = lexer::lex(&src);
-        let waivers = lexed.waivers;
         let tokens = lexer::strip_test_regions(lexed.tokens);
+        let file_ast = ast::parse_file(&tokens);
+        if lib_files.contains(&file) {
+            semantic::collect_signatures(&file_ast, &mut sigs);
+        }
+        parsed.push(Parsed {
+            file,
+            waivers: lexed.waivers,
+            tokens,
+            ast: file_ast,
+        });
+    }
+
+    // Pass 2: run the enabled checks over each parsed file.
+    for Parsed {
+        file,
+        waivers,
+        tokens,
+        ast: file_ast,
+    } in &parsed
+    {
+        let file = file.clone();
         report.files_scanned += 1;
 
         // Collect (check, findings) pairs for this file.
@@ -187,10 +238,10 @@ pub fn run(cfg: &Config) -> Result<Report, String> {
         let in_lib = lib_files.contains(&file);
 
         if enabled(cfg, "panic-freedom") && in_lib {
-            findings.push(("panic-freedom", checks::check_panic_freedom(&tokens)));
+            findings.push(("panic-freedom", checks::check_panic_freedom(tokens)));
         }
         if enabled(cfg, "newtype") && in_lib && !NEWTYPE_HOMES.contains(&file.as_str()) {
-            findings.push(("newtype", checks::check_newtype(&tokens)));
+            findings.push(("newtype", checks::check_newtype(tokens)));
         }
         if enabled(cfg, "dispatch") {
             let monitored: Vec<&str> = DISPATCH_ENUMS
@@ -198,13 +249,28 @@ pub fn run(cfg: &Config) -> Result<Report, String> {
                 .filter(|(_, home)| *home != file)
                 .map(|(name, _)| *name)
                 .collect();
-            findings.push(("dispatch", checks::check_dispatch(&tokens, &monitored)));
+            findings.push(("dispatch", checks::check_dispatch(tokens, &monitored)));
         }
         if enabled(cfg, "float-cmp") && file != FLOAT_HOME {
-            findings.push(("float-cmp", checks::check_float_cmp(&tokens)));
+            findings.push(("float-cmp", checks::check_float_cmp(tokens)));
         }
         if enabled(cfg, "determinism") {
-            findings.push(("determinism", checks::check_determinism(&tokens)));
+            findings.push(("determinism", checks::check_determinism(tokens)));
+        }
+        if enabled(cfg, "cast-audit") && in_lib && file != CAST_HOME {
+            findings.push(("cast-audit", semantic::check_cast_audit(file_ast)));
+        }
+        if enabled(cfg, "ignored-result") && in_lib {
+            findings.push((
+                "ignored-result",
+                semantic::check_ignored_result(file_ast, &sigs),
+            ));
+        }
+        if enabled(cfg, "unit-safety") && in_lib && !UNIT_HOMES.contains(&file.as_str()) {
+            findings.push(("unit-safety", semantic::check_unit_safety(file_ast)));
+        }
+        if enabled(cfg, "par-determinism") {
+            findings.push(("par-determinism", semantic::check_par_determinism(file_ast)));
         }
 
         // Apply waivers: `// xtask-allow: <check>` covers findings on its
@@ -236,6 +302,19 @@ pub fn run(cfg: &Config) -> Result<Report, String> {
                         .entry((file.clone(), f.category.to_string()))
                         .or_insert(0) += 1;
                     report.panic_sites.push((
+                        file.clone(),
+                        f.category.to_string(),
+                        f.line,
+                        f.message.clone(),
+                    ));
+                } else if check == "cast-audit" {
+                    // The second ratchet: pre-existing raw casts are carried
+                    // in cast-baseline.txt, new ones are regressions.
+                    *report
+                        .cast_counts
+                        .entry((file.clone(), f.category.to_string()))
+                        .or_insert(0) += 1;
+                    report.cast_sites.push((
                         file.clone(),
                         f.category.to_string(),
                         f.line,
@@ -274,45 +353,57 @@ pub fn run(cfg: &Config) -> Result<Report, String> {
         }
     }
 
-    // Baseline: compare or rewrite.
-    if enabled(cfg, "panic-freedom") {
+    // Baselines: compare or rewrite each ratchet.
+    let ratchets: [(&str, Ratchet); 2] = [
+        ("panic-freedom", Ratchet::PanicFreedom),
+        ("cast-audit", Ratchet::CastAudit),
+    ];
+    for (check, ratchet) in ratchets {
+        if !enabled(cfg, check) {
+            continue;
+        }
+        let (counts, sites) = match ratchet {
+            Ratchet::PanicFreedom => (&report.panic_counts, &report.panic_sites),
+            Ratchet::CastAudit => (&report.cast_counts, &report.cast_sites),
+        };
         if cfg.update_baseline {
-            baseline::store(&cfg.root, &report.panic_counts)?;
+            baseline::store(&cfg.root, ratchet, counts)?;
             report.baseline_updated = true;
-        } else {
-            let base = baseline::load(&cfg.root)?;
-            for BaselineIssue {
-                file,
-                category,
-                message,
-                regression,
-            } in baseline::compare(&report.panic_counts, &base)
-            {
-                // Point regressions at the individual sites so the offender
-                // is one click away.
-                if regression {
-                    for (sfile, _, line, smsg) in report
-                        .panic_sites
-                        .iter()
-                        .filter(|(sfile, scat, _, _)| *sfile == file && *scat == category)
-                    {
-                        report.errors.push(Violation {
-                            check: "panic-freedom".to_string(),
-                            file: sfile.clone(),
-                            line: *line,
-                            message: format!("{smsg} [{message}]"),
-                        });
-                    }
-                } else {
-                    report.errors.push(Violation {
-                        check: "panic-freedom".to_string(),
-                        file,
-                        line: 0,
-                        message,
+            continue;
+        }
+        let base = baseline::load(&cfg.root, ratchet)?;
+        let mut issues = Vec::new();
+        for BaselineIssue {
+            file,
+            category,
+            message,
+            regression,
+        } in baseline::compare(counts, &base)
+        {
+            // Point regressions at the individual sites so the offender
+            // is one click away.
+            if regression {
+                for (sfile, _, line, smsg) in sites
+                    .iter()
+                    .filter(|(sfile, scat, _, _)| *sfile == file && *scat == category)
+                {
+                    issues.push(Violation {
+                        check: check.to_string(),
+                        file: sfile.clone(),
+                        line: *line,
+                        message: format!("{smsg} [{message}]"),
                     });
                 }
+            } else {
+                issues.push(Violation {
+                    check: check.to_string(),
+                    file,
+                    line: 0,
+                    message,
+                });
             }
         }
+        report.errors.extend(issues);
     }
 
     report

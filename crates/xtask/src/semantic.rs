@@ -1,0 +1,870 @@
+//! The four AST-based check families (semantic analysis v2).
+//!
+//! These checks reason about expressions, which the token-window checks in
+//! [`crate::checks`] cannot:
+//!
+//! * **cast-audit** — every potentially lossy numeric `as` cast is a
+//!   finding, categorised by target type and ratcheted per file against
+//!   `crates/xtask/cast-baseline.txt`.
+//! * **ignored-result** — `let _ = …` and bare `…;` statements that discard
+//!   the value of a `Result`-returning or `#[must_use]` function.
+//! * **unit-safety** — arithmetic or comparison mixing values of different
+//!   physical units (seconds, days, bytes) or mixing the raw units with the
+//!   `Timestamp`/`TimeDelta` newtypes outside their typed operations.
+//! * **par-determinism** — constructs inside rayon parallel chains that
+//!   break bit-identical replay: interior-mutability captures, locks, and
+//!   order-sensitive floating-point reductions.
+//!
+//! Like the token checks, every function here is pure: file scoping lives in
+//! [`crate::runner`], and each check degrades to "no finding" on code the
+//! parser abstracted to [`ExprKind::Opaque`].
+
+use std::collections::BTreeSet;
+
+use crate::ast::{Block, Expr, ExprKind, File, FnItem, Item, Stmt};
+use crate::checks::Finding;
+use crate::visit;
+
+// ---------------------------------------------------------------------------
+// Signature table (shared by ignored-result)
+// ---------------------------------------------------------------------------
+
+/// Function names whose return value must not be silently discarded.
+/// Collected by name across the whole library tree — the checker has no type
+/// inference, so names are the resolution unit. Names that collide with
+/// ubiquitous infallible std methods ([`AMBIGUOUS_NAMES`]) are excluded:
+/// resolving `map.insert(…)` against a `Result`-returning trie `insert`
+/// would drown the report in false positives.
+#[derive(Debug, Default, Clone)]
+pub struct Signatures {
+    /// Functions returning `Result<…>` (any path spelling containing the
+    /// `Result` ident).
+    pub result_fns: BTreeSet<String>,
+    /// Functions annotated `#[must_use]`.
+    pub must_use_fns: BTreeSet<String>,
+}
+
+/// `Result`-returning std functions and macros commonly discarded by
+/// accident. Deliberately short: every entry is a name that appears in this
+/// workspace's non-test code paths.
+const STD_RESULT_FNS: [&str; 5] = [
+    "write_all",
+    "flush",
+    "create_dir_all",
+    "remove_file",
+    "remove_dir_all",
+];
+
+/// Macros that expand to a `Result` value.
+const RESULT_MACROS: [&str; 2] = ["write", "writeln"];
+
+/// Method names so common on std containers (where they return `Option`,
+/// `bool`, or `()`) that a same-named workspace function cannot be resolved
+/// by name alone. These never enter the signature table; fallible functions
+/// should not reuse these names (and the ones that do are covered by
+/// rustc's `unused_must_use` at their concrete type).
+const AMBIGUOUS_NAMES: [&str; 8] = [
+    "insert", "remove", "push", "pop", "replace", "take", "swap", "extend",
+];
+
+impl Signatures {
+    /// A table pre-seeded with the std builtins.
+    pub fn with_builtins() -> Self {
+        Signatures {
+            result_fns: STD_RESULT_FNS.iter().map(|s| (*s).to_string()).collect(),
+            must_use_fns: BTreeSet::new(),
+        }
+    }
+
+    fn is_flagged(&self, name: &str) -> bool {
+        self.result_fns.contains(name) || self.must_use_fns.contains(name)
+    }
+}
+
+/// Fold `file`'s function signatures into `sigs`.
+pub fn collect_signatures(file: &File, sigs: &mut Signatures) {
+    fn item(it: &Item, sigs: &mut Signatures) {
+        match it {
+            Item::Fn(FnItem {
+                name,
+                must_use,
+                ret,
+                ..
+            }) => {
+                if AMBIGUOUS_NAMES.contains(&name.as_str()) {
+                    return;
+                }
+                if *must_use {
+                    sigs.must_use_fns.insert(name.clone());
+                }
+                if ret.as_deref().is_some_and(returns_result) {
+                    sigs.result_fns.insert(name.clone());
+                }
+            }
+            Item::Impl { items, .. } | Item::Mod { items, .. } => {
+                for it in items {
+                    item(it, sigs);
+                }
+            }
+        }
+    }
+    for it in &file.items {
+        item(it, sigs);
+    }
+}
+
+/// Does a return-type text name `Result` as a path segment (`Result<…>`,
+/// `io :: Result<…>`, `std :: io :: Result<…>`)?
+fn returns_result(ret: &str) -> bool {
+    ret.split(|c: char| !c.is_alphanumeric() && c != '_')
+        .any(|seg| seg == "Result")
+}
+
+// ---------------------------------------------------------------------------
+// 6. cast-audit
+// ---------------------------------------------------------------------------
+
+/// The closed set of numeric cast targets; returning `&'static str` lets the
+/// target type double as the baseline category.
+fn numeric_target(ty: &str) -> Option<&'static str> {
+    Some(match ty {
+        "u8" => "u8",
+        "u16" => "u16",
+        "u32" => "u32",
+        "u64" => "u64",
+        "u128" => "u128",
+        "usize" => "usize",
+        "i8" => "i8",
+        "i16" => "i16",
+        "i32" => "i32",
+        "i64" => "i64",
+        "i128" => "i128",
+        "isize" => "isize",
+        "f32" => "f32",
+        "f64" => "f64",
+        _ => return None,
+    })
+}
+
+/// Parse an integer literal's value (underscores stripped, radix prefixes
+/// honoured, type suffix ignored). `None` for anything unparseable.
+fn int_literal_value(text: &str) -> Option<u128> {
+    let t: String = text.chars().filter(|c| *c != '_').collect();
+    let (radix, digits) = if let Some(rest) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X"))
+    {
+        (16u32, rest)
+    } else if let Some(rest) = t.strip_prefix("0o").or_else(|| t.strip_prefix("0O")) {
+        (8, rest)
+    } else if let Some(rest) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        (2, rest)
+    } else {
+        (10, t.as_str())
+    };
+    // Cut the type suffix: the first char that is not a digit of the radix.
+    let end = digits
+        .char_indices()
+        .find(|(_, c)| !c.is_digit(radix))
+        .map_or(digits.len(), |(i, _)| i);
+    let digits = digits.get(..end).unwrap_or("");
+    if digits.is_empty() {
+        return None;
+    }
+    u128::from_str_radix(digits, radix).ok()
+}
+
+/// Does the literal value `v` (negated when `neg`) convert exactly into
+/// `target`? `usize`/`isize` are treated as 64-bit — this workspace only
+/// targets 64-bit platforms.
+fn literal_fits(v: u128, neg: bool, target: &str) -> bool {
+    // Exactly-representable integer bound for the float targets.
+    const F64_EXACT: u128 = 1 << 53;
+    const F32_EXACT: u128 = 1 << 24;
+    let unsigned_max: u128 = match target {
+        "u8" => u128::from(u8::MAX),
+        "u16" => u128::from(u16::MAX),
+        "u32" => u128::from(u32::MAX),
+        "u64" | "usize" => u128::from(u64::MAX),
+        "u128" => u128::MAX,
+        _ => 0,
+    };
+    match target {
+        "f64" => v <= F64_EXACT,
+        "f32" => v <= F32_EXACT,
+        "i8" | "i16" | "i32" | "i64" | "i128" | "isize" => {
+            let max: u128 = match target {
+                "i8" => i8::MAX as u128,
+                "i16" => i16::MAX as u128,
+                "i32" => i32::MAX as u128,
+                "i64" | "isize" => i64::MAX as u128,
+                _ => i128::MAX as u128,
+            };
+            if neg {
+                v <= max + 1 // |i::MIN| = i::MAX + 1
+            } else {
+                v <= max
+            }
+        }
+        _ => !neg && v <= unsigned_max,
+    }
+}
+
+/// Is this cast provably lossless from the operand's syntax alone?
+fn cast_is_lossless(operand: &Expr, target: &str) -> bool {
+    match &operand.kind {
+        ExprKind::Int(text) => {
+            int_literal_value(text).is_some_and(|v| literal_fits(v, false, target))
+        }
+        ExprKind::Unary { op: "-", operand } => match &operand.kind {
+            ExprKind::Int(text) => {
+                int_literal_value(text).is_some_and(|v| literal_fits(v, true, target))
+            }
+            _ => false,
+        },
+        // Float literals default to f64; a cast to f64 is the identity.
+        ExprKind::Float(_) => target == "f64",
+        // char -> u32 and wider is defined lossless; bool -> any int is 0/1.
+        ExprKind::Char => matches!(target, "u32" | "u64" | "u128" | "i64" | "i128"),
+        ExprKind::Bool(_) => !matches!(target, "f32" | "f64"),
+        _ => false,
+    }
+}
+
+/// Every potentially lossy numeric `as` cast. The category is the target
+/// type, so the ratchet file reads `3 f64 crates/sim/src/report.rs`.
+pub fn check_cast_audit(file: &File) -> Vec<Finding> {
+    let mut out = Vec::new();
+    visit::visit_file(file, &mut |e| {
+        if let ExprKind::Cast { operand, ty } = &e.kind {
+            if let Some(target) = numeric_target(ty) {
+                if !cast_is_lossless(operand, target) {
+                    out.push(Finding {
+                        line: e.line,
+                        category: target,
+                        message: format!(
+                            "raw `as {target}` cast (possible truncation/precision loss); \
+                             use the typed ops or core::convert helpers"
+                        ),
+                    });
+                }
+            }
+        }
+    });
+    out
+}
+
+// ---------------------------------------------------------------------------
+// 7. ignored-result
+// ---------------------------------------------------------------------------
+
+/// The function name a discarded expression resolves to, if its outermost
+/// node is a call. `f()?` is excluded — the `?` already handled the error.
+fn discarded_call_name(e: &Expr) -> Option<(String, bool)> {
+    match &e.kind {
+        ExprKind::Call { callee, .. } => match &callee.kind {
+            ExprKind::Path(p) => p.rsplit("::").next().map(|last| (last.to_string(), false)),
+            _ => None,
+        },
+        ExprKind::Method { name, .. } => Some((name.clone(), false)),
+        ExprKind::MacroCall { name, .. } => {
+            let last = name.rsplit("::").next().unwrap_or(name);
+            RESULT_MACROS
+                .contains(&last)
+                .then(|| (last.to_string(), true))
+        }
+        _ => None,
+    }
+}
+
+/// `let _ = f(…);` and bare `f(…);` where `f` is `Result`-returning or
+/// `#[must_use]` per the signature table.
+pub fn check_ignored_result(file: &File, sigs: &Signatures) -> Vec<Finding> {
+    let mut out = Vec::new();
+    visit::visit_blocks(file, &mut |block: &Block| {
+        for stmt in &block.stmts {
+            match stmt {
+                Stmt::Let {
+                    pat,
+                    init: Some(init),
+                    line,
+                } if pat == "_" => {
+                    if let Some((name, is_macro)) = discarded_call_name(init) {
+                        if is_macro || sigs.is_flagged(&name) {
+                            let what = if is_macro {
+                                format!("`{name}!`")
+                            } else {
+                                format!("`{name}`")
+                            };
+                            out.push(Finding {
+                                line: *line,
+                                category: "",
+                                message: format!(
+                                    "`let _ =` discards the Result of {what}; handle the error \
+                                     or waive with a reason"
+                                ),
+                            });
+                        }
+                    }
+                }
+                Stmt::Expr { expr, semi: true } => {
+                    if let Some((name, is_macro)) = discarded_call_name(expr) {
+                        if is_macro || sigs.result_fns.contains(&name) {
+                            let what = if is_macro {
+                                format!("`{name}!`")
+                            } else {
+                                format!("`{name}`")
+                            };
+                            out.push(Finding {
+                                line: expr.line,
+                                category: "",
+                                message: format!(
+                                    "Result of {what} dropped by `;`; handle the error or \
+                                     waive with a reason"
+                                ),
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    });
+    out
+}
+
+// ---------------------------------------------------------------------------
+// 8. unit-safety
+// ---------------------------------------------------------------------------
+
+/// The unit a syntactic expression provably carries, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Unit {
+    /// Raw seconds (`.secs()`, `SECS_PER_DAY` in additive position).
+    Secs,
+    /// Raw days (`.day()`, `.whole_days()`, `.days_f64()`, year constants).
+    Days,
+    /// Raw byte counts (`*_bytes()` accessors).
+    Bytes,
+    /// The `Timestamp` newtype itself.
+    Timestamp,
+    /// The `TimeDelta` newtype itself.
+    Delta,
+}
+
+impl Unit {
+    fn name(self) -> &'static str {
+        match self {
+            Unit::Secs => "seconds",
+            Unit::Days => "days",
+            Unit::Bytes => "bytes",
+            Unit::Timestamp => "Timestamp",
+            Unit::Delta => "TimeDelta",
+        }
+    }
+}
+
+/// Accessor methods whose name pins down the unit of their result.
+fn unit_of_method(name: &str) -> Option<Unit> {
+    match name {
+        "secs" => Some(Unit::Secs),
+        "day" | "whole_days" | "days_f64" => Some(Unit::Days),
+        "age_since" => Some(Unit::Delta),
+        _ if name.ends_with("_bytes") || name == "bytes" => Some(Unit::Bytes),
+        _ => None,
+    }
+}
+
+fn unit_of_path(path: &str) -> Option<Unit> {
+    let last = path.rsplit("::").next().unwrap_or(path);
+    match last {
+        "SECS_PER_DAY" => Some(Unit::Secs),
+        "REPLAY_YEAR_DAYS" | "WARMUP_YEAR_DAYS" => Some(Unit::Days),
+        "EPOCH" if path.contains("Timestamp") => Some(Unit::Timestamp),
+        "ZERO" if path.contains("TimeDelta") => Some(Unit::Delta),
+        _ => None,
+    }
+}
+
+fn unit_of_call(path: &str) -> Option<Unit> {
+    let mut segs = path.rsplit("::");
+    let last = segs.next().unwrap_or(path);
+    let prev = segs.next().unwrap_or("");
+    match (prev, last) {
+        (_, "Timestamp") => Some(Unit::Timestamp),
+        (_, "TimeDelta") => Some(Unit::Delta),
+        ("Timestamp", "from_days" | "from_days_f64") => Some(Unit::Timestamp),
+        ("TimeDelta", "from_days" | "from_days_f64" | "from_hours") => Some(Unit::Delta),
+        _ => None,
+    }
+}
+
+/// Infer the unit of an expression, seeing through casts, negation,
+/// references and `?`.
+fn unit_of(e: &Expr) -> Option<Unit> {
+    match &e.kind {
+        ExprKind::Cast { operand, .. } => unit_of(operand),
+        ExprKind::Unary { operand, .. } => unit_of(operand),
+        ExprKind::Ref(inner) | ExprKind::Try(inner) => unit_of(inner),
+        ExprKind::Method { name, .. } => unit_of_method(name),
+        ExprKind::Path(p) => unit_of_path(p),
+        ExprKind::Call { callee, .. } => match &callee.kind {
+            ExprKind::Path(p) => unit_of_call(p),
+            _ => None,
+        },
+        // Same-unit arithmetic preserves the unit; anything else is unknown.
+        ExprKind::Binary { op, lhs, rhs } if matches!(*op, "+" | "-") => {
+            let (l, r) = (unit_of(lhs), unit_of(rhs));
+            if l == r {
+                l
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// May `l` and `r` legally meet across an additive or comparison operator?
+fn units_compatible(l: Unit, r: Unit) -> bool {
+    if l == r {
+        return true;
+    }
+    // The typed ops: Timestamp ± TimeDelta, Timestamp - Timestamp.
+    matches!(
+        (l, r),
+        (Unit::Timestamp, Unit::Delta) | (Unit::Delta, Unit::Timestamp)
+    )
+}
+
+/// Is this expression literally the `SECS_PER_DAY` constant (possibly cast)?
+fn is_secs_per_day(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Cast { operand, .. } => is_secs_per_day(operand),
+        ExprKind::Path(p) => p.rsplit("::").next() == Some("SECS_PER_DAY"),
+        _ => false,
+    }
+}
+
+/// Arithmetic mixing different units, and manual day↔second conversion by
+/// multiplying/dividing with `SECS_PER_DAY` outside the unit home modules.
+pub fn check_unit_safety(file: &File) -> Vec<Finding> {
+    const ADDITIVE_OR_CMP: [&str; 8] = ["+", "-", "<", ">", "<=", ">=", "==", "!="];
+    let mut out = Vec::new();
+    visit::visit_file(file, &mut |e| {
+        let (op, lhs, rhs) = match &e.kind {
+            ExprKind::Binary { op, lhs, rhs } => (*op, lhs, rhs),
+            ExprKind::Assign { op, lhs, rhs } if matches!(*op, "+=" | "-=") => (*op, lhs, rhs),
+            _ => return,
+        };
+        if matches!(op, "*" | "/") {
+            if is_secs_per_day(lhs) || is_secs_per_day(rhs) {
+                out.push(Finding {
+                    line: e.line,
+                    category: "",
+                    message: format!(
+                        "manual day\u{2194}second conversion (`{op}` with SECS_PER_DAY); use \
+                         Timestamp/TimeDelta::from_days or core::convert"
+                    ),
+                });
+            }
+            return;
+        }
+        if ADDITIVE_OR_CMP.contains(&op) || matches!(op, "+=" | "-=") {
+            if let (Some(l), Some(r)) = (unit_of(lhs), unit_of(rhs)) {
+                if !units_compatible(l, r) {
+                    out.push(Finding {
+                        line: e.line,
+                        category: "",
+                        message: format!(
+                            "`{op}` mixes {} and {}; convert explicitly through the typed ops \
+                             or core::convert",
+                            l.name(),
+                            r.name()
+                        ),
+                    });
+                }
+            }
+        }
+    });
+    out
+}
+
+// ---------------------------------------------------------------------------
+// 9. par-determinism
+// ---------------------------------------------------------------------------
+
+/// Methods that introduce a rayon parallel iterator.
+const PAR_INTROS: [&str; 8] = [
+    "par_iter",
+    "into_par_iter",
+    "par_iter_mut",
+    "par_bridge",
+    "par_chunks",
+    "par_chunks_mut",
+    "par_windows",
+    "par_drain",
+];
+
+/// Order-sensitive terminal reductions (grouping varies run to run).
+const REDUCTIONS: [&str; 5] = ["reduce", "sum", "fold", "fold_with", "product"];
+
+/// Does the method-receiver chain of `e` pass through a parallel intro?
+fn chain_has_par(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Method { recv, name, .. } => {
+            PAR_INTROS.contains(&name.as_str()) || chain_has_par(recv)
+        }
+        ExprKind::Try(inner) | ExprKind::Ref(inner) => chain_has_par(inner),
+        _ => false,
+    }
+}
+
+/// Does any float evidence appear in the reduction: an `::<f64>`-style
+/// turbofish, a float literal in a closure body, or arithmetic on
+/// identifiable float values?
+fn reduction_is_float(turbofish: Option<&str>, args: &[Expr]) -> bool {
+    if turbofish.is_some_and(|t| t.contains("f64") || t.contains("f32")) {
+        return true;
+    }
+    let mut float = false;
+    for arg in args {
+        visit::visit_expr(arg, &mut |e| match &e.kind {
+            ExprKind::Float(_) => float = true,
+            ExprKind::Path(p) if p.starts_with("f64") || p.starts_with("f32") => float = true,
+            ExprKind::Cast { ty, .. } if ty == "f64" || ty == "f32" => float = true,
+            _ => {}
+        });
+    }
+    float
+}
+
+/// Scan one closure body for replay-determinism hazards.
+fn scan_par_closure(body: &Expr, out: &mut Vec<Finding>) {
+    visit::visit_expr(body, &mut |e| match &e.kind {
+        ExprKind::Path(p) => {
+            let first = p.split("::").next().unwrap_or(p);
+            if first == "RefCell" || first == "Cell" {
+                out.push(Finding {
+                    line: e.line,
+                    category: "",
+                    message: format!(
+                        "`{first}` inside a rayon closure: interior mutability across parallel \
+                         tasks breaks deterministic replay"
+                    ),
+                });
+            }
+        }
+        ExprKind::Method { name, .. } if name == "borrow" || name == "borrow_mut" => {
+            out.push(Finding {
+                line: e.line,
+                category: "",
+                message: format!(
+                    "`.{name}()` inside a rayon closure: RefCell access across parallel tasks \
+                     breaks deterministic replay"
+                ),
+            });
+        }
+        ExprKind::Method { name, .. } if name == "lock" => {
+            out.push(Finding {
+                line: e.line,
+                category: "",
+                message: "lock acquired inside a rayon closure: cross-task ordering becomes \
+                          schedule-dependent"
+                    .to_string(),
+            });
+        }
+        _ => {}
+    });
+}
+
+/// Does a subtree contain a `.lock()` call (for "lock held across
+/// `par_iter`" detection on the receiver side)?
+fn subtree_locks(e: &Expr) -> Option<u32> {
+    let mut line = None;
+    visit::visit_expr(e, &mut |x| {
+        if let ExprKind::Method { name, .. } = &x.kind {
+            if name == "lock" && line.is_none() {
+                line = Some(x.line);
+            }
+        }
+    });
+    line
+}
+
+/// Replay-determinism hazards inside rayon parallel chains.
+pub fn check_par_determinism(file: &File) -> Vec<Finding> {
+    let mut out = Vec::new();
+    visit::visit_file(file, &mut |e| {
+        let ExprKind::Method {
+            recv,
+            name,
+            turbofish,
+            args,
+        } = &e.kind
+        else {
+            return;
+        };
+        // A lock held on the receiver side of the par intro serializes (or
+        // deadlocks) the parallel loop and orders tasks by acquisition.
+        if PAR_INTROS.contains(&name.as_str()) {
+            if let Some(line) = subtree_locks(recv) {
+                out.push(Finding {
+                    line,
+                    category: "",
+                    message: format!(
+                        "lock held across `.{name}()`: parallel tasks run under one guard, \
+                         making progress schedule-dependent"
+                    ),
+                });
+            }
+            return;
+        }
+        if !chain_has_par(recv) {
+            return;
+        }
+        // Inside the parallel part of the chain.
+        if REDUCTIONS.contains(&name.as_str()) && reduction_is_float(turbofish.as_deref(), args) {
+            out.push(Finding {
+                line: e.line,
+                category: "",
+                message: format!(
+                    "floating-point `.{name}()` on a parallel iterator: rayon's reduction \
+                     grouping is nondeterministic, so results are not bit-identical across runs"
+                ),
+            });
+        }
+        for arg in args {
+            if let ExprKind::Closure { body } = &arg.kind {
+                scan_par_closure(body, &mut out);
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse_file;
+    use crate::lexer::{lex, strip_test_regions};
+
+    fn file(src: &str) -> File {
+        parse_file(&strip_test_regions(lex(src).tokens))
+    }
+
+    fn cast_findings(src: &str) -> Vec<Finding> {
+        check_cast_audit(&file(src))
+    }
+
+    #[test]
+    fn lossy_casts_are_findings_lossless_literals_are_not() {
+        assert_eq!(cast_findings("fn f(n: usize) -> f64 { n as f64 }").len(), 1);
+        assert!(cast_findings("fn f() -> f64 { 7 as f64 }").is_empty());
+        assert!(cast_findings("fn f() -> i64 { -1 as i64 }").is_empty());
+        assert!(cast_findings("fn f() -> u8 { 255 as u8 }").is_empty());
+        assert_eq!(cast_findings("fn f() -> u8 { 256 as u8 }").len(), 1);
+        // 2^53 + 1 is not exactly representable in f64.
+        assert_eq!(
+            cast_findings("fn f() -> f64 { 9007199254740993 as f64 }").len(),
+            1
+        );
+        // Non-numeric target types are out of scope.
+        assert!(cast_findings("fn f(x: u8) -> Level { x as Level }").is_empty());
+    }
+
+    #[test]
+    fn cast_category_is_target_type() {
+        let f = cast_findings("fn f(n: i64) -> usize { n as usize }");
+        assert_eq!(f.first().map(|f| f.category), Some("usize"));
+    }
+
+    #[test]
+    fn casts_inside_macros_and_closures_are_audited() {
+        assert_eq!(
+            cast_findings("fn f(n: usize) { println!(\"{}\", n as u64); }").len(),
+            1
+        );
+        assert_eq!(
+            cast_findings("fn f(v: &[i64]) -> Vec<f64> { v.iter().map(|x| *x as f64).collect() }")
+                .len(),
+            1
+        );
+    }
+
+    fn sigs_for(src: &str) -> Signatures {
+        let mut sigs = Signatures::with_builtins();
+        collect_signatures(&file(src), &mut sigs);
+        sigs
+    }
+
+    #[test]
+    fn signature_table_finds_result_and_must_use() {
+        let src = r#"
+            fn plain() -> u32 { 1 }
+            fn fallible() -> Result<u32, Error> { Ok(1) }
+            impl Foo { fn io_like(&self) -> io::Result<()> { Ok(()) } }
+            #[must_use]
+            fn important() -> u32 { 2 }
+        "#;
+        let sigs = sigs_for(src);
+        assert!(sigs.result_fns.contains("fallible"));
+        assert!(sigs.result_fns.contains("io_like"));
+        assert!(!sigs.result_fns.contains("plain"));
+        assert!(sigs.must_use_fns.contains("important"));
+    }
+
+    #[test]
+    fn let_underscore_on_result_is_flagged() {
+        let src = r#"
+            fn fallible() -> Result<u32, E> { Ok(1) }
+            fn caller() { let _ = fallible(); }
+        "#;
+        let f = file(src);
+        let sigs = sigs_for(src);
+        assert_eq!(check_ignored_result(&f, &sigs).len(), 1);
+    }
+
+    #[test]
+    fn question_mark_and_bound_results_are_fine() {
+        let src = r#"
+            fn fallible() -> Result<u32, E> { Ok(1) }
+            fn caller() -> Result<(), E> {
+                let _ = fallible()?;
+                let x = fallible();
+                drop(x);
+                Ok(())
+            }
+        "#;
+        let f = file(src);
+        let sigs = sigs_for(src);
+        assert!(check_ignored_result(&f, &sigs).is_empty());
+    }
+
+    #[test]
+    fn bare_semicolon_discard_is_flagged() {
+        let src = r#"
+            impl S { fn save(&self) -> Result<(), E> { Ok(()) } }
+            fn caller(s: &S) { s.save(); }
+        "#;
+        let f = file(src);
+        let sigs = sigs_for(src);
+        let findings = check_ignored_result(&f, &sigs);
+        assert_eq!(findings.len(), 1);
+        assert!(findings
+            .first()
+            .is_some_and(|f| f.message.contains("dropped by `;`")));
+    }
+
+    #[test]
+    fn writeln_discard_is_flagged() {
+        let src = "fn f(out: &mut String) { let _ = writeln!(out, \"x\"); }";
+        let f = file(src);
+        let sigs = Signatures::with_builtins();
+        assert_eq!(check_ignored_result(&f, &sigs).len(), 1);
+    }
+
+    fn unit_findings(src: &str) -> Vec<Finding> {
+        check_unit_safety(&file(src))
+    }
+
+    #[test]
+    fn mixing_seconds_and_days_is_flagged() {
+        assert_eq!(
+            unit_findings("fn f(a: Timestamp, d: TimeDelta) -> i64 { a.secs() + d.whole_days() }")
+                .len(),
+            1
+        );
+        assert_eq!(
+            unit_findings("fn f(a: Timestamp, d: TimeDelta) -> bool { a.day() < d.secs() }").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn same_unit_and_typed_ops_are_fine() {
+        assert!(
+            unit_findings("fn f(a: Timestamp, b: Timestamp) -> i64 { a.secs() - b.secs() }")
+                .is_empty()
+        );
+        assert!(
+            unit_findings("fn f(a: Timestamp, d: TimeDelta) -> Timestamp { a + d }").is_empty()
+        );
+        assert!(unit_findings(
+            "fn f(t: Timestamp, d: i64) -> bool { t < Timestamp::from_days(d) }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn bytes_never_meet_time() {
+        assert_eq!(
+            unit_findings("fn f(fs: &Vfs, t: TimeDelta) -> i64 { fs.used_bytes() + t.secs() }")
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn manual_secs_per_day_conversion_is_flagged() {
+        assert_eq!(
+            unit_findings("fn f(days: i64) -> i64 { days * SECS_PER_DAY }").len(),
+            1
+        );
+        assert_eq!(
+            unit_findings("fn f(secs: i64) -> i64 { secs / SECS_PER_DAY }").len(),
+            1
+        );
+        assert!(unit_findings("fn f(s: i64) -> i64 { s + SECS_PER_DAY - 1 }").is_empty());
+    }
+
+    fn par_findings(src: &str) -> Vec<Finding> {
+        check_par_determinism(&file(src))
+    }
+
+    #[test]
+    fn float_reduction_in_par_chain_is_flagged() {
+        assert_eq!(
+            par_findings("fn f(v: Vec<f64>) -> f64 { v.par_iter().map(|x| x * 2.0).sum::<f64>() }")
+                .len(),
+            1
+        );
+        // Integer sum is order-insensitive.
+        assert!(par_findings(
+            "fn f(v: Vec<u64>) -> u64 { v.par_iter().map(|x| x + 1).sum::<u64>() }"
+        )
+        .is_empty());
+        // Sequential float sum is fine.
+        assert!(par_findings(
+            "fn f(v: Vec<f64>) -> f64 { v.iter().map(|x| x * 2.0).sum::<f64>() }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn refcell_and_lock_in_par_closures_are_flagged() {
+        assert_eq!(
+            par_findings(
+                "fn f(v: &[u32], c: &RefCell<u32>) { v.par_iter().for_each(|x| { *c.borrow_mut() += x; }); }"
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            par_findings(
+                "fn f(v: &[u32], m: &Mutex<u32>) { v.par_iter().for_each(|x| { *m.lock() += x; }); }"
+            )
+            .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn lock_held_across_par_intro_is_flagged() {
+        assert_eq!(
+            par_findings(
+                "fn f(m: &Mutex<Vec<u32>>) { m.lock().par_iter().for_each(|x| use_it(x)); }"
+            )
+            .len(),
+            1
+        );
+    }
+}

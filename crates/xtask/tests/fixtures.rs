@@ -1,10 +1,15 @@
-//! Fixture-driven tests for the five checks.
+//! Fixture-driven tests for the nine checks.
 //!
 //! Each file under `fixtures/` annotates every line that must be flagged with
-//! a trailing `//~ <check>` marker (`//~ panic-freedom:<category>` for the
-//! ratcheted check). The harness runs *all* checks over each fixture and
-//! requires the produced findings to equal the markers exactly — so a fixture
-//! both proves its check fires and proves the other four stay silent on it.
+//! a trailing `//~ <check>` marker (`//~ panic-freedom:<category>` and
+//! `//~ cast-audit:<target>` for the ratcheted checks; several markers may
+//! share one `//~` when a line trips more than one check). The harness runs
+//! *all* checks — token-window and AST-based — over each fixture and requires
+//! the produced findings to equal the markers exactly, so a fixture both
+//! proves its check fires and proves the other eight stay silent on it.
+//!
+//! For `ignored-result` the signature table is built from the fixture itself
+//! (plus the std builtins), mirroring the runner's workspace-wide pass 1.
 
 #![allow(
     clippy::cast_possible_truncation,
@@ -13,8 +18,10 @@
 
 use std::path::Path;
 
+use xtask::ast;
 use xtask::checks;
 use xtask::lexer;
+use xtask::semantic;
 
 /// Enums the dispatch check monitors when run over fixtures.
 const MONITORED: [&str; 2] = ["PolicyKind", "ActivityClass"];
@@ -26,11 +33,15 @@ fn expected(src: &str) -> Vec<(u32, String)> {
         let Some(pos) = line.find("//~") else {
             continue;
         };
-        let key = line[pos + 3..]
-            .split_whitespace()
-            .next()
-            .unwrap_or_else(|| panic!("fixture line {}: empty //~ marker", idx + 1));
-        out.push((idx as u32 + 1, key.to_string()));
+        let keys: Vec<&str> = line[pos + 3..].split_whitespace().collect();
+        assert!(
+            !keys.is_empty(),
+            "fixture line {}: empty //~ marker",
+            idx + 1
+        );
+        for key in keys {
+            out.push((idx as u32 + 1, key.to_string()));
+        }
     }
     out.sort();
     out
@@ -55,6 +66,21 @@ fn produced(src: &str) -> Vec<(u32, String)> {
     }
     for f in checks::check_determinism(&tokens) {
         out.push((f.line, "determinism".to_string()));
+    }
+    let file = ast::parse_file(&tokens);
+    let mut sigs = semantic::Signatures::with_builtins();
+    semantic::collect_signatures(&file, &mut sigs);
+    for f in semantic::check_cast_audit(&file) {
+        out.push((f.line, format!("cast-audit:{}", f.category)));
+    }
+    for f in semantic::check_ignored_result(&file, &sigs) {
+        out.push((f.line, "ignored-result".to_string()));
+    }
+    for f in semantic::check_unit_safety(&file) {
+        out.push((f.line, "unit-safety".to_string()));
+    }
+    for f in semantic::check_par_determinism(&file) {
+        out.push((f.line, "par-determinism".to_string()));
     }
     out.sort();
     out
@@ -101,4 +127,24 @@ fn float_cmp_fixture() {
 #[test]
 fn determinism_fixture() {
     assert_fixture("determinism.rs");
+}
+
+#[test]
+fn cast_audit_fixture() {
+    assert_fixture("cast_audit.rs");
+}
+
+#[test]
+fn ignored_result_fixture() {
+    assert_fixture("ignored_result.rs");
+}
+
+#[test]
+fn unit_safety_fixture() {
+    assert_fixture("unit_safety.rs");
+}
+
+#[test]
+fn par_determinism_fixture() {
+    assert_fixture("par_determinism.rs");
 }

@@ -1,5 +1,6 @@
-//! End-to-end tests of the panic-freedom baseline ratchet and the waiver
-//! mechanism, run against throwaway miniature workspaces in a temp dir.
+//! End-to-end tests of the panic-freedom and cast-audit baseline ratchets
+//! and the waiver mechanism, run against throwaway miniature workspaces in
+//! a temp dir.
 
 #![allow(
     clippy::expect_used,
@@ -225,5 +226,153 @@ fn unknown_check_name_in_waiver_is_an_error() {
         "{}",
         report.render()
     );
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// Write a lib.rs with `casts` many lossy `as` casts (and nothing that
+/// trips any other check).
+fn write_cast_lib(root: &Path, casts: usize) {
+    let mut body = String::from("fn f(n: usize) -> u64 {\n    let mut acc: u64 = 0;\n");
+    for _ in 0..casts {
+        body.push_str("    acc += n as u64;\n");
+    }
+    body.push_str("    acc\n}\n");
+    fs::write(root.join("crates/core/src/lib.rs"), body).expect("write fixture lib");
+}
+
+#[test]
+fn cast_missing_baseline_means_zero_allowance() {
+    let root = temp_root("cast-zero");
+    write_cast_lib(&root, 2);
+    let report = check(&root, false);
+    assert!(!report.is_clean());
+    assert_eq!(
+        report.errors.len(),
+        2,
+        "each cast site is pinpointed:\n{}",
+        report.render()
+    );
+    for e in &report.errors {
+        assert_eq!(e.check, "cast-audit");
+        assert_eq!(e.file, "crates/core/src/lib.rs");
+        assert!(e.line > 0, "regressions point at the offending line");
+        assert!(e.message.contains("baseline allows 0"), "{}", e.message);
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn cast_update_baseline_then_clean() {
+    let root = temp_root("cast-update");
+    write_cast_lib(&root, 2);
+    let report = check(&root, true);
+    assert!(
+        report.baseline_updated && report.is_clean(),
+        "{}",
+        report.render()
+    );
+    let text =
+        fs::read_to_string(root.join("crates/xtask/cast-baseline.txt")).expect("baseline written");
+    assert!(text.contains("2 u64 crates/core/src/lib.rs"), "{text}");
+    assert!(check(&root, false).is_clean(), "baselined tree passes");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn cast_count_above_baseline_is_a_regression() {
+    let root = temp_root("cast-regress");
+    write_cast_lib(&root, 1);
+    check(&root, true);
+    write_cast_lib(&root, 3);
+    let report = check(&root, false);
+    assert!(!report.is_clean());
+    assert_eq!(
+        report.errors.len(),
+        3,
+        "all candidate sites are listed:\n{}",
+        report.render()
+    );
+    assert!(report
+        .errors
+        .iter()
+        .all(|e| e.check == "cast-audit" && e.message.contains("baseline allows 1")));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn cast_improvement_is_stale_until_locked_in() {
+    let root = temp_root("cast-stale");
+    write_cast_lib(&root, 2);
+    check(&root, true);
+    write_cast_lib(&root, 1);
+    let report = check(&root, false);
+    assert!(
+        !report.is_clean(),
+        "an unlocked improvement must fail the check"
+    );
+    assert_eq!(report.errors.len(), 1);
+    let err = report.errors.first().expect("one stale-baseline error");
+    assert!(
+        err.message.contains("lock in the improvement"),
+        "{}",
+        err.message
+    );
+    let report = check(&root, true);
+    assert!(report.baseline_updated && report.is_clean());
+    let text = fs::read_to_string(root.join("crates/xtask/cast-baseline.txt"))
+        .expect("baseline rewritten");
+    assert!(text.contains("1 u64 crates/core/src/lib.rs"), "{text}");
+    assert!(check(&root, false).is_clean());
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn cast_waiver_silences_a_site_without_counting_it() {
+    let root = temp_root("cast-waiver");
+    fs::write(
+        root.join("crates/core/src/lib.rs"),
+        "fn f(n: usize) -> u64 {\n\
+         \x20   // xtask-allow: cast-audit -- fixture: bound checked by the caller\n\
+         \x20   n as u64\n\
+         }\n",
+    )
+    .expect("write fixture lib");
+    let report = check(&root, false);
+    assert!(report.is_clean(), "{}", report.render());
+    assert_eq!(report.waived.len(), 1);
+    assert!(
+        report.cast_counts.is_empty(),
+        "waived sites stay out of the ratchet"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn both_ratchets_operate_independently() {
+    let root = temp_root("both");
+    fs::write(
+        root.join("crates/core/src/lib.rs"),
+        "fn f(o: Option<u32>, n: usize) -> u64 {\n\
+         \x20   u64::from(o.unwrap()) + n as u64\n\
+         }\n",
+    )
+    .expect("write fixture lib");
+    let report = check(&root, true);
+    assert!(report.is_clean(), "{}", report.render());
+    assert_eq!(report.panic_counts.len(), 1, "one unwrap entry");
+    assert_eq!(report.cast_counts.len(), 1, "one cast entry");
+    // Fixing only the cast leaves the panic baseline untouched but makes
+    // the cast baseline stale.
+    fs::write(
+        root.join("crates/core/src/lib.rs"),
+        "fn f(o: Option<u32>, n: u32) -> u64 {\n\
+         \x20   u64::from(o.unwrap()) + u64::from(n)\n\
+         }\n",
+    )
+    .expect("write fixture lib");
+    let report = check(&root, false);
+    assert_eq!(report.errors.len(), 1, "{}", report.render());
+    let err = report.errors.first().expect("one stale entry");
+    assert_eq!(err.check, "cast-audit");
     let _ = fs::remove_dir_all(&root);
 }

@@ -1,6 +1,8 @@
 //! The checker must pass over the tree that ships it: `cargo xtask check`
-//! clean, and the panic-freedom ratchet strictly below its pre-introduction
-//! level (18 `.unwrap()`/`.expect()` sites in non-test library code).
+//! clean, the panic-freedom ratchet strictly below its pre-introduction
+//! level (18 `.unwrap()`/`.expect()` sites in non-test library code), and
+//! the cast-audit ratchet strictly below *its* pre-introduction level
+//! (186 raw `as` casts in non-test library code before `core::convert`).
 
 #![allow(
     clippy::expect_used,
@@ -58,4 +60,21 @@ fn unwrap_expect_ratchet_is_below_pre_introduction_level() {
         "{total} unwrap/expect sites in library code — the ratchet started at 18 \
          and must only go down"
     );
+}
+
+#[test]
+fn cast_ratchet_is_below_pre_introduction_level() {
+    let cfg = Config {
+        root: workspace_root(),
+        only: Some(vec!["cast-audit".to_string()]),
+        update_baseline: false,
+    };
+    let report = run(&cfg).expect("checker runs over the shipped tree");
+    let total: u32 = report.cast_counts.values().copied().sum();
+    assert!(
+        total < 186,
+        "{total} raw `as` casts in library code — the ratchet started at 186 \
+         and must only go down"
+    );
+    assert!(total > 0, "zero casts counted — cast discovery is broken");
 }
