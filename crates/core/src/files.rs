@@ -136,6 +136,30 @@ impl Catalog {
     pub fn get(&self, user: UserId) -> Option<&UserFiles> {
         self.users.iter().find(|u| u.user == user)
     }
+
+    /// Replace `listing.user`'s entry (or insert it at its sorted slot).
+    ///
+    /// Requires — and preserves — users sorted ascending by id, the order
+    /// every catalog producer in this workspace emits. The incremental
+    /// catalog uses this to patch only dirty users between triggers.
+    pub fn upsert_user(&mut self, listing: UserFiles) {
+        match self.users.binary_search_by_key(&listing.user, |u| u.user) {
+            Ok(i) => {
+                if let Some(slot) = self.users.get_mut(i) {
+                    *slot = listing;
+                }
+            }
+            Err(i) => self.users.insert(i, listing),
+        }
+    }
+
+    /// Drop `user`'s entry, if present (same sorted-order requirement as
+    /// [`Catalog::upsert_user`]).
+    pub fn remove_user(&mut self, user: UserId) {
+        if let Ok(i) = self.users.binary_search_by_key(&user, |u| u.user) {
+            self.users.remove(i);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +188,28 @@ mod tests {
         assert_eq!(c.user_ids(), vec![UserId(1), UserId(2)]);
         assert_eq!(c.get(UserId(2)).unwrap().file_count(), 2);
         assert!(c.get(UserId(3)).is_none());
+    }
+
+    #[test]
+    fn upsert_and_remove_keep_sorted_order() {
+        let mut c = Catalog::new(vec![
+            UserFiles::new(UserId(1), vec![rec(1, 10, 0)]),
+            UserFiles::new(UserId(5), vec![rec(2, 20, 0)]),
+        ]);
+        // Insert between existing users.
+        c.upsert_user(UserFiles::new(UserId(3), vec![rec(3, 30, 0)]));
+        assert_eq!(c.user_ids(), vec![UserId(1), UserId(3), UserId(5)]);
+        // Replace in place.
+        c.upsert_user(UserFiles::new(UserId(3), vec![rec(4, 40, 0)]));
+        assert_eq!(c.total_bytes(), 70);
+        assert_eq!(c.get(UserId(3)).unwrap().files[0].id, FileId(4));
+        // Remove present and absent users.
+        c.remove_user(UserId(1));
+        c.remove_user(UserId(9));
+        assert_eq!(c.user_ids(), vec![UserId(3), UserId(5)]);
+        // Append past the end.
+        c.upsert_user(UserFiles::new(UserId(8), vec![]));
+        assert_eq!(c.user_ids(), vec![UserId(3), UserId(5), UserId(8)]);
     }
 
     #[test]

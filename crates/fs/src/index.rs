@@ -1,0 +1,463 @@
+//! Incrementally maintained retention catalog (Robinhood-style index).
+//!
+//! [`CatalogIndex`] is the consumer side of the [`crate::changelog`]
+//! stream: it keeps per-user file listings — ordered exactly as a trie
+//! walk would order them — plus per-user byte/atime aggregates, and folds
+//! drained [`Delta`]s in O(changes). A retention trigger then materializes
+//! the policy-facing [`Catalog`] from the index instead of re-walking the
+//! namespace; users untouched since the previous trigger reuse their
+//! cached listing verbatim, so a no-change trigger costs O(1).
+//!
+//! # Equivalence guarantee
+//!
+//! [`CatalogIndex::snapshot`] is *identical* to
+//! [`crate::VirtualFs::catalog`] over the same file system state and
+//! exemption list: the same `FileId` space (trie node ids), the same user
+//! order (ascending [`UserId`]), the same per-user file order
+//! (component-lexicographic path order, via [`PathKey`]), and the same
+//! exemption flags. `tests/integration_catalog_mode.rs` pins this at every
+//! trigger of full replays under all four policies.
+
+use crate::changelog::Delta;
+use crate::exemption::ExemptionList;
+use crate::meta::FileMeta;
+use crate::trie::{components, NodeId};
+use crate::vfs::VirtualFs;
+use activedr_core::files::{Catalog, FileId, FileRecord, UserFiles};
+use activedr_core::time::Timestamp;
+use activedr_core::user::UserId;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A canonical path that orders the way the trie iterates:
+/// lexicographically by *component*, not by raw string. The two differ
+/// when a component contains bytes below `/` (0x2F): as raw strings
+/// `"/x/a.b" < "/x/a/b"`, but component order puts `a` before `a.b`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathKey(Box<str>);
+
+impl PathKey {
+    /// Key for `path` (normalized: empty and `.` components dropped).
+    pub fn new(path: &str) -> PathKey {
+        PathKey(crate::changelog::canonical_path(path).into_boxed_str())
+    }
+
+    /// The canonical path string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Ord for PathKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        components(&self.0).cmp(components(&other.0))
+    }
+}
+
+impl PartialOrd for PathKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One indexed file: everything a [`FileRecord`] needs, minus the owner
+/// (implied by the owning [`UserShard`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct IndexedFile {
+    id: NodeId,
+    size: u64,
+    atime: Timestamp,
+    ctime: Timestamp,
+    access_count: u32,
+    exempt: bool,
+}
+
+impl IndexedFile {
+    fn record(&self) -> FileRecord {
+        let mut rec = FileRecord::new(FileId(u64::from(self.id.0)), self.size, self.atime)
+            .with_ctime(self.ctime)
+            .with_access_count(self.access_count);
+        rec.exempt = self.exempt;
+        rec
+    }
+}
+
+/// One user's slice of the index: path-ordered files plus O(1)-maintained
+/// aggregates.
+#[derive(Debug, Clone, Default)]
+struct UserShard {
+    files: BTreeMap<PathKey, IndexedFile>,
+    /// Total bytes owned, maintained per delta.
+    bytes: u64,
+    /// Sum of atimes in seconds, maintained per delta — the basis of the
+    /// mean-age aggregate (exact integer arithmetic; removal-safe, unlike
+    /// a min/max which would need a rescan on delete).
+    atime_secs_sum: i128,
+}
+
+/// Per-user aggregate view exposed by [`CatalogIndex::user_aggregates`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UserAggregates {
+    /// The owning user.
+    pub user: UserId,
+    /// Files currently owned.
+    pub files: usize,
+    /// Bytes currently owned.
+    pub bytes: u64,
+    /// Sum of the files' atimes, in seconds since the epoch.
+    pub atime_secs_sum: i128,
+}
+
+impl UserAggregates {
+    /// Mean age of the user's files at `now`, in seconds; `None` for a
+    /// user with no files.
+    pub fn mean_age_secs(&self, now: Timestamp) -> Option<i128> {
+        if self.files == 0 {
+            return None;
+        }
+        let n = i128::from(activedr_core::convert::u64_from_usize(self.files));
+        Some(i128::from(now.secs()) - self.atime_secs_sum / n)
+    }
+}
+
+/// The incrementally maintained catalog: per-user listings + aggregates +
+/// a cached [`Catalog`] that is patched, not rebuilt, at snapshot time.
+#[derive(Debug, Clone, Default)]
+pub struct CatalogIndex {
+    users: BTreeMap<UserId, UserShard>,
+    /// Reverse map from node id to its index slot, so `Touch`/`Remove`
+    /// deltas (which carry only ids) resolve without a path.
+    by_id: HashMap<u32, (UserId, PathKey)>,
+    /// The materialized catalog, users sorted ascending; only entries for
+    /// users in `dirty` are rebuilt at snapshot time.
+    cached: Catalog,
+    /// Users whose cached `UserFiles` is stale.
+    dirty: BTreeSet<UserId>,
+    files: usize,
+    total_bytes: u64,
+    deltas_applied: u64,
+}
+
+impl CatalogIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        CatalogIndex::default()
+    }
+
+    /// Seed the index with one full walk of `fs` — the single initial scan
+    /// Robinhood also cannot avoid. Every subsequent trigger is fed from
+    /// the changelog alone.
+    pub fn from_fs(fs: &VirtualFs, exemptions: &ExemptionList) -> Self {
+        let mut index = CatalogIndex::new();
+        for (path, id, meta) in fs.iter() {
+            let key = PathKey::new(&path);
+            let exempt = exemptions.is_exempt(key.as_str());
+            index.upsert(key, id, meta, exempt);
+        }
+        index
+    }
+
+    /// Fold a drained delta batch into the index. `exemptions` must be the
+    /// same list the full scan would use (the engine's is fixed per run).
+    pub fn apply(&mut self, deltas: impl IntoIterator<Item = Delta>, exemptions: &ExemptionList) {
+        for delta in deltas {
+            self.deltas_applied += 1;
+            match delta {
+                Delta::Upsert { path, id, meta } => {
+                    let key = PathKey::new(&path);
+                    let exempt = exemptions.is_exempt(key.as_str());
+                    self.upsert(key, id, &meta, exempt);
+                }
+                Delta::Touch {
+                    id,
+                    atime,
+                    access_count,
+                } => self.touch(id, atime, access_count),
+                Delta::Remove { id } => self.remove(id),
+            }
+        }
+    }
+
+    fn upsert(&mut self, key: PathKey, id: NodeId, meta: &FileMeta, exempt: bool) {
+        // The id may already be indexed (an overwrite at the same path
+        // keeps its node id; a rename re-uses the id at a new path). Drop
+        // the old slot first so aggregates stay exact.
+        if let Some((old_user, old_key)) = self.by_id.get(&id.0) {
+            if *old_user != meta.owner || *old_key != key {
+                let (old_user, old_key) = (*old_user, old_key.clone());
+                self.drop_slot(old_user, &old_key);
+            }
+        }
+        let shard = self.users.entry(meta.owner).or_default();
+        let indexed = IndexedFile {
+            id,
+            size: meta.size,
+            atime: meta.atime,
+            ctime: meta.ctime,
+            access_count: meta.access_count,
+            exempt,
+        };
+        if let Some(prev) = shard.files.insert(key.clone(), indexed) {
+            // Same user+path: an in-place overwrite (or, defensively, a
+            // stale record whose Remove was lost — evict its id mapping).
+            shard.bytes -= prev.size;
+            shard.atime_secs_sum -= i128::from(prev.atime.secs());
+            self.total_bytes -= prev.size;
+            self.files -= 1;
+            if prev.id != id {
+                self.by_id.remove(&prev.id.0);
+            }
+        }
+        shard.bytes += meta.size;
+        shard.atime_secs_sum += i128::from(meta.atime.secs());
+        self.total_bytes += meta.size;
+        self.files += 1;
+        self.by_id.insert(id.0, (meta.owner, key));
+        self.dirty.insert(meta.owner);
+    }
+
+    fn touch(&mut self, id: NodeId, atime: Timestamp, access_count: u32) {
+        let Some((user, key)) = self.by_id.get(&id.0) else {
+            return; // touch of an untracked file: nothing to update
+        };
+        let user = *user;
+        if let Some(shard) = self.users.get_mut(&user) {
+            if let Some(file) = shard.files.get_mut(key) {
+                shard.atime_secs_sum += i128::from(atime.secs()) - i128::from(file.atime.secs());
+                file.atime = atime;
+                file.access_count = access_count;
+                self.dirty.insert(user);
+            }
+        }
+    }
+
+    fn remove(&mut self, id: NodeId) {
+        if let Some((user, key)) = self.by_id.remove(&id.0) {
+            self.drop_slot(user, &key);
+        }
+    }
+
+    /// Remove the record at `(user, key)` and fix aggregates. Does not
+    /// touch `by_id` — callers own that side.
+    fn drop_slot(&mut self, user: UserId, key: &PathKey) {
+        if let Some(shard) = self.users.get_mut(&user) {
+            if let Some(prev) = shard.files.remove(key) {
+                shard.bytes -= prev.size;
+                shard.atime_secs_sum -= i128::from(prev.atime.secs());
+                self.total_bytes -= prev.size;
+                self.files -= 1;
+            }
+            if shard.files.is_empty() {
+                self.users.remove(&user);
+            }
+        }
+        self.dirty.insert(user);
+    }
+
+    /// Materialize the catalog. Only users touched since the previous
+    /// snapshot are re-listed; a no-change snapshot returns the cached
+    /// catalog untouched, in O(1).
+    pub fn snapshot(&mut self) -> &Catalog {
+        let dirty = std::mem::take(&mut self.dirty);
+        for user in dirty {
+            match self.users.get(&user) {
+                Some(shard) => {
+                    let files: Vec<FileRecord> =
+                        shard.files.values().map(IndexedFile::record).collect();
+                    self.cached.upsert_user(UserFiles::new(user, files));
+                }
+                None => {
+                    self.cached.remove_user(user);
+                }
+            }
+        }
+        &self.cached
+    }
+
+    /// Files currently indexed.
+    pub fn file_count(&self) -> usize {
+        self.files
+    }
+
+    /// Bytes currently indexed.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Users currently holding at least one file.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Deltas folded in over the index's lifetime.
+    pub fn deltas_applied(&self) -> u64 {
+        self.deltas_applied
+    }
+
+    /// Aggregates for one user, if they own any files.
+    pub fn user_aggregates(&self, user: UserId) -> Option<UserAggregates> {
+        self.users.get(&user).map(|shard| UserAggregates {
+            user,
+            files: shard.files.len(),
+            bytes: shard.bytes,
+            atime_secs_sum: shard.atime_secs_sum,
+        })
+    }
+
+    /// Aggregates for every user, ascending by user id.
+    pub fn aggregates(&self) -> Vec<UserAggregates> {
+        self.users
+            .iter()
+            .map(|(&user, shard)| UserAggregates {
+                user,
+                files: shard.files.len(),
+                bytes: shard.bytes,
+                atime_secs_sum: shard.atime_secs_sum,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use activedr_core::user::UserId;
+
+    fn day(d: i64) -> Timestamp {
+        Timestamp::from_days(d)
+    }
+
+    fn populated() -> (VirtualFs, ExemptionList) {
+        let mut fs = VirtualFs::with_capacity(0);
+        fs.create("/u2/x", UserId(2), 10, day(1)).unwrap();
+        fs.create("/u1/keep", UserId(1), 20, day(2)).unwrap();
+        fs.create("/u1/drop", UserId(1), 30, day(3)).unwrap();
+        fs.create("/u1/deep/run/out.dat", UserId(1), 40, day(4))
+            .unwrap();
+        let mut ex = ExemptionList::new();
+        ex.reserve_file("/u1/keep");
+        (fs, ex)
+    }
+
+    #[test]
+    fn path_key_orders_like_the_trie() {
+        // Raw string order would put "/x/a.b" first ('.' < '/'); component
+        // order puts the shorter component "a" first, like the trie.
+        let mut keys = [
+            PathKey::new("/x/a.b"),
+            PathKey::new("/x/a/b"),
+            PathKey::new("/x/a"),
+        ];
+        keys.sort();
+        let sorted: Vec<&str> = keys.iter().map(PathKey::as_str).collect();
+        assert_eq!(sorted, vec!["/x/a", "/x/a/b", "/x/a.b"]);
+        // And normalization matches the trie's.
+        assert_eq!(PathKey::new("//a/./b").as_str(), "/a/b");
+    }
+
+    #[test]
+    fn seeded_index_matches_full_scan() {
+        let (fs, ex) = populated();
+        let mut index = CatalogIndex::from_fs(&fs, &ex);
+        assert_eq!(index.snapshot(), &fs.catalog(&ex));
+        assert_eq!(index.file_count(), fs.file_count());
+        assert_eq!(index.total_bytes(), fs.used_bytes());
+        assert_eq!(index.user_count(), 2);
+    }
+
+    #[test]
+    fn deltas_keep_index_identical_to_rescans() {
+        let (mut fs, ex) = populated();
+        fs.enable_changelog();
+        let mut index = CatalogIndex::from_fs(&fs, &ex);
+
+        // Creates, overwrites, touches, removals — then compare.
+        fs.create("/u3/new", UserId(3), 7, day(5)).unwrap();
+        fs.create("/u1/drop", UserId(1), 99, day(6)).unwrap(); // overwrite
+        fs.access("/u2/x", day(7));
+        fs.remove("/u1/keep").unwrap();
+        index.apply(fs.drain_changelog(), &ex);
+        assert_eq!(index.snapshot(), &fs.catalog(&ex));
+        assert_eq!(index.total_bytes(), fs.used_bytes());
+
+        // Removing a user's last file drops the user entirely.
+        fs.remove("/u2/x").unwrap();
+        index.apply(fs.drain_changelog(), &ex);
+        assert_eq!(index.snapshot(), &fs.catalog(&ex));
+        assert!(index.user_aggregates(UserId(2)).is_none());
+
+        // Subtree teardown and rename flow through as deltas too.
+        fs.rename("/u3/new", "/u1/moved").unwrap();
+        fs.remove_subtree("/u1/deep");
+        index.apply(fs.drain_changelog(), &ex);
+        assert_eq!(index.snapshot(), &fs.catalog(&ex));
+    }
+
+    #[test]
+    fn no_change_snapshot_is_cached() {
+        let (mut fs, ex) = populated();
+        fs.enable_changelog();
+        let mut index = CatalogIndex::from_fs(&fs, &ex);
+        let first = index.snapshot().clone();
+        // Nothing changed: the snapshot must be the cached value and the
+        // dirty set empty (O(1) path).
+        index.apply(fs.drain_changelog(), &ex);
+        assert!(index.dirty.is_empty());
+        assert_eq!(index.snapshot(), &first);
+    }
+
+    #[test]
+    fn aggregates_track_bytes_and_mean_age() {
+        let (fs, ex) = populated();
+        let index = CatalogIndex::from_fs(&fs, &ex);
+        let u1 = index.user_aggregates(UserId(1)).unwrap();
+        assert_eq!(u1.files, 3);
+        assert_eq!(u1.bytes, 90);
+        let expect_sum =
+            i128::from(day(2).secs()) + i128::from(day(3).secs()) + i128::from(day(4).secs());
+        assert_eq!(u1.atime_secs_sum, expect_sum);
+        let mean_age = u1.mean_age_secs(day(10)).unwrap();
+        assert_eq!(mean_age, i128::from(day(10).secs()) - expect_sum / 3);
+        assert!(index.user_aggregates(UserId(9)).is_none());
+        let all = index.aggregates();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].user, UserId(1));
+        assert_eq!(all[1].user, UserId(2));
+        assert_eq!(
+            all.iter().map(|a| a.bytes).sum::<u64>(),
+            index.total_bytes()
+        );
+    }
+
+    #[test]
+    fn owner_change_on_overwrite_moves_the_record() {
+        let mut fs = VirtualFs::with_capacity(0);
+        fs.create("/shared/f", UserId(1), 10, day(1)).unwrap();
+        fs.enable_changelog();
+        let ex = ExemptionList::new();
+        let mut index = CatalogIndex::from_fs(&fs, &ex);
+        // Overwrite transfers ownership to user 2.
+        fs.create("/shared/f", UserId(2), 25, day(2)).unwrap();
+        index.apply(fs.drain_changelog(), &ex);
+        assert_eq!(index.snapshot(), &fs.catalog(&ex));
+        assert!(index.user_aggregates(UserId(1)).is_none());
+        assert_eq!(index.user_aggregates(UserId(2)).unwrap().bytes, 25);
+    }
+
+    #[test]
+    fn exemption_flags_follow_the_list() {
+        let (fs, ex) = populated();
+        let mut index = CatalogIndex::from_fs(&fs, &ex);
+        let catalog = index.snapshot();
+        let u1 = catalog.get(UserId(1)).unwrap();
+        let keep = u1
+            .files
+            .iter()
+            .zip(["/u1/deep/run/out.dat", "/u1/drop", "/u1/keep"])
+            .find(|(_, p)| *p == "/u1/keep")
+            .unwrap()
+            .0;
+        assert!(keep.exempt);
+        assert_eq!(u1.files.iter().filter(|f| f.exempt).count(), 1);
+    }
+}

@@ -13,6 +13,11 @@
 //!   accounting, plus the catalog-scan bridge to the `activedr-core`
 //!   policy layer;
 //! * [`exemption`] — the purge-exemption (reservation) list;
+//! * [`changelog`] — the per-mutation delta stream behind the incremental
+//!   catalog (Robinhood-style changelog);
+//! * [`index`] — the changelog-fed [`CatalogIndex`]: per-user listings and
+//!   byte/age aggregates maintained in O(changes), snapshot into a
+//!   policy catalog without re-walking the trie;
 //! * [`snapshot`] — weekly metadata snapshot capture/restore with a JSONL
 //!   wire format;
 //! * [`scan`] — rayon-parallel catalog scans with per-shard counters (the
@@ -20,7 +25,9 @@
 
 #![forbid(unsafe_code)]
 
+pub mod changelog;
 pub mod exemption;
+pub mod index;
 pub mod meta;
 pub mod scan;
 pub mod snapshot;
@@ -28,7 +35,9 @@ pub mod striping;
 pub mod trie;
 pub mod vfs;
 
+pub use changelog::{Changelog, Delta};
 pub use exemption::ExemptionList;
+pub use index::{CatalogIndex, PathKey, UserAggregates};
 pub use meta::FileMeta;
 pub use scan::{parallel_catalog, ScanResult, ShardReport};
 pub use snapshot::{Snapshot, SnapshotDiff, SnapshotEntry, SnapshotError};

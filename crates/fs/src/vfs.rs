@@ -12,6 +12,7 @@
     reason = "values are bounded far below the narrow type's range at paper scale"
 )]
 
+use crate::changelog::{canonical_path, Changelog, Delta};
 use crate::exemption::ExemptionList;
 use crate::meta::FileMeta;
 use crate::trie::{InsertError, Inserted, NodeId, PathTrie};
@@ -42,6 +43,9 @@ pub struct VirtualFs {
     trie: PathTrie,
     used_bytes: u64,
     capacity: u64,
+    /// When present, every namespace mutation is recorded as a [`Delta`]
+    /// for the incremental catalog; `None` costs nothing on the hot path.
+    changelog: Option<Changelog>,
 }
 
 impl VirtualFs {
@@ -54,7 +58,40 @@ impl VirtualFs {
             trie: PathTrie::new(),
             used_bytes: 0,
             capacity,
+            changelog: None,
         }
+    }
+
+    /// Start recording mutations into a changelog (idempotent; an already
+    /// active changelog keeps its buffered deltas).
+    pub fn enable_changelog(&mut self) {
+        if self.changelog.is_none() {
+            self.changelog = Some(Changelog::new());
+        }
+    }
+
+    /// Stop recording and discard any buffered deltas.
+    pub fn disable_changelog(&mut self) {
+        self.changelog = None;
+    }
+
+    /// Is a changelog currently recording?
+    pub fn changelog_enabled(&self) -> bool {
+        self.changelog.is_some()
+    }
+
+    /// Take the buffered deltas (empty when recording is disabled).
+    pub fn drain_changelog(&mut self) -> Vec<Delta> {
+        self.changelog
+            .as_mut()
+            .map(Changelog::drain)
+            .unwrap_or_default()
+    }
+
+    /// Deltas recorded since the changelog was enabled, including drained
+    /// ones; 0 when disabled.
+    pub fn changelog_recorded_total(&self) -> u64 {
+        self.changelog.as_ref().map_or(0, Changelog::recorded_total)
     }
 
     pub fn capacity(&self) -> u64 {
@@ -101,19 +138,12 @@ impl VirtualFs {
         size: u64,
         ts: Timestamp,
     ) -> Result<NodeId, InsertError> {
-        let meta = FileMeta::new(owner, size, ts);
-        // Replacement must not double-count bytes.
-        let prior = self.trie.get(path).map(|m| m.size);
-        let inserted = self.trie.insert(path, meta)?;
-        if let (Inserted::Replaced(_), Some(old)) = (inserted, prior) {
-            self.used_bytes -= old;
-        }
-        self.used_bytes += size;
-        Ok(inserted.id())
+        self.insert_meta(path, FileMeta::new(owner, size, ts))
     }
 
     /// Insert a file with full metadata (snapshot load path).
     pub fn insert_meta(&mut self, path: &str, meta: FileMeta) -> Result<NodeId, InsertError> {
+        // Replacement must not double-count bytes.
         let prior = self.trie.get(path).map(|m| m.size);
         let size = meta.size;
         let inserted = self.trie.insert(path, meta)?;
@@ -121,7 +151,15 @@ impl VirtualFs {
             self.used_bytes -= old;
         }
         self.used_bytes += size;
-        Ok(inserted.id())
+        let id = inserted.id();
+        if let Some(log) = self.changelog.as_mut() {
+            log.record(Delta::Upsert {
+                path: canonical_path(path),
+                id,
+                meta,
+            });
+        }
+        Ok(id)
     }
 
     /// Replay one read/write access: renew atime on hit, report the miss
@@ -129,8 +167,18 @@ impl VirtualFs {
     pub fn access(&mut self, path: &str, ts: Timestamp) -> Access {
         match self.trie.lookup(path) {
             Some(id) => {
+                let mut touched = None;
                 if let Some(meta) = self.trie.meta_mut(id) {
                     meta.touch(ts);
+                    touched = Some((meta.atime, meta.access_count));
+                }
+                if let (Some((atime, access_count)), Some(log)) = (touched, self.changelog.as_mut())
+                {
+                    log.record(Delta::Touch {
+                        id,
+                        atime,
+                        access_count,
+                    });
                 }
                 Access::Hit(id)
             }
@@ -157,15 +205,19 @@ impl VirtualFs {
 
     /// Delete one file by path.
     pub fn remove(&mut self, path: &str) -> Option<FileMeta> {
-        let meta = self.trie.remove(path)?;
-        self.used_bytes -= meta.size;
-        Some(meta)
+        // Route through `remove_id` so removal deltas are logged in one
+        // place.
+        let id = self.trie.lookup(path)?;
+        self.remove_id(id)
     }
 
     /// Delete one file by id.
     pub fn remove_id(&mut self, id: NodeId) -> Option<FileMeta> {
         let meta = self.trie.remove_id(id)?;
         self.used_bytes -= meta.size;
+        if let Some(log) = self.changelog.as_mut() {
+            log.record(Delta::Remove { id });
+        }
         Some(meta)
     }
 
@@ -230,19 +282,73 @@ impl VirtualFs {
         } else {
             self.trie.get(to).map(|m| m.size)
         };
-        let id = self.trie.rename(from, to)?;
-        if let Some(size) = replaced {
-            self.used_bytes -= size;
+        let from_id = if self.changelog.is_some() {
+            self.trie.lookup(from)
+        } else {
+            None
+        };
+        match self.trie.rename(from, to) {
+            Ok(id) => {
+                if let Some(size) = replaced {
+                    self.used_bytes -= size;
+                }
+                // A same-path rename is a trie no-op: nothing to log. A
+                // real move removes the source node and re-inserts at the
+                // destination (replacing any file there, under its id).
+                if !same {
+                    let meta = self.trie.meta(id).copied();
+                    if let (Some(meta), Some(log)) = (meta, self.changelog.as_mut()) {
+                        if let Some(old_id) = from_id {
+                            log.record(Delta::Remove { id: old_id });
+                        }
+                        log.record(Delta::Upsert {
+                            path: canonical_path(to),
+                            id,
+                            meta,
+                        });
+                    }
+                }
+                Ok(id)
+            }
+            Err(e) => {
+                // A failed rename restores the source, possibly under a
+                // fresh node id; the index must follow the id change.
+                if self.changelog.is_some() {
+                    let now_id = self.trie.lookup(from);
+                    if let (Some(old_id), Some(new_id)) = (from_id, now_id) {
+                        if old_id != new_id {
+                            let meta = self.trie.meta(new_id).copied();
+                            if let (Some(meta), Some(log)) = (meta, self.changelog.as_mut()) {
+                                log.record(Delta::Remove { id: old_id });
+                                log.record(Delta::Upsert {
+                                    path: canonical_path(from),
+                                    id: new_id,
+                                    meta,
+                                });
+                            }
+                        }
+                    }
+                }
+                Err(e)
+            }
         }
-        Ok(id)
     }
 
     /// Delete a whole directory subtree, returning the freed bytes.
     pub fn remove_subtree(&mut self, prefix: &str) -> u64 {
-        let removed = self.trie.remove_subtree(prefix);
-        let freed: u64 = removed.iter().map(|(_, m)| m.size).sum();
-        self.used_bytes -= freed;
-        freed
+        if self.changelog.is_some() {
+            // Per-file removal so every victim gets its Remove delta.
+            let victims: Vec<NodeId> = self.trie.iter_prefix(prefix).map(|(_, id, _)| id).collect();
+            victims
+                .into_iter()
+                .filter_map(|id| self.remove_id(id).map(|m| m.size))
+                .sum()
+        } else {
+            let removed = self.trie.remove_subtree(prefix);
+            let freed: u64 = removed.iter().map(|(_, m)| m.size).sum();
+            self.used_bytes -= freed;
+            freed
+        }
     }
 
     /// Bytes used under a path prefix (a `du`-style probe).

@@ -24,10 +24,10 @@ use crate::archive::{ArchiveConfig, ArchiveStats, ArchiveTier};
 use crate::metrics::DailyMetrics;
 use activedr_core::convert;
 use activedr_core::prelude::*;
-use activedr_fs::{ExemptionList, VirtualFs};
+use activedr_fs::{CatalogIndex, ExemptionList, VirtualFs};
 use activedr_trace::{activity_events, AccessKind, TraceSet};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 /// Which retention policy drives the run.
@@ -65,6 +65,19 @@ pub enum EvalMode {
     /// touches only in-window events. Identical results, production
     /// scaling.
     Streaming,
+}
+
+/// How the trigger-time catalog is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CatalogMode {
+    /// Re-walk the whole namespace at every trigger — what the paper's
+    /// prototype does (O(total files) per trigger).
+    #[default]
+    FullScan,
+    /// Robinhood-style incremental catalog: the file system records a
+    /// changelog and a [`CatalogIndex`] folds it in O(changes), then
+    /// snapshots a catalog identical to the full scan.
+    Incremental,
 }
 
 /// How a missed (purged) file comes back.
@@ -117,6 +130,8 @@ pub struct SimConfig {
     pub recovery: RecoveryModel,
     /// Batch (paper-faithful) or streaming (incremental) evaluation.
     pub eval_mode: EvalMode,
+    /// Full-scan (paper-faithful) or changelog-driven catalogs.
+    pub catalog_mode: CatalogMode,
 }
 
 impl SimConfig {
@@ -168,11 +183,17 @@ impl SimConfig {
             exemptions: ExemptionList::new(),
             recovery: RecoveryModel::default(),
             eval_mode: EvalMode::default(),
+            catalog_mode: CatalogMode::default(),
         }
     }
 
     pub fn with_exemptions(mut self, exemptions: ExemptionList) -> Self {
         self.exemptions = exemptions;
+        self
+    }
+
+    pub fn with_catalog_mode(mut self, mode: CatalogMode) -> Self {
+        self.catalog_mode = mode;
         self
     }
 }
@@ -310,6 +331,36 @@ pub fn run_observed(
     until_day: Option<i64>,
     observer: &mut dyn FnMut(&RetentionEvent, &VirtualFs),
 ) -> (SimResult, VirtualFs) {
+    run_instrumented(traces, fs, config, until_day, &mut |probe| {
+        if let Some(event) = probe.event {
+            observer(event, probe.fs);
+        }
+    })
+}
+
+/// Everything a [`run_instrumented`] probe sees at one retention trigger:
+/// the catalog the policy consumed (built by whichever [`CatalogMode`] is
+/// configured), the recorded event when the trigger actually purged
+/// (`None` when a targeted policy skipped below-target), and the post-purge
+/// file system.
+pub struct TriggerProbe<'a> {
+    pub day: i64,
+    pub catalog: &'a Catalog,
+    pub event: Option<&'a RetentionEvent>,
+    pub fs: &'a VirtualFs,
+}
+
+/// [`run_observed`], but the hook fires at *every* trigger — including the
+/// skipped ones — and additionally exposes the trigger-time catalog. The
+/// catalog-equivalence tests use this to compare [`CatalogMode`]s
+/// trigger by trigger.
+pub fn run_instrumented(
+    traces: &TraceSet,
+    fs: VirtualFs,
+    config: &SimConfig,
+    until_day: Option<i64>,
+    probe: &mut dyn FnMut(TriggerProbe<'_>),
+) -> (SimResult, VirtualFs) {
     let mut fs = fs;
     let evaluator = ActivenessEvaluator::new(config.registry.clone(), config.activeness);
     let users = traces.user_ids();
@@ -372,13 +423,26 @@ pub fn run_observed(
         };
     let (_, _) = evaluate(Timestamp::from_days(replay_start), &mut quadrant_of);
 
+    // Incremental catalog mode: record a changelog and seed the index
+    // with the one unavoidable initial walk; every trigger after that is
+    // fed deltas only.
+    let mut incremental = match config.catalog_mode {
+        CatalogMode::FullScan => None,
+        CatalogMode::Incremental => {
+            fs.enable_changelog();
+            Some(CatalogIndex::from_fs(&fs, &config.exemptions))
+        }
+    };
+
     // Access stream cursor.
     let mut access_idx = 0usize;
 
     // Re-staging state: metadata of purged files so a miss can recover
-    // them, and the queue of pending recoveries.
+    // them, the queue of pending recoveries, and the in-flight path set
+    // mirroring the queue (O(1) duplicate checks in the replay hot loop).
     let mut purged_meta: HashMap<String, (UserId, u64)> = HashMap::new();
     let mut restage_queue: Vec<(Timestamp, String)> = Vec::new();
+    let mut restage_inflight: HashSet<String> = HashSet::new();
     let mut archive_tier = match config.recovery {
         RecoveryModel::Archive(cfg) => Some(ArchiveTier::new(cfg)),
         _ => None,
@@ -395,7 +459,14 @@ pub fn run_observed(
             while i < restage_queue.len() {
                 if restage_queue[i].0 <= now {
                     let (ts, path) = restage_queue.swap_remove(i);
-                    if let Some((owner, size)) = purged_meta.remove(&path) {
+                    restage_inflight.remove(&path);
+                    if fs.exists(&path) {
+                        // The user re-wrote the file while the restage was
+                        // in flight; landing it anyway would clobber the
+                        // fresh file with stale owner/size and a backdated
+                        // atime. Drop the restage and its stale metadata.
+                        purged_meta.remove(&path);
+                    } else if let Some((owner, size)) = purged_meta.remove(&path) {
                         if fs.create(&path, owner, size, ts).is_ok() {
                             restages_today += 1;
                             restage_bytes_today += size;
@@ -415,7 +486,17 @@ pub fn run_observed(
 
             // xtask-allow: determinism -- phase timing for the performance report
             let scan_start = Instant::now();
-            let catalog = fs.catalog(&config.exemptions);
+            let full_catalog;
+            let catalog: &Catalog = match incremental.as_mut() {
+                None => {
+                    full_catalog = fs.catalog(&config.exemptions);
+                    &full_catalog
+                }
+                Some(index) => {
+                    index.apply(fs.drain_changelog(), &config.exemptions);
+                    index.snapshot()
+                }
+            };
             let scan_micros = convert::u64_from_micros(scan_start.elapsed().as_micros());
 
             let utilization_target = || {
@@ -441,7 +522,7 @@ pub fn run_observed(
                 let decision_start = Instant::now();
                 let request = PurgeRequest {
                     tc,
-                    catalog: &catalog,
+                    catalog,
                     activeness: &table,
                     target_bytes,
                 };
@@ -474,7 +555,7 @@ pub fn run_observed(
                 fs.apply(&outcome);
                 let apply_micros = convert::u64_from_micros(apply_start.elapsed().as_micros());
 
-                let breakdown = RetentionBreakdown::compute(&catalog, &table, &outcome);
+                let breakdown = RetentionBreakdown::compute(catalog, &table, &outcome);
                 let mut top_losers: Vec<(UserId, u64)> =
                     outcome.purged_bytes_by_user().into_iter().collect();
                 top_losers.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -496,7 +577,19 @@ pub fn run_observed(
                     decision_micros,
                     apply_micros,
                 });
-                observer(result.retentions.last().expect("event just pushed"), &fs);
+                probe(TriggerProbe {
+                    day,
+                    catalog,
+                    event: Some(result.retentions.last().expect("event just pushed")),
+                    fs: &fs,
+                });
+            } else {
+                probe(TriggerProbe {
+                    day,
+                    catalog,
+                    event: None,
+                    fs: &fs,
+                });
             }
         }
 
@@ -525,7 +618,7 @@ pub fn run_observed(
                         // from archive/regeneration.
                         if config.recovery.enabled()
                             && purged_meta.contains_key(&a.path)
-                            && !restage_queue.iter().any(|(_, p)| p == &a.path)
+                            && !restage_inflight.contains(&a.path)
                         {
                             let ready = match (&config.recovery, &mut archive_tier) {
                                 (RecoveryModel::FixedDelay(delay), _) => a.ts + *delay,
@@ -535,6 +628,7 @@ pub fn run_observed(
                                 }
                                 _ => unreachable!("enabled() checked"),
                             };
+                            restage_inflight.insert(a.path.clone());
                             restage_queue.push((ready, a.path.clone()));
                         }
                     }
@@ -544,14 +638,21 @@ pub fn run_observed(
                     // Overwrites and fresh creates both succeed; conflicts
                     // (a path shadowing a directory) are ignored like any
                     // failed write in the paper's emulator.
-                    // xtask-allow: ignored-result -- failed writes are dropped by design, matching the paper's emulator
-                    let _ = fs.create(&a.path, a.user, size, a.ts);
+                    if fs.create(&a.path, a.user, size, a.ts).is_ok() && config.recovery.enabled() {
+                        // The write supersedes any purged version of this
+                        // path: a later miss must not restage the obsolete
+                        // metadata over the fresh file.
+                        purged_meta.remove(&a.path);
+                    }
                 }
             }
         }
         result.daily.push(daily);
     }
 
+    if incremental.is_some() {
+        fs.disable_changelog();
+    }
     result.final_used = fs.used_bytes();
     result.final_files = convert::u64_from_usize(fs.file_count());
     result.final_quadrants = quadrant_of;

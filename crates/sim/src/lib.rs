@@ -25,8 +25,8 @@ pub mod scenario;
 
 pub use archive::{ArchiveConfig, ArchiveStats, ArchiveTier};
 pub use engine::{
-    build_initial_fs, pre_purge_flt, run, run_observed, run_until, EvalMode, PolicyKind,
-    RecoveryModel, SimConfig, SimResult,
+    build_initial_fs, pre_purge_flt, run, run_instrumented, run_observed, run_until, CatalogMode,
+    EvalMode, PolicyKind, RecoveryModel, SimConfig, SimResult, TriggerProbe,
 };
 pub use parallel::{parallel_evaluate, EvalShardReport, ParallelEvaluation};
 pub use scenario::{Scale, Scenario};

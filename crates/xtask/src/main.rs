@@ -13,6 +13,9 @@ Commands:
     --update-baseline   rewrite the panic-freedom and cast-audit ratchet files
     --only <names>      comma-separated subset of checks to run
     --root <dir>        workspace root (default: this repository)
+  smoke                 run the release-mode perf/equivalence smoke gates:
+                        the catalog-mode equivalence test and the
+                        bench_catalog example (rewrites BENCH_catalog.json)
   help                  show this message
 
 Checks: panic-freedom, newtype, dispatch, float-cmp, determinism,
@@ -29,11 +32,59 @@ fn workspace_root() -> PathBuf {
         .unwrap_or(manifest)
 }
 
+/// The release-mode smoke gates behind the incremental catalog: the
+/// trigger-by-trigger equivalence test (all four policies, `Small` scale)
+/// and the full-scan vs incremental timing run, which rewrites
+/// `docs/results/BENCH_catalog.json` and fails below the 5x floor.
+fn smoke() -> ExitCode {
+    let steps: [&[&str]; 2] = [
+        &[
+            "test",
+            "--release",
+            "-q",
+            "-p",
+            "activedr-sim",
+            "--test",
+            "integration_catalog_mode",
+        ],
+        &[
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "activedr-sim",
+            "--example",
+            "bench_catalog",
+        ],
+    ];
+    for args in steps {
+        eprintln!("xtask smoke: cargo {}", args.join(" "));
+        let status = std::process::Command::new("cargo")
+            .args(args)
+            .current_dir(workspace_root())
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("xtask smoke: cargo {} failed with {s}", args.join(" "));
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("xtask smoke: failed to spawn cargo: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!("xtask smoke: all gates passed");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("check") => {}
+        Some("smoke") => return smoke(),
         Some("help") | Some("--help") | Some("-h") => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;

@@ -1,0 +1,204 @@
+//! Smoke benchmark: full-scan vs incremental catalog triggers.
+//!
+//! ```text
+//! cargo run --release --example bench_catalog
+//! ```
+//!
+//! Replays a `Small`-scale scenario two months in, then times the two ways
+//! of producing the trigger-time catalog on the resulting state:
+//!
+//! * **full scan** — `VirtualFs::catalog`, the paper-prototype O(files)
+//!   walk the engine performs at every trigger in `CatalogMode::FullScan`;
+//! * **incremental, no change** — `CatalogIndex::apply` + `snapshot` with
+//!   an empty changelog, the steady-state trigger cost in
+//!   `CatalogMode::Incremental`;
+//! * **incremental, one week of churn** — the same after replaying a
+//!   week's worth of synthetic mutations through the changelog.
+//!
+//! Writes `docs/results/BENCH_catalog.json` and exits nonzero if the
+//! no-change incremental trigger is not at least 5× faster than the full
+//! scan — the floor the incremental catalog must clear to be worth its
+//! complexity.
+
+#![allow(
+    clippy::unwrap_used,
+    reason = "bench harness code may panic on a broken fixture"
+)]
+#![allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_precision_loss,
+    reason = "benchmark durations fit comfortably in the narrower types"
+)]
+
+use activedr_core::time::Timestamp;
+use activedr_fs::{CatalogIndex, VirtualFs};
+use activedr_sim::{run_until, Scale, Scenario, SimConfig};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Duration;
+
+#[derive(Serialize)]
+struct BenchReport {
+    scale: String,
+    seed: u64,
+    files: usize,
+    users: usize,
+    iterations: u32,
+    full_scan_micros: u64,
+    incremental_nochange_micros: u64,
+    incremental_week_churn_micros: u64,
+    churn_deltas: u64,
+    speedup_nochange: f64,
+    speedup_week_churn: f64,
+}
+
+/// Minimum wall time of `iters` runs of `f` (minimum, not mean: the
+/// cleanest sample of a deterministic computation).
+fn min_time<T>(iters: u32, mut f: impl FnMut() -> T) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..iters {
+        // xtask-allow: determinism -- wall-clock benchmark probe
+        let start = std::time::Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Replay one synthetic week of mutations against `fs` so the changelog
+/// holds a realistic trigger interval's worth of deltas: every user
+/// touches some files, writes some new ones, and a slice gets removed.
+fn churn_one_week(fs: &mut VirtualFs, day: i64) {
+    let paths: Vec<String> = fs.iter().map(|(p, _, _)| p).collect();
+    for (i, path) in paths.iter().enumerate() {
+        match i % 20 {
+            // ~5 % of files re-read (atime renewals).
+            0 => {
+                fs.access(path, Timestamp::from_days(day + (i as i64 % 7)));
+            }
+            // ~5 % overwritten in place.
+            1 => {
+                let meta = *fs.meta(path).unwrap();
+                fs.create(
+                    path,
+                    meta.owner,
+                    meta.size / 2 + 1,
+                    Timestamp::from_days(day),
+                )
+                .unwrap();
+            }
+            // ~5 % deleted.
+            2 => {
+                fs.remove(path).unwrap();
+            }
+            _ => {}
+        }
+    }
+    // ~2.5 % of the population arrives as fresh files.
+    for (i, path) in paths.iter().enumerate().filter(|(i, _)| i % 40 == 3) {
+        let owner = fs.iter().next().map(|(_, _, m)| m.owner).unwrap();
+        fs.create(
+            &format!("{path}.week{}", i % 7),
+            owner,
+            4096,
+            Timestamp::from_days(day + 1),
+        )
+        .unwrap();
+    }
+}
+
+fn main() {
+    let iters = 7u32;
+    let seed = 42u64;
+    let scenario = Scenario::build(Scale::Small, seed);
+
+    // Two months of ActiveDR replay gives a realistically churned state.
+    let until = i64::from(scenario.traces.replay_start_day) + 56;
+    let (_, mut fs) = run_until(
+        &scenario.traces,
+        scenario.initial_fs.clone(),
+        &SimConfig::activedr(90),
+        Some(until),
+    );
+    let exemptions = activedr_fs::ExemptionList::new();
+    let files = fs.file_count();
+
+    // 1. The paper-prototype trigger: walk everything.
+    let full_scan = min_time(iters, || fs.catalog(&exemptions));
+
+    // 2. Incremental trigger with nothing changed since the last one.
+    let mut index = CatalogIndex::from_fs(&fs, &exemptions);
+    fs.enable_changelog();
+    assert_eq!(
+        index.snapshot(),
+        &fs.catalog(&exemptions),
+        "incremental catalog diverged from the full scan"
+    );
+    let nochange = min_time(iters, || {
+        index.apply(fs.drain_changelog(), &exemptions);
+        index.snapshot().total_files()
+    });
+
+    // 3. Incremental trigger after one week of churn (single shot: the
+    //    drain consumes the deltas).
+    churn_one_week(&mut fs, until);
+    let churn_deltas = fs.changelog_recorded_total();
+    // xtask-allow: determinism -- wall-clock benchmark probe
+    let churn_start = std::time::Instant::now();
+    index.apply(fs.drain_changelog(), &exemptions);
+    black_box(index.snapshot().total_files());
+    let week_churn = churn_start.elapsed();
+    assert_eq!(
+        index.snapshot(),
+        &fs.catalog(&exemptions),
+        "incremental catalog diverged after churn"
+    );
+
+    let users = index.snapshot().users.len();
+    let ratio =
+        |scan: Duration, inc: Duration| scan.as_nanos() as f64 / inc.as_nanos().max(1) as f64;
+    let report = BenchReport {
+        scale: "small".to_string(),
+        seed,
+        files,
+        users,
+        iterations: iters,
+        full_scan_micros: full_scan.as_micros() as u64,
+        incremental_nochange_micros: nochange.as_micros() as u64,
+        incremental_week_churn_micros: week_churn.as_micros() as u64,
+        churn_deltas,
+        speedup_nochange: ratio(full_scan, nochange),
+        speedup_week_churn: ratio(full_scan, week_churn),
+    };
+
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    let out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../docs/results/BENCH_catalog.json"
+    );
+    std::fs::write(out, format!("{json}\n")).unwrap();
+
+    println!("catalog trigger benchmark — Small scale, {files} files, {users} users");
+    println!(
+        "  full scan          : {:>10.1} µs",
+        full_scan.as_nanos() as f64 / 1e3
+    );
+    println!(
+        "  incremental (idle) : {:>10.1} µs",
+        nochange.as_nanos() as f64 / 1e3
+    );
+    println!(
+        "  incremental (week) : {:>10.1} µs  ({churn_deltas} deltas)",
+        week_churn.as_nanos() as f64 / 1e3
+    );
+    println!("  speedup idle  : {:>8.1}x", report.speedup_nochange);
+    println!("  speedup week  : {:>8.1}x", report.speedup_week_churn);
+    println!("  wrote {out}");
+
+    assert!(
+        report.speedup_nochange >= 5.0,
+        "incremental no-change trigger must be >= 5x faster than a full scan \
+         (got {:.1}x)",
+        report.speedup_nochange
+    );
+}

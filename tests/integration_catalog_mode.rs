@@ -1,0 +1,118 @@
+//! Integration: the changelog-driven incremental catalog is identical to
+//! the full-scan catalog at **every** retention trigger — same `FileId`
+//! space, same user/file ordering, same exemption flags — over full
+//! replays under all four policies.
+//!
+//! The full-scan run executes on a helper thread, streaming each trigger's
+//! catalog through a bounded channel; the incremental run compares as it
+//! goes, so peak memory stays at O(one catalog) even at `Small` scale.
+
+#![allow(
+    clippy::expect_used,
+    reason = "test helper plumbing panics on harness failures by design"
+)]
+
+use activedr_core::files::Catalog;
+use activedr_sim::{run_instrumented, CatalogMode, Scale, Scenario, SimConfig, SimResult};
+use std::sync::mpsc;
+
+fn policy_configs(lifetime: u32) -> Vec<(&'static str, SimConfig)> {
+    vec![
+        ("FLT", SimConfig::flt(lifetime)),
+        ("ActiveDR", SimConfig::activedr(lifetime)),
+        ("ScratchCache", SimConfig::scratch_cache()),
+        ("ValueBased", SimConfig::value_based(lifetime)),
+    ]
+}
+
+fn assert_results_match(full: &SimResult, inc: &SimResult, label: &str) {
+    assert_eq!(full.daily, inc.daily, "{label}: daily series diverged");
+    assert_eq!(full.final_used, inc.final_used, "{label}: final bytes");
+    assert_eq!(full.final_files, inc.final_files, "{label}: final files");
+    assert_eq!(
+        full.final_quadrants, inc.final_quadrants,
+        "{label}: quadrants"
+    );
+    assert_eq!(
+        full.retentions.len(),
+        inc.retentions.len(),
+        "{label}: trigger count"
+    );
+    for (f, i) in full.retentions.iter().zip(inc.retentions.iter()) {
+        let day = f.day;
+        assert_eq!(f.day, i.day, "{label}: trigger day");
+        assert_eq!(f.used_before, i.used_before, "{label} day {day}");
+        assert_eq!(f.used_after, i.used_after, "{label} day {day}");
+        assert_eq!(f.target_bytes, i.target_bytes, "{label} day {day}");
+        assert_eq!(f.target_met, i.target_met, "{label} day {day}");
+        assert_eq!(f.purged_files, i.purged_files, "{label} day {day}");
+        assert_eq!(f.purged_bytes, i.purged_bytes, "{label} day {day}");
+        assert_eq!(f.users_affected, i.users_affected, "{label} day {day}");
+        assert_eq!(f.top_losers, i.top_losers, "{label} day {day}");
+        assert_eq!(f.breakdown, i.breakdown, "{label} day {day}");
+        assert_eq!(f.group_scans, i.group_scans, "{label} day {day}");
+    }
+}
+
+/// Run `cfg` in both catalog modes over the same scenario, comparing the
+/// trigger-time catalogs pairwise and the final results field by field.
+fn assert_modes_equivalent(scenario: &Scenario, name: &str, cfg: SimConfig) {
+    let full_cfg = cfg.clone().with_catalog_mode(CatalogMode::FullScan);
+    let inc_cfg = cfg.with_catalog_mode(CatalogMode::Incremental);
+    let (tx, rx) = mpsc::sync_channel::<(i64, Catalog)>(2);
+    let traces = &scenario.traces;
+    let fs_full = scenario.initial_fs.clone();
+    let fs_inc = scenario.initial_fs.clone();
+
+    let (full_res, inc_res, triggers) = std::thread::scope(|s| {
+        let producer = s.spawn(move || {
+            run_instrumented(traces, fs_full, &full_cfg, None, &mut |p| {
+                // The receiver disappears if the comparing side already
+                // failed; finishing quietly lets its panic surface.
+                let _ = tx.send((p.day, p.catalog.clone()));
+            })
+            .0
+        });
+        let mut triggers = 0usize;
+        let inc_res = run_instrumented(traces, fs_inc, &inc_cfg, None, &mut |p| {
+            let (day, full_catalog) = rx.recv().expect("full-scan run ended early");
+            assert_eq!(day, p.day, "{name}: trigger days diverged");
+            assert_eq!(
+                &full_catalog, p.catalog,
+                "{name}: catalog mismatch at day {day}"
+            );
+            triggers += 1;
+        })
+        .0;
+        let full_res = producer.join().expect("full-scan thread panicked");
+        (full_res, inc_res, triggers)
+    });
+
+    assert!(triggers > 0, "{name}: no triggers compared");
+    assert_results_match(&full_res, &inc_res, name);
+}
+
+#[test]
+fn tiny_scale_catalogs_identical_across_modes() {
+    let scenario = Scenario::build(Scale::Tiny, 71);
+    for (name, cfg) in policy_configs(90) {
+        assert_modes_equivalent(&scenario, name, cfg);
+    }
+}
+
+#[test]
+fn small_scale_catalogs_identical_across_modes_all_policies() {
+    let scenario = Scenario::build(Scale::Small, 42);
+    for (name, cfg) in policy_configs(90) {
+        assert_modes_equivalent(&scenario, name, cfg);
+    }
+}
+
+#[test]
+fn short_lifetime_stresses_purge_and_recreate_churn() {
+    // A 30-day lifetime purges far more aggressively, so far more
+    // remove-then-recreate delta chains flow through the index.
+    let scenario = Scenario::build(Scale::Tiny, 72);
+    assert_modes_equivalent(&scenario, "FLT-30", SimConfig::flt(30));
+    assert_modes_equivalent(&scenario, "ActiveDR-30", SimConfig::activedr(30));
+}
