@@ -1,0 +1,67 @@
+//! Instrumentation overhead: the DESIGN.md §9 contract is that a
+//! disabled [`Telemetry`] handle costs effectively nothing, so the
+//! engine can keep its probes unconditionally inline. Three groups, each
+//! benching the disabled handle against an enabled one:
+//!
+//! * counter increments (the hot replay-loop path),
+//! * span enter/exit pairs (the per-day / per-trigger path),
+//! * full engine replay (Tiny scale) with telemetry off vs on.
+//!
+//! The quick pass/fail variant of the same probe is the `bench_obs`
+//! example, which writes `docs/results/BENCH_obs.json` under
+//! `cargo xtask smoke`.
+
+#![allow(
+    clippy::unwrap_used,
+    reason = "bench harness code may panic on a broken fixture"
+)]
+
+use activedr_obs::Telemetry;
+use activedr_sim::{run_with_telemetry, Scale, Scenario, SimConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_counters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_counter_inc");
+    for (label, tele) in [("disabled", Telemetry::off()), ("enabled", Telemetry::on())] {
+        let counter = tele.counter("bench.counter");
+        group.bench_function(label, |b| b.iter(|| black_box(&counter).inc()));
+    }
+    group.finish();
+}
+
+fn bench_spans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_span_enter_exit");
+    for (label, tele) in [("disabled", Telemetry::off()), ("enabled", Telemetry::on())] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let guard = black_box(&tele).span("bench");
+                drop(guard);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let scenario = Scenario::build(Scale::Tiny, 42);
+    let config = SimConfig::activedr(90);
+    let mut group = c.benchmark_group("obs_engine_replay_tiny");
+    group.sample_size(10);
+    for (label, tele) in [("disabled", Telemetry::off()), ("enabled", Telemetry::on())] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                run_with_telemetry(
+                    black_box(&scenario.traces),
+                    scenario.initial_fs.clone(),
+                    &config,
+                    &tele,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_counters, bench_spans, bench_engine);
+criterion_main!(benches);

@@ -22,7 +22,8 @@ use activedr_sim::experiments::{
     variance::VarianceData,
 };
 use activedr_sim::{
-    report::admin_digest, run, ArchiveConfig, RecoveryModel, Scale, Scenario, SimConfig,
+    report::admin_digest, run, run_with_telemetry, ArchiveConfig, RecoveryModel, Scale, Scenario,
+    SimConfig, Telemetry,
 };
 use activedr_trace::import::{
     assemble, parse_access_log, parse_publications, parse_sacct, EpochDate, ImportBundle,
@@ -74,6 +75,9 @@ OPTIONS:
     --lifetime <DAYS>            file lifetime for simulate [default: 90]
     --recovery <fixed|archive|none>
                                  miss-recovery model for simulate [default: fixed]
+    --telemetry <FILE>           record run telemetry: writes <FILE> (JSON
+                                 report), a sibling .trace.json (chrome
+                                 trace-event export), and prints a summary
     --format <text|json>         experiment output format [default: text]
     --seeds <N>                  seeds for `run variance` [default: 5]
 
@@ -100,6 +104,7 @@ struct Options {
     recovery: String,
     format: String,
     seeds: u32,
+    telemetry: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -118,6 +123,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         recovery: "fixed".to_string(),
         format: "text".to_string(),
         seeds: 5,
+        telemetry: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -187,6 +193,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 if !["text", "json"].contains(&opts.format.as_str()) {
                     return Err(format!("unknown format {:?}", opts.format));
                 }
+                i += 2;
+            }
+            "--telemetry" => {
+                opts.telemetry = Some(args.get(i + 1).ok_or("--telemetry needs a value")?.clone());
                 i += 2;
             }
             "--seeds" => {
@@ -316,8 +326,37 @@ fn simulate(opts: &Options) -> Result<String, String> {
         other => return Err(format!("unknown recovery model {other:?}")),
     };
     let scenario = Scenario::build(opts.scale, opts.seed);
-    let result = run(&scenario.traces, scenario.initial_fs.clone(), &config);
-    Ok(admin_digest(&result))
+    let Some(telemetry_path) = &opts.telemetry else {
+        let result = run(&scenario.traces, scenario.initial_fs.clone(), &config);
+        return Ok(admin_digest(&result));
+    };
+
+    // Telemetry-enabled run: same replay (results are byte-identical to
+    // the plain path), plus the JSON report, the chrome trace-event
+    // export, and a terminal summary.
+    let tele = Telemetry::on();
+    let (result, _) = run_with_telemetry(
+        &scenario.traces,
+        scenario.initial_fs.clone(),
+        &config,
+        &tele,
+    );
+    let report = tele.report();
+    let trace_path = match telemetry_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.trace.json"),
+        None => format!("{telemetry_path}.trace.json"),
+    };
+    std::fs::write(telemetry_path, report.to_json())
+        .map_err(|e| format!("writing {telemetry_path}: {e}"))?;
+    std::fs::write(&trace_path, report.trace_json())
+        .map_err(|e| format!("writing {trace_path}: {e}"))?;
+    let mut text = admin_digest(&result);
+    text.push('\n');
+    text.push_str(&report.render_summary());
+    text.push_str(&format!(
+        "  wrote {telemetry_path}\n  wrote {trace_path} (open in about://tracing or ui.perfetto.dev)\n"
+    ));
+    Ok(text)
 }
 
 fn import_traces(opts: &Options) -> Result<String, String> {
@@ -532,6 +571,25 @@ mod tests {
         o.lifetime = 30;
         let digest = simulate(&o).unwrap();
         assert!(digest.contains("retention digest: ActiveDR"));
+    }
+
+    #[test]
+    fn simulate_with_telemetry_writes_report_and_trace() {
+        let dir = std::env::temp_dir().join("activedr-cli-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let report_path = dir.join("telemetry.json");
+        let mut o = parse_options(&[]).unwrap();
+        o.scale = Scale::Tiny;
+        o.lifetime = 30;
+        o.telemetry = Some(report_path.to_string_lossy().into_owned());
+        let text = simulate(&o).unwrap();
+        assert!(text.contains("telemetry summary"));
+        assert!(text.contains("replay.reads"));
+        let report = std::fs::read_to_string(&report_path).unwrap();
+        assert!(report.starts_with("{\"version\":1,"));
+        let trace = std::fs::read_to_string(dir.join("telemetry.trace.json")).unwrap();
+        assert!(trace.contains("\"ph\":\"X\""));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

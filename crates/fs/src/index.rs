@@ -294,6 +294,12 @@ impl CatalogIndex {
         self.deltas_applied
     }
 
+    /// Users whose cached listing is stale and will be re-materialized by
+    /// the next [`CatalogIndex::snapshot`].
+    pub fn dirty_user_count(&self) -> usize {
+        self.dirty.len()
+    }
+
     /// Aggregates for one user, if they own any files.
     pub fn user_aggregates(&self, user: UserId) -> Option<UserAggregates> {
         self.users.get(&user).map(|shard| UserAggregates {
@@ -316,6 +322,53 @@ impl CatalogIndex {
             })
             .collect()
     }
+}
+
+/// Describe every way two catalogs differ, as human-readable lines
+/// (empty when identical). Used by the engine's debug-mode catalog guard
+/// to report incremental-vs-full-scan drift through the flight recorder
+/// with enough detail to localize the broken delta path.
+pub fn diff_catalogs(incremental: &Catalog, full_scan: &Catalog) -> Vec<String> {
+    let mut out = Vec::new();
+    let inc_users: BTreeMap<UserId, &UserFiles> =
+        incremental.users.iter().map(|u| (u.user, u)).collect();
+    let scan_users: BTreeMap<UserId, &UserFiles> =
+        full_scan.users.iter().map(|u| (u.user, u)).collect();
+    for (&user, _) in inc_users
+        .iter()
+        .filter(|(u, _)| !scan_users.contains_key(u))
+    {
+        out.push(format!(
+            "user {}: present in index, absent in full scan",
+            user.0
+        ));
+    }
+    for (&user, &scanned) in &scan_users {
+        let Some(indexed) = inc_users.get(&user) else {
+            out.push(format!(
+                "user {}: absent in index, present in full scan",
+                user.0
+            ));
+            continue;
+        };
+        if indexed.files.len() != scanned.files.len() {
+            out.push(format!(
+                "user {}: {} file(s) in index, {} in full scan",
+                user.0,
+                indexed.files.len(),
+                scanned.files.len()
+            ));
+        }
+        for (i, s) in indexed.files.iter().zip(scanned.files.iter()) {
+            if i != s {
+                out.push(format!(
+                    "user {} file {}: index {:?} != scan {:?}",
+                    user.0, s.id.0, i, s
+                ));
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -442,6 +495,71 @@ mod tests {
         assert_eq!(index.snapshot(), &fs.catalog(&ex));
         assert!(index.user_aggregates(UserId(1)).is_none());
         assert_eq!(index.user_aggregates(UserId(2)).unwrap().bytes, 25);
+    }
+
+    #[test]
+    fn dirty_user_count_tracks_pending_rematerialization() {
+        let (mut fs, ex) = populated();
+        fs.enable_changelog();
+        let mut index = CatalogIndex::from_fs(&fs, &ex);
+        index.snapshot();
+        assert_eq!(index.dirty_user_count(), 0);
+        fs.access("/u2/x", day(9));
+        index.apply(fs.drain_changelog(), &ex);
+        assert_eq!(index.dirty_user_count(), 1);
+        index.snapshot();
+        assert_eq!(index.dirty_user_count(), 0);
+    }
+
+    #[test]
+    fn diff_catalogs_is_empty_for_identical_states() {
+        let (fs, ex) = populated();
+        let mut index = CatalogIndex::from_fs(&fs, &ex);
+        assert!(diff_catalogs(index.snapshot(), &fs.catalog(&ex)).is_empty());
+    }
+
+    #[test]
+    fn diff_catalogs_localizes_injected_drift() {
+        // Regression for the KNOWN_FAILURES changelog-drift watch item:
+        // fabricate a lost-delta scenario (a Remove the changelog never
+        // saw reaching the index as a spurious extra delta) and assert
+        // the guard's differ pinpoints the divergence.
+        let (mut fs, ex) = populated();
+        fs.enable_changelog();
+        let mut index = CatalogIndex::from_fs(&fs, &ex);
+        let victim = fs
+            .iter()
+            .find(|(p, _, _)| p == "/u2/x")
+            .map(|(_, id, _)| id);
+        let victim = victim.expect("fixture file");
+        index.apply([Delta::Remove { id: victim }], &ex);
+        let diffs = diff_catalogs(index.snapshot(), &fs.catalog(&ex));
+        assert!(!diffs.is_empty());
+        assert!(
+            diffs.iter().any(|d| d.contains("user 2")),
+            "expected user 2 in {diffs:?}"
+        );
+        // And a size-drift divergence names the file.
+        let (mut fs2, ex2) = populated();
+        fs2.enable_changelog();
+        let mut index2 = CatalogIndex::from_fs(&fs2, &ex2);
+        let (id, meta) = fs2
+            .iter()
+            .find(|(p, _, _)| p == "/u1/drop")
+            .map(|(_, id, m)| (id, *m))
+            .expect("fixture file");
+        let mut drifted = meta;
+        drifted.size += 1;
+        index2.apply(
+            [Delta::Upsert {
+                path: "/u1/drop".to_string(),
+                id,
+                meta: drifted,
+            }],
+            &ex2,
+        );
+        let diffs2 = diff_catalogs(index2.snapshot(), &fs2.catalog(&ex2));
+        assert!(diffs2.iter().any(|d| d.contains("file")), "{diffs2:?}");
     }
 
     #[test]

@@ -37,10 +37,10 @@ pub mod vfs;
 
 pub use changelog::{Changelog, Delta};
 pub use exemption::ExemptionList;
-pub use index::{CatalogIndex, PathKey, UserAggregates};
+pub use index::{diff_catalogs, CatalogIndex, PathKey, UserAggregates};
 pub use meta::FileMeta;
 pub use scan::{parallel_catalog, ScanResult, ShardReport};
 pub use snapshot::{Snapshot, SnapshotDiff, SnapshotEntry, SnapshotError};
 pub use striping::{recommended_stripes, size_band, SizeSynthesizer, SynthesisParams};
 pub use trie::{DirEntry, InsertError, Inserted, NodeId, PathTrie};
-pub use vfs::{Access, VirtualFs};
+pub use vfs::{Access, FsOpCounts, VirtualFs};

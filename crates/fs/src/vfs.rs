@@ -37,6 +37,27 @@ impl Access {
     }
 }
 
+/// Cumulative operation counts since this file system was created.
+///
+/// Maintained unconditionally (plain integer bumps on paths that already
+/// mutate state) so they are deterministic replay facts, not telemetry:
+/// the telemetry layer *samples* them into gauges at the end of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsOpCounts {
+    /// Files created or overwritten (`create`/`insert_meta`).
+    pub creates: u64,
+    /// Files removed (by path, by id, purge apply, or subtree removal).
+    pub removes: u64,
+    /// Access replays attempted (`access` calls).
+    pub accesses: u64,
+    /// Accesses that found their file.
+    pub hits: u64,
+    /// Accesses that missed (file absent or purged).
+    pub misses: u64,
+    /// Successful renames.
+    pub renames: u64,
+}
+
 /// An in-memory scratch file system with capacity accounting.
 #[derive(Debug, Clone, Default)]
 pub struct VirtualFs {
@@ -46,6 +67,7 @@ pub struct VirtualFs {
     /// When present, every namespace mutation is recorded as a [`Delta`]
     /// for the incremental catalog; `None` costs nothing on the hot path.
     changelog: Option<Changelog>,
+    ops: FsOpCounts,
 }
 
 impl VirtualFs {
@@ -59,7 +81,19 @@ impl VirtualFs {
             used_bytes: 0,
             capacity,
             changelog: None,
+            ops: FsOpCounts::default(),
         }
+    }
+
+    /// Cumulative operation counts since construction.
+    pub fn op_counts(&self) -> FsOpCounts {
+        self.ops
+    }
+
+    /// Deltas currently buffered in the changelog awaiting a drain
+    /// (0 when recording is disabled).
+    pub fn changelog_depth(&self) -> usize {
+        self.changelog.as_ref().map_or(0, Changelog::len)
     }
 
     /// Start recording mutations into a changelog (idempotent; an already
@@ -147,6 +181,7 @@ impl VirtualFs {
         let prior = self.trie.get(path).map(|m| m.size);
         let size = meta.size;
         let inserted = self.trie.insert(path, meta)?;
+        self.ops.creates += 1;
         if let (Inserted::Replaced(_), Some(old)) = (inserted, prior) {
             self.used_bytes -= old;
         }
@@ -165,8 +200,10 @@ impl VirtualFs {
     /// Replay one read/write access: renew atime on hit, report the miss
     /// otherwise.
     pub fn access(&mut self, path: &str, ts: Timestamp) -> Access {
+        self.ops.accesses += 1;
         match self.trie.lookup(path) {
             Some(id) => {
+                self.ops.hits += 1;
                 let mut touched = None;
                 if let Some(meta) = self.trie.meta_mut(id) {
                     meta.touch(ts);
@@ -182,7 +219,10 @@ impl VirtualFs {
                 }
                 Access::Hit(id)
             }
-            None => Access::Miss,
+            None => {
+                self.ops.misses += 1;
+                Access::Miss
+            }
         }
     }
 
@@ -214,6 +254,7 @@ impl VirtualFs {
     /// Delete one file by id.
     pub fn remove_id(&mut self, id: NodeId) -> Option<FileMeta> {
         let meta = self.trie.remove_id(id)?;
+        self.ops.removes += 1;
         self.used_bytes -= meta.size;
         if let Some(log) = self.changelog.as_mut() {
             log.record(Delta::Remove { id });
@@ -289,6 +330,7 @@ impl VirtualFs {
         };
         match self.trie.rename(from, to) {
             Ok(id) => {
+                self.ops.renames += 1;
                 if let Some(size) = replaced {
                     self.used_bytes -= size;
                 }
@@ -346,6 +388,7 @@ impl VirtualFs {
         } else {
             let removed = self.trie.remove_subtree(prefix);
             let freed: u64 = removed.iter().map(|(_, m)| m.size).sum();
+            self.ops.removes += u64::try_from(removed.len()).unwrap_or(u64::MAX);
             self.used_bytes -= freed;
             freed
         }
@@ -528,6 +571,39 @@ mod tests {
         // No-op rename keeps accounting intact.
         fs.rename("/b", "//b/.").unwrap();
         assert_eq!(fs.used_bytes(), 100);
+    }
+
+    #[test]
+    fn op_counts_track_every_mutation_path() {
+        let mut fs = VirtualFs::with_capacity(0);
+        assert_eq!(fs.op_counts(), FsOpCounts::default());
+        fs.create("/u1/a", UserId(1), 10, day(0)).unwrap();
+        fs.create("/u1/proj/b", UserId(1), 20, day(0)).unwrap();
+        fs.create("/u1/proj/c", UserId(1), 30, day(0)).unwrap();
+        fs.access("/u1/a", day(1));
+        fs.access("/u1/gone", day(1));
+        fs.rename("/u1/a", "/u1/moved").unwrap();
+        fs.remove("/u1/moved").unwrap();
+        fs.remove_subtree("/u1/proj");
+        let ops = fs.op_counts();
+        assert_eq!(ops.creates, 3);
+        assert_eq!(ops.accesses, 2);
+        assert_eq!(ops.hits, 1);
+        assert_eq!(ops.misses, 1);
+        assert_eq!(ops.renames, 1);
+        assert_eq!(ops.removes, 3);
+        assert_eq!(fs.changelog_depth(), 0);
+    }
+
+    #[test]
+    fn changelog_depth_follows_buffered_deltas() {
+        let mut fs = VirtualFs::with_capacity(0);
+        fs.enable_changelog();
+        fs.create("/u1/a", UserId(1), 10, day(0)).unwrap();
+        fs.access("/u1/a", day(1));
+        assert_eq!(fs.changelog_depth(), 2);
+        fs.drain_changelog();
+        assert_eq!(fs.changelog_depth(), 0);
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Bounded flight-recorder ring buffer of recent engine events.
+//!
+//! The recorder keeps the last `capacity` events (trigger fired, purge
+//! batch, restage enqueued/completed, changelog flush, catalog-guard
+//! verdicts, …) with a monotonically increasing sequence number. When the
+//! ring is full the oldest event is evicted and a drop counter bumps, so
+//! the dump always says how much history it is missing. The intended use
+//! is post-mortem: on panic or failure-injection the ring is rendered as
+//! text (newest last) to reconstruct what the engine was doing.
+
+use crate::metrics::lock;
+use crate::report::put;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One recorded engine event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Monotonic sequence number (0-based, never reused).
+    pub seq: u64,
+    /// Simulation day the event happened on (engine clock, not wall time).
+    pub day: i64,
+    /// Event kind, e.g. `"trigger"`, `"restage-enqueue"`, `"catalog-guard"`.
+    pub kind: &'static str,
+    /// Free-form detail rendered in dumps and `telemetry.json`.
+    pub detail: String,
+}
+
+#[derive(Debug)]
+struct FlightState {
+    buf: VecDeque<FlightEvent>,
+    seq: u64,
+    dropped: u64,
+}
+
+/// The ring buffer itself; owned by one telemetry instance.
+#[derive(Debug)]
+pub(crate) struct FlightRecorder {
+    capacity: usize,
+    state: Mutex<FlightState>,
+}
+
+impl FlightRecorder {
+    pub(crate) fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity,
+            state: Mutex::new(FlightState {
+                buf: VecDeque::with_capacity(capacity.min(1024)),
+                seq: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    pub(crate) fn push(&self, day: i64, kind: &'static str, detail: String) {
+        let mut state = lock(&self.state);
+        let seq = state.seq;
+        state.seq += 1;
+        if self.capacity == 0 {
+            state.dropped += 1;
+            return;
+        }
+        while state.buf.len() >= self.capacity {
+            state.buf.pop_front();
+            state.dropped += 1;
+        }
+        state.buf.push_back(FlightEvent {
+            seq,
+            day,
+            kind,
+            detail,
+        });
+    }
+
+    /// Events currently held (oldest first) plus the evicted-event count.
+    pub(crate) fn events(&self) -> (Vec<FlightEvent>, u64) {
+        let state = lock(&self.state);
+        (state.buf.iter().cloned().collect(), state.dropped)
+    }
+
+    /// Render the ring as a text block, oldest first, newest last.
+    pub(crate) fn dump(&self) -> String {
+        let (events, dropped) = self.events();
+        let mut out = String::new();
+        put(
+            &mut out,
+            format_args!(
+                "=== flight recorder: {} event(s) retained, {} dropped ===\n",
+                events.len(),
+                dropped
+            ),
+        );
+        for e in &events {
+            put(
+                &mut out,
+                format_args!("#{:06} day {:>5} [{}] {}\n", e.seq, e.day, e.kind, e.detail),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let ring = FlightRecorder::new(4);
+        for i in 0..10i64 {
+            ring.push(i, "tick", format!("event {i}"));
+        }
+        let (events, dropped) = ring.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(dropped, 6);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(events[0].day, 6);
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything() {
+        let ring = FlightRecorder::new(0);
+        ring.push(1, "tick", String::from("x"));
+        let (events, dropped) = ring.events();
+        assert!(events.is_empty());
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn dump_renders_newest_last() {
+        let ring = FlightRecorder::new(8);
+        ring.push(3, "trigger", String::from("fired"));
+        ring.push(3, "purge", String::from("42 files"));
+        let dump = ring.dump();
+        assert!(dump.contains("2 event(s) retained, 0 dropped"));
+        let trigger_at = dump.find("[trigger]").unwrap_or(usize::MAX);
+        let purge_at = dump.find("[purge]").unwrap_or(0);
+        assert!(trigger_at < purge_at);
+    }
+}

@@ -24,7 +24,8 @@ use crate::archive::{ArchiveConfig, ArchiveStats, ArchiveTier};
 use crate::metrics::DailyMetrics;
 use activedr_core::convert;
 use activedr_core::prelude::*;
-use activedr_fs::{CatalogIndex, ExemptionList, VirtualFs};
+use activedr_fs::{diff_catalogs, CatalogIndex, ExemptionList, VirtualFs};
+use activedr_obs::{Counter, Histogram, ObsConfig, Telemetry};
 use activedr_trace::{activity_events, AccessKind, TraceSet};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -132,6 +133,15 @@ pub struct SimConfig {
     pub eval_mode: EvalMode,
     /// Full-scan (paper-faithful) or changelog-driven catalogs.
     pub catalog_mode: CatalogMode,
+    /// Telemetry knobs (disabled by default). Strictly side-channel: the
+    /// engine's results are byte-identical with telemetry on or off.
+    pub obs: ObsConfig,
+    /// Debug-mode consistency guard for [`CatalogMode::Incremental`]:
+    /// every this-many days (at a trigger), diff the incremental index
+    /// snapshot against a fresh full scan and report divergence through
+    /// the flight recorder and `catalog.guard_*` counters. Read-only —
+    /// replay results are unaffected. `None` (default) disables it.
+    pub catalog_guard_interval_days: Option<u32>,
 }
 
 impl SimConfig {
@@ -184,6 +194,8 @@ impl SimConfig {
             recovery: RecoveryModel::default(),
             eval_mode: EvalMode::default(),
             catalog_mode: CatalogMode::default(),
+            obs: ObsConfig::default(),
+            catalog_guard_interval_days: None,
         }
     }
 
@@ -194,6 +206,16 @@ impl SimConfig {
 
     pub fn with_catalog_mode(mut self, mode: CatalogMode) -> Self {
         self.catalog_mode = mode;
+        self
+    }
+
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    pub fn with_catalog_guard(mut self, interval_days: u32) -> Self {
+        self.catalog_guard_interval_days = Some(interval_days);
         self
     }
 }
@@ -361,7 +383,95 @@ pub fn run_instrumented(
     until_day: Option<i64>,
     probe: &mut dyn FnMut(TriggerProbe<'_>),
 ) -> (SimResult, VirtualFs) {
+    let tele = Telemetry::new(&config.obs);
+    run_engine(traces, fs, config, until_day, probe, &tele)
+}
+
+/// Run one full emulation recording into a caller-owned [`Telemetry`]
+/// instance, so the caller can snapshot a [`activedr_obs::TelemetryReport`]
+/// afterwards (the CLI's `--telemetry` path). `config.obs` is ignored —
+/// the passed handle decides whether anything is recorded. Telemetry is
+/// strictly observational: the returned `SimResult` is byte-identical to a
+/// [`run`] without it.
+pub fn run_with_telemetry(
+    traces: &TraceSet,
+    fs: VirtualFs,
+    config: &SimConfig,
+    tele: &Telemetry,
+) -> (SimResult, VirtualFs) {
+    run_engine(traces, fs, config, None, &mut |_| {}, tele)
+}
+
+/// Telemetry handles the engine hot paths touch, resolved once up front so
+/// the replay loop never does a name lookup.
+struct EngineMetrics {
+    reads: Counter,
+    misses: Counter,
+    writes: Counter,
+    restages_enqueued: Counter,
+    restages_completed: Counter,
+    restage_bytes: Counter,
+    purged_files: Counter,
+    purged_bytes: Counter,
+    triggers_fired: Counter,
+    triggers_skipped: Counter,
+    changelog_deltas: Counter,
+    guard_checks: Counter,
+    guard_divergences: Counter,
+    purged_bytes_per_trigger: Histogram,
+    trigger_micros: Histogram,
+    /// Per-trigger activeness classification time (`core::classify` via
+    /// the evaluator) — the paper's Fig. 12b "evaluation" phase.
+    eval_micros: Histogram,
+    /// Per-trigger ranking + purge decision time (`core::rank` /
+    /// `core::policy`).
+    decision_micros: Histogram,
+}
+
+impl EngineMetrics {
+    /// Purged-bytes-per-trigger buckets: 1 MiB to 1 TiB in x16 steps.
+    const BYTES_BOUNDS: [u64; 6] = [1 << 20, 1 << 24, 1 << 28, 1 << 32, 1 << 36, 1 << 40];
+    /// Trigger-latency buckets: 10 µs to 10 s in decades.
+    const MICROS_BOUNDS: [u64; 7] = [10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+    fn new(tele: &Telemetry) -> Self {
+        EngineMetrics {
+            reads: tele.counter("replay.reads"),
+            misses: tele.counter("replay.misses"),
+            writes: tele.counter("replay.writes"),
+            restages_enqueued: tele.counter("recovery.restages_enqueued"),
+            restages_completed: tele.counter("recovery.restages_completed"),
+            restage_bytes: tele.counter("recovery.restage_bytes"),
+            purged_files: tele.counter("retention.purged_files"),
+            purged_bytes: tele.counter("retention.purged_bytes"),
+            triggers_fired: tele.counter("retention.triggers_fired"),
+            triggers_skipped: tele.counter("retention.triggers_skipped"),
+            changelog_deltas: tele.counter("catalog.changelog_deltas"),
+            guard_checks: tele.counter("catalog.guard_checks"),
+            guard_divergences: tele.counter("catalog.guard_divergences"),
+            purged_bytes_per_trigger: tele
+                .histogram("retention.purged_bytes_per_trigger", &Self::BYTES_BOUNDS),
+            trigger_micros: tele.histogram("retention.trigger_micros", &Self::MICROS_BOUNDS),
+            eval_micros: tele.histogram("activeness.eval_micros", &Self::MICROS_BOUNDS),
+            decision_micros: tele.histogram("policy.decision_micros", &Self::MICROS_BOUNDS),
+        }
+    }
+}
+
+fn run_engine(
+    traces: &TraceSet,
+    fs: VirtualFs,
+    config: &SimConfig,
+    until_day: Option<i64>,
+    probe: &mut dyn FnMut(TriggerProbe<'_>),
+    tele: &Telemetry,
+) -> (SimResult, VirtualFs) {
     let mut fs = fs;
+    let metrics = EngineMetrics::new(tele);
+    // Post-mortem context: if anything below panics, dump the flight
+    // recorder before unwinding out of the engine.
+    let _unwind_dump = tele.unwind_dump();
+    let _run_span = tele.span("run");
     let evaluator = ActivenessEvaluator::new(config.registry.clone(), config.activeness);
     let users = traces.user_ids();
 
@@ -421,7 +531,10 @@ pub fn run_instrumented(
             }
             (table, convert::u64_from_micros(start.elapsed().as_micros()))
         };
-    let (_, _) = evaluate(Timestamp::from_days(replay_start), &mut quadrant_of);
+    {
+        let _eval_span = tele.span("evaluate");
+        let (_, _) = evaluate(Timestamp::from_days(replay_start), &mut quadrant_of);
+    }
 
     // Incremental catalog mode: record a changelog and seed the index
     // with the one unavoidable initial walk; every trigger after that is
@@ -448,12 +561,18 @@ pub fn run_instrumented(
         _ => None,
     };
 
+    // Debug-mode catalog guard state: day of the last incremental-vs-full
+    // consistency check.
+    let mut last_guard_day = replay_start;
+
     for day in replay_start..horizon {
+        let _day_span = tele.span("day");
         // Complete any recoveries that are due, accounting the
         // re-transmission traffic.
         let mut restages_today = 0u64;
         let mut restage_bytes_today = 0u64;
         if config.recovery.enabled() {
+            let _restage_span = tele.span("restage_drain");
             let now = Timestamp::from_days(day);
             let mut i = 0;
             while i < restage_queue.len() {
@@ -470,6 +589,9 @@ pub fn run_instrumented(
                         if fs.create(&path, owner, size, ts).is_ok() {
                             restages_today += 1;
                             restage_bytes_today += size;
+                            metrics.restages_completed.inc();
+                            metrics.restage_bytes.add(size);
+                            tele.flight(day, "restage-complete", || format!("{path} ({size} B)"));
                         }
                     }
                 } else {
@@ -481,11 +603,16 @@ pub fn run_instrumented(
         // beginning one interval into the replay.
         let days_in = day - replay_start;
         if days_in > 0 && days_in % i64::from(config.purge_interval_days) == 0 {
+            let _trigger_span = tele.span("trigger");
             let tc = Timestamp::from_days(day);
-            let (table, eval_micros) = evaluate(tc, &mut quadrant_of);
+            let (table, eval_micros) = {
+                let _eval_span = tele.span("evaluate");
+                evaluate(tc, &mut quadrant_of)
+            };
 
             // xtask-allow: determinism -- phase timing for the performance report
             let scan_start = Instant::now();
+            let catalog_span = tele.span("catalog");
             let full_catalog;
             let catalog: &Catalog = match incremental.as_mut() {
                 None => {
@@ -493,11 +620,61 @@ pub fn run_instrumented(
                     &full_catalog
                 }
                 Some(index) => {
-                    index.apply(fs.drain_changelog(), &config.exemptions);
+                    tele.gauge("catalog.changelog_depth")
+                        .set_u64(convert::u64_from_usize(fs.changelog_depth()));
+                    let deltas = fs.drain_changelog();
+                    metrics
+                        .changelog_deltas
+                        .add(convert::u64_from_usize(deltas.len()));
+                    tele.flight(day, "changelog-flush", || {
+                        format!("{} delta(s) folded into the catalog index", deltas.len())
+                    });
+                    index.apply(deltas, &config.exemptions);
+                    tele.gauge("catalog.dirty_users")
+                        .set_u64(convert::u64_from_usize(index.dirty_user_count()));
+                    tele.gauge("catalog.index_files")
+                        .set_u64(convert::u64_from_usize(index.file_count()));
                     index.snapshot()
                 }
             };
+            drop(catalog_span);
             let scan_micros = convert::u64_from_micros(scan_start.elapsed().as_micros());
+
+            // Debug-mode consistency guard (KNOWN_FAILURES changelog-drift
+            // watch item): periodically re-walk the namespace and diff it
+            // against the incremental snapshot. Read-only — it can report
+            // drift but never alters the replay.
+            if matches!(config.catalog_mode, CatalogMode::Incremental) {
+                if let Some(interval) = config.catalog_guard_interval_days {
+                    if day - last_guard_day >= i64::from(interval) {
+                        last_guard_day = day;
+                        let _guard_span = tele.span("guard");
+                        let full = fs.catalog(&config.exemptions);
+                        let diffs = diff_catalogs(catalog, &full);
+                        metrics.guard_checks.inc();
+                        if diffs.is_empty() {
+                            tele.flight(day, "catalog-guard", || {
+                                format!(
+                                    "ok: index matches full scan ({} files)",
+                                    full.total_files()
+                                )
+                            });
+                        } else {
+                            metrics
+                                .guard_divergences
+                                .add(convert::u64_from_usize(diffs.len()));
+                            tele.flight(day, "catalog-guard", || {
+                                let head: Vec<String> = diffs.iter().take(5).cloned().collect();
+                                format!(
+                                    "DIVERGENCE: {} difference(s): {}",
+                                    diffs.len(),
+                                    head.join("; ")
+                                )
+                            });
+                        }
+                    }
+                }
+            }
 
             let utilization_target = || {
                 config.purge_target_utilization.map(|u| {
@@ -520,6 +697,7 @@ pub fn run_instrumented(
                 let used_before = fs.used_bytes();
                 // xtask-allow: determinism -- phase timing for the performance report
                 let decision_start = Instant::now();
+                let decide_span = tele.span("decide");
                 let request = PurgeRequest {
                     tc,
                     catalog,
@@ -539,11 +717,13 @@ pub fn run_instrumented(
                     .run(request),
                     PolicyKind::ValueBased => ValueBasedPolicy::default().run(request),
                 };
+                drop(decide_span);
                 let decision_micros =
                     convert::u64_from_micros(decision_start.elapsed().as_micros());
 
                 // xtask-allow: determinism -- phase timing for the performance report
                 let apply_start = Instant::now();
+                let apply_span = tele.span("apply");
                 if config.recovery.enabled() {
                     for p in &outcome.purged {
                         let path = fs.path_of(activedr_fs::NodeId(convert::u32_from_u64(p.id.0)));
@@ -553,7 +733,29 @@ pub fn run_instrumented(
                     }
                 }
                 fs.apply(&outcome);
+                drop(apply_span);
                 let apply_micros = convert::u64_from_micros(apply_start.elapsed().as_micros());
+
+                metrics.triggers_fired.inc();
+                metrics.eval_micros.record(eval_micros);
+                metrics.decision_micros.record(decision_micros);
+                metrics.purged_files.add(outcome.purged_files());
+                metrics.purged_bytes.add(outcome.purged_bytes);
+                metrics
+                    .purged_bytes_per_trigger
+                    .record(outcome.purged_bytes);
+                metrics
+                    .trigger_micros
+                    .record(eval_micros + scan_micros + decision_micros + apply_micros);
+                tele.flight(day, "trigger", || {
+                    format!(
+                        "{}: purged {} file(s) / {} B, target_met={}",
+                        config.policy.name(),
+                        outcome.purged_files(),
+                        outcome.purged_bytes,
+                        outcome.target_met
+                    )
+                });
 
                 let breakdown = RetentionBreakdown::compute(catalog, &table, &outcome);
                 let mut top_losers: Vec<(UserId, u64)> =
@@ -584,6 +786,10 @@ pub fn run_instrumented(
                     fs: &fs,
                 });
             } else {
+                metrics.triggers_skipped.inc();
+                tele.flight(day, "trigger-skip", || {
+                    "utilization already at or below target".to_string()
+                });
                 probe(TriggerProbe {
                     day,
                     catalog,
@@ -598,6 +804,7 @@ pub fn run_instrumented(
         daily.restages = restages_today;
         daily.restage_bytes = restage_bytes_today;
         let day_end = Timestamp::from_days(day + 1);
+        let _replay_span = tele.span("replay_accesses");
         while access_idx < traces.accesses.len() && traces.accesses[access_idx].ts < day_end {
             let a = &traces.accesses[access_idx];
             access_idx += 1;
@@ -607,8 +814,10 @@ pub fn run_instrumented(
             match a.kind {
                 AccessKind::Read => {
                     daily.reads += 1;
+                    metrics.reads.inc();
                     if fs.access(&a.path, a.ts).is_miss() {
                         daily.misses += 1;
+                        metrics.misses.inc();
                         let q = quadrant_of
                             .get(&a.user)
                             .copied()
@@ -630,11 +839,14 @@ pub fn run_instrumented(
                             };
                             restage_inflight.insert(a.path.clone());
                             restage_queue.push((ready, a.path.clone()));
+                            metrics.restages_enqueued.inc();
+                            tele.flight(day, "restage-enqueue", || a.path.clone());
                         }
                     }
                 }
                 AccessKind::Write { size } => {
                     daily.writes += 1;
+                    metrics.writes.inc();
                     // Overwrites and fresh creates both succeed; conflicts
                     // (a path shadowing a directory) are ignored like any
                     // failed write in the paper's emulator.
@@ -657,6 +869,18 @@ pub fn run_instrumented(
     result.final_files = convert::u64_from_usize(fs.file_count());
     result.final_quadrants = quadrant_of;
     result.archive = archive_tier.map(|t| t.stats());
+
+    // End-of-run state gauges, sampled from deterministic replay facts.
+    let ops = fs.op_counts();
+    tele.gauge("fs.ops_creates").set_u64(ops.creates);
+    tele.gauge("fs.ops_removes").set_u64(ops.removes);
+    tele.gauge("fs.ops_accesses").set_u64(ops.accesses);
+    tele.gauge("fs.ops_hits").set_u64(ops.hits);
+    tele.gauge("fs.ops_misses").set_u64(ops.misses);
+    tele.gauge("fs.ops_renames").set_u64(ops.renames);
+    tele.gauge("fs.final_files").set_u64(result.final_files);
+    tele.gauge("fs.final_used_bytes").set_u64(result.final_used);
+
     (result, fs)
 }
 

@@ -25,8 +25,12 @@ pub mod scenario;
 
 pub use archive::{ArchiveConfig, ArchiveStats, ArchiveTier};
 pub use engine::{
-    build_initial_fs, pre_purge_flt, run, run_instrumented, run_observed, run_until, CatalogMode,
-    EvalMode, PolicyKind, RecoveryModel, SimConfig, SimResult, TriggerProbe,
+    build_initial_fs, pre_purge_flt, run, run_instrumented, run_observed, run_until,
+    run_with_telemetry, CatalogMode, EvalMode, PolicyKind, RecoveryModel, SimConfig, SimResult,
+    TriggerProbe,
 };
+// Telemetry surface, re-exported so integration tests and downstream
+// binaries need no direct `activedr-obs` dependency.
+pub use activedr_obs::{ObsConfig, Telemetry, TelemetryReport};
 pub use parallel::{parallel_evaluate, EvalShardReport, ParallelEvaluation};
 pub use scenario::{Scale, Scenario};

@@ -41,4 +41,5 @@ pub mod checks;
 pub mod lexer;
 pub mod runner;
 pub mod semantic;
+pub mod telemetry;
 pub mod visit;

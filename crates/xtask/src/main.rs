@@ -14,8 +14,11 @@ Commands:
     --only <names>      comma-separated subset of checks to run
     --root <dir>        workspace root (default: this repository)
   smoke                 run the release-mode perf/equivalence smoke gates:
-                        the catalog-mode equivalence test and the
-                        bench_catalog example (rewrites BENCH_catalog.json)
+                        the catalog-mode equivalence test, the bench_catalog
+                        example (rewrites BENCH_catalog.json), a
+                        telemetry-enabled Tiny replay whose telemetry.json
+                        and trace export are schema-validated, and the
+                        bench_obs example (rewrites BENCH_obs.json)
   help                  show this message
 
 Checks: panic-freedom, newtype, dispatch, float-cmp, determinism,
@@ -32,12 +35,53 @@ fn workspace_root() -> PathBuf {
         .unwrap_or(manifest)
 }
 
-/// The release-mode smoke gates behind the incremental catalog: the
-/// trigger-by-trigger equivalence test (all four policies, `Small` scale)
-/// and the full-scan vs incremental timing run, which rewrites
-/// `docs/results/BENCH_catalog.json` and fails below the 5x floor.
+/// Run one `cargo` invocation from the workspace root, reporting any
+/// spawn failure or non-zero exit.
+fn cargo_step(args: &[&str]) -> Result<(), String> {
+    eprintln!("xtask smoke: cargo {}", args.join(" "));
+    let status = std::process::Command::new("cargo")
+        .args(args)
+        .current_dir(workspace_root())
+        .status();
+    match status {
+        Ok(s) if s.success() => Ok(()),
+        Ok(s) => Err(format!("cargo {} failed with {s}", args.join(" "))),
+        Err(e) => Err(format!("failed to spawn cargo: {e}")),
+    }
+}
+
+/// Read a smoke artifact and run a validator over it, flattening any
+/// finding list into one error message.
+fn validate_file(
+    path: &std::path::Path,
+    validate: fn(&str) -> Result<(), Vec<String>>,
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    validate(&text).map_err(|problems| {
+        format!(
+            "{} is malformed:\n  {}",
+            path.display(),
+            problems.join("\n  ")
+        )
+    })
+}
+
+/// The release-mode smoke gates: the trigger-by-trigger catalog-mode
+/// equivalence test (all four policies, `Small` scale), the full-scan vs
+/// incremental timing run (rewrites `docs/results/BENCH_catalog.json`,
+/// fails below the 5x floor), a telemetry-enabled Tiny replay through the
+/// real CLI whose `telemetry.json` and trace-event export are then
+/// schema-validated in process, and the obs overhead probe (rewrites
+/// `docs/results/BENCH_obs.json`, fails if the disabled path is not
+/// effectively free).
 fn smoke() -> ExitCode {
-    let steps: [&[&str]; 2] = [
+    let telemetry_path = workspace_root().join("target").join("smoke-telemetry.json");
+    let trace_path = workspace_root()
+        .join("target")
+        .join("smoke-telemetry.trace.json");
+    let telemetry_arg = telemetry_path.display().to_string();
+    let steps: [&[&str]; 4] = [
         &[
             "test",
             "--release",
@@ -56,24 +100,50 @@ fn smoke() -> ExitCode {
             "--example",
             "bench_catalog",
         ],
+        &[
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "activedr-cli",
+            "--",
+            "simulate",
+            "--scale",
+            "tiny",
+            "--lifetime",
+            "30",
+            "--telemetry",
+            &telemetry_arg,
+        ],
+        &[
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "activedr-obs",
+            "--example",
+            "bench_obs",
+        ],
     ];
     for args in steps {
-        eprintln!("xtask smoke: cargo {}", args.join(" "));
-        let status = std::process::Command::new("cargo")
-            .args(args)
-            .current_dir(workspace_root())
-            .status();
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => {
-                eprintln!("xtask smoke: cargo {} failed with {s}", args.join(" "));
-                return ExitCode::FAILURE;
-            }
-            Err(e) => {
-                eprintln!("xtask smoke: failed to spawn cargo: {e}");
-                return ExitCode::FAILURE;
-            }
+        if let Err(msg) = cargo_step(args) {
+            eprintln!("xtask smoke: {msg}");
+            return ExitCode::FAILURE;
         }
+    }
+    let validations = [
+        (
+            &telemetry_path,
+            xtask::telemetry::validate_telemetry as fn(&str) -> Result<(), Vec<String>>,
+        ),
+        (&trace_path, xtask::telemetry::validate_trace),
+    ];
+    for (path, validate) in validations {
+        if let Err(msg) = validate_file(path, validate) {
+            eprintln!("xtask smoke: {msg}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("xtask smoke: {} validated", path.display());
     }
     eprintln!("xtask smoke: all gates passed");
     ExitCode::SUCCESS

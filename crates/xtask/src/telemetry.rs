@@ -1,0 +1,281 @@
+//! Structural validation of the `activedr-obs` sink files, run by
+//! `cargo xtask smoke` against a real telemetry-enabled Tiny replay.
+//!
+//! The obs crate is dependency-free and hand-rolls its JSON, so nothing
+//! in its own test suite proves the emitted bytes parse with an actual
+//! JSON reader. This module closes that loop: parse `telemetry.json`
+//! and the trace-event file with `serde_json` and check the schema the
+//! docs promise — required top-level keys, non-negative counters, a
+//! well-formed span tree, and histogram bucket accounting.
+
+use serde_json::Value;
+
+/// Validate a `telemetry.json` document (schema version 1). Returns
+/// every problem found, not just the first.
+pub fn validate_telemetry(text: &str) -> Result<(), Vec<String>> {
+    let doc: Value = match serde_json::from_str(text) {
+        Ok(v) => v,
+        Err(e) => return Err(vec![format!("telemetry.json does not parse: {e:?}")]),
+    };
+    let mut problems = Vec::new();
+
+    if doc.get("version").and_then(Value::as_u64) != Some(1) {
+        problems.push("\"version\" missing or not 1".to_string());
+    }
+    for key in [
+        "counters",
+        "gauges",
+        "histograms",
+        "spans",
+        "flight",
+        "dropped",
+    ] {
+        if doc.get(key).is_none() {
+            problems.push(format!("required key {key:?} missing"));
+        }
+    }
+
+    if let Some(Value::Map(counters)) = doc.get("counters") {
+        for (name, value) in counters {
+            if value.as_u64().is_none() {
+                problems.push(format!("counter {name:?} is not a non-negative integer"));
+            }
+        }
+    } else if doc.get("counters").is_some() {
+        problems.push("\"counters\" is not an object".to_string());
+    }
+
+    if let Some(Value::Map(gauges)) = doc.get("gauges") {
+        for (name, value) in gauges {
+            if value.as_i64().is_none() {
+                problems.push(format!("gauge {name:?} is not an integer"));
+            }
+        }
+    } else if doc.get("gauges").is_some() {
+        problems.push("\"gauges\" is not an object".to_string());
+    }
+
+    if let Some(hists) = doc.get("histograms").and_then(Value::as_array) {
+        for h in hists {
+            validate_histogram(h, &mut problems);
+        }
+    } else if doc.get("histograms").is_some() {
+        problems.push("\"histograms\" is not an array".to_string());
+    }
+
+    if let Some(spans) = doc.get("spans").and_then(Value::as_array) {
+        for s in spans {
+            validate_span(s, 0, &mut problems);
+        }
+    } else if doc.get("spans").is_some() {
+        problems.push("\"spans\" is not an array".to_string());
+    }
+
+    if let Some(flight) = doc.get("flight").and_then(Value::as_array) {
+        for (i, e) in flight.iter().enumerate() {
+            if e.get("seq").and_then(Value::as_u64).is_none() {
+                problems.push(format!("flight[{i}] has no \"seq\""));
+            }
+            if e.get("day").and_then(Value::as_i64).is_none() {
+                problems.push(format!("flight[{i}] has no \"day\""));
+            }
+            if e.get("kind").and_then(Value::as_str).is_none() {
+                problems.push(format!("flight[{i}] has no \"kind\""));
+            }
+            if e.get("detail").and_then(Value::as_str).is_none() {
+                problems.push(format!("flight[{i}] has no \"detail\""));
+            }
+        }
+    } else if doc.get("flight").is_some() {
+        problems.push("\"flight\" is not an array".to_string());
+    }
+
+    if let Some(dropped) = doc.get("dropped") {
+        for key in ["span_instances", "flight_events"] {
+            if dropped.get(key).and_then(Value::as_u64).is_none() {
+                problems.push(format!("\"dropped\" has no numeric {key:?}"));
+            }
+        }
+    }
+
+    // Cross-counter sanity: a miss is a failed read, so misses can never
+    // outnumber reads in a replay.
+    let counter = |name: &str| {
+        doc.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Value::as_u64)
+    };
+    if let (Some(reads), Some(misses)) = (counter("replay.reads"), counter("replay.misses")) {
+        if misses > reads {
+            problems.push(format!(
+                "replay.misses ({misses}) exceeds replay.reads ({reads})"
+            ));
+        }
+    }
+
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems)
+    }
+}
+
+fn validate_histogram(h: &Value, problems: &mut Vec<String>) {
+    let name = h
+        .get("name")
+        .and_then(Value::as_str)
+        .unwrap_or("<unnamed>")
+        .to_string();
+    let bounds = h.get("bounds").and_then(Value::as_array);
+    let counts = h.get("counts").and_then(Value::as_array);
+    match (bounds, counts) {
+        (Some(bounds), Some(counts)) => {
+            // One overflow bucket past the last bound.
+            if counts.len() != bounds.len() + 1 {
+                problems.push(format!(
+                    "histogram {name:?}: {} counts for {} bounds (want bounds + 1)",
+                    counts.len(),
+                    bounds.len()
+                ));
+            }
+            let total: u64 = counts.iter().filter_map(Value::as_u64).sum();
+            if h.get("count").and_then(Value::as_u64) != Some(total) {
+                problems.push(format!(
+                    "histogram {name:?}: \"count\" disagrees with the bucket sum {total}"
+                ));
+            }
+        }
+        _ => problems.push(format!("histogram {name:?}: missing bounds/counts arrays")),
+    }
+    if h.get("sum").and_then(Value::as_u64).is_none() {
+        problems.push(format!("histogram {name:?}: missing numeric \"sum\""));
+    }
+}
+
+fn validate_span(span: &Value, depth: usize, problems: &mut Vec<String>) {
+    if depth > 64 {
+        problems.push("span tree deeper than 64 levels".to_string());
+        return;
+    }
+    let name = span
+        .get("name")
+        .and_then(Value::as_str)
+        .unwrap_or("<unnamed>")
+        .to_string();
+    if span.get("name").and_then(Value::as_str).is_none() {
+        problems.push(format!("span at depth {depth} has no \"name\""));
+    }
+    match span.get("count").and_then(Value::as_u64) {
+        Some(0) => problems.push(format!("span {name:?} recorded with count 0")),
+        Some(_) => {}
+        None => problems.push(format!("span {name:?} has no numeric \"count\"")),
+    }
+    if span.get("total_micros").and_then(Value::as_u64).is_none() {
+        problems.push(format!("span {name:?} has no numeric \"total_micros\""));
+    }
+    match span.get("children").and_then(Value::as_array) {
+        Some(children) => {
+            for c in children {
+                validate_span(c, depth + 1, problems);
+            }
+        }
+        None => problems.push(format!("span {name:?} has no \"children\" array")),
+    }
+}
+
+/// Validate a chrome trace-event export: an array of complete (`"X"`)
+/// events with microsecond timestamps and durations.
+pub fn validate_trace(text: &str) -> Result<(), Vec<String>> {
+    let doc: Value = match serde_json::from_str(text) {
+        Ok(v) => v,
+        Err(e) => return Err(vec![format!("trace file does not parse: {e:?}")]),
+    };
+    let mut problems = Vec::new();
+    match doc.as_array() {
+        Some(events) => {
+            for (i, e) in events.iter().enumerate() {
+                if e.get("name").and_then(Value::as_str).is_none() {
+                    problems.push(format!("trace event {i} has no \"name\""));
+                }
+                if e.get("ph").and_then(Value::as_str) != Some("X") {
+                    problems.push(format!("trace event {i} is not a complete (\"X\") event"));
+                }
+                for key in ["ts", "dur"] {
+                    if e.get(key).and_then(Value::as_u64).is_none() {
+                        problems.push(format!("trace event {i} has no numeric {key:?}"));
+                    }
+                }
+            }
+        }
+        None => problems.push("trace file is not a JSON array".to_string()),
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{"version":1,
+        "counters":{"replay.reads":10,"replay.misses":3},
+        "gauges":{"fs.final_files":7},
+        "histograms":[{"name":"h","bounds":[10,100],"counts":[1,2,0],"count":3,"sum":42}],
+        "spans":[{"name":"run","count":1,"total_micros":5,
+                  "children":[{"name":"day","count":2,"total_micros":4,"children":[]}]}],
+        "flight":[{"seq":0,"day":-3,"kind":"trigger","detail":"x"}],
+        "dropped":{"span_instances":0,"flight_events":0}}"#;
+
+    #[test]
+    fn accepts_a_well_formed_document() {
+        assert_eq!(validate_telemetry(GOOD), Ok(()));
+    }
+
+    #[test]
+    fn rejects_missing_keys_and_bad_counters() {
+        let errs = validate_telemetry(r#"{"version":2,"counters":{"x":-1}}"#)
+            .expect_err("must be rejected");
+        assert!(errs.iter().any(|e| e.contains("version")));
+        assert!(errs.iter().any(|e| e.contains("\"x\"")));
+        assert!(errs.iter().any(|e| e.contains("spans")));
+    }
+
+    #[test]
+    fn rejects_bucket_miscounts_and_zero_count_spans() {
+        let doc = GOOD
+            .replace(
+                "\"counts\":[1,2,0],\"count\":3",
+                "\"counts\":[1,2],\"count\":3",
+            )
+            .replace(
+                "\"name\":\"day\",\"count\":2",
+                "\"name\":\"day\",\"count\":0",
+            );
+        let errs = validate_telemetry(&doc).expect_err("must be rejected");
+        assert!(errs.iter().any(|e| e.contains("bounds + 1")));
+        assert!(errs.iter().any(|e| e.contains("count 0")));
+    }
+
+    #[test]
+    fn rejects_misses_exceeding_reads() {
+        let doc = GOOD.replace("\"replay.misses\":3", "\"replay.misses\":11");
+        let errs = validate_telemetry(&doc).expect_err("must be rejected");
+        assert!(errs.iter().any(|e| e.contains("exceeds replay.reads")));
+    }
+
+    #[test]
+    fn validates_trace_events() {
+        assert_eq!(
+            validate_trace(r#"[{"name":"run","ph":"X","ts":0,"dur":5,"pid":1,"tid":1}]"#),
+            Ok(())
+        );
+        let errs =
+            validate_trace(r#"[{"name":"run","ph":"B","ts":0}]"#).expect_err("must be rejected");
+        assert!(errs.iter().any(|e| e.contains("\"X\"")));
+        assert!(errs.iter().any(|e| e.contains("dur")));
+        assert!(validate_trace("{}").is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! Smoke benchmark: instrumentation overhead, disabled vs enabled.
+//!
+//! ```text
+//! cargo run --release -p activedr-obs --example bench_obs
+//! ```
+//!
+//! Times the three hot-path telemetry operations the replay engine leans
+//! on — counter increment, span enter/exit, flight-recorder push — once
+//! against a **disabled** `Telemetry` (the default every ordinary replay
+//! runs with) and once against an **enabled** one. Writes
+//! `docs/results/BENCH_obs.json` and exits nonzero if any disabled-path
+//! operation costs more than [`DISABLED_CEILING_NANOS`] ns — the contract
+//! that telemetry-off replay is effectively uninstrumented.
+//!
+//! The JSON is hand-rolled because `activedr-obs` deliberately has zero
+//! dependencies, stub or otherwise.
+
+#![allow(
+    clippy::unwrap_used,
+    reason = "bench harness code may panic on a broken fixture"
+)]
+#![allow(
+    clippy::cast_precision_loss,
+    reason = "benchmark durations fit comfortably in f64"
+)]
+
+use activedr_obs::Telemetry;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A disabled-path op slower than this is a broken side-channel contract.
+/// Generous on purpose: shared CI boxes jitter, and the real disabled cost
+/// is a branch on an `Option` (single-digit ns at worst).
+const DISABLED_CEILING_NANOS: f64 = 25.0;
+
+/// Best-of-`reps` per-op nanoseconds for `ops` iterations of `f`.
+fn per_op_nanos(reps: u32, ops: u64, mut f: impl FnMut()) -> f64 {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        // xtask-allow: determinism -- wall-clock benchmark probe
+        let start = Instant::now();
+        for _ in 0..ops {
+            f();
+        }
+        best = best.min(start.elapsed());
+    }
+    best.as_nanos() as f64 / ops as f64
+}
+
+struct Case {
+    name: &'static str,
+    disabled_nanos: f64,
+    enabled_nanos: f64,
+}
+
+fn main() {
+    let reps = 5u32;
+    let off = Telemetry::off();
+    let on = Telemetry::on();
+
+    let counter_off = off.counter("bench.counter");
+    let counter_on = on.counter("bench.counter");
+    let cases = vec![
+        Case {
+            name: "counter_inc",
+            disabled_nanos: per_op_nanos(reps, 10_000_000, || {
+                black_box(&counter_off).inc();
+            }),
+            enabled_nanos: per_op_nanos(reps, 10_000_000, || {
+                black_box(&counter_on).inc();
+            }),
+        },
+        Case {
+            name: "span_enter_exit",
+            disabled_nanos: per_op_nanos(reps, 1_000_000, || {
+                black_box(off.span("bench.span"));
+            }),
+            enabled_nanos: per_op_nanos(reps, 1_000_000, || {
+                black_box(on.span("bench.span"));
+            }),
+        },
+        Case {
+            name: "flight_push",
+            disabled_nanos: per_op_nanos(reps, 1_000_000, || {
+                off.flight(0, "bench", || String::from("event"));
+            }),
+            enabled_nanos: per_op_nanos(reps, 1_000_000, || {
+                on.flight(0, "bench", || String::from("event"));
+            }),
+        },
+    ];
+
+    let mut json =
+        String::from("{\n  \"reps\": 5,\n  \"disabled_ceiling_nanos\": 25.0,\n  \"cases\": [\n");
+    for (i, case) in cases.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"disabled_nanos\": {:.2}, \"enabled_nanos\": {:.2}}}{}",
+            case.name,
+            case.disabled_nanos,
+            case.enabled_nanos,
+            if i + 1 < cases.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../docs/results/BENCH_obs.json"
+    );
+    std::fs::write(out, &json).unwrap();
+
+    println!("telemetry overhead benchmark (best of {reps} reps)");
+    for case in &cases {
+        println!(
+            "  {:<16} disabled {:>7.2} ns/op   enabled {:>8.2} ns/op",
+            case.name, case.disabled_nanos, case.enabled_nanos
+        );
+    }
+    println!("  wrote {out}");
+
+    for case in &cases {
+        assert!(
+            case.disabled_nanos <= DISABLED_CEILING_NANOS,
+            "disabled {} costs {:.2} ns/op, over the {DISABLED_CEILING_NANOS} ns ceiling",
+            case.name,
+            case.disabled_nanos
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! Telemetry integration: the side-channel contract, counter/SimResult
+//! reconciliation under all four policies, sink validity, and the
+//! incremental-catalog consistency guard.
+
+#![allow(
+    clippy::expect_used,
+    reason = "test helper plumbing panics on harness failures by design"
+)]
+
+use activedr_sim::{
+    run, run_with_telemetry, CatalogMode, Scale, Scenario, SimConfig, SimResult, Telemetry,
+};
+use serde_json::Value;
+
+fn scenario() -> Scenario {
+    Scenario::build(Scale::Tiny, 42)
+}
+
+fn all_policies() -> Vec<SimConfig> {
+    vec![
+        SimConfig::flt(90),
+        SimConfig::activedr(90),
+        SimConfig::scratch_cache(),
+        SimConfig::value_based(90),
+    ]
+}
+
+/// Serialize the deterministic payload of a [`SimResult`] to a stable
+/// byte string. Two fields cannot be compared raw: the Fig. 12b
+/// wall-clock probes (`*_micros`, timing differs run to run by
+/// definition) and `final_quadrants` (HashMap serialization order is
+/// seeded per instance). Everything else — every read, miss, purge,
+/// restage, quadrant, and trigger decision — must match to the byte.
+fn result_bytes(result: &SimResult) -> String {
+    let mut r = result.clone();
+    for ev in &mut r.retentions {
+        ev.eval_micros = 0;
+        ev.scan_micros = 0;
+        ev.decision_micros = 0;
+        ev.apply_micros = 0;
+    }
+    let mut quads: Vec<_> = std::mem::take(&mut r.final_quadrants).into_iter().collect();
+    quads.sort();
+    format!(
+        "{}|{quads:?}",
+        serde_json::to_string(&r).expect("SimResult serializes")
+    )
+}
+
+#[test]
+fn simresult_is_byte_identical_with_telemetry_on_or_off() {
+    let sc = scenario();
+    for config in all_policies() {
+        let plain = run(&sc.traces, sc.initial_fs.clone(), &config);
+        let tele = Telemetry::on();
+        let (observed, _) = run_with_telemetry(&sc.traces, sc.initial_fs.clone(), &config, &tele);
+        assert_eq!(
+            result_bytes(&plain),
+            result_bytes(&observed),
+            "{}: telemetry changed the replay outcome",
+            config.policy.name()
+        );
+        assert!(tele.report().counter("replay.reads").unwrap_or(0) > 0);
+        // A disabled handle through the same entry point is also identical.
+        let off = Telemetry::off();
+        let (dark, _) = run_with_telemetry(&sc.traces, sc.initial_fs.clone(), &config, &off);
+        assert_eq!(result_bytes(&plain), result_bytes(&dark));
+        assert_eq!(off.report().counter("replay.reads"), None);
+    }
+    // And the incremental catalog path is covered by the same contract.
+    let config = SimConfig::activedr(90).with_catalog_mode(CatalogMode::Incremental);
+    let plain = run(&sc.traces, sc.initial_fs.clone(), &config);
+    let tele = Telemetry::on();
+    let (observed, _) = run_with_telemetry(&sc.traces, sc.initial_fs.clone(), &config, &tele);
+    assert_eq!(result_bytes(&plain), result_bytes(&observed));
+}
+
+#[test]
+fn counters_reconcile_with_simresult_under_all_policies() {
+    let sc = scenario();
+    for config in all_policies() {
+        let tele = Telemetry::on();
+        let (result, _) = run_with_telemetry(&sc.traces, sc.initial_fs.clone(), &config, &tele);
+        let report = tele.report();
+        let name = config.policy.name();
+        let counter = |key: &str| report.counter(key).unwrap_or(0);
+
+        assert_eq!(counter("replay.reads"), result.total_reads(), "{name}");
+        assert_eq!(counter("replay.misses"), result.total_misses(), "{name}");
+        assert_eq!(
+            counter("replay.writes"),
+            result.daily.iter().map(|d| d.writes).sum::<u64>(),
+            "{name}"
+        );
+        assert_eq!(
+            counter("recovery.restages_completed"),
+            result.total_restages(),
+            "{name}"
+        );
+        assert_eq!(
+            counter("recovery.restage_bytes"),
+            result.total_restage_bytes(),
+            "{name}"
+        );
+        assert_eq!(
+            counter("retention.purged_files"),
+            result
+                .retentions
+                .iter()
+                .map(|r| r.purged_files)
+                .sum::<u64>(),
+            "{name}"
+        );
+        assert_eq!(
+            counter("retention.purged_bytes"),
+            result.total_purged_bytes(),
+            "{name}"
+        );
+        assert_eq!(
+            counter("retention.triggers_fired"),
+            u64::try_from(result.retentions.len()).expect("count fits"),
+            "{name}"
+        );
+        // Gauges sampled from the deterministic fs counters agree with the
+        // replay totals too.
+        assert_eq!(
+            report.gauge("fs.final_files").map(|v| v.unsigned_abs()),
+            Some(result.final_files),
+            "{name}"
+        );
+        assert_eq!(
+            report
+                .gauge("fs.final_used_bytes")
+                .map(|v| v.unsigned_abs()),
+            Some(result.final_used),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn telemetry_json_and_trace_export_are_valid() {
+    let sc = scenario();
+    let config = SimConfig::activedr(90).with_catalog_mode(CatalogMode::Incremental);
+    let tele = Telemetry::on();
+    let (result, _) = run_with_telemetry(&sc.traces, sc.initial_fs.clone(), &config, &tele);
+    let report = tele.report();
+
+    let parsed: Value = serde_json::from_str(&report.to_json()).expect("telemetry.json parses");
+    assert_eq!(parsed.get("version").and_then(Value::as_u64), Some(1));
+    for key in [
+        "counters",
+        "gauges",
+        "histograms",
+        "spans",
+        "flight",
+        "dropped",
+    ] {
+        assert!(parsed.get(key).is_some(), "missing {key}");
+    }
+    let counters = parsed.get("counters").expect("counters");
+    assert_eq!(
+        counters.get("replay.reads").and_then(Value::as_u64),
+        Some(result.total_reads())
+    );
+    // Span tree: one top-level "run" span entered once, with children.
+    let spans = parsed
+        .get("spans")
+        .and_then(Value::as_array)
+        .expect("spans");
+    assert_eq!(spans.len(), 1);
+    assert_eq!(spans[0].get("name").and_then(Value::as_str), Some("run"));
+    assert_eq!(spans[0].get("count").and_then(Value::as_u64), Some(1));
+    let children = spans[0]
+        .get("children")
+        .and_then(Value::as_array)
+        .expect("children");
+    assert!(children
+        .iter()
+        .any(|c| c.get("name").and_then(Value::as_str) == Some("day")));
+
+    // Flight recorder holds engine events, newest within the ring bound.
+    let flight = parsed
+        .get("flight")
+        .and_then(Value::as_array)
+        .expect("flight");
+    assert!(!flight.is_empty());
+    let kinds: Vec<&str> = flight
+        .iter()
+        .filter_map(|e| e.get("kind").and_then(Value::as_str))
+        .collect();
+    assert!(
+        kinds.contains(&"trigger") || kinds.contains(&"trigger-skip"),
+        "no trigger events in {kinds:?}"
+    );
+    assert!(kinds.contains(&"changelog-flush"));
+
+    // Trace-event export: a JSON array of complete ("X") events whose
+    // names come from the span tree.
+    let trace: Value = serde_json::from_str(&report.trace_json()).expect("trace parses");
+    let events = trace.as_array().expect("trace is an array");
+    assert!(!events.is_empty());
+    for e in events {
+        assert_eq!(e.get("ph").and_then(Value::as_str), Some("X"));
+        assert!(e.get("ts").and_then(Value::as_u64).is_some());
+        assert!(e.get("dur").and_then(Value::as_u64).is_some());
+    }
+    assert!(events
+        .iter()
+        .any(|e| e.get("name").and_then(Value::as_str) == Some("run")));
+}
+
+#[test]
+fn catalog_guard_runs_clean_and_changes_nothing() {
+    let sc = scenario();
+    let base = SimConfig::activedr(90).with_catalog_mode(CatalogMode::Incremental);
+    let guarded = base.clone().with_catalog_guard(7);
+
+    let plain = run(&sc.traces, sc.initial_fs.clone(), &base);
+    let tele = Telemetry::on();
+    let (watched, _) = run_with_telemetry(&sc.traces, sc.initial_fs.clone(), &guarded, &tele);
+    assert_eq!(
+        result_bytes(&plain),
+        result_bytes(&watched),
+        "the catalog guard must be read-only"
+    );
+
+    let report = tele.report();
+    let checks = report.counter("catalog.guard_checks").unwrap_or(0);
+    assert!(checks > 0, "guard never ran");
+    assert_eq!(
+        report.counter("catalog.guard_divergences"),
+        Some(0),
+        "incremental catalog diverged from the full scan"
+    );
+    // Every check reports through the flight recorder, though the
+    // bounded ring may have evicted the oldest entries by run end.
+    let guard_events: Vec<_> = report
+        .flight
+        .iter()
+        .filter(|e| e.kind == "catalog-guard")
+        .collect();
+    assert!(!guard_events.is_empty(), "no guard events retained");
+    assert!(u64::try_from(guard_events.len()).expect("count fits") <= checks);
+    assert!(guard_events.iter().all(|e| e.detail.starts_with("ok:")));
+}
+
+#[test]
+fn guard_interval_caps_check_frequency() {
+    let sc = scenario();
+    // A guard interval far beyond the replay window: at most one check.
+    let config = SimConfig::activedr(90)
+        .with_catalog_mode(CatalogMode::Incremental)
+        .with_catalog_guard(10_000);
+    let tele = Telemetry::on();
+    let _ = run_with_telemetry(&sc.traces, sc.initial_fs.clone(), &config, &tele);
+    assert_eq!(tele.report().counter("catalog.guard_checks"), Some(0));
+    // Guard configured but the catalog is full-scan: nothing to diff.
+    let config = SimConfig::activedr(90).with_catalog_guard(7);
+    let tele = Telemetry::on();
+    let _ = run_with_telemetry(&sc.traces, sc.initial_fs.clone(), &config, &tele);
+    assert_eq!(tele.report().counter("catalog.guard_checks"), Some(0));
+}
