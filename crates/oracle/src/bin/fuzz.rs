@@ -1,0 +1,82 @@
+//! The differential fuzz driver behind `cargo xtask fuzz`.
+//!
+//! Usage: `fuzz [--seeds N] [--start S]` — runs seeds `S..S+N` through
+//! [`activedr_oracle::fuzz_one`] (fs-level op-tape differential plus the
+//! engine configuration matrix). On the first divergence the op tape is
+//! ddmin-minimized and printed in the `tests/corpus/` line format, then
+//! the process exits non-zero.
+
+use activedr_oracle::{fuzz_one, run_fs_differential, shrink_sequence};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+Usage: fuzz [--seeds N] [--start S]
+
+Runs N consecutive fuzz seeds (default 32) starting at S (default 0)
+through the model-based differential oracle. Exits non-zero on the first
+divergence, printing the minimized reproducing op sequence.
+";
+
+fn parse_flag(args: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<u64, String> {
+    match args.next() {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{flag} needs an integer, got {v:?}")),
+        None => Err(format!("{flag} needs a value")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let mut seeds: u64 = 32;
+    let mut start: u64 = 0;
+    while let Some(flag) = it.next() {
+        let parsed = match flag.as_str() {
+            "--seeds" => parse_flag(&mut it, "--seeds").map(|v| seeds = v),
+            "--start" => parse_flag(&mut it, "--start").map(|v| start = v),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(msg) = parsed {
+            eprintln!("fuzz: {msg}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut ops_checked = 0usize;
+    for seed in start..start.saturating_add(seeds) {
+        match fuzz_one(seed) {
+            Ok(seq) => {
+                ops_checked += seq.len();
+            }
+            Err((seq, divergence)) => {
+                eprintln!("fuzz: seed {seed} DIVERGED: {divergence}");
+                // Minimize only against the fs-level differential — an
+                // engine-matrix divergence has no op tape to shrink.
+                let minimized = if run_fs_differential(&seq, None).is_err() {
+                    let min = shrink_sequence(&seq, |s| run_fs_differential(s, None).is_err());
+                    eprintln!(
+                        "fuzz: minimized {} ops -> {} ops; repro (tests/corpus format):",
+                        seq.len(),
+                        min.len()
+                    );
+                    Some(min)
+                } else {
+                    eprintln!("fuzz: engine-matrix divergence; op tape for context:");
+                    None
+                };
+                eprintln!("# fuzz seed {seed}");
+                eprint!("{}", minimized.as_ref().unwrap_or(&seq));
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!(
+        "fuzz: {seeds} seeds clean ({ops_checked} fs ops + {seeds} engine matrices, start={start})"
+    );
+    ExitCode::SUCCESS
+}

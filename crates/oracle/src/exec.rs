@@ -1,0 +1,623 @@
+//! The differential executors.
+//!
+//! Two levels of checking, both returning divergences as *values* so the
+//! shrinker can treat failure as data:
+//!
+//! * [`run_fs_differential`] — replay one [`OpSequence`] against the real
+//!   [`VirtualFs`] (changelog enabled, a [`CatalogIndex`] folding the
+//!   deltas as it goes) and the flat [`ModelFs`] side by side, comparing
+//!   per-op results and, after **every** op, byte accounting, file sets,
+//!   op counters, the incremental-vs-full-scan catalog
+//!   ([`diff_catalogs`]), and the model-vs-scan catalog.
+//! * [`run_engine_matrix`] — generate a small trace world and replay it
+//!   through the engine under the full configuration matrix
+//!   {FullScan, Incremental} × {serial, sharded eval} × {telemetry off,
+//!   on + catalog guard}, asserting identical (timing-free) results,
+//!   identical final file-system state, identical per-trigger catalogs,
+//!   and a clean catalog guard.
+//!
+//! [`fuzz_one`] runs both for one seed — the unit `cargo xtask fuzz`
+//! iterates.
+
+use crate::gen::{gen_sequence, gen_traces};
+use crate::model::{InjectedBug, ModelExemptions, ModelFs};
+use crate::ops::{Op, OpSequence};
+use activedr_core::activeness::ActivenessTable;
+use activedr_core::convert;
+use activedr_core::files::Catalog;
+use activedr_core::policy::flt::FltPolicy;
+use activedr_core::policy::{PurgeRequest, RetentionPolicy};
+use activedr_core::time::Timestamp;
+use activedr_core::user::UserId;
+use activedr_fs::{diff_catalogs, CatalogIndex, ExemptionList, Snapshot, VirtualFs};
+use activedr_sim::{
+    build_initial_fs, run_instrumented, run_with_telemetry, CatalogMode, ObsConfig, SimConfig,
+    SimResult, Telemetry,
+};
+
+/// A detected disagreement. Never a panic: the fuzz loop reports it, the
+/// shrinker minimizes the sequence that provoked it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index of the op after which the disagreement surfaced (`None` for
+    /// engine-level matrix checks, which have no op tape).
+    pub op_index: Option<usize>,
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.op_index {
+            Some(i) => write!(f, "after op {i}: {}", self.detail),
+            None => write!(f, "{}", self.detail),
+        }
+    }
+}
+
+/// Capacity the fs-level differential runs at. Large enough that nothing
+/// the generator produces fills it; capacity is accounting-only anyway.
+const FS_CAP: u64 = 1 << 40;
+
+fn first_diff_line(a: &str, b: &str) -> String {
+    for (la, lb) in a.lines().zip(b.lines()) {
+        if la != lb {
+            return format!("{la:?} != {lb:?}");
+        }
+    }
+    let (na, nb) = (a.lines().count(), b.lines().count());
+    format!("line counts differ: {na} vs {nb}")
+}
+
+/// Project a real catalog into the id-free form the model can produce.
+/// Node ids come from a free list the model cannot predict, so catalogs
+/// are compared on the policy-relevant fields in file (path) order.
+fn catalog_projection(catalog: &Catalog) -> String {
+    let mut out = String::new();
+    for uf in &catalog.users {
+        out.push_str(&format!("user {}\n", uf.user.0));
+        for f in &uf.files {
+            out.push_str(&format!(
+                "  size={} atime={} ctime={} count={} exempt={}\n",
+                f.size,
+                f.atime.secs(),
+                f.ctime.secs(),
+                f.access_count,
+                f.exempt
+            ));
+        }
+    }
+    out
+}
+
+fn model_catalog_projection(model: &ModelFs, ex: &ModelExemptions) -> String {
+    let mut out = String::new();
+    for (user, files) in model.catalog(ex) {
+        out.push_str(&format!("user {}\n", user.0));
+        for f in files {
+            out.push_str(&format!(
+                "  size={} atime={} ctime={} count={} exempt={}\n",
+                f.size,
+                f.atime.secs(),
+                f.ctime.secs(),
+                f.access_count,
+                f.exempt
+            ));
+        }
+    }
+    out
+}
+
+/// Render a file system's full state (paths + metadata), optionally
+/// zeroing access counts (snapshot restores reset them by design).
+fn fs_projection(fs: &VirtualFs, zero_access_counts: bool) -> String {
+    let mut out = String::new();
+    for (path, _, meta) in fs.iter() {
+        let count = if zero_access_counts {
+            0
+        } else {
+            meta.access_count
+        };
+        out.push_str(&format!(
+            "{path} owner={} size={} atime={} ctime={} stripes={} count={count}\n",
+            meta.owner.0,
+            meta.size,
+            meta.atime.secs(),
+            meta.ctime.secs(),
+            meta.stripes
+        ));
+    }
+    out
+}
+
+fn model_projection(model: &ModelFs, zero_access_counts: bool) -> String {
+    let mut out = String::new();
+    for (path, meta) in model.entries() {
+        let count = if zero_access_counts {
+            0
+        } else {
+            meta.access_count
+        };
+        out.push_str(&format!(
+            "{path} owner={} size={} atime={} ctime={} stripes={} count={count}\n",
+            meta.owner.0,
+            meta.size,
+            meta.atime.secs(),
+            meta.ctime.secs(),
+            meta.stripes
+        ));
+    }
+    out
+}
+
+/// Everything compared after every op of the fs-level differential.
+fn compare_states(
+    fs: &VirtualFs,
+    index: &mut CatalogIndex,
+    model: &ModelFs,
+    ex_real: &ExemptionList,
+    ex_model: &ModelExemptions,
+) -> Result<(), String> {
+    if fs.used_bytes() != model.used_bytes() {
+        return Err(format!(
+            "used bytes: system {} vs model {}",
+            fs.used_bytes(),
+            model.used_bytes()
+        ));
+    }
+    if fs.file_count() != model.file_count() {
+        return Err(format!(
+            "file count: system {} vs model {}",
+            fs.file_count(),
+            model.file_count()
+        ));
+    }
+    if fs.op_counts() != model.op_counts() {
+        return Err(format!(
+            "op counts: system {:?} vs model {:?}",
+            fs.op_counts(),
+            model.op_counts()
+        ));
+    }
+    let real_files = fs_projection(fs, false);
+    let model_files = model_projection(model, false);
+    if real_files != model_files {
+        return Err(format!(
+            "file state: {}",
+            first_diff_line(&real_files, &model_files)
+        ));
+    }
+    let full_scan = fs.catalog(ex_real);
+    let drift = diff_catalogs(index.snapshot(), &full_scan);
+    if let Some(first) = drift.first() {
+        return Err(format!(
+            "incremental catalog drift ({} findings): {first}",
+            drift.len()
+        ));
+    }
+    let scan_proj = catalog_projection(&full_scan);
+    let model_proj = model_catalog_projection(model, ex_model);
+    if scan_proj != model_proj {
+        return Err(format!(
+            "catalog: {}",
+            first_diff_line(&scan_proj, &model_proj)
+        ));
+    }
+    Ok(())
+}
+
+/// Replay `seq` against the real file system and the reference model,
+/// checking agreement after every op. `bug` arms a deliberate model
+/// defect (self-tests).
+pub fn run_fs_differential(seq: &OpSequence, bug: Option<InjectedBug>) -> Result<(), Divergence> {
+    let mut fs = VirtualFs::with_capacity(FS_CAP);
+    fs.enable_changelog();
+    let mut ex_real = ExemptionList::new();
+    let mut ex_model = ModelExemptions::new();
+    let mut index = CatalogIndex::from_fs(&fs, &ex_real);
+    let mut model = ModelFs::with_capacity(FS_CAP);
+    if let Some(bug) = bug {
+        model = model.with_injected_bug(bug);
+    }
+    // Executor-level log of purged files, feeding `Op::Restage`. Derived
+    // from the model's victim list; any model-vs-system disagreement in
+    // the victim set is caught by the state comparison at the purge op
+    // itself, before a restage can consume a wrong entry.
+    let mut purged_log: Vec<(String, UserId, u64)> = Vec::new();
+
+    for (i, op) in seq.0.iter().enumerate() {
+        let step = apply_op(
+            op,
+            &mut fs,
+            &mut index,
+            &mut model,
+            &mut ex_real,
+            &mut ex_model,
+            &mut purged_log,
+        );
+        if let Err(detail) = step {
+            return Err(Divergence {
+                op_index: Some(i),
+                detail,
+            });
+        }
+        index.apply(fs.drain_changelog(), &ex_real);
+        if let Err(detail) = compare_states(&fs, &mut index, &model, &ex_real, &ex_model) {
+            return Err(Divergence {
+                op_index: Some(i),
+                detail,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Apply one op to both sides, comparing the op's own outcome.
+fn apply_op(
+    op: &Op,
+    fs: &mut VirtualFs,
+    index: &mut CatalogIndex,
+    model: &mut ModelFs,
+    ex_real: &mut ExemptionList,
+    ex_model: &mut ModelExemptions,
+    purged_log: &mut Vec<(String, UserId, u64)>,
+) -> Result<(), String> {
+    match op {
+        Op::Create {
+            path,
+            owner,
+            size,
+            day,
+        } => {
+            let ts = Timestamp::from_days(*day);
+            let real = fs.create(path, UserId(*owner), *size, ts).map(|_| ());
+            let mine = model.create(path, UserId(*owner), *size, ts);
+            if real != mine {
+                return Err(format!("create {path}: system {real:?} vs model {mine:?}"));
+            }
+        }
+        Op::Read { path, day } => {
+            let ts = Timestamp::from_days(*day);
+            let real_hit = !fs.access(path, ts).is_miss();
+            let model_hit = model.access(path, ts);
+            if real_hit != model_hit {
+                return Err(format!(
+                    "read {path}: system hit={real_hit} vs model hit={model_hit}"
+                ));
+            }
+        }
+        Op::Remove { path } => {
+            let real = fs.remove(path);
+            let mine = model.remove(path);
+            if real != mine {
+                return Err(format!("remove {path}: system {real:?} vs model {mine:?}"));
+            }
+        }
+        Op::Rename { from, to } => {
+            let real = fs.rename(from, to).map(|_| ());
+            let mine = model.rename(from, to);
+            if real != mine {
+                return Err(format!(
+                    "rename {from} -> {to}: system {real:?} vs model {mine:?}"
+                ));
+            }
+        }
+        Op::RemoveSubtree { prefix } => {
+            let real = fs.remove_subtree(prefix);
+            let mine = model.remove_subtree(prefix);
+            if real != mine {
+                return Err(format!(
+                    "rmtree {prefix}: system freed {real} vs model freed {mine}"
+                ));
+            }
+        }
+        Op::Purge { lifetime_days, day } => {
+            let tc = Timestamp::from_days(*day);
+            let catalog = fs.catalog(ex_real);
+            let outcome = FltPolicy::days((*lifetime_days).max(1)).run(PurgeRequest {
+                tc,
+                catalog: &catalog,
+                activeness: &ActivenessTable::new(),
+                target_bytes: None,
+            });
+            let real_freed = fs.apply(&outcome);
+            let victims = model.purge_stale(tc, (*lifetime_days).max(1), ex_model);
+            let model_freed: u64 = victims.iter().map(|(_, m)| m.size).sum();
+            for (path, meta) in &victims {
+                purged_log.push((path.clone(), meta.owner, meta.size));
+            }
+            if real_freed != model_freed {
+                return Err(format!(
+                    "purge at day {day}: system freed {real_freed} vs model freed {model_freed}"
+                ));
+            }
+        }
+        Op::Restage { slot, day } => {
+            if purged_log.is_empty() {
+                return Ok(());
+            }
+            let idx = convert::usize_from_u64(*slot) % purged_log.len();
+            if let Some((path, owner, size)) = purged_log.get(idx).cloned() {
+                let ts = Timestamp::from_days(*day);
+                let real = fs.create(&path, owner, size, ts).map(|_| ());
+                let mine = model.create(&path, owner, size, ts);
+                model.mark_restaged(&path);
+                if real != mine {
+                    return Err(format!("restage {path}: system {real:?} vs model {mine:?}"));
+                }
+            }
+        }
+        Op::SetCapacity { bytes } => {
+            fs.set_capacity(*bytes);
+            model.set_capacity(*bytes);
+        }
+        Op::SnapshotRoundtrip { day } => {
+            let snap = Snapshot::capture(fs, Timestamp::from_days(*day));
+            let (restored, skipped) = snap.restore();
+            if skipped != 0 {
+                return Err(format!(
+                    "snapshot restore skipped {skipped} entries from a live capture"
+                ));
+            }
+            // A restore resets access counts (FileMeta::new) by design, so
+            // the round-trip is compared with counts zeroed on both sides.
+            let live = fs_projection(fs, true);
+            let back = fs_projection(&restored, true);
+            if live != back {
+                return Err(format!(
+                    "snapshot round-trip vs live: {}",
+                    first_diff_line(&live, &back)
+                ));
+            }
+            let mine = model_projection(model, true);
+            if back != mine {
+                return Err(format!(
+                    "snapshot round-trip vs model: {}",
+                    first_diff_line(&back, &mine)
+                ));
+            }
+        }
+        Op::ReserveFile { path } => {
+            ex_real.reserve_file(path);
+            ex_model.reserve_file(path);
+            // Reservation-list edits change exempt flags the incremental
+            // index already cached, so they invalidate it — exactly as a
+            // policy change forces a re-scan in changelog-driven engines.
+            *index = CatalogIndex::from_fs(fs, ex_real);
+        }
+        Op::ReserveDir { prefix } => {
+            ex_real.reserve_dir(prefix);
+            ex_model.reserve_dir(prefix);
+            *index = CatalogIndex::from_fs(fs, ex_real);
+        }
+    }
+    Ok(())
+}
+
+/// Timing-free digest of a [`SimResult`]: every deterministic field,
+/// with the wall-clock probe fields (`*_micros`) zeroed and the final
+/// quadrant map in sorted order.
+pub fn digest_result(result: &SimResult) -> String {
+    let mut r = result.clone();
+    for ev in &mut r.retentions {
+        ev.eval_micros = 0;
+        ev.scan_micros = 0;
+        ev.decision_micros = 0;
+        ev.apply_micros = 0;
+    }
+    let mut quadrants: Vec<(UserId, _)> = r.final_quadrants.drain().collect();
+    quadrants.sort_by_key(|(u, _)| *u);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "policy={} lifetime={} capacity={}\n",
+        r.policy, r.lifetime_days, r.capacity
+    ));
+    for d in &r.daily {
+        out.push_str(&format!("daily {d:?}\n"));
+    }
+    for ev in &r.retentions {
+        out.push_str(&format!("retention {ev:?}\n"));
+    }
+    out.push_str(&format!(
+        "final_used={} final_files={}\n",
+        r.final_used, r.final_files
+    ));
+    for (u, q) in quadrants {
+        out.push_str(&format!("quadrant {} {q:?}\n", u.0));
+    }
+    out.push_str(&format!("archive {:?}\n", r.archive));
+    out
+}
+
+/// One cell of the engine configuration matrix.
+#[derive(Debug, Clone, Copy)]
+struct MatrixCell {
+    catalog_mode: CatalogMode,
+    eval_shards: Option<usize>,
+    telemetry: bool,
+}
+
+impl MatrixCell {
+    fn label(&self) -> String {
+        format!(
+            "{:?}/{}/{}",
+            self.catalog_mode,
+            match self.eval_shards {
+                None => "serial".to_string(),
+                Some(n) => format!("shards{n}"),
+            },
+            if self.telemetry { "tele" } else { "quiet" }
+        )
+    }
+
+    fn configure(&self, base: &SimConfig) -> SimConfig {
+        let mut config = base.clone().with_catalog_mode(self.catalog_mode);
+        if let Some(n) = self.eval_shards {
+            config = config.with_eval_shards(n);
+        }
+        if self.telemetry {
+            config = config.with_obs(ObsConfig::on());
+            if self.catalog_mode == CatalogMode::Incremental {
+                config = config.with_catalog_guard(base.purge_interval_days);
+            }
+        }
+        config
+    }
+}
+
+/// What one matrix run produced: result digest, final fs digest, and the
+/// per-trigger catalog digests (day, projection) when the cell ran under
+/// the instrumentation probe.
+struct MatrixRun {
+    label: String,
+    result: String,
+    final_fs: String,
+    triggers: Vec<(i64, String)>,
+    has_probe: bool,
+    guard_divergences: Option<u64>,
+}
+
+fn run_cell(
+    cell: MatrixCell,
+    traces: &activedr_trace::TraceSet,
+    fs: VirtualFs,
+    base: &SimConfig,
+) -> MatrixRun {
+    let config = cell.configure(base);
+    if cell.telemetry {
+        // The telemetry path exercises `run_with_telemetry` (no probe);
+        // per-trigger catalogs are covered by the quiet runs of the same
+        // catalog mode.
+        let tele = Telemetry::new(&ObsConfig::on());
+        let (result, final_fs) = run_with_telemetry(traces, fs, &config, &tele);
+        let report = tele.report();
+        MatrixRun {
+            label: cell.label(),
+            result: digest_result(&result),
+            final_fs: fs_projection(&final_fs, false),
+            triggers: Vec::new(),
+            has_probe: false,
+            guard_divergences: report.counter("catalog.guard_divergences"),
+        }
+    } else {
+        let mut triggers: Vec<(i64, String)> = Vec::new();
+        let (result, final_fs) = run_instrumented(traces, fs, &config, None, &mut |probe| {
+            triggers.push((probe.day, catalog_projection(probe.catalog)));
+        });
+        MatrixRun {
+            label: cell.label(),
+            result: digest_result(&result),
+            final_fs: fs_projection(&final_fs, false),
+            triggers,
+            has_probe: true,
+            guard_divergences: None,
+        }
+    }
+}
+
+/// Replay one generated trace world through the full configuration
+/// matrix, asserting every cell agrees with the reference cell
+/// (FullScan / serial / telemetry off).
+pub fn run_engine_matrix(seed: u64) -> Result<(), Divergence> {
+    let (traces, base) = gen_traces(seed);
+    let fs0 = build_initial_fs(&traces);
+
+    let mut cells = Vec::new();
+    for catalog_mode in [CatalogMode::FullScan, CatalogMode::Incremental] {
+        for eval_shards in [None, Some(3)] {
+            for telemetry in [false, true] {
+                cells.push(MatrixCell {
+                    catalog_mode,
+                    eval_shards,
+                    telemetry,
+                });
+            }
+        }
+    }
+
+    let mut reference: Option<MatrixRun> = None;
+    for cell in cells {
+        let run = run_cell(cell, &traces, fs0.clone(), &base);
+        if let Some(divs) = run.guard_divergences {
+            if divs != 0 {
+                return Err(Divergence {
+                    op_index: None,
+                    detail: format!(
+                        "seed {seed}: {} reported {divs} catalog guard divergences",
+                        run.label
+                    ),
+                });
+            }
+        }
+        let Some(reference) = reference.as_ref() else {
+            reference = Some(run);
+            continue;
+        };
+        if run.result != reference.result {
+            return Err(Divergence {
+                op_index: None,
+                detail: format!(
+                    "seed {seed}: result digest {} vs {}: {}",
+                    run.label,
+                    reference.label,
+                    first_diff_line(&run.result, &reference.result)
+                ),
+            });
+        }
+        if run.final_fs != reference.final_fs {
+            return Err(Divergence {
+                op_index: None,
+                detail: format!(
+                    "seed {seed}: final fs {} vs {}: {}",
+                    run.label,
+                    reference.label,
+                    first_diff_line(&run.final_fs, &reference.final_fs)
+                ),
+            });
+        }
+        if let Err(detail) = compare_triggers(&run, reference) {
+            return Err(Divergence {
+                op_index: None,
+                detail: format!("seed {seed}: {detail}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn compare_triggers(run: &MatrixRun, reference: &MatrixRun) -> Result<(), String> {
+    if !run.has_probe || !reference.has_probe {
+        return Ok(()); // telemetry cells run without a probe
+    }
+    let ref_days: Vec<i64> = reference.triggers.iter().map(|(d, _)| *d).collect();
+    let run_days: Vec<i64> = run.triggers.iter().map(|(d, _)| *d).collect();
+    if ref_days != run_days {
+        return Err(format!(
+            "trigger days {}: {run_days:?} vs {}: {ref_days:?}",
+            run.label, reference.label
+        ));
+    }
+    for ((day, a), (_, b)) in run.triggers.iter().zip(reference.triggers.iter()) {
+        if a != b {
+            return Err(format!(
+                "trigger-day {day} catalog {} vs {}: {}",
+                run.label,
+                reference.label,
+                first_diff_line(a, b)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The unit of `cargo xtask fuzz`: one seed drives one fs-level op tape
+/// and one engine-level matrix replay.
+pub fn fuzz_one(seed: u64) -> Result<OpSequence, (OpSequence, Divergence)> {
+    let seq = gen_sequence(seed, &crate::gen::GenConfig::default());
+    if let Err(d) = run_fs_differential(&seq, None) {
+        return Err((seq, d));
+    }
+    if let Err(d) = run_engine_matrix(seed) {
+        return Err((seq, d));
+    }
+    Ok(seq)
+}

@@ -1,0 +1,98 @@
+//! Hand-rolled deterministic PRNG for the fuzzer.
+//!
+//! The workspace's stub-RNG policy (KNOWN_FAILURES.md) bans entropy
+//! sources: every random choice must be a pure function of an explicit
+//! seed so any fuzz run is reproducible from its seed alone. This is
+//! SplitMix64 (Steele et al., "Fast splittable pseudorandom number
+//! generators") — one u64 of state, full 2^64 period over seeds, and
+//! plenty of statistical quality for weighted op selection.
+
+/// A seeded SplitMix64 stream.
+#[derive(Debug, Clone)]
+pub struct OracleRng {
+    state: u64,
+}
+
+impl OracleRng {
+    pub fn new(seed: u64) -> Self {
+        OracleRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`0` when `n == 0`). The modulo bias is
+    /// negligible for the small ranges the generator uses and irrelevant
+    /// for fuzzing coverage.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// True with probability `num / den` (`false` when `den == 0`).
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// Uniform pick from a slice (`None` when empty).
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        let n = activedr_core::convert::u64_from_usize(items.len());
+        items.get(activedr_core::convert::usize_from_u64(self.below(n)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = OracleRng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = OracleRng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = OracleRng::new(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn below_and_pick_stay_in_range() {
+        let mut r = OracleRng::new(7);
+        assert_eq!(r.below(0), 0);
+        for _ in 0..1000 {
+            assert!(r.below(13) < 13);
+        }
+        let items = [1, 2, 3];
+        for _ in 0..100 {
+            assert!(items.contains(r.pick(&items).unwrap_or(&1)));
+        }
+        let empty: [u8; 0] = [];
+        assert!(r.pick(&empty).is_none());
+    }
+
+    #[test]
+    fn chance_hits_both_outcomes() {
+        let mut r = OracleRng::new(9);
+        let trues = (0..1000).filter(|_| r.chance(1, 2)).count();
+        assert!(trues > 300 && trues < 700, "got {trues}");
+        assert!(!r.chance(0, 10));
+        assert!(r.chance(10, 10));
+    }
+}

@@ -1,0 +1,160 @@
+//! Delta-debugging minimization of divergent op sequences.
+//!
+//! Classic ddmin (Zeller & Hildebrandt, "Simplifying and isolating
+//! failure-inducing input"): partition the failing sequence into chunks,
+//! try deleting each chunk, halve the chunk size when nothing can be
+//! deleted, and finish with a per-op sweep so the result is **1-minimal**
+//! — removing any single remaining op makes the divergence disappear.
+//!
+//! The op alphabet is closed under subsequence deletion by construction
+//! ([`crate::ops::Op::Restage`] indexes the purged-file log modulo its
+//! length), so every candidate the shrinker proposes is a well-formed
+//! sequence and the predicate is just "does it still diverge".
+
+use crate::ops::OpSequence;
+
+/// Minimize `seq` under `fails` (which must return `true` for `seq`
+/// itself). Runs the predicate O(n log n)–O(n²) times, capped by
+/// `max_probes` for pathological predicates; the cap is generous enough
+/// that fuzz-sized sequences (tens of ops) always minimize fully.
+pub fn shrink_sequence<F>(seq: &OpSequence, mut fails: F) -> OpSequence
+where
+    F: FnMut(&OpSequence) -> bool,
+{
+    let mut current = seq.clone();
+    let mut probes_left: usize = 4096;
+    let mut probe = |candidate: &OpSequence, probes_left: &mut usize| -> bool {
+        if *probes_left == 0 {
+            return false;
+        }
+        *probes_left -= 1;
+        fails(candidate)
+    };
+
+    // Chunked deletion passes, halving granularity.
+    let mut chunk = current.len().div_ceil(2).max(1);
+    while chunk >= 1 && current.len() > 1 {
+        let mut removed_any = false;
+        let mut start = 0usize;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let candidate: OpSequence = OpSequence(
+                current
+                    .0
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i < start || *i >= end)
+                    .map(|(_, op)| op.clone())
+                    .collect(),
+            );
+            if !candidate.is_empty() && probe(&candidate, &mut probes_left) {
+                current = candidate;
+                removed_any = true;
+                // Retry the same window position against the shrunk tape.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !removed_any {
+            break;
+        }
+        if !removed_any {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+
+    // Final per-op sweep until a fixpoint: guarantees 1-minimality.
+    loop {
+        let mut removed_any = false;
+        let mut i = 0usize;
+        while i < current.len() {
+            if current.len() == 1 {
+                break;
+            }
+            let candidate: OpSequence = OpSequence(
+                current
+                    .0
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, op)| op.clone())
+                    .collect(),
+            );
+            if probe(&candidate, &mut probes_left) {
+                current = candidate;
+                removed_any = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !removed_any || probes_left == 0 {
+            break;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Op;
+
+    fn seq_of(days: &[i64]) -> OpSequence {
+        OpSequence(
+            days.iter()
+                .map(|d| Op::SnapshotRoundtrip { day: *d })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        // Fails iff day 13 is present.
+        let seq = seq_of(&[1, 2, 3, 13, 4, 5, 6, 7, 8]);
+        let min = shrink_sequence(&seq, |s| {
+            s.0.iter()
+                .any(|op| matches!(op, Op::SnapshotRoundtrip { day: 13 }))
+        });
+        assert_eq!(min, seq_of(&[13]));
+    }
+
+    #[test]
+    fn shrinks_scattered_pair_to_exactly_that_pair() {
+        // Fails iff both 13 and 77 are present (order preserved).
+        let seq = seq_of(&[13, 1, 2, 3, 4, 5, 77, 6]);
+        let min = shrink_sequence(&seq, |s| {
+            let has = |d: i64| {
+                s.0.iter()
+                    .any(|op| matches!(op, Op::SnapshotRoundtrip { day } if *day == d))
+            };
+            has(13) && has(77)
+        });
+        assert_eq!(min, seq_of(&[13, 77]));
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        // Fails iff at least three even days survive.
+        let seq = seq_of(&[2, 1, 4, 3, 6, 5, 8, 7, 10]);
+        let fails = |s: &OpSequence| {
+            s.0.iter()
+                .filter(|op| matches!(op, Op::SnapshotRoundtrip { day } if day % 2 == 0))
+                .count()
+                >= 3
+        };
+        let min = shrink_sequence(&seq, fails);
+        assert_eq!(min.len(), 3);
+        assert!(fails(&min));
+        for i in 0..min.len() {
+            let without: OpSequence = OpSequence(
+                min.0
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, op)| op.clone())
+                    .collect(),
+            );
+            assert!(!fails(&without), "removing op {i} should make it pass");
+        }
+    }
+}

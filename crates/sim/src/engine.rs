@@ -131,6 +131,12 @@ pub struct SimConfig {
     pub recovery: RecoveryModel,
     /// Batch (paper-faithful) or streaming (incremental) evaluation.
     pub eval_mode: EvalMode,
+    /// Shard count for data-parallel activeness evaluation in
+    /// [`EvalMode::Batch`] (see [`crate::parallel`]). `None` (default)
+    /// evaluates serially; the sharded path is bitwise-identical by
+    /// construction. Ignored in [`EvalMode::Streaming`], whose evaluator
+    /// carries cross-call state.
+    pub eval_shards: Option<usize>,
     /// Full-scan (paper-faithful) or changelog-driven catalogs.
     pub catalog_mode: CatalogMode,
     /// Telemetry knobs (disabled by default). Strictly side-channel: the
@@ -193,6 +199,7 @@ impl SimConfig {
             exemptions: ExemptionList::new(),
             recovery: RecoveryModel::default(),
             eval_mode: EvalMode::default(),
+            eval_shards: None,
             catalog_mode: CatalogMode::default(),
             obs: ObsConfig::default(),
             catalog_guard_interval_days: None,
@@ -206,6 +213,11 @@ impl SimConfig {
 
     pub fn with_catalog_mode(mut self, mode: CatalogMode) -> Self {
         self.catalog_mode = mode;
+        self
+    }
+
+    pub fn with_eval_shards(mut self, shards: usize) -> Self {
+        self.eval_shards = Some(shards);
         self
     }
 
@@ -509,28 +521,35 @@ fn run_engine(
     // Initial activeness evaluation for miss attribution before the first
     // retention trigger.
     let mut quadrant_of: HashMap<UserId, Quadrant> = HashMap::new();
-    let mut evaluate =
-        |tc: Timestamp, quadrant_of: &mut HashMap<UserId, Quadrant>| -> (ActivenessTable, u64) {
-            // xtask-allow: determinism -- wall-clock runtime reported alongside results
-            let start = Instant::now();
-            let table = match &mut streaming {
-                None => {
-                    let events = activity_events(traces, &config.registry, tc);
-                    evaluator.evaluate(tc, &users, &events)
-                }
-                Some((ev, all_events, cursor)) => {
-                    while *cursor < all_events.len() && all_events[*cursor].ts <= tc {
-                        ev.observe(all_events[*cursor]);
-                        *cursor += 1;
+    let mut evaluate = |tc: Timestamp,
+                        quadrant_of: &mut HashMap<UserId, Quadrant>|
+     -> (ActivenessTable, u64) {
+        // xtask-allow: determinism -- wall-clock runtime reported alongside results
+        let start = Instant::now();
+        let table = match &mut streaming {
+            None => {
+                let events = activity_events(traces, &config.registry, tc);
+                match config.eval_shards {
+                    None => evaluator.evaluate(tc, &users, &events),
+                    Some(shards) => {
+                        crate::parallel::parallel_evaluate(&evaluator, tc, &users, &events, shards)
+                            .table
                     }
-                    ev.evaluate(tc)
                 }
-            };
-            for (u, a) in table.iter() {
-                quadrant_of.insert(u, Quadrant::of(a));
             }
-            (table, convert::u64_from_micros(start.elapsed().as_micros()))
+            Some((ev, all_events, cursor)) => {
+                while *cursor < all_events.len() && all_events[*cursor].ts <= tc {
+                    ev.observe(all_events[*cursor]);
+                    *cursor += 1;
+                }
+                ev.evaluate(tc)
+            }
         };
+        for (u, a) in table.iter() {
+            quadrant_of.insert(u, Quadrant::of(a));
+        }
+        (table, convert::u64_from_micros(start.elapsed().as_micros()))
+    };
     {
         let _eval_span = tele.span("evaluate");
         let (_, _) = evaluate(Timestamp::from_days(replay_start), &mut quadrant_of);

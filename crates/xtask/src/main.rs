@@ -17,8 +17,13 @@ Commands:
                         the catalog-mode equivalence test, the bench_catalog
                         example (rewrites BENCH_catalog.json), a
                         telemetry-enabled Tiny replay whose telemetry.json
-                        and trace export are schema-validated, and the
-                        bench_obs example (rewrites BENCH_obs.json)
+                        and trace export are schema-validated, the bench_obs
+                        example (rewrites BENCH_obs.json), and a bounded
+                        differential fuzz pass
+  fuzz                  run the model-based differential fuzzing oracle
+                        (crates/oracle) in release mode
+    --seeds <N>         number of seeds (default 32)
+    --start <S>         first seed (default 0)
   help                  show this message
 
 Checks: panic-freedom, newtype, dispatch, float-cmp, determinism,
@@ -38,7 +43,7 @@ fn workspace_root() -> PathBuf {
 /// Run one `cargo` invocation from the workspace root, reporting any
 /// spawn failure or non-zero exit.
 fn cargo_step(args: &[&str]) -> Result<(), String> {
-    eprintln!("xtask smoke: cargo {}", args.join(" "));
+    eprintln!("xtask: cargo {}", args.join(" "));
     let status = std::process::Command::new("cargo")
         .args(args)
         .current_dir(workspace_root())
@@ -81,7 +86,7 @@ fn smoke() -> ExitCode {
         .join("target")
         .join("smoke-telemetry.trace.json");
     let telemetry_arg = telemetry_path.display().to_string();
-    let steps: [&[&str]; 4] = [
+    let steps: [&[&str]; 5] = [
         &[
             "test",
             "--release",
@@ -124,6 +129,20 @@ fn smoke() -> ExitCode {
             "--example",
             "bench_obs",
         ],
+        // Bounded differential fuzz pass: every seed replays an op tape
+        // through the reference model and the real engine matrix.
+        &[
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "activedr-oracle",
+            "--bin",
+            "fuzz",
+            "--",
+            "--seeds",
+            "32",
+        ],
     ];
     for args in steps {
         if let Err(msg) = cargo_step(args) {
@@ -149,12 +168,36 @@ fn smoke() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Delegate to the oracle's release-mode fuzz binary, forwarding
+/// `--seeds`/`--start` verbatim (the binary validates them).
+fn fuzz(rest: &[String]) -> ExitCode {
+    let mut args: Vec<&str> = vec![
+        "run",
+        "--release",
+        "-q",
+        "-p",
+        "activedr-oracle",
+        "--bin",
+        "fuzz",
+        "--",
+    ];
+    args.extend(rest.iter().map(String::as_str));
+    match cargo_step(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("xtask fuzz: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("check") => {}
         Some("smoke") => return smoke(),
+        Some("fuzz") => return fuzz(it.as_slice()),
         Some("help") | Some("--help") | Some("-h") => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;

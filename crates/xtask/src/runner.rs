@@ -11,12 +11,14 @@ use crate::{ast, lexer};
 /// Crates whose non-test code must be panic-free (ratcheted) and must keep
 /// newtype discipline. The binaries (`cli`) and the bench harness are
 /// allowed to panic at the edges but still get the other checks.
-const LIB_CRATES: &[&str] = &["core", "fs", "trace", "sim", "obs"];
+const LIB_CRATES: &[&str] = &["core", "fs", "trace", "sim", "obs", "oracle"];
 
 /// Every product crate scanned by the workspace-wide checks. The vendored
 /// dependency stubs under `stubs/` and xtask itself (whose sources literally
 /// spell the needles it greps for) are deliberately out of scope.
-const ALL_CRATES: &[&str] = &["core", "fs", "trace", "sim", "obs", "cli", "bench"];
+const ALL_CRATES: &[&str] = &[
+    "core", "fs", "trace", "sim", "obs", "oracle", "cli", "bench",
+];
 
 /// Files that define the integer/float newtypes: raw `.0` arithmetic is the
 /// point of these modules, so the newtype check skips them.

@@ -20,4 +20,12 @@ impl Strategy for Weighted {
     fn generate(&self, rng: &mut TestRng) -> bool {
         rng.unit_f64() < self.p
     }
+    /// `false` is the simpler boolean.
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
 }

@@ -54,11 +54,41 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let span = self.size.hi - self.size.lo + 1;
         let len = self.size.lo + rng.below(span.max(1)) % span.max(1);
         (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+    /// Structural shrinks first (drop each element, if still above the
+    /// minimum length), then element-wise shrinks in place.
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        if value.len() > self.size.lo {
+            for skip in 0..value.len() {
+                out.push(
+                    value
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != skip)
+                        .map(|(_, v)| v.clone())
+                        .collect(),
+                );
+            }
+        }
+        for (i, element) in value.iter().enumerate() {
+            for smaller in self.element.shrink(element) {
+                let mut candidate = value.clone();
+                if let Some(slot) = candidate.get_mut(i) {
+                    *slot = smaller;
+                    out.push(candidate);
+                }
+            }
+        }
+        out
     }
 }

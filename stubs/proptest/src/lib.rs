@@ -7,12 +7,17 @@
 //!
 //! Differences from the real crate, by design:
 //!
-//! * **No shrinking.** A failing case panics with the generated inputs'
-//!   case number; reproduce it by re-running the test (generation is a
-//!   pure function of the test name and case index).
+//! * **Greedy shrinking.** On failure the macro re-runs the body over
+//!   [`strategy::Strategy::shrink`] proposals (panics suppressed via
+//!   [`test_runner::quiet_catch`]), takes the first proposal that still
+//!   fails, and repeats until a fixpoint or the probe budget runs out —
+//!   simpler than upstream's `ValueTree` bisection, but it reports a
+//!   minimal failing input the same way. `prop_map` is the one
+//!   shrink-opaque combinator: its mapping can't be inverted, so
+//!   descent stops at mapped values.
 //! * **Deterministic.** There is no OS entropy; every run of a given
 //!   binary explores the same cases. `.proptest-regressions` files are
-//!   ignored.
+//!   ignored (the minimal input is printed in the panic instead).
 //! * **Regex string strategies** support only the `\PC{lo,hi}` shape the
 //!   workspace uses (arbitrary printable strings with bounded length);
 //!   any other pattern falls back to short alphanumeric strings.
@@ -52,7 +57,10 @@ pub fn seed_for(test_path: &str, case: u64) -> u64 {
 }
 
 /// The macro behind every property test: runs the body over `cases`
-/// deterministic samples of the argument strategies.
+/// deterministic samples of the argument strategies. On the first
+/// failing case the inputs are minimized through the strategies'
+/// [`strategy::Strategy::shrink`] proposals (shrink-probe panics are
+/// silenced) and the test re-panics with the minimal failing input.
 #[macro_export]
 macro_rules! proptest {
     (
@@ -71,16 +79,12 @@ macro_rules! proptest {
         $(
             $(#[$meta])*
             fn $name() {
-                let config: $crate::test_runner::ProptestConfig = $config;
-                let path = concat!(module_path!(), "::", stringify!($name));
-                for case in 0..u64::from(config.cases) {
-                    let mut rng =
-                        $crate::rng::TestRng::from_seed($crate::seed_for(path, case));
-                    let ($($arg,)+) = (
-                        $($crate::strategy::Strategy::generate(&$strategy, &mut rng),)+
-                    );
-                    $body
-                }
+                $crate::test_runner::run_cases(
+                    $config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &($($strategy,)+),
+                    |($($arg,)+)| $body,
+                );
             }
         )*
     };
@@ -184,6 +188,93 @@ mod tests {
         fn regex_like_strings_respect_bounds(s in "\\PC{0,30}") {
             prop_assert!(s.chars().count() <= 30);
             prop_assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    // ----- shrinking ------------------------------------------------------
+
+    #[test]
+    fn int_shrinks_propose_strictly_smaller_in_range() {
+        let strategy = 10u64..100;
+        let proposals = strategy.shrink(&40);
+        assert!(!proposals.is_empty());
+        assert!(proposals.iter().all(|&p| (10..40).contains(&p)));
+        assert_eq!(proposals.first(), Some(&10), "floor comes first");
+        assert!(strategy.shrink(&10).is_empty(), "floor cannot shrink");
+    }
+
+    #[test]
+    fn vec_shrinks_respect_min_len_and_shrink_elements() {
+        let strategy = prop::collection::vec(0u8..10, 2..=4);
+        let proposals = strategy.shrink(&vec![3, 7, 9]);
+        assert!(proposals.iter().all(|v| v.len() >= 2));
+        // Every one-element removal of a 3-element vec...
+        assert!(proposals.iter().filter(|v| v.len() == 2).count() == 3);
+        // ...plus in-place element shrinks.
+        assert!(proposals.iter().any(|v| v.len() == 3 && v[0] < 3));
+        let at_floor = strategy.shrink(&vec![0, 0]);
+        assert!(at_floor.iter().all(|v| v.len() == 2), "len is at the floor");
+    }
+
+    #[test]
+    fn select_option_bool_shrink_toward_simplest() {
+        let select = prop::sample::select(vec!["a", "b", "c"]);
+        assert_eq!(select.shrink(&"c"), vec!["a", "b"]);
+        assert!(select.shrink(&"a").is_empty());
+
+        let opt = prop::option::of(5u32..10);
+        let proposals = opt.shrink(&Some(8));
+        assert_eq!(proposals.first(), Some(&None), "None comes first");
+        assert!(proposals
+            .iter()
+            .skip(1)
+            .all(|p| matches!(p, Some(v) if *v < 8)));
+        assert!(opt.shrink(&None).is_empty());
+
+        let weighted = prop::bool::weighted(0.5);
+        assert_eq!(weighted.shrink(&true), vec![false]);
+        assert!(weighted.shrink(&false).is_empty());
+    }
+
+    #[test]
+    fn tuple_shrinks_one_component_at_a_time() {
+        let strategy = (0u8..10, 0u8..10);
+        let proposals = strategy.shrink(&(4, 6));
+        assert!(!proposals.is_empty());
+        for (a, b) in &proposals {
+            let first_changed = *a < 4 && *b == 6;
+            let second_changed = *a == 4 && *b < 6;
+            assert!(first_changed || second_changed, "({a}, {b}) changed both");
+        }
+    }
+
+    #[test]
+    fn minimize_descends_to_the_failure_threshold() {
+        let strategy = (0u64..1000,);
+        let minimal =
+            crate::test_runner::minimize(&strategy, (777,), |candidate| candidate.0 >= 10);
+        assert_eq!(minimal, (10,));
+    }
+
+    #[test]
+    fn quiet_catch_captures_panic_and_message() {
+        let outcome = crate::test_runner::quiet_catch(|| panic!("boom {}", 42));
+        let payload = outcome.expect_err("must panic");
+        assert_eq!(
+            crate::test_runner::panic_message(payload.as_ref()),
+            "boom 42"
+        );
+        // And a clean run passes the value through.
+        assert_eq!(crate::test_runner::quiet_catch(|| 7).ok(), Some(7));
+    }
+
+    proptest! {
+        #[test]
+        #[should_panic(expected = "minimal input: (10,)")]
+        fn failing_property_is_minimized_before_reporting(x in 0u64..100) {
+            // Fails for every x >= 10; the macro must shrink whatever
+            // case trips first down to exactly 10.
+            prop_assert!(x < 10);
         }
     }
 }

@@ -24,4 +24,14 @@ impl<S: Strategy> Strategy for OptionStrategy<S> {
             Some(self.inner.generate(rng))
         }
     }
+    /// `None` first (simplest), then the inner strategy's shrinks kept
+    /// inside `Some`.
+    fn shrink(&self, value: &Option<S::Value>) -> Vec<Option<S::Value>> {
+        match value {
+            None => Vec::new(),
+            Some(inner) => std::iter::once(None)
+                .chain(self.inner.shrink(inner).into_iter().map(Some))
+                .collect(),
+        }
+    }
 }

@@ -18,7 +18,7 @@ pub struct Select<T> {
     options: Vec<T>,
 }
 
-impl<T: Clone> Strategy for Select<T> {
+impl<T: Clone + PartialEq> Strategy for Select<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         let pick = rng.below(self.options.len());
@@ -26,5 +26,14 @@ impl<T: Clone> Strategy for Select<T> {
             Some(value) => value.clone(),
             None => unreachable!("below() stays in bounds"),
         }
+    }
+    /// Earlier options are simpler (upstream's convention: order your
+    /// `select` list from most to least trivial).
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.options
+            .iter()
+            .take_while(|option| *option != value)
+            .cloned()
+            .collect()
     }
 }

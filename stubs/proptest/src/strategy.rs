@@ -3,14 +3,23 @@
 use crate::rng::TestRng;
 use crate::test_runner::TestRunner;
 
-/// A recipe for generating values of one type. The stub's contract is a
-/// single method — [`Strategy::generate`] — plus combinators built on it.
+/// A recipe for generating values of one type. The stub's contract is
+/// two methods — [`Strategy::generate`] and [`Strategy::shrink`] — plus
+/// combinators built on them.
 pub trait Strategy {
     /// Type of generated values.
     type Value;
 
     /// Draw one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Propose strictly-simpler variants of `value`, most aggressive
+    /// first. The default proposes nothing — a strategy that cannot
+    /// shrink (e.g. [`Map`], whose mapping is not invertible) simply
+    /// stops the [`crate::test_runner::minimize`] descent at its level.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Transform generated values with `map`.
     fn prop_map<O, F>(self, map: F) -> Map<Self, F>
@@ -58,7 +67,9 @@ impl<V: Clone> ValueTree for Sampled<V> {
     }
 }
 
-/// `prop_map` adaptor.
+/// `prop_map` adaptor. Cannot shrink: the mapping is one-way, so there
+/// is no way to recover the inner value a mapped output came from; the
+/// default empty [`Strategy::shrink`] applies.
 #[derive(Debug, Clone)]
 pub struct Map<S, F> {
     inner: S,
@@ -89,6 +100,9 @@ impl<V> Strategy for Box<dyn Strategy<Value = V>> {
     fn generate(&self, rng: &mut TestRng) -> V {
         (**self).generate(rng)
     }
+    fn shrink(&self, value: &V) -> Vec<V> {
+        (**self).shrink(value)
+    }
 }
 
 /// Uniform choice among boxed strategies — `prop_oneof!`'s engine.
@@ -116,11 +130,41 @@ impl<V> Strategy for Union<V> {
             None => unreachable!("below() stays in bounds"),
         }
     }
+    /// The arm that produced `value` is unknown, so pool every arm's
+    /// proposals; the minimize driver discards any that don't reproduce
+    /// the failure, so foreign-arm proposals cost probes but never
+    /// correctness.
+    fn shrink(&self, value: &V) -> Vec<V> {
+        self.arms.iter().flat_map(|arm| arm.shrink(value)).collect()
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Range strategies
 // ---------------------------------------------------------------------------
+
+/// Integer shrink proposals: the range floor (biggest jump), the
+/// midpoint between floor and `value` (binary descent), and `value - 1`
+/// (the last mile). All strictly below `value`, so greedy descent
+/// terminates.
+macro_rules! int_shrink {
+    ($t:ty, $lo:expr, $value:expr) => {{
+        let lo = $lo as i128;
+        let v = *$value as i128;
+        let mut out: Vec<$t> = Vec::new();
+        if v > lo {
+            out.push($lo);
+            let mid = lo + (v - lo) / 2;
+            if mid > lo && mid < v {
+                out.push(mid as $t);
+            }
+            if v - 1 > lo && v - 1 != lo + (v - lo) / 2 {
+                out.push((v - 1) as $t);
+            }
+        }
+        out
+    }};
+}
 
 macro_rules! int_range_strategy {
     ($($t:ty),*) => {$(
@@ -132,6 +176,9 @@ macro_rules! int_range_strategy {
                 let draw = (rng.next_u64() as u128) % span;
                 (self.start as i128 + draw as i128) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink!($t, self.start, value)
+            }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
             type Value = $t;
@@ -142,10 +189,32 @@ macro_rules! int_range_strategy {
                 let draw = (rng.next_u64() as u128) % span;
                 (lo as i128 + draw as i128) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink!($t, *self.start(), value)
+            }
         }
     )*};
 }
 int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Float shrink proposals: the range floor, then the halfway point.
+/// Convergence toward a non-floor threshold is asymptotic, so the
+/// minimize driver's probe budget bounds the descent.
+macro_rules! float_shrink {
+    ($t:ty, $lo:expr, $value:expr) => {{
+        let lo: $t = $lo;
+        let v: $t = *$value;
+        let mut out: Vec<$t> = Vec::new();
+        if v.is_finite() && lo.is_finite() && v > lo {
+            out.push(lo);
+            let mid = lo + (v - lo) / 2.0;
+            if mid > lo && mid < v {
+                out.push(mid);
+            }
+        }
+        out
+    }};
+}
 
 macro_rules! float_range_strategy {
     ($($t:ty),*) => {$(
@@ -156,6 +225,9 @@ macro_rules! float_range_strategy {
                 let unit = rng.unit_f64() as $t;
                 self.start + (self.end - self.start) * unit
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                float_shrink!($t, self.start, value)
+            }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
             type Value = $t;
@@ -164,6 +236,9 @@ macro_rules! float_range_strategy {
                 assert!(lo <= hi, "empty range strategy");
                 let unit = rng.unit_f64() as $t;
                 lo + (hi - lo) * unit
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                float_shrink!($t, *self.start(), value)
             }
         }
     )*};
@@ -176,15 +251,32 @@ float_range_strategy!(f32, f64);
 
 macro_rules! tuple_strategy {
     ($(($($name:ident $idx:tt),+))*) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            /// Component-wise: shrink each position with the others held
+            /// fixed (the tuple analogue of ddmin's one-op sweep).
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for smaller in self.$idx.shrink(&value.$idx) {
+                        let mut candidate = value.clone();
+                        candidate.$idx = smaller;
+                        out.push(candidate);
+                    }
+                )+
+                out
             }
         }
     )*};
 }
 tuple_strategy! {
+    (A 0)
     (A 0, B 1)
     (A 0, B 1, C 2)
     (A 0, B 1, C 2, D 3)
@@ -206,6 +298,25 @@ impl Strategy for &str {
             lo
         };
         (0..len).map(|_| random_printable_char(rng)).collect()
+    }
+    /// Drop one character at a time (every position), never shrinking
+    /// below the pattern's minimum length.
+    fn shrink(&self, value: &String) -> Vec<String> {
+        let (lo, _) = parse_repeat_bounds(self).unwrap_or((0, 16));
+        let chars: Vec<char> = value.chars().collect();
+        if chars.len() <= lo {
+            return Vec::new();
+        }
+        (0..chars.len())
+            .map(|skip| {
+                chars
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, c)| *c)
+                    .collect()
+            })
+            .collect()
     }
 }
 

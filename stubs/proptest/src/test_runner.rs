@@ -1,6 +1,15 @@
-//! The imperative sampling surface: `ProptestConfig` and `TestRunner`.
+//! The imperative sampling surface (`ProptestConfig`, `TestRunner`) and
+//! the shrinking machinery behind the `proptest!` macro: a greedy
+//! [`minimize`] driver plus [`quiet_catch`], which swallows the panic
+//! output of shrink probes so a failing property prints one report, not
+//! hundreds.
 
 use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::AssertUnwindSafe;
+use std::sync::Once;
 
 /// Per-`proptest!` block configuration.
 #[derive(Debug, Clone, Copy)]
@@ -17,9 +26,9 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
-    /// 48 cases: far fewer than upstream's 256 (no shrinking means failing
-    /// cases replay instantly, so breadth costs less), still enough to
-    /// exercise size/shape edges.
+    /// 48 cases: far fewer than upstream's 256 (generation is
+    /// deterministic, so failing cases replay instantly and breadth
+    /// costs less), still enough to exercise size/shape edges.
     fn default() -> Self {
         ProptestConfig { cases: 48 }
     }
@@ -43,5 +52,105 @@ impl TestRunner {
     /// Access the underlying RNG.
     pub fn rng_mut(&mut self) -> &mut TestRng {
         &mut self.rng
+    }
+}
+
+thread_local! {
+    /// Set while a [`quiet_catch`] probe runs on this thread: the global
+    /// panic hook skips printing, so shrink probes fail silently.
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+static INSTALL_QUIET_HOOK: Once = Once::new();
+
+/// Run `f`, catching any panic. While `f` runs, panics on this thread
+/// print nothing (the default hook's backtrace spam would otherwise
+/// repeat for every shrink probe); other threads are unaffected. The
+/// first call chains the suppressing hook in front of whatever hook is
+/// installed, process-wide, exactly once.
+pub fn quiet_catch<R>(f: impl FnOnce() -> R) -> Result<R, Box<dyn Any + Send>> {
+    INSTALL_QUIET_HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+    QUIET_PANICS.with(|quiet| quiet.set(true));
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(f));
+    QUIET_PANICS.with(|quiet| quiet.set(false));
+    outcome
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub fn panic_message(payload: &(dyn Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+/// The engine behind `proptest!`: run `body` over `config.cases`
+/// deterministic samples of `strategies`; on the first failure,
+/// [`minimize`] the input (probes silenced via [`quiet_catch`]) and
+/// panic with the minimal failing input plus the original message.
+///
+/// # Panics
+/// Panics — loudly, by design — when a case fails.
+pub fn run_cases<S, B>(config: ProptestConfig, path: &str, strategies: &S, body: B)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    B: Fn(S::Value),
+{
+    for case in 0..u64::from(config.cases) {
+        let mut rng = TestRng::from_seed(crate::seed_for(path, case));
+        let input = strategies.generate(&mut rng);
+        if let Err(panic) = quiet_catch(|| body(input.clone())) {
+            let minimal = minimize(strategies, input, |candidate| {
+                quiet_catch(|| body(candidate.clone())).is_err()
+            });
+            panic!(
+                "proptest {path} case {case} failed\nminimal input: {minimal:?}\n\
+                 first failure: {}",
+                panic_message(panic.as_ref()),
+            );
+        }
+    }
+}
+
+/// Greedily minimize `failing` under `fails` (which must hold for
+/// `failing` itself): repeatedly take the first [`Strategy::shrink`]
+/// proposal that still fails, until no proposal does or the probe
+/// budget is spent. Every built-in strategy proposes strictly-simpler
+/// values, so descent terminates; the budget guards asymptotic cases
+/// (float thresholds) and user strategies that don't.
+pub fn minimize<S, F>(strategy: &S, failing: S::Value, mut fails: F) -> S::Value
+where
+    S: Strategy,
+    F: FnMut(&S::Value) -> bool,
+{
+    let mut current = failing;
+    let mut probes: usize = 512;
+    loop {
+        let mut improved = false;
+        for candidate in strategy.shrink(&current) {
+            if probes == 0 {
+                return current;
+            }
+            probes -= 1;
+            if fails(&candidate) {
+                current = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return current;
+        }
     }
 }

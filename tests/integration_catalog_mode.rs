@@ -13,6 +13,9 @@
 )]
 
 use activedr_core::files::Catalog;
+use activedr_core::time::Timestamp;
+use activedr_core::user::UserId;
+use activedr_fs::{diff_catalogs, CatalogIndex, ExemptionList, VirtualFs};
 use activedr_sim::{run_instrumented, CatalogMode, Scale, Scenario, SimConfig, SimResult};
 use std::sync::mpsc;
 
@@ -106,6 +109,116 @@ fn small_scale_catalogs_identical_across_modes_all_policies() {
     for (name, cfg) in policy_configs(90) {
         assert_modes_equivalent(&scenario, name, cfg);
     }
+}
+
+/// Drain the fs changelog into `index` and assert the incremental
+/// catalog equals a fresh full scan, field by field.
+fn assert_index_matches_scan(
+    fs: &mut VirtualFs,
+    index: &mut CatalogIndex,
+    ex: &ExemptionList,
+    label: &str,
+) {
+    index.apply(fs.drain_changelog(), ex);
+    let scan = fs.catalog(ex);
+    let diffs = diff_catalogs(index.snapshot(), &scan);
+    assert!(diffs.is_empty(), "{label}: incremental != scan: {diffs:?}");
+}
+
+fn changelog_fs() -> (VirtualFs, CatalogIndex, ExemptionList) {
+    let mut fs = VirtualFs::with_capacity(1 << 30);
+    fs.enable_changelog();
+    let ex = ExemptionList::new();
+    let index = CatalogIndex::from_fs(&fs, &ex);
+    (fs, index, ex)
+}
+
+#[test]
+fn rename_chain_onto_own_ancestor_keeps_index_exact() {
+    // `a/b -> a` is the adversarial shape: the destination is a strict
+    // prefix of the source, so the rename only succeeds because the trie
+    // removes the source before inserting the destination. Chain it both
+    // ways and interleave a blocking sibling.
+    let (mut fs, mut index, ex) = changelog_fs();
+    let day0 = Timestamp::from_days(0);
+
+    fs.create("/a/b", UserId(1), 100, day0).expect("create a/b");
+    fs.create("/a/c", UserId(2), 50, day0).expect("create a/c");
+    assert_index_matches_scan(&mut fs, &mut index, &ex, "after creates");
+
+    // Blocked: /a/c still extends /a, so inserting /a collides.
+    assert!(fs.rename("/a/b", "/a").is_err(), "sibling must block");
+    assert_index_matches_scan(&mut fs, &mut index, &ex, "after blocked rename");
+
+    fs.remove("/a/c");
+    fs.rename("/a/b", "/a").expect("collapse onto ancestor");
+    assert_index_matches_scan(&mut fs, &mut index, &ex, "after collapse");
+
+    // And back down: a file can move to a path strictly beneath itself.
+    fs.rename("/a", "/a/b/c").expect("descend beneath itself");
+    assert_index_matches_scan(&mut fs, &mut index, &ex, "after descend");
+}
+
+#[test]
+fn rename_onto_purged_path_keeps_index_exact() {
+    // Remove a file (as a purge does), then rename another file onto the
+    // vacated path: the index must fold Remove -> Upsert chains on the
+    // same path without resurrecting the purged victim's metadata.
+    let (mut fs, mut index, ex) = changelog_fs();
+    let day0 = Timestamp::from_days(0);
+    let day9 = Timestamp::from_days(9);
+
+    fs.create("/scratch/victim", UserId(1), 4096, day0)
+        .expect("create victim");
+    fs.create("/scratch/mover", UserId(2), 512, day9)
+        .expect("create mover");
+    assert_index_matches_scan(&mut fs, &mut index, &ex, "after creates");
+
+    assert!(fs.remove("/scratch/victim").is_some(), "purge victim");
+    fs.rename("/scratch/mover", "/scratch/victim")
+        .expect("rename onto purged path");
+    assert_index_matches_scan(&mut fs, &mut index, &ex, "after rename-onto-purged");
+
+    let meta = fs.meta("/scratch/victim").expect("moved file");
+    assert_eq!(meta.owner, UserId(2), "moved file kept its owner");
+    assert_eq!(meta.size, 512, "moved file kept its size");
+}
+
+#[test]
+fn rename_then_restage_completion_keeps_index_exact() {
+    // A restage completion re-creates a purged path with fresh metadata.
+    // If the path was meanwhile occupied by a rename, the completion is
+    // an exact-match replace; the index must track owner/size swaps on a
+    // stable path, plus subtree moves shuffling neighbours around it.
+    let (mut fs, mut index, ex) = changelog_fs();
+    let day0 = Timestamp::from_days(0);
+    let day20 = Timestamp::from_days(20);
+
+    fs.create("/data/hot", UserId(1), 1000, day0).expect("hot");
+    fs.create("/data/warm", UserId(2), 2000, day0)
+        .expect("warm");
+    assert!(fs.remove("/data/hot").is_some(), "purge hot");
+    fs.rename("/data/warm", "/data/hot")
+        .expect("squat the path");
+    assert_index_matches_scan(&mut fs, &mut index, &ex, "after squat");
+
+    // Restage completion: exact-match insert replaces the squatter.
+    fs.create("/data/hot", UserId(1), 1000, day20)
+        .expect("restage completion replaces squatter");
+    assert_index_matches_scan(&mut fs, &mut index, &ex, "after restage completion");
+    let meta = fs.meta("/data/hot").expect("restaged file");
+    assert_eq!(meta.owner, UserId(1), "restage restored the owner");
+
+    // Subtree removal around the restaged path, then re-create below it.
+    fs.create("/data/hot2/x", UserId(3), 10, day20).expect("x");
+    fs.create("/data/hot2/y", UserId(3), 20, day20).expect("y");
+    assert_index_matches_scan(&mut fs, &mut index, &ex, "after subtree creates");
+    let freed = fs.remove_subtree("/data/hot2");
+    assert_eq!(freed, 30, "subtree removal freed both files");
+    assert_index_matches_scan(&mut fs, &mut index, &ex, "after subtree removal");
+    fs.create("/data/hot2", UserId(3), 5, day20)
+        .expect("file where the subtree was");
+    assert_index_matches_scan(&mut fs, &mut index, &ex, "after subtree re-create");
 }
 
 #[test]

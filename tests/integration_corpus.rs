@@ -1,0 +1,87 @@
+//! Replays the minimized fuzz repros checked into `tests/corpus/`
+//! through the fs-level differential oracle.
+//!
+//! Each `.ops` file is a human-readable op tape in the
+//! [`activedr_oracle::OpSequence`] line format (see
+//! `crates/oracle/src/ops.rs`). When `cargo xtask fuzz` finds a
+//! divergence it prints the ddmin-minimized tape in exactly this
+//! format; checking that tape in here turns the one-off repro into a
+//! permanent tier-1 regression test. Every corpus entry must replay
+//! **clean** — a failure means a previously-fixed divergence is back.
+
+#![allow(
+    clippy::expect_used,
+    reason = "tests fail loudly by design; expect() is the assertion"
+)]
+
+use activedr_oracle::{run_fs_differential, OpSequence};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("tests")
+        .join("corpus")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let dir = corpus_dir();
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("tests/corpus/ must exist")
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "ops"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_has_minimum_coverage() {
+    let files = corpus_files();
+    assert!(
+        files.len() >= 3,
+        "expected at least 3 corpus sequences, found {}: {files:?}",
+        files.len()
+    );
+}
+
+#[test]
+fn corpus_sequences_replay_clean() {
+    for path in corpus_files() {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: unreadable: {e}"));
+        let seq: OpSequence = text
+            .parse()
+            .unwrap_or_else(|e| panic!("{name}: parse error: {e}"));
+        assert!(!seq.is_empty(), "{name}: empty op sequence");
+        if let Err(divergence) = run_fs_differential(&seq, None) {
+            panic!("{name}: DIVERGED: {divergence}\n--- tape ---\n{seq}");
+        }
+    }
+}
+
+#[test]
+fn corpus_sequences_round_trip_through_text() {
+    for path in corpus_files() {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: unreadable: {e}"));
+        let seq: OpSequence = text
+            .parse()
+            .unwrap_or_else(|e| panic!("{name}: parse error: {e}"));
+        let back: OpSequence = seq
+            .to_string()
+            .parse()
+            .unwrap_or_else(|e| panic!("{name}: re-parse error: {e}"));
+        assert_eq!(seq, back, "{name}: display/parse round trip drifted");
+    }
+}

@@ -1,7 +1,7 @@
 //! Property tests over the replay engine: invariants that must hold for
 //! every seed, scale, policy, and lifetime.
 
-use activedr_sim::{build_initial_fs, pre_purge_flt, run_until, SimConfig};
+use activedr_sim::{build_initial_fs, pre_purge_flt, run_until, CatalogMode, SimConfig};
 use activedr_trace::{generate, SynthConfig};
 use proptest::prelude::*;
 
@@ -9,12 +9,24 @@ fn configs() -> impl Strategy<Value = SimConfig> {
     (
         prop::sample::select(vec![0u8, 1, 2, 3]),
         prop::sample::select(vec![7u32, 30, 60, 90]),
+        prop::sample::select(vec![CatalogMode::FullScan, CatalogMode::Incremental]),
+        // `None` = serial activeness evaluation; `Some(n)` routes the
+        // batch evaluator through the sharded data-parallel path, which
+        // must be observationally identical.
+        prop::sample::select(vec![None, Some(1usize), Some(3), Some(8)]),
     )
-        .prop_map(|(kind, lifetime)| match kind {
-            0 => SimConfig::flt(lifetime),
-            1 => SimConfig::activedr(lifetime),
-            2 => SimConfig::scratch_cache(),
-            _ => SimConfig::value_based(lifetime),
+        .prop_map(|(kind, lifetime, catalog_mode, eval_shards)| {
+            let config = match kind {
+                0 => SimConfig::flt(lifetime),
+                1 => SimConfig::activedr(lifetime),
+                2 => SimConfig::scratch_cache(),
+                _ => SimConfig::value_based(lifetime),
+            };
+            let config = config.with_catalog_mode(catalog_mode);
+            match eval_shards {
+                None => config,
+                Some(shards) => config.with_eval_shards(shards),
+            }
         })
 }
 
