@@ -37,7 +37,7 @@ use crate::rank::Rank;
 use crate::time::Timestamp;
 use crate::user::UserId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How a period with zero recorded activity enters the Eq. (5) product.
 /// Exposed for the ablation study; the default is [`EmptyPeriods::Neutral`].
@@ -114,7 +114,7 @@ impl UserActiveness {
 /// the full initial lifetime on the first scan).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ActivenessTable {
-    map: HashMap<UserId, UserActiveness>,
+    map: BTreeMap<UserId, UserActiveness>,
 }
 
 impl ActivenessTable {
@@ -278,7 +278,8 @@ impl ActivenessEvaluator {
         events: &[ActivityEvent],
     ) -> ActivenessTable {
         // Group (user, type) -> impact list, applying type weights once.
-        let mut grouped: HashMap<(UserId, ActivityTypeId), Vec<(Timestamp, f64)>> = HashMap::new();
+        let mut grouped: BTreeMap<(UserId, ActivityTypeId), Vec<(Timestamp, f64)>> =
+            BTreeMap::new();
         for ev in events {
             grouped
                 .entry((ev.user, ev.kind))
@@ -291,7 +292,7 @@ impl ActivenessEvaluator {
         // required for run-to-run determinism (and for bitwise equivalence
         // with the streaming evaluator).
         type TypeRanks = Vec<(ActivityTypeId, Rank)>;
-        let mut per_user: HashMap<UserId, (TypeRanks, TypeRanks)> = HashMap::new();
+        let mut per_user: BTreeMap<UserId, (TypeRanks, TypeRanks)> = BTreeMap::new();
         for u in known_users {
             per_user.entry(*u).or_default();
         }

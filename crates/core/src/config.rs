@@ -35,7 +35,7 @@ impl ActivenessConfig {
     pub fn year_window(period_days: u32) -> Self {
         assert!(period_days > 0, "period length must be positive");
         ActivenessConfig {
-            period: TimeDelta::from_days(period_days as i64),
+            period: TimeDelta::from_days(i64::from(period_days)),
             periods_in_window: 365_u32.div_ceil(period_days),
         }
     }
@@ -51,14 +51,14 @@ impl ActivenessConfig {
             "window must contain at least one period"
         );
         ActivenessConfig {
-            period: TimeDelta::from_days(period_days as i64),
+            period: TimeDelta::from_days(i64::from(period_days)),
             periods_in_window,
         }
     }
 
     /// Total window span `m · d`.
     pub fn window(&self) -> TimeDelta {
-        TimeDelta(self.period.secs() * self.periods_in_window as i64)
+        TimeDelta(self.period.secs() * i64::from(self.periods_in_window))
     }
 }
 
@@ -120,7 +120,7 @@ impl RetentionConfig {
     /// A config with the given initial lifetime and paper defaults elsewhere.
     pub fn new(initial_lifetime_days: u32) -> Self {
         RetentionConfig {
-            initial_lifetime: TimeDelta::from_days(initial_lifetime_days as i64),
+            initial_lifetime: TimeDelta::from_days(i64::from(initial_lifetime_days)),
             ..RetentionConfig::default()
         }
     }

@@ -50,12 +50,6 @@ pub fn approx_f64_usize(x: usize) -> f64 {
     x as f64
 }
 
-/// `u128` as an approximate `f64` — for `Duration::as_micros` sums.
-#[must_use]
-pub fn approx_f64_u128(x: u128) -> f64 {
-    x as f64
-}
-
 // --- ratios ----------------------------------------------------------------
 
 /// `num / den` in `f64`, with the convention that an empty denominator
@@ -197,6 +191,13 @@ pub fn usize_from_u64(x: u64) -> usize {
 #[must_use]
 pub fn u32_from_usize(x: usize) -> u32 {
     u32::try_from(x).unwrap_or(u32::MAX)
+}
+
+/// `usize` -> `u16`, saturating: dense type-id spaces past `u16::MAX`
+/// clamp instead of wrapping onto an existing id.
+#[must_use]
+pub fn u16_from_usize(x: usize) -> u16 {
+    u16::try_from(x).unwrap_or(u16::MAX)
 }
 
 /// `u64` -> `u32`, saturating: identifiers past `u32::MAX` clamp instead

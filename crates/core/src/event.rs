@@ -17,6 +17,7 @@
     reason = "registry size is asserted below u16::MAX before each cast"
 )]
 
+use crate::convert;
 use crate::time::Timestamp;
 use crate::user::UserId;
 use serde::{Deserialize, Serialize};
@@ -52,7 +53,7 @@ pub struct ActivityTypeId(pub u16);
 impl ActivityTypeId {
     /// Dense index of this type for flat per-type vectors.
     pub fn index(self) -> usize {
-        self.0 as usize
+        usize::from(self.0)
     }
 }
 
@@ -160,7 +161,7 @@ impl ActivityTypeRegistry {
     /// registered.
     pub fn register(&mut self, spec: ActivityTypeSpec) -> ActivityTypeId {
         assert!(
-            self.types.len() < u16::MAX as usize,
+            self.types.len() < usize::from(u16::MAX),
             "too many activity types"
         );
         assert!(
@@ -168,7 +169,7 @@ impl ActivityTypeRegistry {
             "duplicate activity type name: {}",
             spec.name
         );
-        let id = ActivityTypeId(self.types.len() as u16);
+        let id = ActivityTypeId(convert::u16_from_usize(self.types.len()));
         self.types.push(spec);
         id
     }
@@ -193,7 +194,7 @@ impl ActivityTypeRegistry {
         self.types
             .iter()
             .position(|t| t.name == name)
-            .map(|i| ActivityTypeId(i as u16))
+            .map(|i| ActivityTypeId(convert::u16_from_usize(i)))
     }
 
     /// All registered types with their ids, in registration order.
@@ -201,7 +202,7 @@ impl ActivityTypeRegistry {
         self.types
             .iter()
             .enumerate()
-            .map(|(i, s)| (ActivityTypeId(i as u16), s))
+            .map(|(i, s)| (ActivityTypeId(convert::u16_from_usize(i)), s))
     }
 
     /// Ids of all types of the given class.

@@ -100,8 +100,8 @@ impl RetentionOutcome {
     }
 
     /// Purged bytes per user.
-    pub fn purged_bytes_by_user(&self) -> std::collections::HashMap<UserId, u64> {
-        let mut map = std::collections::HashMap::new();
+    pub fn purged_bytes_by_user(&self) -> std::collections::BTreeMap<UserId, u64> {
+        let mut map = std::collections::BTreeMap::new();
         for p in &self.purged {
             *map.entry(p.user).or_insert(0u64) += p.size;
         }

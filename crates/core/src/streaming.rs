@@ -20,7 +20,7 @@ use crate::event::{ActivityEvent, ActivityTypeId, ActivityTypeRegistry};
 use crate::rank::Rank;
 use crate::time::Timestamp;
 use crate::user::UserId;
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Incrementally maintained activeness state.
 ///
@@ -47,7 +47,7 @@ pub struct StreamingEvaluator {
     inner: ActivenessEvaluator,
     /// In-window events per (user, type), ordered by arrival. Impacts are
     /// stored raw; weights are applied by the shared rank math.
-    windows: HashMap<(UserId, ActivityTypeId), VecDeque<(Timestamp, f64)>>,
+    windows: BTreeMap<(UserId, ActivityTypeId), VecDeque<(Timestamp, f64)>>,
     /// Every user ever registered or observed.
     users: BTreeSet<UserId>,
     /// The latest evaluation instant; observations older than the window
@@ -60,7 +60,7 @@ impl StreamingEvaluator {
     pub fn new(registry: ActivityTypeRegistry, config: ActivenessConfig) -> Self {
         StreamingEvaluator {
             inner: ActivenessEvaluator::new(registry, config),
-            windows: HashMap::new(),
+            windows: BTreeMap::new(),
             users: BTreeSet::new(),
             watermark: Timestamp(i64::MIN),
         }
@@ -167,7 +167,7 @@ impl StreamingEvaluator {
         });
         per_type.sort_by_key(|(user, kind, _)| (*user, *kind));
 
-        let mut per_user: HashMap<UserId, UserActiveness> = HashMap::new();
+        let mut per_user: BTreeMap<UserId, UserActiveness> = BTreeMap::new();
         for (user, kind, rank) in per_type {
             let entry = per_user
                 .entry(user)

@@ -454,6 +454,24 @@ mod tests {
     }
 
     #[test]
+    fn changelog_accounting_and_id_lookup() {
+        let mut fs = VirtualFs::with_capacity(1000);
+        assert!(!fs.changelog_enabled());
+        assert_eq!(fs.changelog_recorded_total(), 0);
+
+        fs.enable_changelog();
+        assert!(fs.changelog_enabled());
+        let id = fs.create("/u1/a", UserId(1), 400, day(0)).unwrap();
+        assert_eq!(fs.meta_by_id(id).unwrap().size, 400);
+        fs.access("/u1/a", day(3));
+        fs.remove("/u1/a");
+        // Upsert + Touch + Remove, surviving a drain.
+        assert_eq!(fs.drain_changelog().len(), 3);
+        assert_eq!(fs.changelog_recorded_total(), 3);
+        assert!(fs.meta_by_id(id).is_none());
+    }
+
+    #[test]
     fn overwrite_replaces_bytes() {
         let mut fs = VirtualFs::with_capacity(1000);
         fs.create("/u1/a", UserId(1), 400, day(0)).unwrap();

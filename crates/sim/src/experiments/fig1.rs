@@ -18,6 +18,7 @@ use crate::engine::{run, SimConfig, SimResult};
 use crate::metrics::{range_label, MissRatioHistogram};
 use crate::report::{bar, render_table};
 use crate::scenario::Scenario;
+use activedr_core::convert;
 use serde::{Deserialize, Serialize};
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -43,7 +44,7 @@ impl Fig1Data {
             scenario.initial_fs.clone(),
             &SimConfig::flt(90),
         );
-        Fig1Data::from_result(&result, scenario.traces.replay_start_day as i64)
+        Fig1Data::from_result(&result, i64::from(scenario.traces.replay_start_day))
     }
 
     pub fn from_result(result: &SimResult, replay_start: i64) -> Fig1Data {
@@ -76,7 +77,8 @@ impl Fig1Data {
         let mut rows = Vec::new();
         for chunk in self.daily_ratio.chunks(30) {
             let first_day = chunk[0].0;
-            let mean: f64 = chunk.iter().map(|(_, r)| r).sum::<f64>() / chunk.len() as f64;
+            let mean: f64 =
+                chunk.iter().map(|(_, r)| r).sum::<f64>() / convert::approx_f64_usize(chunk.len());
             let peak = chunk.iter().map(|(_, r)| *r).fold(0.0, f64::max);
             rows.push(vec![
                 format!("{:>3}", first_day / 30 + 1),
@@ -87,13 +89,19 @@ impl Fig1Data {
         out.push_str(&render_table(&["month", "mean miss ratio", "peak"], &rows));
 
         out.push_str("\nDays per miss-ratio range:\n");
-        let max_days = self.histogram.days.iter().copied().max().unwrap_or(0) as f64;
+        let max_days = convert::approx_f64(self.histogram.days.iter().copied().max().unwrap_or(0));
         let rows: Vec<Vec<String>> = self
             .histogram
             .days
             .iter()
             .enumerate()
-            .map(|(i, d)| vec![range_label(i), d.to_string(), bar(*d as f64, max_days, 40)])
+            .map(|(i, d)| {
+                vec![
+                    range_label(i),
+                    d.to_string(),
+                    bar(convert::approx_f64(*d), max_days, 40),
+                ]
+            })
             .collect();
         out.push_str(&render_table(&["range", "days", ""], &rows));
         out.push_str(&format!(

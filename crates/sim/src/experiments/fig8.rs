@@ -15,6 +15,7 @@ use crate::metrics::{BoxStats, QuadrantSeries};
 use crate::report::render_table;
 use crate::scenario::Scenario;
 use activedr_core::classify::Quadrant;
+use activedr_core::convert;
 use serde::{Deserialize, Serialize};
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -37,7 +38,11 @@ impl Fig8Data {
                 let fm = f.misses_by_quadrant[q.index()];
                 let am = a.misses_by_quadrant[q.index()];
                 if fm > 0 {
-                    series.push(q, (fm as f64 - am as f64) / fm as f64);
+                    series.push(
+                        q,
+                        (convert::approx_f64(fm) - convert::approx_f64(am))
+                            / convert::approx_f64(fm),
+                    );
                 }
             }
         }

@@ -18,7 +18,7 @@ use activedr_core::event::ActivityEvent;
 use activedr_core::time::Timestamp;
 use activedr_core::user::UserId;
 use rayon::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Timing of one evaluation shard.
@@ -82,7 +82,7 @@ pub fn parallel_evaluate(
         })
         .collect();
 
-    let mut merged: HashMap<UserId, _> = HashMap::new();
+    let mut merged: BTreeMap<UserId, _> = BTreeMap::new();
     let mut reports = Vec::with_capacity(results.len());
     for (report, table) in results {
         for (u, a) in table.iter() {

@@ -71,7 +71,7 @@ impl Scenario {
     /// The day index (paper: Aug 23, 2016) used for the single-snapshot
     /// retention experiments of Figs. 9-11 — 235 days into the replay.
     pub fn snapshot_day(&self) -> i64 {
-        self.traces.replay_start_day as i64 + 235
+        i64::from(self.traces.replay_start_day) + 235
     }
 }
 

@@ -7,6 +7,7 @@
 //! minimal setup (jobs + publications) and the extended Table 2 setup.
 
 use crate::records::TraceSet;
+use activedr_core::convert;
 use activedr_core::event::{ActivityEvent, ActivityTypeRegistry};
 use activedr_core::time::Timestamp;
 
@@ -41,7 +42,7 @@ pub fn activity_events(
     up_to: Timestamp,
 ) -> Vec<ActivityEvent> {
     let mut events = Vec::new();
-    const GIB: f64 = (1u64 << 30) as f64;
+    const GIB: f64 = 1_073_741_824.0; // 1 << 30
 
     if let Some(t) = registry.lookup(type_names::JOB_SUBMISSION) {
         for j in &traces.jobs {
@@ -80,7 +81,12 @@ pub fn activity_events(
     if let Some(t) = registry.lookup(type_names::DATA_TRANSFER) {
         for tr in &traces.transfers {
             if tr.ts <= up_to {
-                events.push(ActivityEvent::new(tr.user, t, tr.ts, tr.bytes as f64 / GIB));
+                events.push(ActivityEvent::new(
+                    tr.user,
+                    t,
+                    tr.ts,
+                    convert::approx_f64(tr.bytes) / GIB,
+                ));
             }
         }
     }
@@ -95,7 +101,12 @@ pub fn activity_events(
         for a in &traces.accesses {
             if a.ts <= up_to {
                 if let crate::records::AccessKind::Write { size } = a.kind {
-                    events.push(ActivityEvent::new(a.user, t, a.ts, size as f64 / GIB));
+                    events.push(ActivityEvent::new(
+                        a.user,
+                        t,
+                        a.ts,
+                        convert::approx_f64(size) / GIB,
+                    ));
                 }
             }
         }

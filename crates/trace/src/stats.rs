@@ -3,6 +3,7 @@
 
 use crate::records::TraceSet;
 use crate::synth::Archetype;
+use activedr_core::convert;
 use activedr_core::user::UserId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -84,7 +85,7 @@ impl TraceStats {
         out.push_str(&format!(
             "initial files:        {} ({:.2} GiB)\n",
             self.initial_files,
-            self.initial_bytes as f64 / (1u64 << 30) as f64
+            convert::ratio(self.initial_bytes, 1u64 << 30)
         ));
         out.push_str(&format!("users with jobs:      {}\n", self.users_with_jobs));
         out.push_str(&format!(

@@ -25,9 +25,9 @@ pub struct ActivePhases {
 
 fn sample_range(rng: &mut impl Rng, (lo, hi): (u32, u32)) -> f64 {
     if lo >= hi {
-        lo as f64
+        f64::from(lo)
     } else {
-        rng.random_range(lo as f64..=hi as f64)
+        rng.random_range(f64::from(lo)..=f64::from(hi))
     }
 }
 
@@ -42,8 +42,8 @@ impl ActivePhases {
         departure_day: Option<f64>,
     ) -> ActivePhases {
         let horizon = departure_day
-            .map(|d| d.min(horizon_days as f64))
-            .unwrap_or(horizon_days as f64);
+            .map(|d| d.min(f64::from(horizon_days)))
+            .unwrap_or(f64::from(horizon_days));
         let mut phases = Vec::new();
         // Random initial offset: begin mid-gap or mid-campaign.
         let mut t = -sample_range(rng, params.gap_days) * rng.random_range(0.0..1.0);

@@ -11,6 +11,7 @@
     reason = "values are bounded far below the narrow type's range at paper scale"
 )]
 
+use activedr_core::convert;
 use rand::Rng;
 use rand_distr::{Distribution, LogNormal};
 use serde::{Deserialize, Serialize};
@@ -45,11 +46,11 @@ impl FileSizeSampler {
     pub fn sample(&self, rng: &mut impl Rng) -> u64 {
         debug_assert!(self.min <= self.max && self.median >= 1);
         // Bad parameters degrade to the configured median instead of a panic.
-        let raw = match LogNormal::new((self.median as f64).ln(), self.sigma) {
+        let raw = match LogNormal::new(convert::approx_f64(self.median).ln(), self.sigma) {
             Ok(dist) => dist.sample(rng),
-            Err(_) => self.median as f64,
+            Err(_) => convert::approx_f64(self.median),
         };
-        (raw as u64).clamp(self.min, self.max)
+        convert::trunc_to_u64(raw).clamp(self.min, self.max)
     }
 }
 

@@ -35,9 +35,13 @@ pub struct File {
 #[derive(Debug)]
 pub enum Item {
     Fn(FnItem),
-    /// `impl [Trait for] Type { items }` — `self_ty` is the type text.
+    /// `impl [Trait for] Type { items }` — `self_ty` is the type text and
+    /// `of_trait` distinguishes `impl Trait for Type` (and `trait` bodies,
+    /// whose default methods are likewise obligations rather than API) from
+    /// inherent impls.
     Impl {
         self_ty: String,
+        of_trait: bool,
         items: Vec<Item>,
     },
     Mod {
@@ -50,6 +54,8 @@ pub enum Item {
 #[derive(Debug)]
 pub struct FnItem {
     pub name: String,
+    /// `pub`/`pub(…)` present on the item.
+    pub is_pub: bool,
     /// `#[must_use]` present on the item.
     pub must_use: bool,
     /// Return type text (`Result < Inserted , InsertError >`), `None` when
@@ -342,6 +348,7 @@ impl<'a> Parser<'a> {
     fn parse_items(&mut self, closer: Option<&str>) -> Vec<Item> {
         let mut items = Vec::new();
         let mut must_use = false;
+        let mut is_pub = false;
         while !self.at_end() {
             if let Some(c) = closer {
                 if self.at_punct(c) {
@@ -353,12 +360,13 @@ impl<'a> Parser<'a> {
                 must_use |= self.skip_attr();
                 continue;
             }
-            // Visibility and safety qualifiers carry no structure we need.
+            // Visibility qualifiers: remembered for the next `fn` item.
             if self.at_ident("pub") {
                 self.bump();
                 if self.at_punct("(") {
                     self.skip_group("(", ")");
                 }
+                is_pub = true;
                 continue;
             }
             if self.at_ident("const") && matches!(self.tok(1), Some(Tok::Ident(s)) if s == "fn") {
@@ -370,16 +378,21 @@ impl<'a> Parser<'a> {
                 continue;
             }
             if self.at_ident("fn") {
-                items.push(Item::Fn(self.parse_fn(std::mem::take(&mut must_use))));
+                items.push(Item::Fn(self.parse_fn(
+                    std::mem::take(&mut must_use),
+                    std::mem::take(&mut is_pub),
+                )));
                 continue;
             }
             if self.at_ident("impl") {
                 must_use = false;
+                is_pub = false;
                 items.push(self.parse_impl());
                 continue;
             }
             if self.at_ident("mod") && matches!(self.tok(1), Some(Tok::Ident(_))) {
                 must_use = false;
+                is_pub = false;
                 self.bump();
                 let name = self.ident_text().unwrap_or_default();
                 self.bump();
@@ -396,6 +409,7 @@ impl<'a> Parser<'a> {
                 // Default method bodies inside traits still matter for the
                 // signature table; parse the trait body as an item list.
                 must_use = false;
+                is_pub = false;
                 self.bump();
                 while !self.at_end() && !self.at_punct("{") && !self.at_punct(";") {
                     if self.at_punct("<") {
@@ -409,6 +423,7 @@ impl<'a> Parser<'a> {
                     let inner = self.parse_items(Some("}"));
                     items.push(Item::Impl {
                         self_ty: String::new(),
+                        of_trait: true,
                         items: inner,
                     });
                 } else {
@@ -422,6 +437,7 @@ impl<'a> Parser<'a> {
             // `}` with no enclosing body must still be consumed, or the loop
             // would stall on it.
             must_use = false;
+            is_pub = false;
             if self.at_punct("}") {
                 self.bump();
                 continue;
@@ -461,7 +477,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_fn(&mut self, must_use: bool) -> FnItem {
+    fn parse_fn(&mut self, must_use: bool, is_pub: bool) -> FnItem {
         let line = self.line();
         self.bump(); // `fn`
         let name = self.ident_text().unwrap_or_default();
@@ -496,6 +512,7 @@ impl<'a> Parser<'a> {
         };
         FnItem {
             name,
+            is_pub,
             must_use,
             ret,
             body,
@@ -509,7 +526,9 @@ impl<'a> Parser<'a> {
             self.skip_angles();
         }
         let mut ty = self.capture_type_text(&["{", "for", "where"], false);
+        let mut of_trait = false;
         if self.eat_ident("for") {
+            of_trait = true;
             ty = self.capture_type_text(&["{", "where"], false);
         }
         if self.at_ident("where") {
@@ -527,7 +546,11 @@ impl<'a> Parser<'a> {
         } else {
             Vec::new()
         };
-        Item::Impl { self_ty: ty, items }
+        Item::Impl {
+            self_ty: ty,
+            of_trait,
+            items,
+        }
     }
 
     /// Capture type text up to (not including) any of `stops` at bracket
@@ -644,7 +667,7 @@ impl<'a> Parser<'a> {
                 || (self.at_ident("mod") && matches!(self.tok(1), Some(Tok::Ident(_))))
             {
                 if self.at_ident("fn") {
-                    stmts.push(Stmt::Item(Box::new(Item::Fn(self.parse_fn(false)))));
+                    stmts.push(Stmt::Item(Box::new(Item::Fn(self.parse_fn(false, false)))));
                 } else if self.at_ident("impl") {
                     stmts.push(Stmt::Item(Box::new(self.parse_impl())));
                 } else {
@@ -1581,6 +1604,7 @@ mod tests {
         let file = parse("#[must_use]\npub fn f(x: u32) -> Result<u32, Error> { Ok(x) }");
         let f = first_fn(&file);
         assert_eq!(f.name, "f");
+        assert!(f.is_pub);
         assert!(f.must_use);
         assert!(f.ret.as_deref().unwrap_or("").starts_with("Result"));
         assert!(f.body.is_some());
@@ -1589,10 +1613,16 @@ mod tests {
     #[test]
     fn impl_methods_are_nested_items() {
         let file = parse("impl Foo { fn m(&self) -> Result<(), E> { Ok(()) } }");
-        let Some(Item::Impl { self_ty, items }) = file.items.first() else {
+        let Some(Item::Impl {
+            self_ty,
+            of_trait,
+            items,
+        }) = file.items.first()
+        else {
             panic!("expected impl item");
         };
         assert_eq!(self_ty, "Foo");
+        assert!(!of_trait);
         assert!(matches!(items.first(), Some(Item::Fn(f)) if f.name == "m"));
     }
 

@@ -19,6 +19,23 @@ pub const BASELINE_PATH: &str = "crates/xtask/panic-baseline.txt";
 /// Location of the cast-audit ratchet file, relative to the workspace root.
 pub const CAST_BASELINE_PATH: &str = "crates/xtask/cast-baseline.txt";
 
+/// Location of the panic-reachability ratchet file (panic sites reachable
+/// from the engine hot path), relative to the workspace root.
+pub const PANIC_REACH_BASELINE_PATH: &str = "crates/xtask/panic-reach-baseline.txt";
+
+/// Location of the dead-API ratchet file, relative to the workspace root.
+pub const DEAD_API_BASELINE_PATH: &str = "crates/xtask/dead-api-baseline.txt";
+
+/// Location of the determinism-taint exemption file. Unlike the other
+/// ratchets this file is maintained *by hand* — every entry is an audited
+/// nondeterminism source on the engine hot path with a written reason in
+/// an adjacent comment — so `--update-baseline` never rewrites it.
+pub const DETERMINISM_EXEMPTIONS_PATH: &str = "crates/xtask/determinism-exemptions.txt";
+
+/// Location of the changelog emit-census file, relative to the workspace
+/// root.
+pub const CHANGELOG_BASELINE_PATH: &str = "crates/xtask/changelog-baseline.txt";
+
 /// Header comment written at the top of each ratchet file.
 const PANIC_HEADER: &str =
     "# panic-freedom baseline: per-file counts of potentially panicking sites\n\
@@ -33,11 +50,48 @@ const CAST_HEADER: &str =
      # casts must go through core::convert (or carry an `xtask-allow: cast-audit`\n\
      # waiver) instead of raising a count here.\n";
 
+const PANIC_REACH_HEADER: &str =
+    "# panic-reachability baseline: per-file counts of panic sites inside\n\
+     # functions reachable from the engine hot path (run/run_instrumented/\n\
+     # trigger evaluation), computed over the workspace call graph. Maintained\n\
+     # by `cargo xtask check --update-baseline`. The ratchet only goes down:\n\
+     # putting a new panic site on the hot path requires editing this file by\n\
+     # hand in the same change that justifies it.\n";
+
+const DEAD_API_HEADER: &str =
+    "# dead-api baseline: pub functions in the library crates that nothing in\n\
+     # the workspace (sources, tests, examples, benches) references, keyed by\n\
+     # function name. Maintained by `cargo xtask check --update-baseline`.\n\
+     # Entries here are accepted-for-now dead API: delete the function or pick\n\
+     # up a caller to shrink this file; adding a new unreferenced pub fn fails\n\
+     # the gate.\n";
+
+const DETERMINISM_EXEMPTIONS_HEADER: &str =
+    "# determinism-taint exemptions: audited nondeterminism sources reachable\n\
+     # from the engine hot path. Keys are `<category>.<function>`; each entry\n\
+     # carries a `#` comment above it explaining why the source cannot leak\n\
+     # into replay results. THIS FILE IS MAINTAINED BY HAND — `--update-baseline`\n\
+     # deliberately refuses to rewrite it. A new source on the hot path fails\n\
+     # the gate until it is removed or audited here; a stale entry fails the\n\
+     # gate until it is deleted.\n";
+
+const CHANGELOG_HEADER: &str =
+    "# changelog emit census: per-Delta-variant counts of changelog emit sites\n\
+     # in crates/fs/src/vfs.rs, maintained by `cargo xtask check\n\
+     # --update-baseline`. The changelog-completeness check proves every trie\n\
+     # mutation reaches *an* emit; this census additionally pins the exact\n\
+     # number of emit sites, so deleting any single `log.record(Delta::…)`\n\
+     # call fails the gate even when another branch still emits.\n";
+
 /// Which ratchet file a load/store call addresses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Ratchet {
     PanicFreedom,
     CastAudit,
+    PanicReach,
+    DeadApi,
+    DeterminismTaint,
+    ChangelogEmits,
 }
 
 impl Ratchet {
@@ -46,13 +100,27 @@ impl Ratchet {
         match self {
             Ratchet::PanicFreedom => BASELINE_PATH,
             Ratchet::CastAudit => CAST_BASELINE_PATH,
+            Ratchet::PanicReach => PANIC_REACH_BASELINE_PATH,
+            Ratchet::DeadApi => DEAD_API_BASELINE_PATH,
+            Ratchet::DeterminismTaint => DETERMINISM_EXEMPTIONS_PATH,
+            Ratchet::ChangelogEmits => CHANGELOG_BASELINE_PATH,
         }
+    }
+
+    /// The hand-audited exemption file must never be clobbered by
+    /// `--update-baseline`: its value is the human-written reasons.
+    pub fn hand_maintained(self) -> bool {
+        matches!(self, Ratchet::DeterminismTaint)
     }
 
     fn header(self) -> &'static str {
         match self {
             Ratchet::PanicFreedom => PANIC_HEADER,
             Ratchet::CastAudit => CAST_HEADER,
+            Ratchet::PanicReach => PANIC_REACH_HEADER,
+            Ratchet::DeadApi => DEAD_API_HEADER,
+            Ratchet::DeterminismTaint => DETERMINISM_EXEMPTIONS_HEADER,
+            Ratchet::ChangelogEmits => CHANGELOG_HEADER,
         }
     }
 }
@@ -199,7 +267,14 @@ mod tests {
             ("crates/fs/src/trie.rs", "unwrap", 5),
             ("crates/sim/src/engine.rs", "index", 2),
         ]);
-        for ratchet in [Ratchet::PanicFreedom, Ratchet::CastAudit] {
+        for ratchet in [
+            Ratchet::PanicFreedom,
+            Ratchet::CastAudit,
+            Ratchet::PanicReach,
+            Ratchet::DeadApi,
+            Ratchet::DeterminismTaint,
+            Ratchet::ChangelogEmits,
+        ] {
             let parsed = parse(&render(ratchet, &c)).unwrap();
             assert_eq!(parsed, c);
         }

@@ -28,9 +28,11 @@ impl Finding {
 }
 
 /// Names of the checks as used on the command line and in waiver comments.
-/// The first five are the token-window checks in this module; the last four
-/// are the AST-based families in [`crate::semantic`].
-pub const CHECK_NAMES: [&str; 9] = [
+/// The first five are the token-window checks in this module; the next four
+/// are the AST-based families in [`crate::semantic`]; the last four are the
+/// interprocedural checks in [`crate::interproc`], which run over the
+/// workspace call graph rather than one file at a time.
+pub const CHECK_NAMES: [&str; 13] = [
     "panic-freedom",
     "newtype",
     "dispatch",
@@ -40,6 +42,10 @@ pub const CHECK_NAMES: [&str; 9] = [
     "ignored-result",
     "unit-safety",
     "par-determinism",
+    "determinism-taint",
+    "changelog-completeness",
+    "panic-reachability",
+    "dead-api",
 ];
 
 fn tok_at(tokens: &[Token], i: usize) -> Option<&Tok> {

@@ -1,8 +1,8 @@
 //! Repo-specific static analysis for the ActiveDR workspace.
 //!
-//! `cargo xtask check` enforces nine invariants that rustc and clippy cannot
-//! express because they are about *this* codebase's architecture. Five are
-//! token-level (over the [`lexer`] stream):
+//! `cargo xtask check` enforces thirteen invariants that rustc and clippy
+//! cannot express because they are about *this* codebase's architecture.
+//! Five are token-level (over the [`lexer`] stream):
 //!
 //! 1. **panic-freedom** — no `.unwrap()`/`.expect()`/panicking macros/index
 //!    expressions in non-test library code, ratcheted by a checked-in
@@ -31,14 +31,39 @@
 //! 9. **par-determinism** — no `RefCell`/`Cell` captures, held locks, or
 //!    order-sensitive float reductions inside rayon parallel pipelines.
 //!
-//! Individual findings can be waived in place with a
-//! `// xtask-allow: <check> -- <reason>` comment on the same line or the
-//! line above; unused waivers are themselves errors.
+//! Four are interprocedural, over the workspace symbol table ([`resolve`]),
+//! the call graph ([`callgraph`]), and per-function dataflow facts
+//! ([`dataflow`]) — see [`interproc`]:
+//!
+//! 10. **determinism-taint** — no function reachable from the engine's
+//!     replay entry points (`run`, `run_instrumented`, trigger evaluation)
+//!     may transitively reach a nondeterminism source (hash-container
+//!     iteration, wall clocks, `RandomState`, thread ids) except through
+//!     the hand-audited exemption file `determinism-exemptions.txt`.
+//! 11. **changelog-completeness** — every path in `fs::vfs` that mutates
+//!     the trie must also reach a changelog emit (`Delta::Upsert`/`Touch`/
+//!     `Remove`), and an emit census pins the exact number of emit sites.
+//! 12. **panic-reachability** — the panic ratchet, restricted to panic
+//!     sites reachable from the engine hot path, with its own baseline.
+//! 13. **dead-api** — pub functions in the library crates that nothing in
+//!     the workspace references, ratcheted so the public surface only
+//!     shrinks.
+//!
+//! Individual findings from the file-local checks can be waived in place
+//! with a `// xtask-allow: <check> -- <reason>` comment on the same line or
+//! the line above; unused waivers are themselves errors. The
+//! interprocedural checks deliberately ignore inline waivers — their
+//! findings are properties of call paths, not lines — and are governed by
+//! their ratchet/exemption files instead.
 
 pub mod ast;
 pub mod baseline;
+pub mod callgraph;
 pub mod checks;
+pub mod dataflow;
+pub mod interproc;
 pub mod lexer;
+pub mod resolve;
 pub mod runner;
 pub mod semantic;
 pub mod telemetry;

@@ -10,9 +10,19 @@ Usage: cargo xtask <command>
 
 Commands:
   check                 run all invariant checks
-    --update-baseline   rewrite the panic-freedom and cast-audit ratchet files
+    --update-baseline   rewrite the machine-maintained ratchet files
+                        (panic-freedom, cast-audit, panic-reachability,
+                        dead-api, changelog census; the hand-audited
+                        determinism-exemptions.txt is never rewritten)
     --only <names>      comma-separated subset of checks to run
     --root <dir>        workspace root (default: this repository)
+    --json              print one JSON object per finding (check, file,
+                        line, message), one per line, instead of the
+                        human-readable report
+                        Environment: XTASK_THREADS caps the worker pool;
+                        XTASK_CHECK_BUDGET_SECS fails the run if it takes
+                        longer than the given wall-time budget; GitHub
+                        annotations are emitted when GITHUB_ACTIONS is set
   smoke                 run the release-mode perf/equivalence smoke gates:
                         the catalog-mode equivalence test, the bench_catalog
                         example (rewrites BENCH_catalog.json), a
@@ -27,7 +37,12 @@ Commands:
   help                  show this message
 
 Checks: panic-freedom, newtype, dispatch, float-cmp, determinism,
-        cast-audit, ignored-result, unit-safety, par-determinism
+        cast-audit, ignored-result, unit-safety, par-determinism,
+        determinism-taint, changelog-completeness, panic-reachability,
+        dead-api
+
+CI runs `check --json` on every push (32-seed fuzz); the scheduled /
+XTASK_DEEP=1 deep pass adds a 256-seed fuzz run.
 ";
 
 fn workspace_root() -> PathBuf {
@@ -219,9 +234,11 @@ fn main() -> ExitCode {
         only: None,
         update_baseline: false,
     };
+    let mut json = false;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--update-baseline" => cfg.update_baseline = true,
+            "--json" => json = true,
             "--only" => match it.next() {
                 Some(names) => {
                     cfg.only = Some(names.split(',').map(|s| s.trim().to_string()).collect());
@@ -247,7 +264,38 @@ fn main() -> ExitCode {
 
     match runner::run(&cfg) {
         Ok(report) => {
-            print!("{}", report.render());
+            if json {
+                print!("{}", report.render_json());
+                eprint!("{}", report.render());
+            } else {
+                print!("{}", report.render());
+            }
+            // `::error` workflow commands become inline annotations on the
+            // offending lines of the pull request.
+            if std::env::var_os("GITHUB_ACTIONS").is_some() {
+                for v in &report.errors {
+                    println!(
+                        "::error file={},line={},title=xtask {}::{}",
+                        v.file,
+                        v.line.max(1),
+                        v.check,
+                        v.message.replace('%', "%25").replace('\n', "%0A")
+                    );
+                }
+            }
+            // Wall-time budget: catches the analysis quietly growing
+            // superlinear as the workspace scales (CI sets the ceiling).
+            let over_budget = std::env::var("XTASK_CHECK_BUDGET_SECS")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .is_some_and(|budget| report.elapsed_ms > budget.saturating_mul(1000));
+            if over_budget {
+                eprintln!(
+                    "xtask: check took {} ms, over the XTASK_CHECK_BUDGET_SECS budget",
+                    report.elapsed_ms
+                );
+                return ExitCode::FAILURE;
+            }
             if report.is_clean() {
                 ExitCode::SUCCESS
             } else {

@@ -1,12 +1,27 @@
 //! Orchestration: file discovery, check scoping, waivers, reporting.
+//!
+//! A run has three passes. Pass 1 lexes and parses every product file
+//! (parallel, one worker per core, merged in file order) and collects the
+//! workspace-wide signature table plus the name-mention census the dead-API
+//! check consumes. Pass 2 runs the file-local checks over each parsed file
+//! (parallel, findings merged in file order, so output is deterministic
+//! regardless of scheduling). Pass 3 builds the interprocedural layer —
+//! symbol table ([`crate::resolve`]), call graph ([`crate::callgraph`]),
+//! per-function dataflow facts ([`crate::dataflow`]) — and runs the four
+//! workspace-level checks ([`crate::interproc`]). Thread count follows
+//! `XTASK_THREADS` (default: available parallelism).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 use crate::baseline::{self, BaselineIssue, Counts, Ratchet};
+use crate::callgraph::CallGraph;
 use crate::checks::{self, Finding};
+use crate::interproc;
+use crate::lexer::{Tok, Token};
+use crate::resolve::Workspace;
 use crate::semantic::{self, Signatures};
-use crate::{ast, lexer};
+use crate::{ast, dataflow, lexer};
 
 /// Crates whose non-test code must be panic-free (ratcheted) and must keep
 /// newtype discipline. The binaries (`cli`) and the bench harness are
@@ -52,15 +67,41 @@ const CAST_HOME: &str = "crates/core/src/convert.rs";
 /// them.
 const UNIT_HOMES: &[&str] = &["crates/core/src/time.rs", "crates/core/src/convert.rs"];
 
+/// Entry points of the engine hot path for the reachability-based checks:
+/// the public replay drivers and the engine core they share. Trigger
+/// evaluation (the policy `run` impls, the activeness evaluators) is
+/// reached from these through the call graph's over-approximated dispatch.
+const HOT_PATH_ENTRIES: &[(&str, &str)] = &[
+    ("crates/sim/src/engine.rs", "run"),
+    ("crates/sim/src/engine.rs", "run_until"),
+    ("crates/sim/src/engine.rs", "run_observed"),
+    ("crates/sim/src/engine.rs", "run_instrumented"),
+    ("crates/sim/src/engine.rs", "run_with_telemetry"),
+    ("crates/sim/src/engine.rs", "run_engine"),
+];
+
+/// The file whose trie mutations the changelog-completeness check proves
+/// complete.
+const CHANGELOG_HOME: &str = "crates/fs/src/vfs.rs";
+
+/// The four call-graph-based checks (pass 3).
+const INTERPROC_CHECKS: &[&str] = &[
+    "determinism-taint",
+    "changelog-completeness",
+    "panic-reachability",
+    "dead-api",
+];
+
 /// How to invoke a run.
 #[derive(Debug, Default)]
 pub struct Config {
     /// Workspace root (the directory holding the top-level Cargo.toml).
     pub root: PathBuf,
-    /// Restrict to these check names; `None` runs all nine.
+    /// Restrict to these check names; `None` runs all thirteen.
     pub only: Option<Vec<String>>,
-    /// Rewrite the panic-freedom and cast-audit baselines instead of
-    /// comparing against them.
+    /// Rewrite the machine-maintained ratchet files instead of comparing
+    /// against them (the hand-audited determinism exemptions are never
+    /// rewritten).
     pub update_baseline: bool,
 }
 
@@ -73,6 +114,9 @@ pub struct Violation {
     pub message: String,
 }
 
+/// One ratcheted site: `(file, category, line, message)`.
+pub type Site = (String, String, u32, String);
+
 /// Everything a run produced.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -84,16 +128,32 @@ pub struct Report {
     /// Current panic-freedom counts (after waivers).
     pub panic_counts: Counts,
     /// Every ratcheted panic site: `(file, category, line, message)`.
-    pub panic_sites: Vec<(String, String, u32, String)>,
+    pub panic_sites: Vec<Site>,
     /// Current cast-audit counts (after waivers), keyed by
     /// `(file, target type)`.
     pub cast_counts: Counts,
     /// Every ratcheted cast site: `(file, category, line, message)`.
-    pub cast_sites: Vec<(String, String, u32, String)>,
+    pub cast_sites: Vec<Site>,
+    /// Determinism-taint findings, keyed `(file, <category>.<function>)`,
+    /// compared against the hand-audited exemption file.
+    pub taint_counts: Counts,
+    pub taint_sites: Vec<Site>,
+    /// Panic sites reachable from the engine hot path, keyed
+    /// `(file, category)`.
+    pub reach_counts: Counts,
+    pub reach_sites: Vec<Site>,
+    /// Unreferenced pub functions, keyed `(file, fn name)`.
+    pub dead_counts: Counts,
+    pub dead_sites: Vec<Site>,
+    /// Changelog emit census, keyed `(file, delta variant)`.
+    pub emit_counts: Counts,
+    pub emit_sites: Vec<Site>,
     /// Files scanned.
     pub files_scanned: usize,
     /// Set when `--update-baseline` rewrote the ratchet files.
     pub baseline_updated: bool,
+    /// Wall time of the whole run, for the CI budget line.
+    pub elapsed_ms: u64,
 }
 
 impl Report {
@@ -114,24 +174,69 @@ impl Report {
         }
         let panic_total: u32 = self.panic_counts.values().sum();
         let cast_total: u32 = self.cast_counts.values().sum();
+        let reach_total: u32 = self.reach_counts.values().sum();
+        let taint_total: u32 = self.taint_counts.values().sum();
+        let dead_total: u32 = self.dead_counts.values().sum();
         out.push_str(&format!(
-            "xtask check: {} files scanned, {} error(s), {} waived finding(s), \
-             {} ratcheted panic site(s), {} ratcheted cast site(s)\n",
+            "xtask check: {} files scanned in {} ms, {} error(s), {} waived finding(s), \
+             {} ratcheted panic site(s) ({} on the hot path), {} ratcheted cast site(s), \
+             {} audited nondeterminism source(s), {} baselined dead pub fn(s)\n",
             self.files_scanned,
+            self.elapsed_ms,
             self.errors.len(),
             self.waived.len(),
             panic_total,
+            reach_total,
             cast_total,
+            taint_total,
+            dead_total,
         ));
         if self.baseline_updated {
             out.push_str(&format!(
-                "baselines rewritten: {}, {}\n",
+                "baselines rewritten: {}, {}, {}, {}, {}\n",
                 baseline::BASELINE_PATH,
-                baseline::CAST_BASELINE_PATH
+                baseline::CAST_BASELINE_PATH,
+                baseline::PANIC_REACH_BASELINE_PATH,
+                baseline::DEAD_API_BASELINE_PATH,
+                baseline::CHANGELOG_BASELINE_PATH,
             ));
         }
         out
     }
+
+    /// Machine-readable rendering: one JSON object per error, one per line
+    /// (`{"check":…,"file":…,"line":…,"message":…}`), nothing else. CI
+    /// turns these into GitHub annotations.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        for v in &self.errors {
+            out.push_str(&format!(
+                "{{\"check\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}\n",
+                json_escape(&v.check),
+                json_escape(&v.file),
+                v.line,
+                json_escape(&v.message)
+            ));
+        }
+        out
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Recursively collect `.rs` files under `dir`, sorted for stable output.
@@ -165,6 +270,87 @@ fn enabled(cfg: &Config, check: &str) -> bool {
         .is_none_or(|names| names.iter().any(|n| n == check))
 }
 
+/// Worker-thread count: `XTASK_THREADS` override, else available
+/// parallelism, clamped to the number of work items.
+fn num_threads(items: usize) -> usize {
+    let env = std::env::var("XTASK_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    env.unwrap_or(hw).min(items.max(1))
+}
+
+/// Tally every identifier occurrence in `tokens` into `mentions`, and every
+/// `fn <name>` definition into `fn_defs`. The dead-API check declares a pub
+/// fn unreferenced when all its mentions are definitions.
+pub fn count_mentions(
+    tokens: &[Token],
+    mentions: &mut BTreeMap<String, u32>,
+    fn_defs: &mut BTreeMap<String, u32>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else {
+            continue;
+        };
+        *mentions.entry(name.clone()).or_insert(0) += 1;
+        let prev_is_fn = i
+            .checked_sub(1)
+            .and_then(|p| tokens.get(p))
+            .is_some_and(|t| matches!(&t.tok, Tok::Ident(prev) if prev == "fn"));
+        if prev_is_fn {
+            *fn_defs.entry(name.clone()).or_insert(0) += 1;
+        }
+    }
+}
+
+/// Per-file output of pass 1.
+struct FileData {
+    file: String,
+    /// True for tests/examples/benches files: lexed only for the mention
+    /// census, not parsed or checked.
+    usage_only: bool,
+    waivers: Vec<(u32, String)>,
+    tokens: Vec<Token>,
+    ast: ast::File,
+    mentions: BTreeMap<String, u32>,
+    fn_defs: BTreeMap<String, u32>,
+}
+
+fn load_file(root: &Path, path: &Path, usage_only: bool) -> Result<FileData, String> {
+    let file = rel(root, path);
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let lexed = lexer::lex(&src);
+    let mut mentions = BTreeMap::new();
+    let mut fn_defs = BTreeMap::new();
+    count_mentions(&lexed.tokens, &mut mentions, &mut fn_defs);
+    let (tokens, ast) = if usage_only {
+        (Vec::new(), ast::File::default())
+    } else {
+        let tokens = lexer::strip_test_regions(lexed.tokens);
+        let ast = ast::parse_file(&tokens);
+        (tokens, ast)
+    };
+    Ok(FileData {
+        file,
+        usage_only,
+        waivers: lexed.waivers,
+        tokens,
+        ast,
+        mentions,
+        fn_defs,
+    })
+}
+
+/// Findings of pass 2 for one file, merged into the report in file order.
+#[derive(Default)]
+struct FileFindings {
+    errors: Vec<Violation>,
+    waived: Vec<Violation>,
+    panic: Vec<Site>,
+    cast: Vec<Site>,
+}
+
 /// Run the configured checks over the workspace at `cfg.root`.
 ///
 /// # Errors
@@ -172,6 +358,7 @@ fn enabled(cfg: &Config, check: &str) -> bool {
 /// baseline, unknown check names) — distinct from check findings, which are
 /// reported in the [`Report`].
 pub fn run(cfg: &Config) -> Result<Report, String> {
+    let started = std::time::Instant::now();
     if let Some(names) = &cfg.only {
         for n in names {
             if !checks::CHECK_NAMES.contains(&n.as_str()) {
@@ -190,175 +377,184 @@ pub fn run(cfg: &Config) -> Result<Report, String> {
         .map(|p| rel(&cfg.root, &p))
         .collect();
 
-    let all_files: Vec<PathBuf> = ALL_CRATES
+    // Product sources, then usage-only trees (tests/examples/benches) for
+    // the dead-API mention census.
+    let mut work: Vec<(PathBuf, bool)> = ALL_CRATES
         .iter()
         .flat_map(|c| rust_files(&cfg.root.join("crates").join(c).join("src")))
+        .map(|p| (p, false))
         .collect();
-
-    // Pass 1: lex and parse every file once, and build the workspace-wide
-    // signature table from the library crates (ignored-result resolves
-    // callee names against it, so `fs.create(…)` in `sim` sees the
-    // `Result`-returning signature defined in `fs`).
-    struct Parsed {
-        file: String,
-        waivers: Vec<(u32, String)>,
-        tokens: Vec<lexer::Token>,
-        ast: ast::File,
-    }
-    let mut parsed: Vec<Parsed> = Vec::with_capacity(all_files.len());
-    let mut sigs = Signatures::with_builtins();
-    for path in &all_files {
-        let file = rel(&cfg.root, path);
-        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {file}: {e}"))?;
-        let lexed = lexer::lex(&src);
-        let tokens = lexer::strip_test_regions(lexed.tokens);
-        let file_ast = ast::parse_file(&tokens);
-        if lib_files.contains(&file) {
-            semantic::collect_signatures(&file_ast, &mut sigs);
+    for c in ALL_CRATES {
+        for sub in ["tests", "examples", "benches"] {
+            work.extend(
+                rust_files(&cfg.root.join("crates").join(c).join(sub))
+                    .into_iter()
+                    .map(|p| (p, true)),
+            );
         }
-        parsed.push(Parsed {
-            file,
-            waivers: lexed.waivers,
-            tokens,
-            ast: file_ast,
-        });
     }
 
-    // Pass 2: run the enabled checks over each parsed file.
-    for Parsed {
-        file,
-        waivers,
-        tokens,
-        ast: file_ast,
-    } in &parsed
-    {
-        let file = file.clone();
-        report.files_scanned += 1;
-
-        // Collect (check, findings) pairs for this file.
-        let mut findings: Vec<(&str, Vec<Finding>)> = Vec::new();
-        let in_lib = lib_files.contains(&file);
-
-        if enabled(cfg, "panic-freedom") && in_lib {
-            findings.push(("panic-freedom", checks::check_panic_freedom(tokens)));
-        }
-        if enabled(cfg, "newtype") && in_lib && !NEWTYPE_HOMES.contains(&file.as_str()) {
-            findings.push(("newtype", checks::check_newtype(tokens)));
-        }
-        if enabled(cfg, "dispatch") {
-            let monitored: Vec<&str> = DISPATCH_ENUMS
-                .iter()
-                .filter(|(_, home)| *home != file)
-                .map(|(name, _)| *name)
-                .collect();
-            findings.push(("dispatch", checks::check_dispatch(tokens, &monitored)));
-        }
-        if enabled(cfg, "float-cmp") && file != FLOAT_HOME {
-            findings.push(("float-cmp", checks::check_float_cmp(tokens)));
-        }
-        if enabled(cfg, "determinism") {
-            findings.push(("determinism", checks::check_determinism(tokens)));
-        }
-        if enabled(cfg, "cast-audit") && in_lib && file != CAST_HOME {
-            findings.push(("cast-audit", semantic::check_cast_audit(file_ast)));
-        }
-        if enabled(cfg, "ignored-result") && in_lib {
-            findings.push((
-                "ignored-result",
-                semantic::check_ignored_result(file_ast, &sigs),
-            ));
-        }
-        if enabled(cfg, "unit-safety") && in_lib && !UNIT_HOMES.contains(&file.as_str()) {
-            findings.push(("unit-safety", semantic::check_unit_safety(file_ast)));
-        }
-        if enabled(cfg, "par-determinism") {
-            findings.push(("par-determinism", semantic::check_par_determinism(file_ast)));
-        }
-
-        // Apply waivers: `// xtask-allow: <check>` covers findings on its
-        // own line and the line directly below.
-        let mut used_waivers: BTreeSet<usize> = BTreeSet::new();
-        for (check, list) in findings {
-            for f in list {
-                let waiver = waivers
-                    .iter()
-                    .enumerate()
-                    .find(|(_, (wline, wname))| {
-                        wname == check && (*wline == f.line || wline + 1 == f.line)
-                    })
-                    .map(|(idx, _)| idx);
-                let v = Violation {
-                    check: check.to_string(),
-                    file: file.clone(),
-                    line: f.line,
-                    message: f.message.clone(),
-                };
-                if let Some(idx) = waiver {
-                    used_waivers.insert(idx);
-                    report.waived.push(v);
-                } else if check == "panic-freedom" {
-                    // Ratcheted, not individually fatal: count it, and keep
-                    // the site so baseline regressions can be pinpointed.
-                    *report
-                        .panic_counts
-                        .entry((file.clone(), f.category.to_string()))
-                        .or_insert(0) += 1;
-                    report.panic_sites.push((
-                        file.clone(),
-                        f.category.to_string(),
-                        f.line,
-                        f.message.clone(),
-                    ));
-                } else if check == "cast-audit" {
-                    // The second ratchet: pre-existing raw casts are carried
-                    // in cast-baseline.txt, new ones are regressions.
-                    *report
-                        .cast_counts
-                        .entry((file.clone(), f.category.to_string()))
-                        .or_insert(0) += 1;
-                    report.cast_sites.push((
-                        file.clone(),
-                        f.category.to_string(),
-                        f.line,
-                        f.message.clone(),
-                    ));
-                } else {
-                    report.errors.push(v);
+    // Pass 1 (parallel): lex, strip tests, parse, census mentions.
+    let threads = num_threads(work.len());
+    let mut loaded: Vec<Option<Result<FileData, String>>> = (0..work.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let work = &work;
+        let root = cfg.root.as_path();
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    for (i, (path, usage_only)) in work.iter().enumerate().skip(t).step_by(threads)
+                    {
+                        out.push((i, load_file(root, path, *usage_only)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Ok(items) = h.join() {
+                for (i, r) in items {
+                    if let Some(slot) = loaded.get_mut(i) {
+                        *slot = Some(r);
+                    }
                 }
             }
         }
+    });
+    let mut files: Vec<FileData> = Vec::with_capacity(work.len());
+    for slot in loaded {
+        match slot {
+            Some(Ok(data)) => files.push(data),
+            Some(Err(e)) => return Err(e),
+            None => return Err("xtask worker thread panicked".to_string()),
+        }
+    }
 
-        // A waiver that matched nothing is itself an error: stale waivers
-        // rot into misleading documentation.
-        for (idx, (wline, wname)) in waivers.iter().enumerate() {
-            let known = checks::CHECK_NAMES.contains(&wname.as_str());
-            // A waiver for a check that was scoped out by `--only` is not
-            // stale — it just was not exercised this run.
-            if known && !enabled(cfg, wname) {
-                continue;
+    // Merge the mention census and build the signature table (sequential:
+    // both folds are order-sensitive only in their merged totals).
+    let mut mentions: BTreeMap<String, u32> = BTreeMap::new();
+    let mut fn_defs: BTreeMap<String, u32> = BTreeMap::new();
+    let mut sigs = Signatures::with_builtins();
+    for data in &files {
+        for (k, v) in &data.mentions {
+            *mentions.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &data.fn_defs {
+            *fn_defs.entry(k.clone()).or_insert(0) += v;
+        }
+        if !data.usage_only && lib_files.contains(&data.file) {
+            semantic::collect_signatures(&data.ast, &mut sigs);
+        }
+    }
+
+    // Pass 2 (parallel): the nine file-local checks, merged in file order.
+    let checked: Vec<&FileData> = files.iter().filter(|d| !d.usage_only).collect();
+    report.files_scanned = checked.len();
+    let threads = num_threads(checked.len());
+    let mut findings: Vec<Option<FileFindings>> = (0..checked.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let checked = &checked;
+        let lib_files = &lib_files;
+        let sigs = &sigs;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    for (i, data) in checked.iter().enumerate().skip(t).step_by(threads) {
+                        out.push((i, check_file(cfg, data, lib_files, sigs)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Ok(items) = h.join() {
+                for (i, r) in items {
+                    if let Some(slot) = findings.get_mut(i) {
+                        *slot = Some(r);
+                    }
+                }
             }
-            if !used_waivers.contains(&idx) {
+        }
+    });
+    for slot in findings {
+        let Some(f) = slot else {
+            return Err("xtask worker thread panicked".to_string());
+        };
+        report.errors.extend(f.errors);
+        report.waived.extend(f.waived);
+        for (file, cat, line, msg) in f.panic {
+            *report
+                .panic_counts
+                .entry((file.clone(), cat.clone()))
+                .or_insert(0) += 1;
+            report.panic_sites.push((file, cat, line, msg));
+        }
+        for (file, cat, line, msg) in f.cast {
+            *report
+                .cast_counts
+                .entry((file.clone(), cat.clone()))
+                .or_insert(0) += 1;
+            report.cast_sites.push((file, cat, line, msg));
+        }
+    }
+
+    // Pass 3: the interprocedural layer (symbol table → call graph →
+    // dataflow facts → the four workspace-level checks).
+    if INTERPROC_CHECKS.iter().any(|c| enabled(cfg, c)) {
+        let ast_files: Vec<(String, ast::File)> = files
+            .iter_mut()
+            .filter(|d| !d.usage_only)
+            .map(|d| (d.file.clone(), std::mem::take(&mut d.ast)))
+            .collect();
+        let mut ws = Workspace::build(&ast_files);
+        for d in files.iter().filter(|d| !d.usage_only) {
+            ws.scan_hash_decls(&d.tokens);
+        }
+        let graph = CallGraph::build(&ws);
+        let facts = dataflow::compute(&ws);
+
+        if enabled(cfg, "determinism-taint") {
+            let got = interproc::determinism_taint(&ws, &graph, &facts, HOT_PATH_ENTRIES);
+            report.taint_counts = got.counts;
+            report.taint_sites = got.sites;
+        }
+        if enabled(cfg, "changelog-completeness") {
+            for (file, line, message) in
+                interproc::changelog_completeness(&ws, &graph, &facts, CHANGELOG_HOME)
+            {
                 report.errors.push(Violation {
-                    check: "stale-waiver".to_string(),
-                    file: file.clone(),
-                    line: *wline,
-                    message: if known {
-                        format!("`xtask-allow: {wname}` waives nothing on this or the next line")
-                    } else {
-                        format!(
-                            "unknown check {wname:?} in xtask-allow (valid: {})",
-                            checks::CHECK_NAMES.join(", ")
-                        )
-                    },
+                    check: "changelog-completeness".to_string(),
+                    file,
+                    line,
+                    message,
                 });
             }
+            let census = interproc::changelog_emit_census(&ws, &facts, CHANGELOG_HOME);
+            report.emit_counts = census.counts;
+            report.emit_sites = census.sites;
+        }
+        if enabled(cfg, "panic-reachability") {
+            let got = interproc::panic_reachability(&ws, &graph, &facts, HOT_PATH_ENTRIES);
+            report.reach_counts = got.counts;
+            report.reach_sites = got.sites;
+        }
+        if enabled(cfg, "dead-api") {
+            let got = interproc::dead_api(&ws, &lib_files, &mentions, &fn_defs);
+            report.dead_counts = got.counts;
+            report.dead_sites = got.sites;
         }
     }
 
     // Baselines: compare or rewrite each ratchet.
-    let ratchets: [(&str, Ratchet); 2] = [
+    let ratchets: [(&str, Ratchet); 6] = [
         ("panic-freedom", Ratchet::PanicFreedom),
         ("cast-audit", Ratchet::CastAudit),
+        ("panic-reachability", Ratchet::PanicReach),
+        ("dead-api", Ratchet::DeadApi),
+        ("determinism-taint", Ratchet::DeterminismTaint),
+        ("changelog-completeness", Ratchet::ChangelogEmits),
     ];
     for (check, ratchet) in ratchets {
         if !enabled(cfg, check) {
@@ -367,8 +563,12 @@ pub fn run(cfg: &Config) -> Result<Report, String> {
         let (counts, sites) = match ratchet {
             Ratchet::PanicFreedom => (&report.panic_counts, &report.panic_sites),
             Ratchet::CastAudit => (&report.cast_counts, &report.cast_sites),
+            Ratchet::PanicReach => (&report.reach_counts, &report.reach_sites),
+            Ratchet::DeadApi => (&report.dead_counts, &report.dead_sites),
+            Ratchet::DeterminismTaint => (&report.taint_counts, &report.taint_sites),
+            Ratchet::ChangelogEmits => (&report.emit_counts, &report.emit_sites),
         };
-        if cfg.update_baseline {
+        if cfg.update_baseline && !ratchet.hand_maintained() {
             baseline::store(&cfg.root, ratchet, counts)?;
             report.baseline_updated = true;
             continue;
@@ -382,6 +582,26 @@ pub fn run(cfg: &Config) -> Result<Report, String> {
             regression,
         } in baseline::compare(counts, &base)
         {
+            let message = if ratchet == Ratchet::DeterminismTaint {
+                // The exemption file is audited by hand; never suggest
+                // `--update-baseline` for it.
+                if regression {
+                    format!(
+                        "unaudited nondeterminism source(s) `{category}` on the engine hot \
+                         path; make the code deterministic or add a justified exemption \
+                         line to {}",
+                        baseline::DETERMINISM_EXEMPTIONS_PATH
+                    )
+                } else {
+                    format!(
+                        "exemption `{category}` no longer matches any hot-path source; \
+                         delete its line from {}",
+                        baseline::DETERMINISM_EXEMPTIONS_PATH
+                    )
+                }
+            } else {
+                message
+            };
             // Point regressions at the individual sites so the offender
             // is one click away.
             if regression {
@@ -410,8 +630,128 @@ pub fn run(cfg: &Config) -> Result<Report, String> {
 
     report
         .errors
-        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        .sort_by(|a, b| (&a.file, a.line, &a.check).cmp(&(&b.file, b.line, &b.check)));
+    report.elapsed_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
     Ok(report)
+}
+
+/// Pass 2 body: the nine file-local checks plus waiver accounting for one
+/// file. Pure function of the parsed file, so it parallelises freely.
+fn check_file(
+    cfg: &Config,
+    data: &FileData,
+    lib_files: &BTreeSet<String>,
+    sigs: &Signatures,
+) -> FileFindings {
+    let file = &data.file;
+    let tokens = &data.tokens;
+    let file_ast = &data.ast;
+    let waivers = &data.waivers;
+    let mut out = FileFindings::default();
+
+    // Collect (check, findings) pairs for this file.
+    let mut findings: Vec<(&str, Vec<Finding>)> = Vec::new();
+    let in_lib = lib_files.contains(file);
+
+    if enabled(cfg, "panic-freedom") && in_lib {
+        findings.push(("panic-freedom", checks::check_panic_freedom(tokens)));
+    }
+    if enabled(cfg, "newtype") && in_lib && !NEWTYPE_HOMES.contains(&file.as_str()) {
+        findings.push(("newtype", checks::check_newtype(tokens)));
+    }
+    if enabled(cfg, "dispatch") {
+        let monitored: Vec<&str> = DISPATCH_ENUMS
+            .iter()
+            .filter(|(_, home)| *home != file)
+            .map(|(name, _)| *name)
+            .collect();
+        findings.push(("dispatch", checks::check_dispatch(tokens, &monitored)));
+    }
+    if enabled(cfg, "float-cmp") && file != FLOAT_HOME {
+        findings.push(("float-cmp", checks::check_float_cmp(tokens)));
+    }
+    if enabled(cfg, "determinism") {
+        findings.push(("determinism", checks::check_determinism(tokens)));
+    }
+    if enabled(cfg, "cast-audit") && in_lib && file != CAST_HOME {
+        findings.push(("cast-audit", semantic::check_cast_audit(file_ast)));
+    }
+    if enabled(cfg, "ignored-result") && in_lib {
+        findings.push((
+            "ignored-result",
+            semantic::check_ignored_result(file_ast, sigs),
+        ));
+    }
+    if enabled(cfg, "unit-safety") && in_lib && !UNIT_HOMES.contains(&file.as_str()) {
+        findings.push(("unit-safety", semantic::check_unit_safety(file_ast)));
+    }
+    if enabled(cfg, "par-determinism") {
+        findings.push(("par-determinism", semantic::check_par_determinism(file_ast)));
+    }
+
+    // Apply waivers: `// xtask-allow: <check>` covers findings on its
+    // own line and the line directly below.
+    let mut used_waivers: BTreeSet<usize> = BTreeSet::new();
+    for (check, list) in findings {
+        for f in list {
+            let waiver = waivers
+                .iter()
+                .enumerate()
+                .find(|(_, (wline, wname))| {
+                    wname == check && (*wline == f.line || wline + 1 == f.line)
+                })
+                .map(|(idx, _)| idx);
+            let v = Violation {
+                check: check.to_string(),
+                file: file.clone(),
+                line: f.line,
+                message: f.message.clone(),
+            };
+            if let Some(idx) = waiver {
+                used_waivers.insert(idx);
+                out.waived.push(v);
+            } else if check == "panic-freedom" {
+                // Ratcheted, not individually fatal: count it, and keep
+                // the site so baseline regressions can be pinpointed.
+                out.panic
+                    .push((file.clone(), f.category.to_string(), f.line, f.message));
+            } else if check == "cast-audit" {
+                // The second ratchet: pre-existing raw casts are carried
+                // in cast-baseline.txt, new ones are regressions.
+                out.cast
+                    .push((file.clone(), f.category.to_string(), f.line, f.message));
+            } else {
+                out.errors.push(v);
+            }
+        }
+    }
+
+    // A waiver that matched nothing is itself an error: stale waivers
+    // rot into misleading documentation.
+    for (idx, (wline, wname)) in waivers.iter().enumerate() {
+        let known = checks::CHECK_NAMES.contains(&wname.as_str());
+        // A waiver for a check that was scoped out by `--only` is not
+        // stale — it just was not exercised this run.
+        if known && !enabled(cfg, wname) {
+            continue;
+        }
+        if !used_waivers.contains(&idx) {
+            out.errors.push(Violation {
+                check: "stale-waiver".to_string(),
+                file: file.clone(),
+                line: *wline,
+                message: if known {
+                    format!("`xtask-allow: {wname}` waives nothing on this or the next line")
+                } else {
+                    format!(
+                        "unknown check {wname:?} in xtask-allow (valid: {})",
+                        checks::CHECK_NAMES.join(", ")
+                    )
+                },
+            });
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -426,5 +766,11 @@ mod tests {
             update_baseline: false,
         };
         assert!(run(&cfg).is_err());
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 }
