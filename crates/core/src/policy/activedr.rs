@@ -33,6 +33,7 @@ use super::{GroupScan, PurgeRequest, PurgedFile, RetentionOutcome, RetentionPoli
 use crate::activeness::{ActivenessTable, UserActiveness};
 use crate::classify::{Classification, Quadrant};
 use crate::config::{LifetimeAdjust, RetentionConfig};
+use crate::convert;
 use crate::files::FileRecord;
 use crate::time::Timestamp;
 use crate::user::UserId;
@@ -97,7 +98,7 @@ struct UserCursor<'a> {
 
 impl<'a> UserCursor<'a> {
     fn new(files: &'a [FileRecord]) -> Self {
-        let mut order: Vec<u32> = (0..files.len() as u32).collect();
+        let mut order: Vec<u32> = (0..convert::u32_from_usize(files.len())).collect();
         order.sort_by_key(|&i| files[i as usize].atime);
         UserCursor {
             files,

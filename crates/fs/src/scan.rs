@@ -59,7 +59,7 @@ pub fn parallel_catalog(fs: &VirtualFs, exemptions: &ExemptionList, shards: usiz
     // flat listing first, then fan out the per-file classification.
     let files: Vec<(String, u64, crate::FileMeta)> = fs
         .iter()
-        .map(|(path, id, meta)| (path, id.0 as u64, *meta))
+        .map(|(path, id, meta)| (path, u64::from(id.0), *meta))
         .collect();
 
     let chunk = files.len().div_ceil(shards).max(1);

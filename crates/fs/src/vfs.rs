@@ -16,6 +16,7 @@ use crate::changelog::{canonical_path, Changelog, Delta};
 use crate::exemption::ExemptionList;
 use crate::meta::FileMeta;
 use crate::trie::{InsertError, Inserted, NodeId, PathTrie};
+use activedr_core::convert;
 use activedr_core::files::{Catalog, FileId, FileRecord, UserFiles};
 use activedr_core::policy::RetentionOutcome;
 use activedr_core::time::Timestamp;
@@ -267,7 +268,7 @@ impl VirtualFs {
     pub fn apply(&mut self, outcome: &RetentionOutcome) -> u64 {
         let mut freed = 0u64;
         for p in &outcome.purged {
-            if let Some(meta) = self.remove_id(NodeId(p.id.0 as u32)) {
+            if let Some(meta) = self.remove_id(NodeId(convert::u32_from_u64(p.id.0))) {
                 freed += meta.size;
             }
         }
@@ -280,7 +281,7 @@ impl VirtualFs {
     pub fn catalog(&self, exemptions: &ExemptionList) -> Catalog {
         let mut per_user: BTreeMap<UserId, Vec<FileRecord>> = BTreeMap::new();
         for (path, id, meta) in self.trie.iter() {
-            let mut rec = FileRecord::new(FileId(id.0 as u64), meta.size, meta.atime)
+            let mut rec = FileRecord::new(FileId(u64::from(id.0)), meta.size, meta.atime)
                 .with_ctime(meta.ctime)
                 .with_access_count(meta.access_count);
             if exemptions.is_exempt(&path) {

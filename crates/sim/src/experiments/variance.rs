@@ -22,6 +22,7 @@ use crate::metrics::BoxStats;
 use crate::report::render_table;
 use crate::scenario::{Scale, Scenario};
 use activedr_core::classify::Quadrant;
+use activedr_core::convert;
 use serde::{Deserialize, Serialize};
 
 /// Headline metrics for one seed.
@@ -70,7 +71,10 @@ impl VarianceData {
                         + q[Quadrant::OutcomeActiveOnly.index()]
                 };
                 let losses = |r: &crate::engine::SimResult| -> u64 {
-                    r.retentions.iter().map(|e| e.users_affected as u64).sum()
+                    r.retentions
+                        .iter()
+                        .map(|e| convert::u64_from_usize(e.users_affected))
+                        .sum()
                 };
                 SeedRow {
                     seed,

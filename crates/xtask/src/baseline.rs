@@ -36,6 +36,14 @@ pub const DETERMINISM_EXEMPTIONS_PATH: &str = "crates/xtask/determinism-exemptio
 /// root.
 pub const CHANGELOG_BASELINE_PATH: &str = "crates/xtask/changelog-baseline.txt";
 
+/// Location of the alloc-hot-path ratchet file, relative to the workspace
+/// root.
+pub const ALLOC_BASELINE_PATH: &str = "crates/xtask/alloc-baseline.txt";
+
+/// Location of the loop-complexity ratchet file, relative to the workspace
+/// root.
+pub const LOOP_BASELINE_PATH: &str = "crates/xtask/loop-baseline.txt";
+
 /// Header comment written at the top of each ratchet file.
 const PANIC_HEADER: &str =
     "# panic-freedom baseline: per-file counts of potentially panicking sites\n\
@@ -83,6 +91,22 @@ const CHANGELOG_HEADER: &str =
      # number of emit sites, so deleting any single `log.record(Delta::…)`\n\
      # call fails the gate even when another branch still emits.\n";
 
+const ALLOC_HEADER: &str = "# alloc-hot-path baseline: per-file counts of heap-allocation sites\n\
+     # (Vec/Box/String construction, clone, collect, to_owned/to_string,\n\
+     # vec!/format!) inside functions reachable from the engine hot path,\n\
+     # computed over the workspace call graph. Maintained by `cargo xtask\n\
+     # check --update-baseline`. The ratchet only goes down: a new allocation\n\
+     # on the hot path is O(users x days) and requires editing this file by\n\
+     # hand in the same change that justifies it.\n";
+
+const LOOP_HEADER: &str =
+    "# loop-complexity baseline: per-file counts of loop-carried superlinear\n\
+     # shapes (binary-search-then-insert, inserts into growing field-rooted\n\
+     # collections, positional removes, sort/contains on persistent\n\
+     # collections in loops, nested loops over one collection). Maintained by\n\
+     # `cargo xtask check --update-baseline`. The ratchet only goes down: fix\n\
+     # the shape (batch, pre-sort, use a set) instead of raising a count.\n";
+
 /// Which ratchet file a load/store call addresses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Ratchet {
@@ -92,6 +116,8 @@ pub enum Ratchet {
     DeadApi,
     DeterminismTaint,
     ChangelogEmits,
+    AllocHotPath,
+    LoopComplexity,
 }
 
 impl Ratchet {
@@ -104,6 +130,8 @@ impl Ratchet {
             Ratchet::DeadApi => DEAD_API_BASELINE_PATH,
             Ratchet::DeterminismTaint => DETERMINISM_EXEMPTIONS_PATH,
             Ratchet::ChangelogEmits => CHANGELOG_BASELINE_PATH,
+            Ratchet::AllocHotPath => ALLOC_BASELINE_PATH,
+            Ratchet::LoopComplexity => LOOP_BASELINE_PATH,
         }
     }
 
@@ -121,6 +149,8 @@ impl Ratchet {
             Ratchet::DeadApi => DEAD_API_HEADER,
             Ratchet::DeterminismTaint => DETERMINISM_EXEMPTIONS_HEADER,
             Ratchet::ChangelogEmits => CHANGELOG_HEADER,
+            Ratchet::AllocHotPath => ALLOC_HEADER,
+            Ratchet::LoopComplexity => LOOP_HEADER,
         }
     }
 }
@@ -274,6 +304,8 @@ mod tests {
             Ratchet::DeadApi,
             Ratchet::DeterminismTaint,
             Ratchet::ChangelogEmits,
+            Ratchet::AllocHotPath,
+            Ratchet::LoopComplexity,
         ] {
             let parsed = parse(&render(ratchet, &c)).unwrap();
             assert_eq!(parsed, c);

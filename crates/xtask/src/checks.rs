@@ -29,10 +29,12 @@ impl Finding {
 
 /// Names of the checks as used on the command line and in waiver comments.
 /// The first five are the token-window checks in this module; the next four
-/// are the AST-based families in [`crate::semantic`]; the last four are the
+/// are the AST-based families in [`crate::semantic`]; the next four are the
 /// interprocedural checks in [`crate::interproc`], which run over the
-/// workspace call graph rather than one file at a time.
-pub const CHECK_NAMES: [&str; 13] = [
+/// workspace call graph rather than one file at a time; the last three are
+/// the performance-semantics layer ([`crate::interval`] and
+/// [`crate::perfsem`]) built on the same workspace table.
+pub const CHECK_NAMES: [&str; 16] = [
     "panic-freedom",
     "newtype",
     "dispatch",
@@ -46,6 +48,9 @@ pub const CHECK_NAMES: [&str; 13] = [
     "changelog-completeness",
     "panic-reachability",
     "dead-api",
+    "cast-proof",
+    "alloc-hot-path",
+    "loop-complexity",
 ];
 
 fn tok_at(tokens: &[Token], i: usize) -> Option<&Tok> {

@@ -31,7 +31,7 @@ pub struct RatchetFindings {
 }
 
 impl RatchetFindings {
-    fn push(&mut self, file: &str, category: String, line: u32, message: String) {
+    pub(crate) fn push(&mut self, file: &str, category: String, line: u32, message: String) {
         *self
             .counts
             .entry((file.to_string(), category.clone()))

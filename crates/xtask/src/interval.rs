@@ -1,0 +1,967 @@
+//! Per-function interval (value-range) abstract interpretation — the core
+//! of the layer-4 performance-semantics analyses.
+//!
+//! For every function in the [`crate::resolve::Workspace`] the evaluator
+//! walks the body in statement order, carrying an environment from binding
+//! names to integer value ranges, and attempts to prove each numeric `as`
+//! cast lossless. A cast is *discharged* from the cast-audit ratchet when
+//! the operand's derived range fits the target type exactly (for the float
+//! targets: within the exactly-representable integer span, ±2^53 for `f64`
+//! and ±2^24 for `f32`).
+//!
+//! ## Range sources
+//!
+//! * integer literals (exact), unary negation of a literal/range;
+//! * `.len()` — bounded by [`LEN_MAX`]: no in-memory collection exceeds
+//!   2^53 elements on the supported 64-bit targets (each element occupies
+//!   at least one byte of an address space far smaller than that; the
+//!   bound is deliberately generous and chosen so `len() as f64` is exact);
+//! * integer-typed parameters and struct fields (via the token-scanned
+//!   [`crate::resolve::StructTable`] and the surrounding impl type for
+//!   `self`), seeded with their full type range — sound even for `mut`
+//!   bindings, because the *type* invariant survives mutation;
+//! * calls resolved to workspace functions with an integer return type;
+//! * the checked constructors in `core::convert` (`u32_from_usize`,
+//!   `round_to_u32`, …), whose clamping semantics bound the result by the
+//!   intersection of source and target type ranges — trusted only when
+//!   every definition of the name lives in `core/src/convert.rs`;
+//! * `T::from(…)` for integer `T` (lossless by construction, so the result
+//!   is bounded by `T`'s range), and `expr as T` for integer `T` (the
+//!   result of an `as` cast is always within the target's range, whatever
+//!   happened to the value on the way there).
+//!
+//! ## Transfer functions and join
+//!
+//! `min`/`max`/`clamp`, masking (`&`), `%`/`rem_euclid`, the usual
+//! arithmetic (with overflow widening to ⊤), shifts and division by
+//! non-zero constants narrow ranges; `if`/`else` and `match` values join
+//! branch ranges (interval hull). There is no fixpoint iteration, hence no
+//! classic widening sequence: any binding that *could* be mutated (`mut`
+//! patterns, loop-carried variables) is widened to ⊤ immediately — only
+//! immutable bindings carry value ranges, and type-derived ranges are
+//! mutation-proof. Pattern bindings the parser cannot see into (`for`
+//! patterns, `if let`/`while let`, match arms, closures) *kill* any
+//! same-named outer range, so shadowing can never resurrect a stale bound.
+//!
+//! Soundness caveat (documented, deliberate): intermediate arithmetic is
+//! assumed non-wrapping, matching the workspace's debug-assertions
+//! posture — a release-mode wrap is already a bug the overflow lints and
+//! the fuzz oracle hunt separately.
+
+#![allow(
+    clippy::indexing_slicing,
+    reason = "function ids are dense indices produced by enumerate() over the same fn table the proofs vector is sized from"
+)]
+
+use std::collections::BTreeMap;
+
+use crate::ast::{Block, Expr, ExprKind, Stmt};
+use crate::resolve::{FnDef, Workspace};
+use crate::semantic::{int_literal_value, numeric_target};
+
+/// Upper bound for `.len()` results: 2^53, the largest span of integers
+/// `f64` represents exactly. See the module docs for the justification.
+pub const LEN_MAX: i128 = 1 << 53;
+
+const NEG_INF: i128 = i128::MIN;
+const POS_INF: i128 = i128::MAX;
+
+/// A closed integer interval; `i128::MIN`/`i128::MAX` are the ∓∞
+/// sentinels (no real value in the domain reaches them: the widest type
+/// range ever seeded is `u64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ivl {
+    pub lo: i128,
+    pub hi: i128,
+}
+
+impl Ivl {
+    pub fn exact(v: i128) -> Ivl {
+        Ivl { lo: v, hi: v }
+    }
+
+    pub fn bounded(self) -> bool {
+        self.lo != NEG_INF && self.hi != POS_INF
+    }
+
+    /// Interval hull of two branch results.
+    pub fn join(self, other: Ivl) -> Ivl {
+        Ivl {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// The full value range of an integer type name (64-bit `usize`).
+    /// `None` for `u128`/`i128` (their extremes collide with the
+    /// sentinels) and non-integer types.
+    pub fn of_type(ty: &str) -> Option<Ivl> {
+        let (lo, hi) = match ty {
+            "u8" => (0, i128::from(u8::MAX)),
+            "u16" => (0, i128::from(u16::MAX)),
+            "u32" => (0, i128::from(u32::MAX)),
+            "u64" | "usize" => (0, i128::from(u64::MAX)),
+            "i8" => (i128::from(i8::MIN), i128::from(i8::MAX)),
+            "i16" => (i128::from(i16::MIN), i128::from(i16::MAX)),
+            "i32" => (i128::from(i32::MIN), i128::from(i32::MAX)),
+            "i64" | "isize" => (i128::from(i64::MIN), i128::from(i64::MAX)),
+            _ => return None,
+        };
+        Some(Ivl { lo, hi })
+    }
+
+    /// Does every value in the range convert into `target` without loss?
+    pub fn fits(self, target: &str) -> bool {
+        if !self.bounded() {
+            return false;
+        }
+        const F64_EXACT: i128 = 1 << 53;
+        const F32_EXACT: i128 = 1 << 24;
+        match target {
+            "f64" => -F64_EXACT <= self.lo && self.hi <= F64_EXACT,
+            "f32" => -F32_EXACT <= self.lo && self.hi <= F32_EXACT,
+            "u128" => self.lo >= 0,
+            "i128" => true,
+            _ => Ivl::of_type(target).is_some_and(|t| t.lo <= self.lo && self.hi <= t.hi),
+        }
+    }
+}
+
+/// Render a derived range for `--explain-cast` (`[0, 4294967295]`).
+pub fn render_ivl(ivl: Option<Ivl>) -> String {
+    match ivl {
+        Some(i) if i.bounded() => format!("[{}, {}]", i.lo, i.hi),
+        _ => "unknown".to_string(),
+    }
+}
+
+fn sat_add(a: i128, b: i128) -> i128 {
+    a.checked_add(b).unwrap_or(if (a < 0) == (b < 0) && a < 0 {
+        NEG_INF
+    } else {
+        POS_INF
+    })
+}
+
+/// One numeric cast the prover examined.
+#[derive(Debug, Clone)]
+pub struct CastProof {
+    pub line: u32,
+    /// Cast target type (the cast-audit baseline category).
+    pub target: &'static str,
+    /// Derived operand range, `None` when the operand is unbounded.
+    pub ivl: Option<Ivl>,
+    /// True when the range fits the target exactly: the site is
+    /// discharged from the cast ratchet.
+    pub proven: bool,
+}
+
+/// Prove what can be proven about every numeric cast in function `id`.
+pub fn prove_fn(ws: &Workspace<'_>, id: usize) -> Vec<CastProof> {
+    let def = &ws.fns[id];
+    let mut ev = Eval {
+        ws,
+        def,
+        vals: BTreeMap::new(),
+        types: BTreeMap::new(),
+        proofs: Vec::new(),
+    };
+    for (pat, ty) in &def.item.params {
+        ev.seed_param(pat, ty);
+    }
+    if let Some(body) = &def.item.body {
+        ev.block(body);
+    }
+    ev.proofs
+}
+
+/// Identifier-shaped words of a pattern text — the names it could bind.
+fn pattern_idents(pat: &str) -> impl Iterator<Item = &str> {
+    pat.split(|c: char| !c.is_alphanumeric() && c != '_')
+        .filter(|w| {
+            !w.is_empty()
+                && w.chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+        })
+}
+
+/// Strip reference/mut prefixes off a captured type text and return its
+/// first path's final segment (`& mut FileMeta` → `FileMeta`,
+/// `& 'a [u8]` → `None` for non-path shapes).
+fn base_type(ty: &str) -> Option<&str> {
+    let mut last = None;
+    for w in ty.split_whitespace() {
+        match w {
+            "&" | "mut" | "'_" | "dyn" => continue,
+            "::" => continue,
+            _ => {
+                if w.chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+                {
+                    last = Some(w);
+                    continue;
+                }
+                break;
+            }
+        }
+    }
+    last
+}
+
+/// Return range of a `core::convert` checked constructor, from its name
+/// (`u32_from_usize`, `round_to_u32`, `trunc_to_i64`): the intersection of
+/// the source and target type ranges, matching their clamping semantics.
+fn convert_helper_range(name: &str) -> Option<Ivl> {
+    if let Some(ty) = name
+        .strip_prefix("round_to_")
+        .or_else(|| name.strip_prefix("trunc_to_"))
+    {
+        return Ivl::of_type(ty);
+    }
+    let (target, source) = name.split_once("_from_")?;
+    let t = Ivl::of_type(target)?;
+    match Ivl::of_type(source) {
+        Some(s) => Some(Ivl {
+            lo: t.lo.max(s.lo),
+            hi: t.hi.min(s.hi),
+        }),
+        // `u64_from_micros`-style helpers: target range alone.
+        None => Some(t),
+    }
+}
+
+struct Eval<'w, 'a> {
+    ws: &'w Workspace<'a>,
+    def: &'w FnDef<'a>,
+    /// Binding name → value range (immutable bindings and type-derived
+    /// ranges, which survive mutation).
+    vals: BTreeMap<String, Ivl>,
+    /// Binding name → struct type name, for field-chain lookups.
+    types: BTreeMap<String, String>,
+    proofs: Vec<CastProof>,
+}
+
+impl Eval<'_, '_> {
+    fn seed_param(&mut self, pat: &str, ty: &str) {
+        let words: Vec<&str> = pat.split_whitespace().collect();
+        let name = match words.as_slice() {
+            [n] | ["mut", n] => *n,
+            _ => return,
+        };
+        if name == "self" {
+            return;
+        }
+        let Some(base) = base_type(ty) else {
+            return;
+        };
+        if let Some(ivl) = Ivl::of_type(base) {
+            self.vals.insert(name.to_string(), ivl);
+        } else {
+            self.types.insert(name.to_string(), base.to_string());
+        }
+    }
+
+    /// Kill every range/type a pattern's bindings could shadow.
+    fn kill_pattern(&mut self, pat: &str) {
+        for w in pattern_idents(pat) {
+            self.vals.remove(w);
+            self.types.remove(w);
+        }
+    }
+
+    /// Struct type name of an expression, for field chains.
+    fn type_of(&self, e: &Expr) -> Option<String> {
+        match &e.kind {
+            ExprKind::Path(p) => {
+                let segs: Vec<&str> = p.split_whitespace().collect();
+                match segs.as_slice() {
+                    ["self"] => (!self.def.impl_ty.is_empty()).then(|| self.def.impl_ty.clone()),
+                    [name] => self.types.get(*name).cloned(),
+                    _ => None,
+                }
+            }
+            ExprKind::Field { base, name } => {
+                let base_ty = self.type_of(base)?;
+                let ty = self.ws.structs.field_ty(&base_ty, name)?;
+                base_type(ty).map(str::to_string)
+            }
+            ExprKind::Ref(inner) | ExprKind::Try(inner) => self.type_of(inner),
+            ExprKind::Unary { op: "*", operand } => self.type_of(operand),
+            _ => None,
+        }
+    }
+
+    /// The value range of an expression, when the domain can bound it.
+    fn ivl_of(&self, e: &Expr) -> Option<Ivl> {
+        match &e.kind {
+            ExprKind::Int(text) => {
+                let v = int_literal_value(text)?;
+                Some(Ivl::exact(i128::try_from(v).ok()?))
+            }
+            ExprKind::Unary { op: "-", operand } => {
+                let i = self.ivl_of(operand)?;
+                i.bounded().then(|| Ivl {
+                    lo: -i.hi,
+                    hi: -i.lo,
+                })
+            }
+            ExprKind::Unary { op: "*", operand } => self.ivl_of(operand),
+            ExprKind::Path(p) => self.path_ivl(p),
+            ExprKind::Field { .. } => {
+                let ty = self.type_of(e)?;
+                Ivl::of_type(&ty)
+            }
+            ExprKind::Method {
+                recv, name, args, ..
+            } => self.method_ivl(recv, name, args),
+            ExprKind::Call { callee, args } => self.call_ivl(callee, args),
+            ExprKind::Cast { operand, ty } => {
+                let target = numeric_target(ty)?;
+                let t = Ivl::of_type(target)?;
+                match self.ivl_of(operand) {
+                    // A value already within the target range passes
+                    // through `as` unchanged.
+                    Some(op) if op.bounded() && t.lo <= op.lo && op.hi <= t.hi => Some(op),
+                    // Whatever wrapping/saturation happened, the result of
+                    // an int→int `as` cast lies within the target's range.
+                    _ => Some(t),
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } => self.binary_ivl(op, lhs, rhs),
+            ExprKind::Ref(inner) => self.ivl_of(inner),
+            ExprKind::Block(b) => match b.stmts.last() {
+                Some(Stmt::Expr { expr, semi: false }) => self.ivl_of(expr),
+                _ => None,
+            },
+            ExprKind::If {
+                cond: _,
+                then,
+                els: Some(els),
+                pat: _,
+            } => {
+                let t = match then.stmts.last() {
+                    Some(Stmt::Expr { expr, semi: false }) => self.ivl_of(expr)?,
+                    _ => return None,
+                };
+                let e = self.ivl_of(els)?;
+                Some(t.join(e))
+            }
+            _ => None,
+        }
+    }
+
+    fn path_ivl(&self, p: &str) -> Option<Ivl> {
+        let segs: Vec<&str> = p
+            .split("::")
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| s.split_whitespace().next().unwrap_or(""))
+            .collect();
+        match segs.as_slice() {
+            [name] => self.vals.get(*name).copied(),
+            // `u8::MAX`-style associated constants.
+            [ty, cst] => {
+                let range = Ivl::of_type(ty)?;
+                match *cst {
+                    "MAX" => Some(Ivl::exact(range.hi)),
+                    "MIN" => Some(Ivl::exact(range.lo)),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Range of a call expression: `T::from(x)` for integer `T`, the
+    /// `core::convert` checked constructors, or any workspace function
+    /// whose every candidate returns the same integer type.
+    fn call_ivl(&self, callee: &Expr, args: &[Expr]) -> Option<Ivl> {
+        let ExprKind::Path(p) = &callee.kind else {
+            return None;
+        };
+        let segs: Vec<&str> = p
+            .split("::")
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| s.split_whitespace().next().unwrap_or(""))
+            .collect();
+        let name = segs.last()?;
+        if *name == "from" && segs.len() >= 2 {
+            let target = Ivl::of_type(segs[segs.len() - 2])?;
+            // `From` is lossless, so the argument's range survives when
+            // known; the target's own range bounds it otherwise.
+            return match args.first().and_then(|a| self.ivl_of(a)) {
+                Some(a) if a.bounded() => Some(Ivl {
+                    lo: a.lo.max(target.lo),
+                    hi: a.hi.min(target.hi),
+                }),
+                _ => Some(target),
+            };
+        }
+        if self.is_convert_helper(name) {
+            if let Some(ivl) = convert_helper_range(name) {
+                return Some(ivl);
+            }
+        }
+        self.workspace_ret_range(self.ws.resolve_path_call(p, self.def))
+    }
+
+    /// Every definition of `name` lives in the conversions module, so its
+    /// clamping contract can be trusted by name.
+    fn is_convert_helper(&self, name: &str) -> bool {
+        let defs = self.ws.defs_named(name);
+        !defs.is_empty()
+            && defs
+                .iter()
+                .all(|&d| self.ws.fns[d].path.ends_with("core/src/convert.rs"))
+    }
+
+    /// The common integer return-type range of a set of candidate
+    /// definitions, `None` unless they all agree.
+    fn workspace_ret_range(&self, defs: Vec<usize>) -> Option<Ivl> {
+        let mut out: Option<Ivl> = None;
+        if defs.is_empty() {
+            return None;
+        }
+        for d in defs {
+            let ret = self.ws.fns[d].item.ret.as_deref()?;
+            let ivl = Ivl::of_type(base_type(ret)?)?;
+            match out {
+                Some(prev) if prev != ivl => return None,
+                _ => out = Some(ivl),
+            }
+        }
+        out
+    }
+
+    fn method_ivl(&self, recv: &Expr, name: &str, args: &[Expr]) -> Option<Ivl> {
+        let r = self.ivl_of(recv);
+        let a0 = args.first().and_then(|a| self.ivl_of(a));
+        match (name, args.len()) {
+            ("len", 0) => Some(Ivl { lo: 0, hi: LEN_MAX }),
+            ("min", 1) => {
+                let a = a0?;
+                let r = r.unwrap_or(Ivl {
+                    lo: NEG_INF,
+                    hi: POS_INF,
+                });
+                Some(Ivl {
+                    lo: r.lo.min(a.lo),
+                    hi: r.hi.min(a.hi),
+                })
+            }
+            ("max", 1) => {
+                let a = a0?;
+                let r = r.unwrap_or(Ivl {
+                    lo: NEG_INF,
+                    hi: POS_INF,
+                });
+                Some(Ivl {
+                    lo: r.lo.max(a.lo),
+                    hi: r.hi.max(a.hi),
+                })
+            }
+            ("clamp", 2) => {
+                let a = a0?;
+                let b = self.ivl_of(&args[1])?;
+                (a.bounded() && b.bounded()).then(|| Ivl {
+                    lo: a.lo,
+                    hi: a.hi.max(b.hi),
+                })
+            }
+            ("rem_euclid", 1) => {
+                let k = a0?;
+                (k.lo > 0 && k.bounded()).then(|| Ivl {
+                    lo: 0,
+                    hi: k.hi - 1,
+                })
+            }
+            ("abs", 0) => {
+                let r = r?;
+                r.bounded().then(|| Ivl {
+                    lo: if r.lo <= 0 && 0 <= r.hi {
+                        0
+                    } else {
+                        r.lo.abs().min(r.hi.abs())
+                    },
+                    hi: r.lo.abs().max(r.hi.abs()),
+                })
+            }
+            _ => {
+                let recv_is_self = matches!(&recv.kind, ExprKind::Path(p) if p.trim() == "self");
+                self.workspace_ret_range(self.ws.resolve_method_call(name, recv_is_self, self.def))
+            }
+        }
+    }
+
+    fn binary_ivl(&self, op: &str, lhs: &Expr, rhs: &Expr) -> Option<Ivl> {
+        let l = self.ivl_of(lhs);
+        let r = self.ivl_of(rhs);
+        match op {
+            "&" => {
+                // `x & m` for m ≥ 0 lands in [0, m] in two's complement,
+                // whatever x is; take the tightest nonneg side.
+                let cands: Vec<i128> = [l, r]
+                    .into_iter()
+                    .flatten()
+                    .filter(|i| i.lo >= 0 && i.bounded())
+                    .map(|i| i.hi)
+                    .collect();
+                cands.into_iter().min().map(|hi| Ivl { lo: 0, hi })
+            }
+            "%" => {
+                let k = r?;
+                if !(k.bounded() && k.lo > 0) {
+                    return None;
+                }
+                let lo = match l {
+                    Some(li) if li.lo >= 0 => 0,
+                    _ => -(k.hi - 1),
+                };
+                Some(Ivl { lo, hi: k.hi - 1 })
+            }
+            "+" | "-" | "*" | "/" | "<<" | ">>" => {
+                let (l, r) = (l?, r?);
+                if !(l.bounded() && r.bounded()) {
+                    return None;
+                }
+                match op {
+                    "+" => Some(Ivl {
+                        lo: sat_add(l.lo, r.lo),
+                        hi: sat_add(l.hi, r.hi),
+                    }),
+                    "-" => Some(Ivl {
+                        lo: sat_add(l.lo, -r.hi),
+                        hi: sat_add(l.hi, -r.lo),
+                    }),
+                    "*" => {
+                        let corners = [
+                            l.lo.checked_mul(r.lo)?,
+                            l.lo.checked_mul(r.hi)?,
+                            l.hi.checked_mul(r.lo)?,
+                            l.hi.checked_mul(r.hi)?,
+                        ];
+                        Some(Ivl {
+                            lo: corners.iter().copied().min()?,
+                            hi: corners.iter().copied().max()?,
+                        })
+                    }
+                    "/" => {
+                        if r.lo <= 0 && 0 <= r.hi {
+                            return None;
+                        }
+                        let corners = [l.lo / r.lo, l.lo / r.hi, l.hi / r.lo, l.hi / r.hi];
+                        Some(Ivl {
+                            lo: corners.iter().copied().min()?,
+                            hi: corners.iter().copied().max()?,
+                        })
+                    }
+                    "<<" => {
+                        let s = (r.lo == r.hi && (0..=63).contains(&r.lo)).then_some(r.lo)?;
+                        let s = u32::try_from(s).ok()?;
+                        (l.lo >= 0).then(|| {
+                            Some(Ivl {
+                                lo: l.lo.checked_shl(s)?,
+                                hi: l.hi.checked_shl(s)?,
+                            })
+                        })?
+                    }
+                    ">>" => {
+                        let s = (r.lo == r.hi && (0..=127).contains(&r.lo)).then_some(r.lo)?;
+                        let s = u32::try_from(s).ok()?;
+                        (l.lo >= 0).then(|| Ivl {
+                            lo: l.lo >> s,
+                            hi: l.hi >> s,
+                        })
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    // --- the statement-order walk -------------------------------------
+
+    fn block(&mut self, b: &Block) {
+        let saved_vals = self.vals.clone();
+        let saved_types = self.types.clone();
+        for stmt in &b.stmts {
+            match stmt {
+                Stmt::Let { pat, init, line: _ } => {
+                    if let Some(e) = init {
+                        self.expr(e);
+                    }
+                    self.bind_let(pat, init.as_ref());
+                }
+                Stmt::Expr { expr, .. } => self.expr(expr),
+                // Nested fn items are proved as their own workspace
+                // functions.
+                Stmt::Item(_) => {}
+            }
+        }
+        self.vals = saved_vals;
+        self.types = saved_types;
+    }
+
+    /// Like [`Self::block`] but without save/restore, for bodies whose
+    /// bindings were already killed by the caller (loop/arm scopes restore
+    /// at a coarser granularity).
+    fn bind_let(&mut self, pat: &str, init: Option<&Expr>) {
+        // Shadowing kills first; a `let` always rebinds its names.
+        self.kill_pattern(pat);
+        let words: Vec<&str> = pat.split_whitespace().collect();
+        let (is_mut, name, ascribed) = match words.as_slice() {
+            [n] => (false, *n, None),
+            ["mut", n] => (true, *n, None),
+            [n, ":", ty @ ..] => (false, *n, Some(ty.join(" "))),
+            ["mut", n, ":", ty @ ..] => (true, *n, Some(ty.join(" "))),
+            _ => return,
+        };
+        if !name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
+            || name == "_"
+        {
+            return;
+        }
+        // Type-ascribed integer ranges survive mutation; value ranges are
+        // only sound for immutable bindings.
+        if let Some(ty) = ascribed.as_deref().and_then(base_type) {
+            if let Some(ivl) = Ivl::of_type(ty) {
+                self.vals.insert(name.to_string(), ivl);
+                if is_mut {
+                    return;
+                }
+            } else {
+                self.types.insert(name.to_string(), ty.to_string());
+            }
+        }
+        if is_mut {
+            return;
+        }
+        if let Some(e) = init {
+            if let Some(ivl) = self.ivl_of(e) {
+                self.vals.insert(name.to_string(), ivl);
+            } else if let Some(ty) = self.type_of(e) {
+                self.types.insert(name.to_string(), ty);
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Cast { operand, ty } => {
+                if let Some(target) = numeric_target(ty) {
+                    let ivl = self.ivl_of(operand);
+                    self.proofs.push(CastProof {
+                        line: e.line,
+                        target,
+                        ivl,
+                        proven: ivl.is_some_and(|i| i.fits(target)),
+                    });
+                }
+                self.expr(operand);
+            }
+            ExprKind::Closure { body } => {
+                // Closure parameters are invisible to the parser: every
+                // outer range could be shadowed, so the body is evaluated
+                // with an empty environment (self-rooted and len()-based
+                // proofs still work).
+                let saved_vals = std::mem::take(&mut self.vals);
+                let saved_types = std::mem::take(&mut self.types);
+                self.expr(body);
+                self.vals = saved_vals;
+                self.types = saved_types;
+            }
+            ExprKind::ForLoop { pat, iter, body } => {
+                self.expr(iter);
+                let saved_vals = self.vals.clone();
+                let saved_types = self.types.clone();
+                self.kill_pattern(pat);
+                // `for i in <literal range>` binds the loop variable.
+                if let (Some(name), ExprKind::Range { lo, hi }) = (single_ident(pat), &iter.kind) {
+                    if let (Some(l), Some(h)) = (
+                        lo.as_deref().and_then(|e| self.ivl_of(e)),
+                        hi.as_deref().and_then(|e| self.ivl_of(e)),
+                    ) {
+                        if l.bounded() && h.bounded() {
+                            // `..` excludes the upper bound; `..=` is not
+                            // distinguished by the parser, so keep the
+                            // sound inclusive hull.
+                            self.vals
+                                .insert(name.to_string(), Ivl { lo: l.lo, hi: h.hi });
+                        }
+                    }
+                }
+                self.block_inline(body);
+                self.vals = saved_vals;
+                self.types = saved_types;
+            }
+            ExprKind::If {
+                pat,
+                cond,
+                then,
+                els,
+            } => {
+                self.expr(cond);
+                let saved_vals = self.vals.clone();
+                let saved_types = self.types.clone();
+                if let Some(p) = pat {
+                    self.kill_pattern(p);
+                }
+                self.block_inline(then);
+                self.vals = saved_vals;
+                self.types = saved_types;
+                if let Some(els) = els {
+                    self.expr(els);
+                }
+            }
+            ExprKind::While { pat, cond, body } => {
+                self.expr(cond);
+                let saved_vals = self.vals.clone();
+                let saved_types = self.types.clone();
+                if let Some(p) = pat {
+                    self.kill_pattern(p);
+                }
+                self.block_inline(body);
+                self.vals = saved_vals;
+                self.types = saved_types;
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                self.expr(scrutinee);
+                for (pat, value) in arms {
+                    let saved_vals = self.vals.clone();
+                    let saved_types = self.types.clone();
+                    self.kill_pattern(pat);
+                    self.expr(value);
+                    self.vals = saved_vals;
+                    self.types = saved_types;
+                }
+            }
+            ExprKind::MacroCall { name, args } => {
+                // `matches!`-style macros bind arm patterns the parser
+                // cannot see; their interiors get a cleared environment.
+                if name.contains("matches") {
+                    let saved_vals = std::mem::take(&mut self.vals);
+                    let saved_types = std::mem::take(&mut self.types);
+                    for a in args {
+                        self.expr(a);
+                    }
+                    self.vals = saved_vals;
+                    self.types = saved_types;
+                } else {
+                    for a in args {
+                        self.expr(a);
+                    }
+                }
+            }
+            ExprKind::Block(b) => self.block(b),
+            _ => crate::visit::walk_expr(e, &mut |child| self.expr(child)),
+        }
+    }
+
+    /// Walk a block's statements with the *current* environment (the
+    /// caller already saved/killed around a pattern scope).
+    fn block_inline(&mut self, b: &Block) {
+        for stmt in &b.stmts {
+            match stmt {
+                Stmt::Let { pat, init, line: _ } => {
+                    if let Some(e) = init {
+                        self.expr(e);
+                    }
+                    self.bind_let(pat, init.as_ref());
+                }
+                Stmt::Expr { expr, .. } => self.expr(expr),
+                Stmt::Item(_) => {}
+            }
+        }
+    }
+}
+
+/// The single identifier a trivial pattern binds (`i`, `mut i`), else
+/// `None`.
+fn single_ident(pat: &str) -> Option<&str> {
+    let words: Vec<&str> = pat.split_whitespace().collect();
+    match words.as_slice() {
+        [n] | ["mut", n] => (n
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
+            && *n != "_")
+            .then_some(*n),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse_file;
+    use crate::lexer::lex;
+
+    fn proofs_of(sources: &[(&str, &str)], fn_name: &str) -> Vec<CastProof> {
+        let files: Vec<(String, crate::ast::File)> = sources
+            .iter()
+            .map(|(p, s)| (p.to_string(), parse_file(&lex(s).tokens)))
+            .collect();
+        let mut ws = Workspace::build(&files);
+        for (_, s) in sources {
+            ws.scan_struct_decls(&lex(s).tokens);
+        }
+        let (id, _) = ws
+            .fns
+            .iter()
+            .enumerate()
+            .find(|(_, d)| d.item.name == fn_name)
+            .expect("fn indexed");
+        prove_fn(&ws, id)
+    }
+
+    fn one(sources: &[(&str, &str)], fn_name: &str) -> CastProof {
+        let p = proofs_of(sources, fn_name);
+        assert_eq!(p.len(), 1, "{p:?}");
+        p.into_iter().next().expect("one proof")
+    }
+
+    #[test]
+    fn len_bound_proves_wide_targets_but_not_u32() {
+        let src = "fn f(v: &Vec<u32>) -> u64 { v.len() as u64 }";
+        assert!(one(&[("crates/core/src/x.rs", src)], "f").proven);
+        let src = "fn g(v: &Vec<u32>) -> f64 { v.len() as f64 }";
+        assert!(one(&[("crates/core/src/x.rs", src)], "g").proven);
+        let src = "fn h(v: &Vec<u32>) -> u32 { v.len() as u32 }";
+        assert!(!one(&[("crates/core/src/x.rs", src)], "h").proven);
+    }
+
+    #[test]
+    fn param_type_ranges_seed_the_environment() {
+        let src = "fn f(n: u32) -> f64 { n as f64 }";
+        assert!(one(&[("crates/core/src/x.rs", src)], "f").proven);
+        let src = "fn g(n: u64) -> f64 { n as f64 }";
+        assert!(!one(&[("crates/core/src/x.rs", src)], "g").proven);
+        let src = "fn h(n: i32) -> i64 { n as i64 }";
+        assert!(one(&[("crates/core/src/x.rs", src)], "h").proven);
+    }
+
+    #[test]
+    fn struct_fields_resolve_through_the_table() {
+        let src = "struct Config { streams: u32 }\n\
+                   struct Engine { config: Config }\n\
+                   impl Engine { fn f(&self) -> u64 { self.config.streams as u64 } }";
+        assert!(one(&[("crates/core/src/x.rs", src)], "f").proven);
+    }
+
+    #[test]
+    fn tuple_newtype_fields_resolve_through_self() {
+        let src = "struct UserId(pub u32);\n\
+                   impl UserId { fn index(&self) -> usize { self.0 as usize } }";
+        assert!(one(&[("crates/core/src/x.rs", src)], "index").proven);
+    }
+
+    #[test]
+    fn min_clamp_and_mask_narrow() {
+        let src = "fn f(n: u64) -> u16 { n.min(1000) as u16 }";
+        assert!(one(&[("crates/core/src/x.rs", src)], "f").proven);
+        let src = "fn g(n: i64) -> u8 { n.clamp(0, 255) as u8 }";
+        assert!(one(&[("crates/core/src/x.rs", src)], "g").proven);
+        let src = "fn h(n: i64) -> u8 { (n & 0xff) as u8 }";
+        assert!(one(&[("crates/core/src/x.rs", src)], "h").proven);
+        // min alone cannot bound the lower end of a signed value.
+        let src = "fn k(n: i64) -> u8 { n.min(255) as u8 }";
+        assert!(!one(&[("crates/core/src/x.rs", src)], "k").proven);
+    }
+
+    #[test]
+    fn convert_helpers_are_trusted_only_from_convert_rs() {
+        let helper = "pub fn u32_from_usize(v: usize) -> u32 { v.min(u32::MAX as usize) as u32 }";
+        let user = "fn f(n: usize) -> f64 { u32_from_usize(n) as f64 }";
+        let p = proofs_of(
+            &[
+                ("crates/core/src/convert.rs", helper),
+                ("crates/core/src/x.rs", user),
+            ],
+            "f",
+        );
+        assert!(p.iter().all(|c| c.proven), "{p:?}");
+        // A misleadingly named fn living elsewhere is not trusted by name;
+        // only its (wide) declared return type counts.
+        let fake = "pub fn u32_from_usize(v: usize) -> usize { v }";
+        let p = proofs_of(
+            &[
+                ("crates/core/src/other.rs", fake),
+                ("crates/core/src/x.rs", user),
+            ],
+            "f",
+        );
+        assert!(p.iter().any(|c| !c.proven), "{p:?}");
+        // An unresolvable call with a convert-like name proves nothing.
+        let p = proofs_of(&[("crates/core/src/x.rs", user)], "f");
+        assert!(p.iter().any(|c| !c.proven), "{p:?}");
+    }
+
+    #[test]
+    fn shadowing_kills_stale_ranges() {
+        // A `for` pattern rebinds `n`: the outer literal range must die.
+        let src = "fn f(v: &Vec<u64>) { let n = 3; for n in v.iter().copied() { \
+                   use_it(n as u8); } }";
+        let p = proofs_of(&[("crates/core/src/x.rs", src)], "f");
+        assert!(p.iter().all(|c| !c.proven), "{p:?}");
+        // Closures likewise.
+        let src = "fn g(v: &Vec<u64>) { let n = 3; v.iter().for_each(|n| { use_it(n as u8); }); }";
+        let p = proofs_of(&[("crates/core/src/x.rs", src)], "g");
+        assert!(p.iter().all(|c| !c.proven), "{p:?}");
+        // An inner block's `let` does not leak out.
+        let src = "fn h(n: u64) { { let n = 3; } use_it(n as u8); }";
+        let p = proofs_of(&[("crates/core/src/x.rs", src)], "h");
+        assert!(p.iter().all(|c| !c.proven), "{p:?}");
+    }
+
+    #[test]
+    fn mut_bindings_keep_type_ranges_but_not_value_ranges() {
+        let src = "fn f() { let mut n: u32 = 1; n += big(); use_it(n as u64); }";
+        let p = proofs_of(&[("crates/core/src/x.rs", src)], "f");
+        assert!(p.iter().all(|c| c.proven), "{p:?}");
+        let src = "fn g() { let mut n = 1; n = big(); use_it(n as u8); }";
+        let p = proofs_of(&[("crates/core/src/x.rs", src)], "g");
+        assert!(p.iter().all(|c| !c.proven), "{p:?}");
+    }
+
+    #[test]
+    fn literal_range_for_loops_bind_the_index() {
+        let src = "fn f() { for i in 0..100 { use_it(i as u8); } }";
+        let p = proofs_of(&[("crates/core/src/x.rs", src)], "f");
+        assert!(p.iter().all(|c| c.proven), "{p:?}");
+    }
+
+    #[test]
+    fn branch_values_join() {
+        let src = "fn f(c: bool) { let n = if c { 7 } else { 250 }; use_it(n as u8); }";
+        let p = proofs_of(&[("crates/core/src/x.rs", src)], "f");
+        assert!(p.iter().all(|c| c.proven), "{p:?}");
+        let src = "fn g(c: bool) { let n = if c { 7 } else { 300 }; use_it(n as u8); }";
+        let p = proofs_of(&[("crates/core/src/x.rs", src)], "g");
+        assert!(p.iter().all(|c| !c.proven), "{p:?}");
+    }
+
+    #[test]
+    fn cast_results_are_bounded_by_the_target() {
+        let src = "fn f(x: u64) -> f64 { (x as u32) as f64 }";
+        let p = proofs_of(&[("crates/core/src/x.rs", src)], "f");
+        // The inner cast is lossy (unproven), the outer one proven.
+        let outer = p.iter().find(|c| c.target == "f64").expect("outer");
+        let inner = p.iter().find(|c| c.target == "u32").expect("inner");
+        assert!(outer.proven && !inner.proven, "{p:?}");
+    }
+
+    #[test]
+    fn workspace_return_types_bound_calls() {
+        let src = "fn width() -> u16 { 80 }\n\
+                   fn f() -> f64 { width() as f64 }";
+        let p = proofs_of(&[("crates/core/src/x.rs", src)], "f");
+        assert!(p.iter().all(|c| c.proven), "{p:?}");
+    }
+}

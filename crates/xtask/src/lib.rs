@@ -1,6 +1,6 @@
 //! Repo-specific static analysis for the ActiveDR workspace.
 //!
-//! `cargo xtask check` enforces thirteen invariants that rustc and clippy
+//! `cargo xtask check` enforces sixteen invariants that rustc and clippy
 //! cannot express because they are about *this* codebase's architecture.
 //! Five are token-level (over the [`lexer`] stream):
 //!
@@ -49,6 +49,25 @@
 //!     the workspace references, ratcheted so the public surface only
 //!     shrinks.
 //!
+//! Three are performance-semantic, layered on the same workspace table plus
+//! a per-function interval abstract interpreter ([`interval`]) — see
+//! [`perfsem`]:
+//!
+//! 14. **cast-proof** — the interval prover re-examines every cast-audit
+//!     site and *discharges* the ones whose operand range provably fits the
+//!     target (literal ranges, `len()` bounds, `min`/`clamp`/mask
+//!     narrowing, `core::convert` checked constructors), so the cast
+//!     ratchet only counts casts that could actually lose data.
+//!     `check --explain-cast <file:line>` prints the derived range.
+//! 15. **alloc-hot-path** — allocation sites (`Vec::new`, `Box::new`,
+//!     `clone`, `collect`, `to_owned`/`to_string`, `format!`, `vec!`)
+//!     in functions reachable from the engine hot-path entries, with a BFS
+//!     witness path per finding, ratcheted in `alloc-baseline.txt`.
+//! 16. **loop-complexity** — loop-carried superlinear shapes
+//!     (`Vec::insert`/`remove` shifting in a loop, binary-search-then-
+//!     insert, sort/contains on a growing collection, nested loops over
+//!     the same collection), ratcheted in `loop-baseline.txt`.
+//!
 //! Individual findings from the file-local checks can be waived in place
 //! with a `// xtask-allow: <check> -- <reason>` comment on the same line or
 //! the line above; unused waivers are themselves errors. The
@@ -62,7 +81,9 @@ pub mod callgraph;
 pub mod checks;
 pub mod dataflow;
 pub mod interproc;
+pub mod interval;
 pub mod lexer;
+pub mod perfsem;
 pub mod resolve;
 pub mod runner;
 pub mod semantic;

@@ -12,13 +12,19 @@ Commands:
   check                 run all invariant checks
     --update-baseline   rewrite the machine-maintained ratchet files
                         (panic-freedom, cast-audit, panic-reachability,
-                        dead-api, changelog census; the hand-audited
+                        dead-api, changelog census, alloc-hot-path,
+                        loop-complexity; the hand-audited
                         determinism-exemptions.txt is never rewritten)
     --only <names>      comma-separated subset of checks to run
+    --list              print the check names, one per line, and exit
     --root <dir>        workspace root (default: this repository)
     --json              print one JSON object per finding (check, file,
                         line, message), one per line, instead of the
                         human-readable report
+    --timings           print a per-phase wall-time table after the report
+    --explain-cast <file:line>
+                        print the interval prover's derived operand range
+                        for every numeric cast at that site
                         Environment: XTASK_THREADS caps the worker pool;
                         XTASK_CHECK_BUDGET_SECS fails the run if it takes
                         longer than the given wall-time budget; GitHub
@@ -39,7 +45,7 @@ Commands:
 Checks: panic-freedom, newtype, dispatch, float-cmp, determinism,
         cast-audit, ignored-result, unit-safety, par-determinism,
         determinism-taint, changelog-completeness, panic-reachability,
-        dead-api
+        dead-api, cast-proof, alloc-hot-path, loop-complexity
 
 CI runs `check --json` on every push (32-seed fuzz); the scheduled /
 XTASK_DEEP=1 deep pass adds a 256-seed fuzz run.
@@ -231,14 +237,27 @@ fn main() -> ExitCode {
 
     let mut cfg = Config {
         root: workspace_root(),
-        only: None,
-        update_baseline: false,
+        ..Config::default()
     };
     let mut json = false;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--update-baseline" => cfg.update_baseline = true,
             "--json" => json = true,
+            "--timings" => cfg.timings = true,
+            "--list" => {
+                for name in xtask::checks::CHECK_NAMES {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--explain-cast" => match it.next() {
+                Some(site) => cfg.explain_cast = Some(site.clone()),
+                None => {
+                    eprintln!("--explain-cast needs a <file>:<line> site\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--only" => match it.next() {
                 Some(names) => {
                     cfg.only = Some(names.split(',').map(|s| s.trim().to_string()).collect());

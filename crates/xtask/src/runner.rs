@@ -1,6 +1,6 @@
 //! Orchestration: file discovery, check scoping, waivers, reporting.
 //!
-//! A run has three passes. Pass 1 lexes and parses every product file
+//! A run has four passes. Pass 1 lexes and parses every product file
 //! (parallel, one worker per core, merged in file order) and collects the
 //! workspace-wide signature table plus the name-mention census the dead-API
 //! check consumes. Pass 2 runs the file-local checks over each parsed file
@@ -8,17 +8,25 @@
 //! regardless of scheduling). Pass 3 builds the interprocedural layer —
 //! symbol table ([`crate::resolve`]), call graph ([`crate::callgraph`]),
 //! per-function dataflow facts ([`crate::dataflow`]) — and runs the four
-//! workspace-level checks ([`crate::interproc`]). Thread count follows
-//! `XTASK_THREADS` (default: available parallelism).
+//! workspace-level checks ([`crate::interproc`]). Pass 4 is the
+//! performance-semantics layer over the same symbol table: the interval
+//! cast prover ([`crate::interval`]), which *discharges* proven-lossless
+//! sites from the cast ratchet before it is compared, and the
+//! alloc-hot-path / loop-complexity checks ([`crate::perfsem`]) with their
+//! own ratchets. Thread count follows `XTASK_THREADS` (default: available
+//! parallelism); all output is byte-identical across thread counts.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use crate::baseline::{self, BaselineIssue, Counts, Ratchet};
 use crate::callgraph::CallGraph;
 use crate::checks::{self, Finding};
 use crate::interproc;
+use crate::interval::{self, render_ivl};
 use crate::lexer::{Tok, Token};
+use crate::perfsem;
 use crate::resolve::Workspace;
 use crate::semantic::{self, Signatures};
 use crate::{ast, dataflow, lexer};
@@ -92,17 +100,30 @@ const INTERPROC_CHECKS: &[&str] = &[
     "dead-api",
 ];
 
+/// The three performance-semantics checks (pass 4). `cast-audit` implies
+/// `cast-proof`: the ratchet the prover discharges into is cast-audit's,
+/// so running one without the other would make the cast baseline depend on
+/// the `--only` selection.
+const PERFSEM_CHECKS: &[&str] = &["cast-proof", "alloc-hot-path", "loop-complexity"];
+
 /// How to invoke a run.
 #[derive(Debug, Default)]
 pub struct Config {
     /// Workspace root (the directory holding the top-level Cargo.toml).
     pub root: PathBuf,
-    /// Restrict to these check names; `None` runs all thirteen.
+    /// Restrict to these check names; `None` runs all sixteen.
     pub only: Option<Vec<String>>,
     /// Rewrite the machine-maintained ratchet files instead of comparing
     /// against them (the hand-audited determinism exemptions are never
     /// rewritten).
     pub update_baseline: bool,
+    /// `--explain-cast <file:line>`: print the interval prover's derived
+    /// operand range for every numeric cast at that site.
+    pub explain_cast: Option<String>,
+    /// Include a per-phase wall-time table in the rendered report (opt-in:
+    /// timings vary run to run, and the default output is byte-identical
+    /// across thread counts).
+    pub timings: bool,
 }
 
 /// One reported violation.
@@ -148,12 +169,27 @@ pub struct Report {
     /// Changelog emit census, keyed `(file, delta variant)`.
     pub emit_counts: Counts,
     pub emit_sites: Vec<Site>,
+    /// Hot-path allocation census, keyed `(file, alloc category)`.
+    pub alloc_counts: Counts,
+    pub alloc_sites: Vec<Site>,
+    /// Loop-complexity findings, keyed `(file, shape category)`.
+    pub loop_counts: Counts,
+    pub loop_sites: Vec<Site>,
+    /// Cast sites the interval prover discharged from the cast ratchet
+    /// (they are *removed* from `cast_counts`/`cast_sites` first).
+    pub discharged_casts: Vec<Site>,
+    /// `--explain-cast` output lines, one per cast at the requested site.
+    pub cast_explanations: Vec<String>,
     /// Files scanned.
     pub files_scanned: usize,
     /// Set when `--update-baseline` rewrote the ratchet files.
     pub baseline_updated: bool,
     /// Wall time of the whole run, for the CI budget line.
     pub elapsed_ms: u64,
+    /// Per-phase wall times, rendered only with `--timings`.
+    pub timings: Vec<(&'static str, u64)>,
+    /// Echo of [`Config::timings`], so `render` knows to print the table.
+    pub show_timings: bool,
 }
 
 impl Report {
@@ -172,15 +208,23 @@ impl Report {
                 v.check, v.message, v.file, v.line
             ));
         }
+        for e in &self.cast_explanations {
+            out.push_str(e);
+            out.push('\n');
+        }
         let panic_total: u32 = self.panic_counts.values().sum();
         let cast_total: u32 = self.cast_counts.values().sum();
         let reach_total: u32 = self.reach_counts.values().sum();
         let taint_total: u32 = self.taint_counts.values().sum();
         let dead_total: u32 = self.dead_counts.values().sum();
+        let alloc_total: u32 = self.alloc_counts.values().sum();
+        let loop_total: u32 = self.loop_counts.values().sum();
         out.push_str(&format!(
             "xtask check: {} files scanned in {} ms, {} error(s), {} waived finding(s), \
-             {} ratcheted panic site(s) ({} on the hot path), {} ratcheted cast site(s), \
-             {} audited nondeterminism source(s), {} baselined dead pub fn(s)\n",
+             {} ratcheted panic site(s) ({} on the hot path), {} ratcheted cast site(s) \
+             ({} discharged by the prover), {} audited nondeterminism source(s), \
+             {} baselined dead pub fn(s), {} hot-path alloc site(s), \
+             {} loop-complexity site(s)\n",
             self.files_scanned,
             self.elapsed_ms,
             self.errors.len(),
@@ -188,18 +232,29 @@ impl Report {
             panic_total,
             reach_total,
             cast_total,
+            self.discharged_casts.len(),
             taint_total,
             dead_total,
+            alloc_total,
+            loop_total,
         ));
         if self.baseline_updated {
             out.push_str(&format!(
-                "baselines rewritten: {}, {}, {}, {}, {}\n",
+                "baselines rewritten: {}, {}, {}, {}, {}, {}, {}\n",
                 baseline::BASELINE_PATH,
                 baseline::CAST_BASELINE_PATH,
                 baseline::PANIC_REACH_BASELINE_PATH,
                 baseline::DEAD_API_BASELINE_PATH,
                 baseline::CHANGELOG_BASELINE_PATH,
+                baseline::ALLOC_BASELINE_PATH,
+                baseline::LOOP_BASELINE_PATH,
             ));
+        }
+        if self.show_timings {
+            out.push_str("timings:\n");
+            for (phase, ms) in &self.timings {
+                out.push_str(&format!("  {phase:<28} {ms:>6} ms\n"));
+            }
         }
         out
     }
@@ -358,7 +413,7 @@ struct FileFindings {
 /// baseline, unknown check names) — distinct from check findings, which are
 /// reported in the [`Report`].
 pub fn run(cfg: &Config) -> Result<Report, String> {
-    let started = std::time::Instant::now();
+    let started = Instant::now();
     if let Some(names) = &cfg.only {
         for n in names {
             if !checks::CHECK_NAMES.contains(&n.as_str()) {
@@ -369,8 +424,29 @@ pub fn run(cfg: &Config) -> Result<Report, String> {
             }
         }
     }
+    let explain_site: Option<(String, u32)> = match &cfg.explain_cast {
+        Some(spec) => {
+            let (file, line) = spec
+                .rsplit_once(':')
+                .ok_or_else(|| format!("--explain-cast {spec:?}: expected <file>:<line>"))?;
+            let line: u32 = line
+                .parse()
+                .map_err(|_| format!("--explain-cast {spec:?}: bad line number {line:?}"))?;
+            Some((file.replace('\\', "/"), line))
+        }
+        None => None,
+    };
 
-    let mut report = Report::default();
+    let mut report = Report {
+        show_timings: cfg.timings,
+        ..Report::default()
+    };
+    let mut phase_started = Instant::now();
+    let mut mark = |report: &mut Report, phase: &'static str| {
+        let ms = u64::try_from(phase_started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        report.timings.push((phase, ms));
+        phase_started = Instant::now();
+    };
     let lib_files: BTreeSet<String> = LIB_CRATES
         .iter()
         .flat_map(|c| rust_files(&cfg.root.join("crates").join(c).join("src")))
@@ -430,6 +506,7 @@ pub fn run(cfg: &Config) -> Result<Report, String> {
             None => return Err("xtask worker thread panicked".to_string()),
         }
     }
+    mark(&mut report, "load+lex+parse");
 
     // Merge the mention census and build the signature table (sequential:
     // both folds are order-sensitive only in their merged totals).
@@ -499,10 +576,16 @@ pub fn run(cfg: &Config) -> Result<Report, String> {
             report.cast_sites.push((file, cat, line, msg));
         }
     }
+    mark(&mut report, "file-local checks");
 
-    // Pass 3: the interprocedural layer (symbol table → call graph →
-    // dataflow facts → the four workspace-level checks).
-    if INTERPROC_CHECKS.iter().any(|c| enabled(cfg, c)) {
+    // Passes 3 and 4 share the workspace symbol table. `cast-audit`
+    // implies the cast prover: the ratchet it discharges into is
+    // cast-audit's, so the baseline must not depend on `--only`.
+    let interproc_needed = INTERPROC_CHECKS.iter().any(|c| enabled(cfg, c));
+    let perfsem_needed = PERFSEM_CHECKS.iter().any(|c| enabled(cfg, c))
+        || enabled(cfg, "cast-audit")
+        || explain_site.is_some();
+    if interproc_needed || perfsem_needed {
         let ast_files: Vec<(String, ast::File)> = files
             .iter_mut()
             .filter(|d| !d.usage_only)
@@ -511,14 +594,18 @@ pub fn run(cfg: &Config) -> Result<Report, String> {
         let mut ws = Workspace::build(&ast_files);
         for d in files.iter().filter(|d| !d.usage_only) {
             ws.scan_hash_decls(&d.tokens);
+            ws.scan_struct_decls(&d.tokens);
         }
         let graph = CallGraph::build(&ws);
         let facts = dataflow::compute(&ws);
+        mark(&mut report, "symbol table + call graph");
 
+        // Pass 3: the four interprocedural checks.
         if enabled(cfg, "determinism-taint") {
             let got = interproc::determinism_taint(&ws, &graph, &facts, HOT_PATH_ENTRIES);
             report.taint_counts = got.counts;
             report.taint_sites = got.sites;
+            mark(&mut report, "determinism-taint");
         }
         if enabled(cfg, "changelog-completeness") {
             for (file, line, message) in
@@ -534,27 +621,50 @@ pub fn run(cfg: &Config) -> Result<Report, String> {
             let census = interproc::changelog_emit_census(&ws, &facts, CHANGELOG_HOME);
             report.emit_counts = census.counts;
             report.emit_sites = census.sites;
+            mark(&mut report, "changelog-completeness");
         }
         if enabled(cfg, "panic-reachability") {
             let got = interproc::panic_reachability(&ws, &graph, &facts, HOT_PATH_ENTRIES);
             report.reach_counts = got.counts;
             report.reach_sites = got.sites;
+            mark(&mut report, "panic-reachability");
         }
         if enabled(cfg, "dead-api") {
             let got = interproc::dead_api(&ws, &lib_files, &mentions, &fn_defs);
             report.dead_counts = got.counts;
             report.dead_sites = got.sites;
+            mark(&mut report, "dead-api");
+        }
+
+        // Pass 4: the performance-semantics layer.
+        if enabled(cfg, "alloc-hot-path") {
+            let got = perfsem::alloc_hot_path(&ws, &graph, &facts, HOT_PATH_ENTRIES);
+            report.alloc_counts = got.counts;
+            report.alloc_sites = got.sites;
+            mark(&mut report, "alloc-hot-path");
+        }
+        if enabled(cfg, "loop-complexity") {
+            let got = perfsem::loop_complexity(&ws, &facts, &lib_files);
+            report.loop_counts = got.counts;
+            report.loop_sites = got.sites;
+            mark(&mut report, "loop-complexity");
+        }
+        if enabled(cfg, "cast-audit") || enabled(cfg, "cast-proof") || explain_site.is_some() {
+            discharge_proven_casts(&ws, &lib_files, explain_site.as_ref(), &mut report);
+            mark(&mut report, "cast-proof");
         }
     }
 
     // Baselines: compare or rewrite each ratchet.
-    let ratchets: [(&str, Ratchet); 6] = [
+    let ratchets: [(&str, Ratchet); 8] = [
         ("panic-freedom", Ratchet::PanicFreedom),
         ("cast-audit", Ratchet::CastAudit),
         ("panic-reachability", Ratchet::PanicReach),
         ("dead-api", Ratchet::DeadApi),
         ("determinism-taint", Ratchet::DeterminismTaint),
         ("changelog-completeness", Ratchet::ChangelogEmits),
+        ("alloc-hot-path", Ratchet::AllocHotPath),
+        ("loop-complexity", Ratchet::LoopComplexity),
     ];
     for (check, ratchet) in ratchets {
         if !enabled(cfg, check) {
@@ -567,6 +677,8 @@ pub fn run(cfg: &Config) -> Result<Report, String> {
             Ratchet::DeadApi => (&report.dead_counts, &report.dead_sites),
             Ratchet::DeterminismTaint => (&report.taint_counts, &report.taint_sites),
             Ratchet::ChangelogEmits => (&report.emit_counts, &report.emit_sites),
+            Ratchet::AllocHotPath => (&report.alloc_counts, &report.alloc_sites),
+            Ratchet::LoopComplexity => (&report.loop_counts, &report.loop_sites),
         };
         if cfg.update_baseline && !ratchet.hand_maintained() {
             baseline::store(&cfg.root, ratchet, counts)?;
@@ -628,11 +740,84 @@ pub fn run(cfg: &Config) -> Result<Report, String> {
         report.errors.extend(issues);
     }
 
+    mark(&mut report, "baseline comparison");
     report
         .errors
         .sort_by(|a, b| (&a.file, a.line, &a.check).cmp(&(&b.file, b.line, &b.check)));
     report.elapsed_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
     Ok(report)
+}
+
+/// Pass 4, check 14 — run the interval prover over every library function
+/// (the conversions module excepted, matching cast-audit's scope), remove
+/// each proven-lossless cast from the ratchet counts/sites, and collect
+/// `--explain-cast` lines for the requested site.
+fn discharge_proven_casts(
+    ws: &Workspace<'_>,
+    lib_files: &BTreeSet<String>,
+    explain: Option<&(String, u32)>,
+    report: &mut Report,
+) {
+    let mut proven: Vec<(String, u32, String)> = Vec::new();
+    for (id, def) in ws.fns.iter().enumerate() {
+        if !lib_files.contains(def.path) || def.path == CAST_HOME {
+            continue;
+        }
+        for proof in interval::prove_fn(ws, id) {
+            if let Some((efile, eline)) = explain {
+                if def.path == efile && proof.line == *eline {
+                    report.cast_explanations.push(format!(
+                        "cast to `{}` at {}:{} in `{}`: operand range {}, {}",
+                        proof.target,
+                        def.path,
+                        proof.line,
+                        def.item.name,
+                        render_ivl(proof.ivl),
+                        if proof.proven {
+                            "PROVEN lossless (discharged from the cast ratchet)"
+                        } else {
+                            "not provable (stays on the cast ratchet)"
+                        }
+                    ));
+                }
+            }
+            if proof.proven {
+                proven.push((def.path.to_string(), proof.line, proof.target.to_string()));
+            }
+        }
+    }
+    // Multiset subtraction: each proof discharges at most one audited
+    // site (casts the audit already considers lossless, or waived sites,
+    // have no entry to remove and are skipped).
+    for (file, line, target) in proven {
+        let Some(pos) = report
+            .cast_sites
+            .iter()
+            .position(|(f, c, l, _)| *f == file && *c == target && *l == line)
+        else {
+            continue;
+        };
+        let site = report.cast_sites.remove(pos);
+        if let Some(n) = report
+            .cast_counts
+            .get_mut(&(site.0.clone(), site.1.clone()))
+        {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                report.cast_counts.remove(&(site.0.clone(), site.1.clone()));
+            }
+        }
+        report.discharged_casts.push(site);
+    }
+    report.discharged_casts.sort();
+    if let Some((efile, eline)) = explain {
+        if report.cast_explanations.is_empty() {
+            report.cast_explanations.push(format!(
+                "no numeric cast found at {efile}:{eline} (the prover only sees casts \
+                 inside function bodies of the library crates, outside {CAST_HOME})"
+            ));
+        }
+    }
 }
 
 /// Pass 2 body: the nine file-local checks plus waiver accounting for one
@@ -764,6 +949,7 @@ mod tests {
             root: PathBuf::from("."),
             only: Some(vec!["no-such-check".to_string()]),
             update_baseline: false,
+            ..Config::default()
         };
         assert!(run(&cfg).is_err());
     }

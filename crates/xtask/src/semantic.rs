@@ -125,8 +125,9 @@ fn returns_result(ret: &str) -> bool {
 // ---------------------------------------------------------------------------
 
 /// The closed set of numeric cast targets; returning `&'static str` lets the
-/// target type double as the baseline category.
-fn numeric_target(ty: &str) -> Option<&'static str> {
+/// target type double as the baseline category. Shared with the interval
+/// prover ([`crate::interval`]), which discharges the provable subset.
+pub(crate) fn numeric_target(ty: &str) -> Option<&'static str> {
     Some(match ty {
         "u8" => "u8",
         "u16" => "u16",
@@ -148,7 +149,7 @@ fn numeric_target(ty: &str) -> Option<&'static str> {
 
 /// Parse an integer literal's value (underscores stripped, radix prefixes
 /// honoured, type suffix ignored). `None` for anything unparseable.
-fn int_literal_value(text: &str) -> Option<u128> {
+pub(crate) fn int_literal_value(text: &str) -> Option<u128> {
     let t: String = text.chars().filter(|c| *c != '_').collect();
     let (radix, digits) = if let Some(rest) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X"))
     {

@@ -93,7 +93,9 @@ pub fn walk_expr(expr: &Expr, f: &mut dyn FnMut(&Expr)) {
         ExprKind::Try(inner) | ExprKind::Ref(inner) => f(inner),
         ExprKind::Closure { body } => f(body),
         ExprKind::Block(b) => walk_block_children(b, f),
-        ExprKind::If { cond, then, els } => {
+        ExprKind::If {
+            cond, then, els, ..
+        } => {
             f(cond);
             walk_block_children(then, f);
             if let Some(e) = els {
@@ -106,11 +108,11 @@ pub fn walk_expr(expr: &Expr, f: &mut dyn FnMut(&Expr)) {
                 f(value);
             }
         }
-        ExprKind::While { cond, body } => {
+        ExprKind::While { cond, body, .. } => {
             f(cond);
             walk_block_children(body, f);
         }
-        ExprKind::ForLoop { iter, body } => {
+        ExprKind::ForLoop { iter, body, .. } => {
             f(iter);
             walk_block_children(body, f);
         }
@@ -184,18 +186,20 @@ fn block_blocks(block: &Block, f: &mut dyn FnMut(&Block)) {
 fn expr_blocks(expr: &Expr, f: &mut dyn FnMut(&Block)) {
     match &expr.kind {
         ExprKind::Block(b) | ExprKind::Loop { body: b } => block_blocks(b, f),
-        ExprKind::If { cond, then, els } => {
+        ExprKind::If {
+            cond, then, els, ..
+        } => {
             expr_blocks(cond, f);
             block_blocks(then, f);
             if let Some(e) = els {
                 expr_blocks(e, f);
             }
         }
-        ExprKind::While { cond, body } => {
+        ExprKind::While { cond, body, .. } => {
             expr_blocks(cond, f);
             block_blocks(body, f);
         }
-        ExprKind::ForLoop { iter, body } => {
+        ExprKind::ForLoop { iter, body, .. } => {
             expr_blocks(iter, f);
             block_blocks(body, f);
         }

@@ -38,6 +38,7 @@ fn check_only(root: &Path, only: &[&str], update_baseline: bool) -> Report {
         root: root.to_path_buf(),
         only: Some(only.iter().map(ToString::to_string).collect()),
         update_baseline,
+        ..Config::default()
     };
     run(&cfg).expect("runner succeeds on the miniature tree")
 }

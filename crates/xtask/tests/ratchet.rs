@@ -37,6 +37,7 @@ fn check(root: &Path, update_baseline: bool) -> Report {
         root: root.to_path_buf(),
         only: None,
         update_baseline,
+        ..Config::default()
     };
     run(&cfg).expect("runner succeeds on the miniature tree")
 }
@@ -202,6 +203,7 @@ fn waiver_for_a_scoped_out_check_is_not_stale() {
         root: root.clone(),
         only: Some(vec!["panic-freedom".to_string()]),
         update_baseline: false,
+        ..Config::default()
     };
     let report = run(&cfg).expect("runner succeeds on the miniature tree");
     assert!(report.is_clean(), "{}", report.render());
@@ -230,11 +232,12 @@ fn unknown_check_name_in_waiver_is_an_error() {
 }
 
 /// Write a lib.rs with `casts` many lossy `as` casts (and nothing that
-/// trips any other check).
+/// trips any other check). The operand is a full-range `u64` so the
+/// interval prover cannot discharge the sites.
 fn write_cast_lib(root: &Path, casts: usize) {
-    let mut body = String::from("fn f(n: usize) -> u64 {\n    let mut acc: u64 = 0;\n");
+    let mut body = String::from("fn f(n: u64) -> u32 {\n    let mut acc: u32 = 0;\n");
     for _ in 0..casts {
-        body.push_str("    acc += n as u64;\n");
+        body.push_str("    acc += n as u32;\n");
     }
     body.push_str("    acc\n}\n");
     fs::write(root.join("crates/core/src/lib.rs"), body).expect("write fixture lib");
@@ -273,7 +276,7 @@ fn cast_update_baseline_then_clean() {
     );
     let text =
         fs::read_to_string(root.join("crates/xtask/cast-baseline.txt")).expect("baseline written");
-    assert!(text.contains("2 u64 crates/core/src/lib.rs"), "{text}");
+    assert!(text.contains("2 u32 crates/core/src/lib.rs"), "{text}");
     assert!(check(&root, false).is_clean(), "baselined tree passes");
     let _ = fs::remove_dir_all(&root);
 }
@@ -321,7 +324,7 @@ fn cast_improvement_is_stale_until_locked_in() {
     assert!(report.baseline_updated && report.is_clean());
     let text = fs::read_to_string(root.join("crates/xtask/cast-baseline.txt"))
         .expect("baseline rewritten");
-    assert!(text.contains("1 u64 crates/core/src/lib.rs"), "{text}");
+    assert!(text.contains("1 u32 crates/core/src/lib.rs"), "{text}");
     assert!(check(&root, false).is_clean());
     let _ = fs::remove_dir_all(&root);
 }
@@ -347,13 +350,50 @@ fn cast_waiver_silences_a_site_without_counting_it() {
     let _ = fs::remove_dir_all(&root);
 }
 
+/// `--update-baseline` must be idempotent: running it twice on an
+/// unchanged tree rewrites every ratchet file byte-identically (sorted,
+/// deduplicated, zero-free — the render order is the BTreeMap key order,
+/// not discovery order).
+#[test]
+fn update_baseline_twice_is_byte_identical() {
+    let root = temp_root("idempotent");
+    fs::write(
+        root.join("crates/core/src/lib.rs"),
+        "fn f(o: Option<u32>, n: u64) -> u32 {\n\
+         \x20   o.unwrap() + o.expect(\"twice\") + n as u32\n\
+         }\n",
+    )
+    .expect("write fixture lib");
+    assert!(check(&root, true).baseline_updated);
+    let read_all = |root: &Path| -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(root.join("crates/xtask")).expect("baseline dir") {
+            let p = entry.expect("dir entry").path();
+            out.push((
+                p.file_name().expect("name").to_string_lossy().into_owned(),
+                fs::read_to_string(&p).expect("baseline readable"),
+            ));
+        }
+        out.sort();
+        out
+    };
+    let first = read_all(&root);
+    assert!(
+        first.iter().any(|(name, _)| name == "panic-baseline.txt"),
+        "fixture produced no panic baseline: {first:?}"
+    );
+    assert!(check(&root, true).baseline_updated);
+    assert_eq!(first, read_all(&root), "second rewrite must change nothing");
+    let _ = fs::remove_dir_all(&root);
+}
+
 #[test]
 fn both_ratchets_operate_independently() {
     let root = temp_root("both");
     fs::write(
         root.join("crates/core/src/lib.rs"),
-        "fn f(o: Option<u32>, n: usize) -> u64 {\n\
-         \x20   u64::from(o.unwrap()) + n as u64\n\
+        "fn f(o: Option<u32>, n: u64) -> u32 {\n\
+         \x20   o.unwrap() + n as u32\n\
          }\n",
     )
     .expect("write fixture lib");
@@ -365,8 +405,8 @@ fn both_ratchets_operate_independently() {
     // the cast baseline stale.
     fs::write(
         root.join("crates/core/src/lib.rs"),
-        "fn f(o: Option<u32>, n: u32) -> u64 {\n\
-         \x20   u64::from(o.unwrap()) + u64::from(n)\n\
+        "fn f(o: Option<u32>, n: u32) -> u32 {\n\
+         \x20   o.unwrap() + n\n\
          }\n",
     )
     .expect("write fixture lib");

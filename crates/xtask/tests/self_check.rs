@@ -27,6 +27,7 @@ fn workspace_is_clean() {
         root: workspace_root(),
         only: None,
         update_baseline: false,
+        ..Config::default()
     };
     let report = run(&cfg).expect("checker runs over the shipped tree");
     assert!(
@@ -47,6 +48,7 @@ fn unwrap_expect_ratchet_is_below_pre_introduction_level() {
         root: workspace_root(),
         only: Some(vec!["panic-freedom".to_string()]),
         update_baseline: false,
+        ..Config::default()
     };
     let report = run(&cfg).expect("checker runs over the shipped tree");
     let total: u32 = report
@@ -68,6 +70,7 @@ fn cast_ratchet_is_below_pre_introduction_level() {
         root: workspace_root(),
         only: Some(vec!["cast-audit".to_string()]),
         update_baseline: false,
+        ..Config::default()
     };
     let report = run(&cfg).expect("checker runs over the shipped tree");
     let total: u32 = report.cast_counts.values().copied().sum();
@@ -77,4 +80,45 @@ fn cast_ratchet_is_below_pre_introduction_level() {
          and must only go down"
     );
     assert!(total > 0, "zero casts counted — cast discovery is broken");
+    // Layer 4 drove the ratchet to 40 or below (65 before the interval
+    // prover started discharging provable sites); it must stay there.
+    assert!(
+        total <= 40,
+        "{total} undischarged casts — the layer-4 target is 40"
+    );
+    assert!(
+        !report.discharged_casts.is_empty(),
+        "the interval prover discharged nothing — cast-proof is broken"
+    );
+}
+
+/// Every checked-in machine-maintained baseline must be a fixed point of
+/// parse → render: sorted, deduplicated (BTreeMap keys), zero-free, with
+/// the canonical header. This is what makes `--update-baseline` idempotent
+/// — rewriting a clean tree's baselines is a byte-level no-op.
+#[test]
+fn checked_in_baselines_are_parse_render_fixed_points() {
+    use xtask::baseline::{self, Ratchet};
+    let root = workspace_root();
+    for ratchet in [
+        Ratchet::PanicFreedom,
+        Ratchet::CastAudit,
+        Ratchet::PanicReach,
+        Ratchet::DeadApi,
+        Ratchet::ChangelogEmits,
+        Ratchet::AllocHotPath,
+        Ratchet::LoopComplexity,
+    ] {
+        let path = root.join(ratchet.path());
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let counts = baseline::parse(&text)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        assert_eq!(
+            baseline::render(ratchet, &counts),
+            text,
+            "{} is not in canonical form; run `cargo xtask check --update-baseline`",
+            path.display()
+        );
+    }
 }
