@@ -15,6 +15,15 @@
 //! replaying the stream in order is therefore idempotent per file and
 //! cannot drift from the trie through rounding or reordering within a
 //! single file's history.
+//!
+//! That absoluteness is also what licenses *coalescing*: a window of
+//! deltas for one node collapses to the last word said about it, so the
+//! consumer side stages drained deltas in a [`crate::DeltaBuffer`] and
+//! folds whole windows into the index as per-user batches instead of one
+//! update per delta. The producer upholds one invariant the buffer leans
+//! on: a path is never re-bound to a new node id without a delta being
+//! emitted for the old id first (remove, rename-away, or an overwrite
+//! that keeps its id).
 
 use crate::meta::FileMeta;
 use crate::trie::NodeId;

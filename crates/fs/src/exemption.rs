@@ -89,7 +89,9 @@ impl ExemptionList {
 
     /// Is `path` reserved (exactly, or under a reserved directory)?
     pub fn is_exempt(&self, path: &str) -> bool {
-        if self.exact.lookup(path).is_some() {
+        // Fast path for the common no-reservations case: every indexed or
+        // scanned file asks, so skip the trie lookup when it cannot hit.
+        if !self.exact.is_empty() && self.exact.lookup(path).is_some() {
             return true;
         }
         if self.prefixes.is_empty() {

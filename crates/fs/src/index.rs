@@ -3,10 +3,27 @@
 //! [`CatalogIndex`] is the consumer side of the [`crate::changelog`]
 //! stream: it keeps per-user file listings — ordered exactly as a trie
 //! walk would order them — plus per-user byte/atime aggregates, and folds
-//! drained [`Delta`]s in O(changes). A retention trigger then materializes
-//! the policy-facing [`Catalog`] from the index instead of re-walking the
-//! namespace; users untouched since the previous trigger reuse their
-//! cached listing verbatim, so a no-change trigger costs O(1).
+//! buffered [`Delta`] batches in O(changes). A retention trigger then
+//! materializes the policy-facing [`Catalog`] from the index instead of
+//! re-walking the namespace; users untouched since the previous trigger
+//! reuse their cached listing verbatim, so a no-change trigger costs O(1).
+//!
+//! # Batched ingestion
+//!
+//! Deltas arrive through a [`DeltaBuffer`], which collapses a window of
+//! changes to one net effect per node. [`CatalogIndex::flush`] applies a
+//! drained window in two phases: first each net delta is *resolved*
+//! against the pre-flush index into **positional slot events** — a dense
+//! id→(user, slot) reverse map turns touches into O(1) in-place patches
+//! and overwrites/removes into integer positions, so only genuinely new
+//! paths pay a binary search; then the events are ordered by one integer
+//! sort and each touched user's listing is rebuilt by a single
+//! **sort-merge** pass of its old records against its event run — one
+//! pass per user per flush instead of one tree insert per delta — with
+//! the byte/atime aggregates recomputed once per shard from the merge
+//! tallies and every reshaped shard's positions re-bound in a finalize
+//! sweep. [`CatalogIndex::apply`] remains as the convenience wrapper that
+//! buffers and flushes in one step.
 //!
 //! # Equivalence guarantee
 //!
@@ -16,30 +33,51 @@
 //! order (ascending [`UserId`]), the same per-user file order
 //! (component-lexicographic path order, via [`PathKey`]), and the same
 //! exemption flags. `tests/integration_catalog_mode.rs` pins this at every
-//! trigger of full replays under all four policies.
+//! trigger of full replays under all four policies, and the differential
+//! oracle (`crates/oracle`) additionally pins buffered application to
+//! per-delta application across randomized op tapes with explicit flush
+//! boundaries.
 
 use crate::changelog::Delta;
+use crate::delta_buffer::DeltaBuffer;
 use crate::exemption::ExemptionList;
-use crate::meta::FileMeta;
-use crate::trie::{components, NodeId};
+use crate::trie::NodeId;
 use crate::vfs::VirtualFs;
+use activedr_core::convert;
 use activedr_core::files::{Catalog, FileId, FileRecord, UserFiles};
 use activedr_core::time::Timestamp;
 use activedr_core::user::UserId;
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// A canonical path that orders the way the trie iterates:
 /// lexicographically by *component*, not by raw string. The two differ
 /// when a component contains bytes below `/` (0x2F): as raw strings
 /// `"/x/a.b" < "/x/a/b"`, but component order puts `a` before `a.b`.
+///
+/// Backed by `Arc<str>`: cheaply cloneable and `Send + Sync`, so shard
+/// listings can be snapshotted or handed across threads without copying
+/// path bytes. The flush hot path itself never clones a key — each
+/// inserted path's `String` moves straight into its slot.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PathKey(Box<str>);
+pub struct PathKey(Arc<str>);
 
 impl PathKey {
     /// Key for `path` (normalized: empty and `.` components dropped).
     pub fn new(path: &str) -> PathKey {
-        PathKey(crate::changelog::canonical_path(path).into_boxed_str())
+        PathKey(crate::changelog::canonical_path(path).into())
+    }
+
+    /// Key for a path that is *already* canonical — what every changelog
+    /// delta and trie walk emits — skipping re-normalization.
+    pub fn from_canonical(path: String) -> PathKey {
+        debug_assert_eq!(
+            crate::changelog::canonical_path(&path),
+            path,
+            "PathKey::from_canonical requires a canonical path"
+        );
+        PathKey(path.into())
     }
 
     /// The canonical path string.
@@ -48,9 +86,44 @@ impl PathKey {
     }
 }
 
+/// Rank a path byte for comparison: the separator sorts below every
+/// other byte, which makes plain byte order on canonical paths agree
+/// with component-lexicographic order (the expensive per-component walk
+/// the flush merge would otherwise pay on every comparison).
+#[inline]
+fn sep_low(b: u8) -> u16 {
+    if b == b'/' {
+        0
+    } else {
+        u16::from(b) + 1
+    }
+}
+
+/// Component-lexicographic comparison of two canonical paths, as raw
+/// bytes. Skips the common prefix eight bytes at a time (a word compare),
+/// then ranks only the first differing pair — per-byte mapping is only
+/// needed at the divergence point, since [`sep_low`] is a bijection and
+/// so preserves byte equality.
+fn cmp_canonical(a: &[u8], b: &[u8]) -> Ordering {
+    let mut matched = 0;
+    for (ca, cb) in a.chunks_exact(8).zip(b.chunks_exact(8)) {
+        if ca != cb {
+            break;
+        }
+        matched += 8;
+    }
+    for (&x, &y) in a.iter().zip(b.iter()).skip(matched) {
+        let (x, y) = (sep_low(x), sep_low(y));
+        if x != y {
+            return x.cmp(&y);
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
 impl Ord for PathKey {
     fn cmp(&self, other: &Self) -> Ordering {
-        components(&self.0).cmp(components(&other.0))
+        cmp_canonical(self.0.as_bytes(), other.0.as_bytes())
     }
 }
 
@@ -82,14 +155,15 @@ impl IndexedFile {
     }
 }
 
-/// One user's slice of the index: path-ordered files plus O(1)-maintained
-/// aggregates.
+/// One user's slice of the index: a path-ordered record vector (merged
+/// wholesale at flush time, binary-searched for in-place touches) plus
+/// aggregates maintained per flush.
 #[derive(Debug, Clone, Default)]
 struct UserShard {
-    files: BTreeMap<PathKey, IndexedFile>,
-    /// Total bytes owned, maintained per delta.
+    files: Vec<(PathKey, IndexedFile)>,
+    /// Total bytes owned, recomputed from merge tallies per flush.
     bytes: u64,
-    /// Sum of atimes in seconds, maintained per delta — the basis of the
+    /// Sum of atimes in seconds, maintained alongside — the basis of the
     /// mean-age aggregate (exact integer arithmetic; removal-safe, unlike
     /// a min/max which would need a rescan on delete).
     atime_secs_sum: i128,
@@ -120,14 +194,130 @@ impl UserAggregates {
     }
 }
 
+/// One resolution-phase event against a slot of an owner's pre-flush
+/// shard. `Remove` and `Put` target an *existing* slot by position (the
+/// record's path key is kept); `Insert` lands a new record ahead of a
+/// position. Events are collected into a single flush-wide vector in
+/// delta order and sorted by the packed (owner, position, at-slot) key —
+/// an integer sort, since only same-position inserts ever compare paths.
+#[derive(Debug)]
+enum SlotEv {
+    Remove,
+    Put(IndexedFile),
+    Insert(PathKey, IndexedFile),
+}
+
+/// Sort key for one slot event: owner in the high 32 bits, then the
+/// target slot position, then an at-slot flag so insert-before events
+/// order ahead of same-slot replacements.
+#[inline]
+fn pack(user: UserId, pos: usize, at_slot: bool) -> u64 {
+    (u64::from(user.0) << 32) | (convert::u64_from_usize(pos) << 1) | u64::from(at_slot)
+}
+
+/// Resolve an upsert that lands on a path not currently bound to its id:
+/// binary-search the owner's pre-flush shard, emitting a same-slot `Put`
+/// when the path already exists there (a remove-and-recreate window, or
+/// the defensive double-bind case) and an `Insert` otherwise.
+fn insert_event(
+    users: &BTreeMap<UserId, UserShard>,
+    events: &mut Vec<(u64, u64, SlotEv)>,
+    user: UserId,
+    path: String,
+    file: IndexedFile,
+) {
+    let found = match users.get(&user) {
+        Some(shard) => shard
+            .files
+            .binary_search_by(|(k, _)| cmp_canonical(k.as_str().as_bytes(), path.as_bytes())),
+        None => Err(0),
+    };
+    let seq = convert::u64_from_usize(events.len());
+    match found {
+        Ok(pos) => events.push((pack(user, pos, true), seq, SlotEv::Put(file))),
+        Err(pos) => events.push((
+            pack(user, pos, false),
+            seq,
+            SlotEv::Insert(PathKey::from_canonical(path), file),
+        )),
+    }
+}
+
+/// Append an inserted record to a user's merged listing. The defensive
+/// same-key collision (two inserts on one path inside a window — the
+/// producer's id-binding invariant makes it unreachable) resolves last
+/// writer wins, exactly as per-delta application would.
+fn push_insert(
+    merged: &mut Vec<(PathKey, IndexedFile)>,
+    tally: &mut MergeTally,
+    unmapped: &mut Vec<u32>,
+    key: PathKey,
+    file: IndexedFile,
+) {
+    if let Some((last_key, last_file)) = merged.last_mut() {
+        if *last_key == key {
+            if last_file.id != file.id {
+                unmapped.push(last_file.id.0);
+            }
+            tally.drop_old(last_file);
+            tally.add(&file);
+            *last_file = file;
+            return;
+        }
+    }
+    tally.add(&file);
+    merged.push((key, file));
+}
+
+/// Running byte/atime/file-count deltas of one user's merge, applied to
+/// the shard and index totals once per flush instead of once per delta.
+#[derive(Debug, Default)]
+struct MergeTally {
+    bytes_added: u64,
+    bytes_removed: u64,
+    atime_added: i128,
+    atime_removed: i128,
+    files_added: usize,
+    files_removed: usize,
+}
+
+impl MergeTally {
+    fn add(&mut self, file: &IndexedFile) {
+        self.bytes_added += file.size;
+        self.atime_added += i128::from(file.atime.secs());
+        self.files_added += 1;
+    }
+
+    fn drop_old(&mut self, file: &IndexedFile) {
+        self.bytes_removed += file.size;
+        self.atime_removed += i128::from(file.atime.secs());
+        self.files_removed += 1;
+    }
+}
+
+/// Bind `id`'s reverse-map slot, growing the dense vector on demand.
+fn id_slot_set(by_id: &mut Vec<Option<(UserId, u32)>>, id: u32, slot: (UserId, u32)) {
+    let i = convert::usize_from_u32(id);
+    if i >= by_id.len() {
+        by_id.resize(i + 1, None);
+    }
+    if let Some(entry) = by_id.get_mut(i) {
+        *entry = Some(slot);
+    }
+}
+
 /// The incrementally maintained catalog: per-user listings + aggregates +
 /// a cached [`Catalog`] that is patched, not rebuilt, at snapshot time.
 #[derive(Debug, Clone, Default)]
 pub struct CatalogIndex {
     users: BTreeMap<UserId, UserShard>,
-    /// Reverse map from node id to its index slot, so `Touch`/`Remove`
-    /// deltas (which carry only ids) resolve without a path.
-    by_id: HashMap<u32, (UserId, PathKey)>,
+    /// Reverse map from node id to (owner, slot position in the owner's
+    /// shard), so `Touch`/`Remove` deltas (which carry only ids) resolve
+    /// in O(1) without a path. Node ids are trie slab indices, so a dense
+    /// vector beats hashing on the flush hot path; vacant slots are
+    /// `None`. Every flush that reshapes a shard rebinds the positions of
+    /// all its surviving records.
+    by_id: Vec<Option<(UserId, u32)>>,
     /// The materialized catalog, users sorted ascending; only entries for
     /// users in `dirty` are rebuilt at snapshot time.
     cached: Catalog,
@@ -149,128 +339,257 @@ impl CatalogIndex {
     /// the changelog alone.
     pub fn from_fs(fs: &VirtualFs, exemptions: &ExemptionList) -> Self {
         let mut index = CatalogIndex::new();
-        for (path, id, meta) in fs.iter() {
-            let key = PathKey::new(&path);
-            let exempt = exemptions.is_exempt(key.as_str());
-            index.upsert(key, id, meta, exempt);
-        }
+        let mut buffer = DeltaBuffer::unbounded();
+        buffer.absorb(fs.iter().map(|(path, id, meta)| Delta::Upsert {
+            path,
+            id,
+            meta: *meta,
+        }));
+        index.flush(&mut buffer, exemptions);
+        // The seeding walk is not part of the changelog stream.
+        index.deltas_applied = 0;
         index
     }
 
-    /// Fold a drained delta batch into the index. `exemptions` must be the
-    /// same list the full scan would use (the engine's is fixed per run).
+    /// Fold a delta batch into the index in one buffered flush.
+    /// `exemptions` must be the same list the full scan would use (the
+    /// engine's is fixed per run).
     pub fn apply(&mut self, deltas: impl IntoIterator<Item = Delta>, exemptions: &ExemptionList) {
-        for delta in deltas {
-            self.deltas_applied += 1;
+        let mut buffer = DeltaBuffer::unbounded();
+        buffer.absorb(deltas);
+        self.flush(&mut buffer, exemptions);
+    }
+
+    /// Drain `buffer` and fold its net deltas into the index: resolve
+    /// each delta against the pre-flush state into per-user slot
+    /// operations, then rebuild each touched user's listing with one
+    /// sort-merge pass (see the module docs).
+    pub fn flush(&mut self, buffer: &mut DeltaBuffer, exemptions: &ExemptionList) {
+        self.deltas_applied += buffer.raw_pending();
+        if buffer.is_empty() {
+            return;
+        }
+
+        // Phase 1 — resolution. `by_id` entries consumed here are
+        // re-established for every surviving record in the finalize step,
+        // so each net delta resolves against the pre-flush state exactly
+        // once (the buffer holds at most one delta per id).
+        let mut events: Vec<(u64, u64, SlotEv)> = Vec::with_capacity(buffer.len());
+        let mut touched_users: Vec<UserId> = Vec::new();
+        let mut unmapped: Vec<u32> = Vec::new();
+        for delta in buffer.drain() {
             match delta {
                 Delta::Upsert { path, id, meta } => {
-                    let key = PathKey::new(&path);
-                    let exempt = exemptions.is_exempt(key.as_str());
-                    self.upsert(key, id, &meta, exempt);
+                    let exempt = exemptions.is_exempt(&path);
+                    let file = IndexedFile {
+                        id,
+                        size: meta.size,
+                        atime: meta.atime,
+                        ctime: meta.ctime,
+                        access_count: meta.access_count,
+                        exempt,
+                    };
+                    // The id may already be indexed (an overwrite at the
+                    // same path keeps its node id; a rename re-uses the id
+                    // at a new path): same slot is a positional replace,
+                    // anything else kills the old slot and re-resolves.
+                    let old = self
+                        .by_id
+                        .get_mut(convert::usize_from_u32(id.0))
+                        .and_then(Option::take);
+                    if let Some((old_user, old_pos)) = old {
+                        let same_slot = old_user == meta.owner
+                            && self
+                                .users
+                                .get(&old_user)
+                                .and_then(|s| s.files.get(convert::usize_from_u32(old_pos)))
+                                .is_some_and(|(k, _)| k.as_str() == path);
+                        let pos = convert::usize_from_u32(old_pos);
+                        if same_slot {
+                            let seq = convert::u64_from_usize(events.len());
+                            events.push((pack(old_user, pos, true), seq, SlotEv::Put(file)));
+                            continue;
+                        }
+                        let seq = convert::u64_from_usize(events.len());
+                        events.push((pack(old_user, pos, true), seq, SlotEv::Remove));
+                    }
+                    insert_event(&self.users, &mut events, meta.owner, path, file);
                 }
                 Delta::Touch {
                     id,
                     atime,
                     access_count,
-                } => self.touch(id, atime, access_count),
-                Delta::Remove { id } => self.remove(id),
+                } => self.touch_in_place(id, atime, access_count, &mut touched_users),
+                Delta::Remove { id } => {
+                    let old = self
+                        .by_id
+                        .get_mut(convert::usize_from_u32(id.0))
+                        .and_then(Option::take);
+                    if let Some((user, pos)) = old {
+                        let seq = convert::u64_from_usize(events.len());
+                        events.push((
+                            pack(user, convert::usize_from_u32(pos), true),
+                            seq,
+                            SlotEv::Remove,
+                        ));
+                    }
+                }
             }
         }
-    }
+        self.dirty.extend(touched_users);
+        // Order events by (owner, position, at-slot): an integer sort —
+        // paths only compare between same-position inserts, with the
+        // arrival sequence as the final tiebreak so the defensive
+        // same-key fold stays deterministic.
+        events.sort_unstable_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| match (&a.2, &b.2) {
+                    (SlotEv::Insert(ka, _), SlotEv::Insert(kb, _)) => ka.cmp(kb),
+                    _ => Ordering::Equal,
+                })
+                .then(a.1.cmp(&b.1))
+        });
 
-    fn upsert(&mut self, key: PathKey, id: NodeId, meta: &FileMeta, exempt: bool) {
-        // The id may already be indexed (an overwrite at the same path
-        // keeps its node id; a rename re-uses the id at a new path). Drop
-        // the old slot first so aggregates stay exact.
-        if let Some((old_user, old_key)) = self.by_id.get(&id.0) {
-            if *old_user != meta.owner || *old_key != key {
-                let (old_user, old_key) = (*old_user, old_key.clone());
-                self.drop_slot(old_user, &old_key);
+        // Phase 2 — one merge pass per touched user: walk the old
+        // records by position, splicing this user's run of slot events in
+        // as it goes. Positions refer to the pre-flush shard, which phase
+        // 1 never reshapes (touches only patch records in place).
+        let mut rebound: Vec<UserId> = Vec::new();
+        let mut events = events.into_iter().peekable();
+        while let Some(user_bits) = events.peek().map(|e| e.0 >> 32) {
+            let user = UserId(convert::u32_from_u64(user_bits));
+            self.dirty.insert(user);
+            rebound.push(user);
+            let shard = self.users.entry(user).or_default();
+            let prior = std::mem::take(&mut shard.files);
+            let mut merged: Vec<(PathKey, IndexedFile)> = Vec::with_capacity(prior.len() + 8);
+            let mut tally = MergeTally::default();
+            for (i, (old_key, old_file)) in prior.into_iter().enumerate() {
+                let before = pack(user, i, false);
+                let at = pack(user, i, true);
+                // New records landing ahead of this slot.
+                while events.peek().is_some_and(|e| e.0 == before) {
+                    if let Some((_, _, SlotEv::Insert(key, file))) = events.next() {
+                        push_insert(&mut merged, &mut tally, &mut unmapped, key, file);
+                    }
+                }
+                // At most a remove plus a put target one slot (the put
+                // arrives via the remove-and-recreate or defensive
+                // double-bind resolution); either way the old record
+                // retires, and a put re-lands on the old key.
+                if events.peek().is_some_and(|e| e.0 == at) {
+                    let mut put: Option<IndexedFile> = None;
+                    while events.peek().is_some_and(|e| e.0 == at) {
+                        if let Some((_, _, SlotEv::Put(file))) = events.next() {
+                            put = Some(file);
+                        }
+                    }
+                    tally.drop_old(&old_file);
+                    if let Some(new) = put {
+                        if new.id != old_file.id {
+                            // The displaced record's id loses its binding
+                            // — unless it relocated in this window, in
+                            // which case the rebind pass below re-binds it
+                            // after the unmapping sweep.
+                            unmapped.push(old_file.id.0);
+                        }
+                        tally.add(&new);
+                        merged.push((old_key, new));
+                    }
+                } else {
+                    merged.push((old_key, old_file));
+                }
             }
-        }
-        let shard = self.users.entry(meta.owner).or_default();
-        let indexed = IndexedFile {
-            id,
-            size: meta.size,
-            atime: meta.atime,
-            ctime: meta.ctime,
-            access_count: meta.access_count,
-            exempt,
-        };
-        if let Some(prev) = shard.files.insert(key.clone(), indexed) {
-            // Same user+path: an in-place overwrite (or, defensively, a
-            // stale record whose Remove was lost — evict its id mapping).
-            shard.bytes -= prev.size;
-            shard.atime_secs_sum -= i128::from(prev.atime.secs());
-            self.total_bytes -= prev.size;
-            self.files -= 1;
-            if prev.id != id {
-                self.by_id.remove(&prev.id.0);
+            // Records past the last old slot are pure insertions.
+            while events.peek().is_some_and(|e| (e.0 >> 32) == user_bits) {
+                if let Some((_, _, SlotEv::Insert(key, file))) = events.next() {
+                    push_insert(&mut merged, &mut tally, &mut unmapped, key, file);
+                }
             }
-        }
-        shard.bytes += meta.size;
-        shard.atime_secs_sum += i128::from(meta.atime.secs());
-        self.total_bytes += meta.size;
-        self.files += 1;
-        self.by_id.insert(id.0, (meta.owner, key));
-        self.dirty.insert(meta.owner);
-    }
-
-    fn touch(&mut self, id: NodeId, atime: Timestamp, access_count: u32) {
-        let Some((user, key)) = self.by_id.get(&id.0) else {
-            return; // touch of an untracked file: nothing to update
-        };
-        let user = *user;
-        if let Some(shard) = self.users.get_mut(&user) {
-            if let Some(file) = shard.files.get_mut(key) {
-                shard.atime_secs_sum += i128::from(atime.secs()) - i128::from(file.atime.secs());
-                file.atime = atime;
-                file.access_count = access_count;
-                self.dirty.insert(user);
-            }
-        }
-    }
-
-    fn remove(&mut self, id: NodeId) {
-        if let Some((user, key)) = self.by_id.remove(&id.0) {
-            self.drop_slot(user, &key);
-        }
-    }
-
-    /// Remove the record at `(user, key)` and fix aggregates. Does not
-    /// touch `by_id` — callers own that side.
-    fn drop_slot(&mut self, user: UserId, key: &PathKey) {
-        if let Some(shard) = self.users.get_mut(&user) {
-            if let Some(prev) = shard.files.remove(key) {
-                shard.bytes -= prev.size;
-                shard.atime_secs_sum -= i128::from(prev.atime.secs());
-                self.total_bytes -= prev.size;
-                self.files -= 1;
-            }
-            if shard.files.is_empty() {
+            let empty = merged.is_empty();
+            shard.bytes -= tally.bytes_removed;
+            shard.bytes += tally.bytes_added;
+            shard.atime_secs_sum += tally.atime_added - tally.atime_removed;
+            shard.files = merged;
+            self.total_bytes -= tally.bytes_removed;
+            self.total_bytes += tally.bytes_added;
+            self.files -= tally.files_removed;
+            self.files += tally.files_added;
+            if empty {
                 self.users.remove(&user);
             }
         }
-        self.dirty.insert(user);
+
+        // Finalize the reverse map: dead ids first, then every surviving
+        // record of every reshaped shard gets its (possibly shifted)
+        // position re-bound — in that order, so an id whose old slot was
+        // clobbered in the same window keeps its new binding.
+        for id in unmapped {
+            if let Some(slot) = self.by_id.get_mut(convert::usize_from_u32(id)) {
+                *slot = None;
+            }
+        }
+        for user in rebound {
+            if let Some(shard) = self.users.get(&user) {
+                for (p, (_, file)) in shard.files.iter().enumerate() {
+                    let pos = convert::u32_from_u64(convert::u64_from_usize(p));
+                    id_slot_set(&mut self.by_id, file.id.0, (user, pos));
+                }
+            }
+        }
+    }
+
+    /// Apply a `Touch` directly to the indexed record. Touches never move
+    /// a record between slots, so they bypass the batch merge entirely —
+    /// the reverse map points straight at the slot, no search at all.
+    fn touch_in_place(
+        &mut self,
+        id: NodeId,
+        atime: Timestamp,
+        access_count: u32,
+        touched: &mut Vec<UserId>,
+    ) {
+        let Some(&(user, pos)) = self
+            .by_id
+            .get(convert::usize_from_u32(id.0))
+            .and_then(Option::as_ref)
+        else {
+            return; // touch of an untracked file: nothing to update
+        };
+        if let Some(shard) = self.users.get_mut(&user) {
+            if let Some((_, file)) = shard.files.get_mut(convert::usize_from_u32(pos)) {
+                shard.atime_secs_sum += i128::from(atime.secs()) - i128::from(file.atime.secs());
+                file.atime = atime;
+                file.access_count = access_count;
+                touched.push(user);
+            }
+        }
     }
 
     /// Materialize the catalog. Only users touched since the previous
-    /// snapshot are re-listed; a no-change snapshot returns the cached
-    /// catalog untouched, in O(1).
+    /// snapshot are re-listed — collected into one batch and merged into
+    /// the cached catalog in a single pass; a no-change snapshot returns
+    /// the cached catalog untouched, in O(1).
     pub fn snapshot(&mut self) -> &Catalog {
+        if self.dirty.is_empty() {
+            return &self.cached;
+        }
         let dirty = std::mem::take(&mut self.dirty);
+        let mut upserts: Vec<UserFiles> = Vec::with_capacity(dirty.len());
+        let mut removals: Vec<UserId> = Vec::new();
         for user in dirty {
             match self.users.get(&user) {
                 Some(shard) => {
                     let files: Vec<FileRecord> =
-                        shard.files.values().map(IndexedFile::record).collect();
-                    self.cached.upsert_user(UserFiles::new(user, files));
+                        shard.files.iter().map(|(_, f)| f.record()).collect();
+                    upserts.push(UserFiles::new(user, files));
                 }
-                None => {
-                    self.cached.remove_user(user);
-                }
+                None => removals.push(user),
             }
         }
+        // Both vectors are ascending by user id (`dirty` is an ordered
+        // set), as `merge_users` requires.
+        self.cached.merge_users(upserts, &removals);
         &self.cached
     }
 
@@ -289,7 +608,7 @@ impl CatalogIndex {
         self.users.len()
     }
 
-    /// Deltas folded in over the index's lifetime.
+    /// Raw (pre-coalescing) deltas folded in over the index's lifetime.
     pub fn deltas_applied(&self) -> u64 {
         self.deltas_applied
     }
@@ -322,6 +641,23 @@ impl CatalogIndex {
             })
             .collect()
     }
+}
+
+/// Should an incremental trigger fold `net_deltas` pending net deltas
+/// into an index of `indexed_files` records, or is a plain namespace
+/// walk cheaper?
+///
+/// A flush costs O(net) resolution + sort + merge at roughly 4× the
+/// per-record cost of the lean trie walk, so the crossover sits near
+/// net/files ≈ 25 % — between the measured 15 %-churn (≈1.5×) and
+/// 35 %-churn (≈0.8×) sweep points in `docs/results/BENCH_catalog.json`.
+/// Below the threshold the engine flushes; above it the trigger falls
+/// back to a full scan and leaves the index and buffer intact (the
+/// buffer keeps coalescing, so `index ⊕ buffer = truth` still holds and
+/// a later quiet window flushes the backlog at batch cost).
+#[must_use]
+pub fn flush_beats_scan(net_deltas: usize, indexed_files: usize) -> bool {
+    net_deltas.saturating_mul(4) <= indexed_files.max(1)
 }
 
 /// Describe every way two catalogs differ, as human-readable lines
@@ -380,6 +716,21 @@ mod tests {
         Timestamp::from_days(d)
     }
 
+    #[test]
+    fn flush_beats_scan_crossover() {
+        // Crossover at net/files = 25%: flush at or below, scan above.
+        assert!(flush_beats_scan(0, 0));
+        assert!(flush_beats_scan(0, 1000));
+        assert!(flush_beats_scan(250, 1000));
+        assert!(!flush_beats_scan(251, 1000));
+        assert!(!flush_beats_scan(1000, 1000));
+        // Degenerate empty index: one pending delta means a scan (the
+        // walk of nothing is free), but zero pending still flushes.
+        assert!(!flush_beats_scan(1, 0));
+        // No overflow at the extremes.
+        assert!(!flush_beats_scan(usize::MAX, usize::MAX - 1));
+    }
+
     fn populated() -> (VirtualFs, ExemptionList) {
         let mut fs = VirtualFs::with_capacity(0);
         fs.create("/u2/x", UserId(2), 10, day(1)).unwrap();
@@ -406,6 +757,12 @@ mod tests {
         assert_eq!(sorted, vec!["/x/a", "/x/a/b", "/x/a.b"]);
         // And normalization matches the trie's.
         assert_eq!(PathKey::new("//a/./b").as_str(), "/a/b");
+        // The ownership-taking constructor agrees with the normalizing one
+        // on already-canonical input.
+        assert_eq!(
+            PathKey::from_canonical("/a/b".to_string()),
+            PathKey::new("/a/b")
+        );
     }
 
     #[test]
@@ -416,6 +773,7 @@ mod tests {
         assert_eq!(index.file_count(), fs.file_count());
         assert_eq!(index.total_bytes(), fs.used_bytes());
         assert_eq!(index.user_count(), 2);
+        assert_eq!(index.deltas_applied(), 0);
     }
 
     #[test]
@@ -444,6 +802,38 @@ mod tests {
         fs.remove_subtree("/u1/deep");
         index.apply(fs.drain_changelog(), &ex);
         assert_eq!(index.snapshot(), &fs.catalog(&ex));
+    }
+
+    #[test]
+    fn buffered_flush_matches_per_delta_application() {
+        // The batched sort-merge path and one-delta-at-a-time application
+        // must land on identical indexes — including a create/remove pair
+        // that coalesces to a net no-op and a rename that relocates an id.
+        let (mut fs, ex) = populated();
+        fs.enable_changelog();
+        let mut per_delta = CatalogIndex::from_fs(&fs, &ex);
+        let mut batched = CatalogIndex::from_fs(&fs, &ex);
+
+        fs.create("/u3/tmp", UserId(3), 5, day(5)).unwrap();
+        fs.remove("/u3/tmp").unwrap();
+        fs.create("/u1/drop", UserId(1), 99, day(6)).unwrap();
+        fs.access("/u1/drop", day(7));
+        fs.rename("/u1/drop", "/u2/taken").unwrap();
+        let deltas = fs.drain_changelog();
+
+        for delta in deltas.clone() {
+            per_delta.apply([delta], &ex);
+        }
+        let mut buffer = DeltaBuffer::unbounded();
+        buffer.absorb(deltas);
+        batched.flush(&mut buffer, &ex);
+
+        assert_eq!(batched.snapshot(), per_delta.snapshot());
+        assert_eq!(batched.snapshot(), &fs.catalog(&ex));
+        assert_eq!(batched.total_bytes(), per_delta.total_bytes());
+        assert_eq!(batched.file_count(), per_delta.file_count());
+        // Raw delta accounting survives coalescing.
+        assert_eq!(batched.deltas_applied(), per_delta.deltas_applied());
     }
 
     #[test]

@@ -15,9 +15,13 @@
 //! * [`exemption`] — the purge-exemption (reservation) list;
 //! * [`changelog`] — the per-mutation delta stream behind the incremental
 //!   catalog (Robinhood-style changelog);
+//! * [`delta_buffer`] — the bounded, coalescing staging buffer that
+//!   collapses a window of deltas to per-node net effects before they
+//!   reach the index;
 //! * [`index`] — the changelog-fed [`CatalogIndex`]: per-user listings and
-//!   byte/age aggregates maintained in O(changes), snapshot into a
-//!   policy catalog without re-walking the trie;
+//!   byte/age aggregates maintained in O(changes) via per-user sort-merge
+//!   batch application, snapshot into a policy catalog without re-walking
+//!   the trie;
 //! * [`snapshot`] — weekly metadata snapshot capture/restore with a JSONL
 //!   wire format;
 //! * [`scan`] — rayon-parallel catalog scans with per-shard counters (the
@@ -26,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 pub mod changelog;
+pub mod delta_buffer;
 pub mod exemption;
 pub mod index;
 pub mod meta;
@@ -36,8 +41,9 @@ pub mod trie;
 pub mod vfs;
 
 pub use changelog::{Changelog, Delta};
+pub use delta_buffer::DeltaBuffer;
 pub use exemption::ExemptionList;
-pub use index::{diff_catalogs, CatalogIndex, PathKey, UserAggregates};
+pub use index::{diff_catalogs, flush_beats_scan, CatalogIndex, PathKey, UserAggregates};
 pub use meta::FileMeta;
 pub use scan::{parallel_catalog, ScanResult, ShardReport};
 pub use snapshot::{Snapshot, SnapshotDiff, SnapshotEntry, SnapshotError};

@@ -8,7 +8,11 @@
 //!   deltas as it goes) and the flat [`ModelFs`] side by side, comparing
 //!   per-op results and, after **every** op, byte accounting, file sets,
 //!   op counters, the incremental-vs-full-scan catalog
-//!   ([`diff_catalogs`]), and the model-vs-scan catalog.
+//!   ([`diff_catalogs`]), and the model-vs-scan catalog. A second
+//!   *batched* index rides along, staging the same deltas in a coalescing
+//!   [`DeltaBuffer`] and folding them only at [`Op::Flush`] boundaries
+//!   and at end of tape — pinning buffered application to per-delta
+//!   application wherever the window happens to split.
 //! * [`run_engine_matrix`] — generate a small trace world and replay it
 //!   through the engine under the full configuration matrix
 //!   {FullScan, Incremental} × {serial, sharded eval} × {telemetry off,
@@ -29,7 +33,7 @@ use activedr_core::policy::flt::FltPolicy;
 use activedr_core::policy::{PurgeRequest, RetentionPolicy};
 use activedr_core::time::Timestamp;
 use activedr_core::user::UserId;
-use activedr_fs::{diff_catalogs, CatalogIndex, ExemptionList, Snapshot, VirtualFs};
+use activedr_fs::{diff_catalogs, CatalogIndex, DeltaBuffer, ExemptionList, Snapshot, VirtualFs};
 use activedr_sim::{
     build_initial_fs, run_instrumented, run_with_telemetry, CatalogMode, ObsConfig, SimConfig,
     SimResult, Telemetry,
@@ -214,6 +218,10 @@ pub fn run_fs_differential(seq: &OpSequence, bug: Option<InjectedBug>) -> Result
     let mut ex_real = ExemptionList::new();
     let mut ex_model = ModelExemptions::new();
     let mut index = CatalogIndex::from_fs(&fs, &ex_real);
+    // The batched twin: same deltas, staged through a coalescing buffer
+    // and folded only at explicit flush boundaries.
+    let mut batched = index.clone();
+    let mut buffer = DeltaBuffer::unbounded();
     let mut model = ModelFs::with_capacity(FS_CAP);
     if let Some(bug) = bug {
         model = model.with_injected_bug(bug);
@@ -229,6 +237,8 @@ pub fn run_fs_differential(seq: &OpSequence, bug: Option<InjectedBug>) -> Result
             op,
             &mut fs,
             &mut index,
+            &mut batched,
+            &mut buffer,
             &mut model,
             &mut ex_real,
             &mut ex_model,
@@ -240,7 +250,9 @@ pub fn run_fs_differential(seq: &OpSequence, bug: Option<InjectedBug>) -> Result
                 detail,
             });
         }
-        index.apply(fs.drain_changelog(), &ex_real);
+        let deltas = fs.drain_changelog();
+        buffer.absorb(deltas.iter().cloned());
+        index.apply(deltas, &ex_real);
         if let Err(detail) = compare_states(&fs, &mut index, &model, &ex_real, &ex_model) {
             return Err(Divergence {
                 op_index: Some(i),
@@ -248,14 +260,52 @@ pub fn run_fs_differential(seq: &OpSequence, bug: Option<InjectedBug>) -> Result
             });
         }
     }
+    // End of tape is always a flush boundary: whatever is still pending
+    // must fold to the per-op index's state.
+    batched.flush(&mut buffer, &ex_real);
+    if let Err(detail) = compare_batched(&mut batched, &mut index) {
+        return Err(Divergence {
+            op_index: None,
+            detail,
+        });
+    }
+    Ok(())
+}
+
+/// At a flush boundary, the batched (coalescing-buffer) index must land
+/// on exactly the per-op index's catalog and accounting.
+fn compare_batched(batched: &mut CatalogIndex, per_op: &mut CatalogIndex) -> Result<(), String> {
+    if batched.file_count() != per_op.file_count() || batched.total_bytes() != per_op.total_bytes()
+    {
+        return Err(format!(
+            "batched index accounting: {} file(s)/{} B vs per-op {} file(s)/{} B",
+            batched.file_count(),
+            batched.total_bytes(),
+            per_op.file_count(),
+            per_op.total_bytes()
+        ));
+    }
+    let drift = diff_catalogs(batched.snapshot(), per_op.snapshot());
+    if let Some(first) = drift.first() {
+        return Err(format!(
+            "batched-vs-per-op catalog drift ({} findings): {first}",
+            drift.len()
+        ));
+    }
     Ok(())
 }
 
 /// Apply one op to both sides, comparing the op's own outcome.
+#[allow(
+    clippy::too_many_arguments,
+    reason = "one executor state bundle, plumbed once"
+)]
 fn apply_op(
     op: &Op,
     fs: &mut VirtualFs,
     index: &mut CatalogIndex,
+    batched: &mut CatalogIndex,
+    buffer: &mut DeltaBuffer,
     model: &mut ModelFs,
     ex_real: &mut ExemptionList,
     ex_model: &mut ModelExemptions,
@@ -382,12 +432,24 @@ fn apply_op(
             // Reservation-list edits change exempt flags the incremental
             // index already cached, so they invalidate it — exactly as a
             // policy change forces a re-scan in changelog-driven engines.
+            // The batched twin re-seeds too, and its buffered history is
+            // now redundant with the fresh walk.
             *index = CatalogIndex::from_fs(fs, ex_real);
+            *batched = index.clone();
+            buffer.clear();
         }
         Op::ReserveDir { prefix } => {
             ex_real.reserve_dir(prefix);
             ex_model.reserve_dir(prefix);
             *index = CatalogIndex::from_fs(fs, ex_real);
+            *batched = index.clone();
+            buffer.clear();
+        }
+        Op::Flush => {
+            // The buffer holds everything drained since the last boundary;
+            // folding it here must land exactly on the per-op index.
+            batched.flush(buffer, ex_real);
+            compare_batched(batched, index)?;
         }
     }
     Ok(())
@@ -458,6 +520,11 @@ impl MatrixCell {
             config = config.with_obs(ObsConfig::on());
             if self.catalog_mode == CatalogMode::Incremental {
                 config = config.with_catalog_guard(base.purge_interval_days);
+                // A tiny buffer bound makes forced mid-interval flushes
+                // routine in this cell; the digest comparison against the
+                // reference cell proves flush placement is semantically
+                // free.
+                config = config.with_delta_buffer_cap(8);
             }
         }
         config

@@ -80,10 +80,14 @@ pub fn gen_sequence(seed: u64, config: &GenConfig) -> OpSequence {
                 size: 1 + rng.below(1 << 16),
                 day,
             },
-            28..=51 => Op::Read {
+            28..=47 => Op::Read {
                 path: pick_path(&mut rng, &mut known),
                 day,
             },
+            // Flush boundaries dropped at arbitrary tape positions pin the
+            // coalescing delta buffer to per-delta application no matter
+            // where a window is split.
+            48..=51 => Op::Flush,
             52..=59 => Op::Remove {
                 path: pick_path(&mut rng, &mut known),
             },

@@ -53,6 +53,12 @@ pub enum Op {
     ReserveFile { path: String },
     /// Reserve a whole directory prefix against purging.
     ReserveDir { prefix: String },
+    /// Force the batched executor to flush its coalescing delta buffer
+    /// into its index here. Placing flush boundaries at arbitrary points
+    /// of a tape is what pins buffered application to per-delta
+    /// application: a window split anywhere must land on the same
+    /// catalog. No-op on the model and per-delta sides.
+    Flush,
 }
 
 impl fmt::Display for Op {
@@ -76,6 +82,7 @@ impl fmt::Display for Op {
             Op::SnapshotRoundtrip { day } => write!(f, "snapshot day={day}"),
             Op::ReserveFile { path } => write!(f, "reserve-file {path}"),
             Op::ReserveDir { prefix } => write!(f, "reserve-dir {prefix}"),
+            Op::Flush => write!(f, "flush"),
         }
     }
 }
@@ -166,6 +173,7 @@ impl FromStr for Op {
             "reserve-dir" => Op::ReserveDir {
                 prefix: word(line, toks.next(), "prefix")?.to_string(),
             },
+            "flush" => Op::Flush,
             other => return Err(bad(line, &format!("unknown op {other:?}"))),
         };
         if let Some(extra) = toks.next() {
@@ -251,6 +259,7 @@ mod tests {
             Op::ReserveDir {
                 prefix: "/scratch/proj".into(),
             },
+            Op::Flush,
             Op::Remove {
                 path: "/scratch/u1/keep".into(),
             },

@@ -24,7 +24,9 @@ use crate::archive::{ArchiveConfig, ArchiveStats, ArchiveTier};
 use crate::metrics::DailyMetrics;
 use activedr_core::convert;
 use activedr_core::prelude::*;
-use activedr_fs::{diff_catalogs, CatalogIndex, ExemptionList, VirtualFs};
+use activedr_fs::{
+    diff_catalogs, flush_beats_scan, CatalogIndex, DeltaBuffer, ExemptionList, VirtualFs,
+};
 use activedr_obs::{Counter, Histogram, ObsConfig, Telemetry};
 use activedr_trace::{activity_events, AccessKind, TraceSet};
 use serde::{Deserialize, Serialize};
@@ -148,6 +150,13 @@ pub struct SimConfig {
     /// the flight recorder and `catalog.guard_*` counters. Read-only —
     /// replay results are unaffected. `None` (default) disables it.
     pub catalog_guard_interval_days: Option<u32>,
+    /// Coalescing delta-buffer bound for [`CatalogMode::Incremental`]:
+    /// once more than this many distinct nodes are pending, the engine
+    /// folds the buffer into the index early (a *forced flush*, counted
+    /// by `catalog.forced_flushes`) instead of waiting for the next
+    /// trigger, so a bursty trace cannot grow the pending set without
+    /// limit. Ignored in [`CatalogMode::FullScan`].
+    pub delta_buffer_cap: usize,
 }
 
 impl SimConfig {
@@ -203,6 +212,7 @@ impl SimConfig {
             catalog_mode: CatalogMode::default(),
             obs: ObsConfig::default(),
             catalog_guard_interval_days: None,
+            delta_buffer_cap: 1 << 16,
         }
     }
 
@@ -228,6 +238,11 @@ impl SimConfig {
 
     pub fn with_catalog_guard(mut self, interval_days: u32) -> Self {
         self.catalog_guard_interval_days = Some(interval_days);
+        self
+    }
+
+    pub fn with_delta_buffer_cap(mut self, cap: usize) -> Self {
+        self.delta_buffer_cap = cap;
         self
     }
 }
@@ -428,6 +443,8 @@ struct EngineMetrics {
     triggers_fired: Counter,
     triggers_skipped: Counter,
     changelog_deltas: Counter,
+    forced_flushes: Counter,
+    scan_fallbacks: Counter,
     guard_checks: Counter,
     guard_divergences: Counter,
     purged_bytes_per_trigger: Histogram,
@@ -459,6 +476,8 @@ impl EngineMetrics {
             triggers_fired: tele.counter("retention.triggers_fired"),
             triggers_skipped: tele.counter("retention.triggers_skipped"),
             changelog_deltas: tele.counter("catalog.changelog_deltas"),
+            forced_flushes: tele.counter("catalog.forced_flushes"),
+            scan_fallbacks: tele.counter("catalog.scan_fallbacks"),
             guard_checks: tele.counter("catalog.guard_checks"),
             guard_divergences: tele.counter("catalog.guard_divergences"),
             purged_bytes_per_trigger: tele
@@ -557,12 +576,16 @@ fn run_engine(
 
     // Incremental catalog mode: record a changelog and seed the index
     // with the one unavoidable initial walk; every trigger after that is
-    // fed deltas only.
+    // fed deltas only, staged through a bounded coalescing buffer that
+    // collapses each day's churn to per-node net effects.
     let mut incremental = match config.catalog_mode {
         CatalogMode::FullScan => None,
         CatalogMode::Incremental => {
             fs.enable_changelog();
-            Some(CatalogIndex::from_fs(&fs, &config.exemptions))
+            Some((
+                CatalogIndex::from_fs(&fs, &config.exemptions),
+                DeltaBuffer::with_capacity(config.delta_buffer_cap),
+            ))
         }
     };
 
@@ -638,22 +661,48 @@ fn run_engine(
                     full_catalog = fs.catalog(&config.exemptions);
                     &full_catalog
                 }
-                Some(index) => {
+                Some((index, buffer)) => {
                     tele.gauge("catalog.changelog_depth")
                         .set_u64(convert::u64_from_usize(fs.changelog_depth()));
                     let deltas = fs.drain_changelog();
                     metrics
                         .changelog_deltas
                         .add(convert::u64_from_usize(deltas.len()));
-                    tele.flight(day, "changelog-flush", || {
-                        format!("{} delta(s) folded into the catalog index", deltas.len())
-                    });
-                    index.apply(deltas, &config.exemptions);
-                    tele.gauge("catalog.dirty_users")
-                        .set_u64(convert::u64_from_usize(index.dirty_user_count()));
-                    tele.gauge("catalog.index_files")
-                        .set_u64(convert::u64_from_usize(index.file_count()));
-                    index.snapshot()
+                    buffer.absorb(deltas);
+                    let raw = buffer.raw_pending();
+                    let net = buffer.len();
+                    tele.gauge("catalog.buffer_depth")
+                        .set_u64(convert::u64_from_usize(net));
+                    if flush_beats_scan(net, index.file_count()) {
+                        tele.flight(day, "changelog-flush", || {
+                            format!(
+                                "{raw} raw delta(s) coalesced to {net} net, folded into the catalog index"
+                            )
+                        });
+                        index.flush(buffer, &config.exemptions);
+                        tele.gauge("catalog.dirty_users")
+                            .set_u64(convert::u64_from_usize(index.dirty_user_count()));
+                        tele.gauge("catalog.index_files")
+                            .set_u64(convert::u64_from_usize(index.file_count()));
+                        index.snapshot()
+                    } else {
+                        // Past the flush/scan crossover a namespace walk
+                        // is cheaper than folding the backlog. The index
+                        // and buffer stay intact — pending deltas keep
+                        // coalescing, so `index ⊕ buffer` still equals
+                        // the truth and a quieter trigger (or the forced
+                        // end-of-day flush) drains the backlog later.
+                        metrics.scan_fallbacks.inc();
+                        tele.flight(day, "changelog-scan", || {
+                            format!(
+                                "{net} net pending delta(s) vs {} indexed file(s): past the \
+                                 flush/scan crossover, serving this trigger from a full walk",
+                                index.file_count()
+                            )
+                        });
+                        full_catalog = fs.catalog(&config.exemptions);
+                        &full_catalog
+                    }
                 }
             };
             drop(catalog_span);
@@ -876,6 +925,28 @@ fn run_engine(
                         purged_meta.remove(&a.path);
                     }
                 }
+            }
+        }
+
+        // Stage the day's mutations into the coalescing buffer, so the
+        // pending set sits at net-effect size between triggers. A bursty
+        // day that overruns the bound forces an early fold into the index
+        // (identical end state — the buffer's flush boundary placement is
+        // semantically free).
+        if let Some((index, buffer)) = incremental.as_mut() {
+            let deltas = fs.drain_changelog();
+            metrics
+                .changelog_deltas
+                .add(convert::u64_from_usize(deltas.len()));
+            buffer.absorb(deltas);
+            if buffer.over_capacity() {
+                metrics.forced_flushes.inc();
+                let net = buffer.len();
+                let cap = buffer.capacity();
+                tele.flight(day, "changelog-flush", || {
+                    format!("forced: {net} net delta(s) exceeded buffer capacity {cap}")
+                });
+                index.flush(buffer, &config.exemptions);
             }
         }
         result.daily.push(daily);

@@ -96,7 +96,9 @@ fn validate_file(
 /// The release-mode smoke gates: the trigger-by-trigger catalog-mode
 /// equivalence test (all four policies, `Small` scale), the full-scan vs
 /// incremental timing run (rewrites `docs/results/BENCH_catalog.json`,
-/// fails below the 5x floor), a telemetry-enabled Tiny replay through the
+/// fails below the 5x no-change floor, if the week-churn flush does not
+/// beat the full scan, or if any churn-sweep point dips below 1.0x — the
+/// catalog churn regression coming back), a telemetry-enabled Tiny replay through the
 /// real CLI whose `telemetry.json` and trace-event export are then
 /// schema-validated in process, and the obs overhead probe (rewrites
 /// `docs/results/BENCH_obs.json`, fails if the disabled path is not

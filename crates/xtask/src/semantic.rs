@@ -46,10 +46,12 @@ pub struct Signatures {
 
 /// `Result`-returning std functions and macros commonly discarded by
 /// accident. Deliberately short: every entry is a name that appears in this
-/// workspace's non-test code paths.
-const STD_RESULT_FNS: [&str; 5] = [
+/// workspace's non-test code paths. `flush` is NOT here: the workspace's
+/// own `CatalogIndex::flush` is infallible (returns `()`), so the name is
+/// ambiguous — it lives in [`AMBIGUOUS_NAMES`] and the lone `io::Write`
+/// flush site is covered by rustc's `unused_must_use` at its concrete type.
+const STD_RESULT_FNS: [&str; 4] = [
     "write_all",
-    "flush",
     "create_dir_all",
     "remove_file",
     "remove_dir_all",
@@ -63,8 +65,8 @@ const RESULT_MACROS: [&str; 2] = ["write", "writeln"];
 /// by name alone. These never enter the signature table; fallible functions
 /// should not reuse these names (and the ones that do are covered by
 /// rustc's `unused_must_use` at their concrete type).
-const AMBIGUOUS_NAMES: [&str; 8] = [
-    "insert", "remove", "push", "pop", "replace", "take", "swap", "extend",
+const AMBIGUOUS_NAMES: [&str; 9] = [
+    "insert", "remove", "push", "pop", "replace", "take", "swap", "extend", "flush",
 ];
 
 impl Signatures {

@@ -15,7 +15,7 @@
 use activedr_core::files::Catalog;
 use activedr_core::time::Timestamp;
 use activedr_core::user::UserId;
-use activedr_fs::{diff_catalogs, CatalogIndex, ExemptionList, VirtualFs};
+use activedr_fs::{diff_catalogs, CatalogIndex, Delta, DeltaBuffer, ExemptionList, VirtualFs};
 use activedr_sim::{run_instrumented, CatalogMode, Scale, Scenario, SimConfig, SimResult};
 use std::sync::mpsc;
 
@@ -219,6 +219,132 @@ fn rename_then_restage_completion_keeps_index_exact() {
     fs.create("/data/hot2", UserId(3), 5, day20)
         .expect("file where the subtree was");
     assert_index_matches_scan(&mut fs, &mut index, &ex, "after subtree re-create");
+}
+
+/// Apply `deltas` to clones of `seed` one at a time and as one buffered
+/// (coalescing) flush; both must land on identical catalogs and
+/// accounting.
+fn assert_batched_equals_per_delta(
+    seed: &CatalogIndex,
+    deltas: &[Delta],
+    ex: &ExemptionList,
+    label: &str,
+) {
+    let mut per_delta = seed.clone();
+    for d in deltas {
+        per_delta.apply([d.clone()], ex);
+    }
+    let mut batched = seed.clone();
+    let mut buffer = DeltaBuffer::unbounded();
+    buffer.absorb(deltas.iter().cloned());
+    batched.flush(&mut buffer, ex);
+    assert_eq!(
+        batched.file_count(),
+        per_delta.file_count(),
+        "{label}: file count"
+    );
+    assert_eq!(
+        batched.total_bytes(),
+        per_delta.total_bytes(),
+        "{label}: total bytes"
+    );
+    let diffs = diff_catalogs(batched.snapshot(), per_delta.snapshot());
+    assert!(diffs.is_empty(), "{label}: batched != per-delta: {diffs:?}");
+}
+
+#[test]
+fn upsert_remove_upsert_one_window_matches_per_delta() {
+    // The same path goes create → touch → remove → re-create (new node
+    // id, new owner) inside one buffered window. Coalescing keys by id,
+    // so the window nets to a Remove of the old id plus an Upsert of the
+    // new one — which must land exactly where per-delta application does.
+    let (mut fs, mut index, ex) = changelog_fs();
+    fs.create("/u/keep", UserId(1), 7, Timestamp::from_days(0))
+        .expect("keep");
+    index.apply(fs.drain_changelog(), &ex);
+
+    fs.create("/u/f", UserId(1), 10, Timestamp::from_days(1))
+        .expect("create");
+    fs.access("/u/f", Timestamp::from_days(2));
+    assert!(fs.remove("/u/f").is_some(), "remove");
+    fs.create("/u/f", UserId(2), 99, Timestamp::from_days(3))
+        .expect("re-create");
+    let deltas = fs.drain_changelog();
+    assert_batched_equals_per_delta(&index, &deltas, &ex, "upsert-remove-upsert");
+
+    // Folding the window into the live index still matches a full scan.
+    index.apply(deltas, &ex);
+    let diffs = diff_catalogs(index.snapshot(), &fs.catalog(&ex));
+    assert!(diffs.is_empty(), "index != scan: {diffs:?}");
+}
+
+#[test]
+fn rename_split_across_flush_boundary_matches_per_delta() {
+    // A rename reaches the changelog as a Remove (source side) plus an
+    // Upsert (destination) for one node id. Split the drained window at
+    // every position — including between a rename's two halves — flush
+    // each part as its own batch, and assert every split lands on the
+    // per-delta result.
+    let (mut fs, mut index, ex) = changelog_fs();
+    fs.create("/src/a", UserId(1), 64, Timestamp::from_days(0))
+        .expect("a");
+    fs.create("/dst/busy", UserId(2), 32, Timestamp::from_days(0))
+        .expect("busy");
+    index.apply(fs.drain_changelog(), &ex);
+
+    fs.rename("/src/a", "/dst/moved").expect("rename");
+    fs.rename("/dst/busy", "/src/a")
+        .expect("swap into the vacated path");
+    let deltas = fs.drain_changelog();
+    assert!(deltas.len() >= 2, "renames must emit multiple deltas");
+
+    let mut per_delta = index.clone();
+    for d in &deltas {
+        per_delta.apply([d.clone()], &ex);
+    }
+
+    for cut in 0..=deltas.len() {
+        let mut split = index.clone();
+        let mut buffer = DeltaBuffer::unbounded();
+        buffer.absorb(deltas.iter().take(cut).cloned());
+        split.flush(&mut buffer, &ex);
+        buffer.absorb(deltas.iter().skip(cut).cloned());
+        split.flush(&mut buffer, &ex);
+        let diffs = diff_catalogs(split.snapshot(), per_delta.snapshot());
+        assert!(
+            diffs.is_empty(),
+            "cut at {cut}: split != per-delta: {diffs:?}"
+        );
+        assert_eq!(split.total_bytes(), per_delta.total_bytes(), "cut at {cut}");
+    }
+}
+
+#[test]
+fn purge_and_restage_completion_in_one_window_matches_per_delta() {
+    // A purge's Remove and the restage completion's Upsert for the same
+    // path land in one buffered window: the net effect is a replace with
+    // the restaged metadata (fresh atime, reset access count), never a
+    // resurrection of the purged record.
+    let (mut fs, mut index, ex) = changelog_fs();
+    fs.create("/scratch/u1/data", UserId(1), 4096, Timestamp::from_days(0))
+        .expect("data");
+    fs.create("/scratch/u1/other", UserId(1), 100, Timestamp::from_days(0))
+        .expect("other");
+    fs.access("/scratch/u1/data", Timestamp::from_days(1));
+    index.apply(fs.drain_changelog(), &ex);
+
+    assert!(fs.remove("/scratch/u1/data").is_some(), "purge");
+    fs.create("/scratch/u1/data", UserId(1), 4096, Timestamp::from_days(9))
+        .expect("restage completion");
+    let deltas = fs.drain_changelog();
+    assert_batched_equals_per_delta(&index, &deltas, &ex, "purge+restage one window");
+
+    index.apply(deltas, &ex);
+    let diffs = diff_catalogs(index.snapshot(), &fs.catalog(&ex));
+    assert!(diffs.is_empty(), "index != scan: {diffs:?}");
+    let meta = fs.meta("/scratch/u1/data").expect("restaged file");
+    assert_eq!(meta.atime, Timestamp::from_days(9), "restage reset atime");
+    assert_eq!(meta.access_count, 0, "restage reset access count");
 }
 
 #[test]

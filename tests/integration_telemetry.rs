@@ -246,6 +246,41 @@ fn catalog_guard_runs_clean_and_changes_nothing() {
 }
 
 #[test]
+fn adaptive_trigger_falls_back_to_scan_under_heavy_churn() {
+    let sc = scenario();
+    // Stretch the trigger interval so each trigger faces ~60 days of
+    // accumulated churn: at Tiny scale that puts net-pending deltas
+    // well past the flush/scan crossover, forcing the adaptive trigger
+    // onto the full-walk fallback at least once.
+    let mut config = SimConfig::activedr(30).with_catalog_mode(CatalogMode::Incremental);
+    config.purge_interval_days = 60;
+    let mut full_cfg = config.clone();
+    full_cfg.catalog_mode = CatalogMode::FullScan;
+    let full = run(&sc.traces, sc.initial_fs.clone(), &full_cfg);
+
+    let tele = Telemetry::on();
+    let (inc, _) = run_with_telemetry(&sc.traces, sc.initial_fs.clone(), &config, &tele);
+    assert_eq!(
+        result_bytes(&full),
+        result_bytes(&inc),
+        "scan fallback changed the replay outcome"
+    );
+    let report = tele.report();
+    let fallbacks = report.counter("catalog.scan_fallbacks").unwrap_or(0);
+    assert!(
+        fallbacks >= 1,
+        "60 days of churn per trigger should cross the flush/scan threshold"
+    );
+    assert!(
+        report.flight.iter().any(|e| e.kind == "changelog-scan"),
+        "fallback triggers should leave a changelog-scan flight event"
+    );
+    // The fallback leaves index + buffer intact, so the end-of-day
+    // forced flush must still reconcile them: no divergence counters.
+    assert_eq!(report.counter("catalog.guard_divergences").unwrap_or(0), 0);
+}
+
+#[test]
 fn guard_interval_caps_check_frequency() {
     let sc = scenario();
     // A guard interval far beyond the replay window: at most one check.
