@@ -23,7 +23,7 @@ use activedr_sim::experiments::{
 };
 use activedr_sim::{
     report::admin_digest, run, run_with_telemetry, ArchiveConfig, RecoveryModel, Scale, Scenario,
-    SimConfig, Telemetry,
+    SimConfig, StreamOptions, Telemetry,
 };
 use activedr_trace::import::{
     assemble, parse_access_log, parse_publications, parse_sacct, EpochDate, ImportBundle,
@@ -78,6 +78,11 @@ OPTIONS:
     --telemetry <FILE>           record run telemetry: writes <FILE> (JSON
                                  report), a sibling .trace.json (chrome
                                  trace-event export), and prints a summary
+    --telemetry-stream <FILE>    stream telemetry *during* the run: JSONL
+                                 events to <FILE> plus a sibling .prom
+                                 Prometheus-style exposition file
+    --telemetry-every <DAYS>     min days between streamed day events
+                                 (triggers always stream) [default: 1]
     --format <text|json>         experiment output format [default: text]
     --seeds <N>                  seeds for `run variance` [default: 5]
 
@@ -105,6 +110,8 @@ struct Options {
     format: String,
     seeds: u32,
     telemetry: Option<String>,
+    telemetry_stream: Option<String>,
+    telemetry_every: i64,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -124,6 +131,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         format: "text".to_string(),
         seeds: 5,
         telemetry: None,
+        telemetry_stream: None,
+        telemetry_every: 1,
     };
     let mut i = 0;
     while i < args.len() {
@@ -197,6 +206,24 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--telemetry" => {
                 opts.telemetry = Some(args.get(i + 1).ok_or("--telemetry needs a value")?.clone());
+                i += 2;
+            }
+            "--telemetry-stream" => {
+                opts.telemetry_stream = Some(
+                    args.get(i + 1)
+                        .ok_or("--telemetry-stream needs a value")?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--telemetry-every" => {
+                let v = args.get(i + 1).ok_or("--telemetry-every needs a value")?;
+                opts.telemetry_every = v
+                    .parse()
+                    .map_err(|_| format!("bad telemetry interval {v:?}"))?;
+                if opts.telemetry_every < 1 {
+                    return Err("telemetry interval must be at least 1 day".into());
+                }
                 i += 2;
             }
             "--seeds" => {
@@ -326,15 +353,33 @@ fn simulate(opts: &Options) -> Result<String, String> {
         other => return Err(format!("unknown recovery model {other:?}")),
     };
     let scenario = Scenario::build(opts.scale, opts.seed);
-    let Some(telemetry_path) = &opts.telemetry else {
+    if opts.telemetry.is_none() && opts.telemetry_stream.is_none() {
         let result = run(&scenario.traces, scenario.initial_fs.clone(), &config);
         return Ok(admin_digest(&result));
-    };
+    }
 
     // Telemetry-enabled run: same replay (results are byte-identical to
     // the plain path), plus the JSON report, the chrome trace-event
-    // export, and a terminal summary.
+    // export, optionally a live JSONL/exposition stream, and a terminal
+    // summary.
     let tele = Telemetry::on();
+    let mut prom_path = None;
+    if let Some(stream_path) = &opts.telemetry_stream {
+        let file = std::fs::File::create(stream_path)
+            .map_err(|e| format!("creating {stream_path}: {e}"))?;
+        let prom = match stream_path.strip_suffix(".jsonl") {
+            Some(stem) => format!("{stem}.prom"),
+            None => format!("{stream_path}.prom"),
+        };
+        tele.attach_stream(
+            Box::new(std::io::BufWriter::new(file)),
+            StreamOptions {
+                prom_path: Some(prom.clone().into()),
+                every_days: opts.telemetry_every,
+            },
+        );
+        prom_path = Some(prom);
+    }
     let (result, _) = run_with_telemetry(
         &scenario.traces,
         scenario.initial_fs.clone(),
@@ -342,20 +387,31 @@ fn simulate(opts: &Options) -> Result<String, String> {
         &tele,
     );
     let report = tele.report();
-    let trace_path = match telemetry_path.strip_suffix(".json") {
-        Some(stem) => format!("{stem}.trace.json"),
-        None => format!("{telemetry_path}.trace.json"),
-    };
-    std::fs::write(telemetry_path, report.to_json())
-        .map_err(|e| format!("writing {telemetry_path}: {e}"))?;
-    std::fs::write(&trace_path, report.trace_json())
-        .map_err(|e| format!("writing {trace_path}: {e}"))?;
     let mut text = admin_digest(&result);
     text.push('\n');
     text.push_str(&report.render_summary());
-    text.push_str(&format!(
-        "  wrote {telemetry_path}\n  wrote {trace_path} (open in about://tracing or ui.perfetto.dev)\n"
-    ));
+    if let Some(telemetry_path) = &opts.telemetry {
+        let trace_path = match telemetry_path.strip_suffix(".json") {
+            Some(stem) => format!("{stem}.trace.json"),
+            None => format!("{telemetry_path}.trace.json"),
+        };
+        std::fs::write(telemetry_path, report.to_json())
+            .map_err(|e| format!("writing {telemetry_path}: {e}"))?;
+        std::fs::write(&trace_path, report.trace_json())
+            .map_err(|e| format!("writing {trace_path}: {e}"))?;
+        text.push_str(&format!(
+            "  wrote {telemetry_path}\n  wrote {trace_path} (open in about://tracing or ui.perfetto.dev)\n"
+        ));
+    }
+    if let Some(stream_path) = &opts.telemetry_stream {
+        text.push_str(&format!(
+            "  streamed {} line(s) to {stream_path} ({} write error(s))\n",
+            report.stream_lines, report.stream_write_errors
+        ));
+        if let Some(prom) = &prom_path {
+            text.push_str(&format!("  exposition at {prom}\n"));
+        }
+    }
     Ok(text)
 }
 
@@ -553,6 +609,9 @@ mod tests {
         assert!(parse_options(&args(&["--seed"])).is_err());
         assert!(parse_options(&args(&["--seed", "abc"])).is_err());
         assert!(parse_options(&args(&["--lifetime", "0"])).is_err());
+        assert!(parse_options(&args(&["--telemetry-every", "0"])).is_err());
+        assert!(parse_options(&args(&["--telemetry-every", "x"])).is_err());
+        assert!(parse_options(&args(&["--telemetry-stream"])).is_err());
         assert!(parse_options(&args(&["--frobnicate"])).is_err());
     }
 
@@ -586,9 +645,31 @@ mod tests {
         assert!(text.contains("telemetry summary"));
         assert!(text.contains("replay.reads"));
         let report = std::fs::read_to_string(&report_path).unwrap();
-        assert!(report.starts_with("{\"version\":1,"));
+        assert!(report.starts_with("{\"version\":2,"));
+        assert!(report.contains("\"series\":{\"day\":{"));
         let trace = std::fs::read_to_string(dir.join("telemetry.trace.json")).unwrap();
         assert!(trace.contains("\"ph\":\"X\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_with_stream_writes_jsonl_and_exposition() {
+        let dir = std::env::temp_dir().join("activedr-cli-stream-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stream_path = dir.join("run.jsonl");
+        let mut o = parse_options(&args(&["--telemetry-every", "7"])).unwrap();
+        o.scale = Scale::Tiny;
+        o.lifetime = 30;
+        o.telemetry_stream = Some(stream_path.to_string_lossy().into_owned());
+        let text = simulate(&o).unwrap();
+        assert!(text.contains("streamed "), "no stream summary in {text}");
+        assert!(text.contains("exposition at "));
+        let jsonl = std::fs::read_to_string(&stream_path).unwrap();
+        assert!(jsonl.lines().next().unwrap().contains("\"type\":\"meta\""));
+        assert!(jsonl.contains("\"type\":\"final\""));
+        assert!(jsonl.ends_with('\n'), "lines must be newline-terminated");
+        let prom = std::fs::read_to_string(dir.join("run.prom")).unwrap();
+        assert!(prom.contains("# TYPE replay_reads counter"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

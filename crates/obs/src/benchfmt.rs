@@ -1,0 +1,322 @@
+//! Shared emitter for the `BENCH_*.json` schema (version 2) consumed by
+//! the `cargo xtask perf` regression watchdog.
+//!
+//! Schema v2 (v1 was ad-hoc per bench):
+//!
+//! ```json
+//! {
+//!   "bench_schema": 2,
+//!   "name": "catalog",
+//!   "env": {"os": "linux", "arch": "x86_64", "cpus": 16},
+//!   "min_of": 7,
+//!   "metrics": [
+//!     {"name": "speedup_nochange", "kind": "ratio",
+//!      "direction": "higher_better", "value": 12.5, "unit": "x"}
+//!   ],
+//!   "series": [
+//!     {"name": "full_scan_micros_samples", "unit": "us",
+//!      "index": [0, 1, 2], "samples": [811.0, 808.0, 815.0],
+//!      "summary": "full_scan_micros", "reduce": "min"}
+//!   ]
+//! }
+//! ```
+//!
+//! * **metrics** are the gated scalars. `kind` decides the watchdog
+//!   policy: `ratio` metrics are dimensionless and compared across any
+//!   machine; `time` metrics are only compared when the `env`
+//!   fingerprint matches the baseline's; `info` metrics are recorded but
+//!   never gated.
+//! * **series** carry the per-repetition raw samples behind a metric.
+//!   When `summary`/`reduce` are present the validator *recomputes* the
+//!   reduction and fails on drift, so a bench cannot report a summary
+//!   its own samples do not support (min-of-N discipline, per
+//!   criterion's guidance that min is the robust location estimator for
+//!   timing noise).
+
+use crate::report::{json_str, put};
+
+/// Watchdog comparison policy for one metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Dimensionless ratio: gated on every machine.
+    Ratio,
+    /// Wall-time measurement: gated only when the env fingerprint
+    /// matches the baseline.
+    Time,
+    /// Recorded for context, never gated.
+    Info,
+}
+
+impl MetricKind {
+    /// The schema string for this kind.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Ratio => "ratio",
+            MetricKind::Time => "time",
+            MetricKind::Info => "info",
+        }
+    }
+}
+
+/// Which direction of change is an improvement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger is better (speedups).
+    HigherBetter,
+    /// Smaller is better (latencies).
+    LowerBetter,
+    /// Neither (context values).
+    Neutral,
+}
+
+impl Direction {
+    /// The schema string for this direction.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Direction::HigherBetter => "higher_better",
+            Direction::LowerBetter => "lower_better",
+            Direction::Neutral => "none",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Metric {
+    name: String,
+    kind: MetricKind,
+    direction: Direction,
+    value: f64,
+    unit: String,
+}
+
+#[derive(Debug, Clone)]
+struct Series {
+    name: String,
+    unit: String,
+    index: Vec<f64>,
+    samples: Vec<f64>,
+    /// `(metric_name, reduce)` — the validator recomputes `reduce` over
+    /// `samples` and requires it to equal the named metric's value.
+    summary: Option<(String, &'static str)>,
+}
+
+/// Builder for one schema-v2 `BENCH_*.json` document.
+#[derive(Debug, Clone)]
+pub struct BenchEmitter {
+    name: String,
+    min_of: u64,
+    metrics: Vec<Metric>,
+    series: Vec<Series>,
+}
+
+impl BenchEmitter {
+    /// Start a document for the bench `name`, measured with a min-of-
+    /// `min_of` repetition discipline.
+    #[must_use]
+    pub fn new(name: &str, min_of: u64) -> Self {
+        BenchEmitter {
+            name: name.to_string(),
+            min_of,
+            metrics: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Record one gated or informational scalar.
+    pub fn metric(
+        &mut self,
+        name: &str,
+        kind: MetricKind,
+        direction: Direction,
+        value: f64,
+        unit: &str,
+    ) {
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            kind,
+            direction,
+            value,
+            unit: unit.to_string(),
+        });
+    }
+
+    /// Record a raw sample series (e.g. a sweep, or per-repetition
+    /// timings) with an x-axis `index`.
+    pub fn series(&mut self, name: &str, unit: &str, index: &[f64], samples: &[f64]) {
+        self.series.push(Series {
+            name: name.to_string(),
+            unit: unit.to_string(),
+            index: index.to_vec(),
+            samples: samples.to_vec(),
+            summary: None,
+        });
+    }
+
+    /// Record the per-repetition samples behind the metric
+    /// `summary_metric`, declaring that `min(samples)` must equal that
+    /// metric's value (checked by the validator).
+    pub fn samples_for(&mut self, summary_metric: &str, unit: &str, samples: &[f64]) {
+        // Sample ordinals are tiny; `u32 -> f64` is lossless.
+        let index: Vec<f64> = (0..samples.len())
+            .map(|i| u32::try_from(i).map_or(f64::MAX, f64::from))
+            .collect();
+        self.series.push(Series {
+            name: format!("{summary_metric}_samples"),
+            unit: unit.to_string(),
+            index,
+            samples: samples.to_vec(),
+            summary: Some((summary_metric.to_string(), "min")),
+        });
+    }
+
+    /// Serialise the document (stable key order, env fingerprint
+    /// included).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        put(
+            &mut out,
+            format_args!(
+                "{{\"bench_schema\":2,\"name\":{},\"env\":{},\"min_of\":{},\"metrics\":[",
+                json_str(&self.name),
+                env_fingerprint_json(),
+                self.min_of
+            ),
+        );
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            put(
+                &mut out,
+                format_args!(
+                    "{{\"name\":{},\"kind\":\"{}\",\"direction\":\"{}\",\"value\":{},\"unit\":{}}}",
+                    json_str(&m.name),
+                    m.kind.as_str(),
+                    m.direction.as_str(),
+                    fmt_f64(m.value),
+                    json_str(&m.unit)
+                ),
+            );
+        }
+        out.push_str("],\"series\":[");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            put(
+                &mut out,
+                format_args!(
+                    "{{\"name\":{},\"unit\":{},\"index\":{},\"samples\":{}",
+                    json_str(&s.name),
+                    json_str(&s.unit),
+                    json_f64_array(&s.index),
+                    json_f64_array(&s.samples)
+                ),
+            );
+            if let Some((metric, reduce)) = &s.summary {
+                put(
+                    &mut out,
+                    format_args!(",\"summary\":{},\"reduce\":\"{reduce}\"", json_str(metric)),
+                );
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The machine fingerprint gating cross-baseline `time` comparisons.
+#[must_use]
+pub fn env_fingerprint_json() -> String {
+    let cpus = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    format!(
+        "{{\"os\":{},\"arch\":{},\"cpus\":{cpus}}}",
+        json_str(std::env::consts::OS),
+        json_str(std::env::consts::ARCH)
+    )
+}
+
+fn json_f64_array(values: &[f64]) -> String {
+    let mut out = String::with_capacity(values.len() * 8 + 2);
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&fmt_f64(*v));
+    }
+    out.push(']');
+    out
+}
+
+/// JSON-safe float rendering: `f64` `Display` is shortest-roundtrip in
+/// Rust; non-finite values (never expected from a bench) become 0.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        String::from("0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_has_schema_fields_in_order() {
+        let mut e = BenchEmitter::new("catalog", 7);
+        e.metric(
+            "speedup",
+            MetricKind::Ratio,
+            Direction::HigherBetter,
+            12.5,
+            "x",
+        );
+        e.metric(
+            "files",
+            MetricKind::Info,
+            Direction::Neutral,
+            20000.0,
+            "files",
+        );
+        e.series("sweep", "x", &[0.0, 1.0], &[12.5, 3.25]);
+        let json = e.to_json();
+        assert!(json.starts_with("{\"bench_schema\":2,\"name\":\"catalog\",\"env\":{\"os\":"));
+        assert!(json.contains("\"min_of\":7"));
+        assert!(json.contains(
+            "{\"name\":\"speedup\",\"kind\":\"ratio\",\"direction\":\"higher_better\",\
+             \"value\":12.5,\"unit\":\"x\"}"
+        ));
+        assert!(json.contains("\"kind\":\"info\",\"direction\":\"none\""));
+        assert!(json.contains("\"samples\":[12.5,3.25]"));
+    }
+
+    #[test]
+    fn samples_for_links_series_to_metric() {
+        let mut e = BenchEmitter::new("obs", 5);
+        e.metric(
+            "counter_inc_nanos",
+            MetricKind::Time,
+            Direction::LowerBetter,
+            0.3,
+            "ns",
+        );
+        e.samples_for("counter_inc_nanos", "ns", &[0.5, 0.3, 0.4]);
+        let json = e.to_json();
+        assert!(json.contains("\"name\":\"counter_inc_nanos_samples\""));
+        assert!(json.contains("\"summary\":\"counter_inc_nanos\",\"reduce\":\"min\""));
+        assert!(json.contains("\"index\":[0,1,2]"));
+    }
+
+    #[test]
+    fn non_finite_values_are_zeroed() {
+        assert_eq!(fmt_f64(f64::NAN), "0");
+        assert_eq!(fmt_f64(f64::INFINITY), "0");
+        assert_eq!(fmt_f64(1.0), "1");
+    }
+}

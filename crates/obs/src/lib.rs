@@ -42,23 +42,31 @@
 //! std::fs::write("/tmp/doc-telemetry.json", report.to_json()).ok();
 //! ```
 
+pub mod benchfmt;
 pub mod flight;
 pub mod metrics;
 pub mod report;
+pub mod series;
 pub mod span;
+pub mod stream;
 
 use crate::flight::FlightRecorder;
-use crate::metrics::MetricRegistry;
+use crate::metrics::{lock, MetricRegistry};
+use crate::series::SeriesRecorder;
 use crate::span::SpanLog;
-use std::sync::Arc;
+use crate::stream::{StreamEventKind, StreamState};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+pub use crate::benchfmt::{BenchEmitter, Direction, MetricKind};
 pub use crate::flight::FlightEvent;
 pub use crate::metrics::{
     Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot,
 };
 pub use crate::report::TelemetryReport;
+pub use crate::series::{SeriesPoint, SeriesTrack};
 pub use crate::span::{SpanGuard, SpanInstanceSnapshot, SpanSnapshot};
+pub use crate::stream::{complete_lines, exposition, StreamOptions};
 
 /// Telemetry knobs. Defaults to **disabled**: replay runs carry a
 /// [`Telemetry`] handle either way, but a disabled one records nothing
@@ -72,6 +80,10 @@ pub struct ObsConfig {
     /// Upper bound on recorded span instances (trace-event samples);
     /// aggregate span totals keep accumulating past this.
     pub max_span_instances: usize,
+    /// Time-series ring capacity per track (day and trigger series);
+    /// clamped to a power of two ≥ 4. `0` disables series recording
+    /// even on an enabled instance.
+    pub series_capacity: usize,
 }
 
 impl Default for ObsConfig {
@@ -80,6 +92,7 @@ impl Default for ObsConfig {
             enabled: false,
             flight_capacity: 512,
             max_span_instances: 65_536,
+            series_capacity: 64,
         }
     }
 }
@@ -100,6 +113,17 @@ struct Inner {
     metrics: MetricRegistry,
     spans: Arc<SpanLog>,
     flight: FlightRecorder,
+    /// Day and trigger time-series recorders; `None` when
+    /// `series_capacity == 0`.
+    series: Option<SeriesPair>,
+    /// Attached streaming sink, if any.
+    stream: Mutex<Option<StreamState>>,
+}
+
+#[derive(Debug)]
+struct SeriesPair {
+    day: Mutex<SeriesRecorder>,
+    trigger: Mutex<SeriesRecorder>,
 }
 
 /// Handle to one telemetry instance. Cheap to clone (shared `Arc`); a
@@ -118,11 +142,17 @@ impl Telemetry {
         }
         // xtask-allow: determinism -- telemetry epoch is side-channel wall time, never replay input
         let epoch = Instant::now();
+        let series = (config.series_capacity > 0).then(|| SeriesPair {
+            day: Mutex::new(SeriesRecorder::new(config.series_capacity)),
+            trigger: Mutex::new(SeriesRecorder::new(config.series_capacity)),
+        });
         Telemetry {
             inner: Some(Arc::new(Inner {
                 metrics: MetricRegistry::default(),
                 spans: Arc::new(SpanLog::new(epoch, config.max_span_instances)),
                 flight: FlightRecorder::new(config.flight_capacity),
+                series,
+                stream: Mutex::new(None),
             })),
         }
     }
@@ -212,15 +242,99 @@ impl Telemetry {
         };
         let (span_instances, dropped_span_instances) = inner.spans.instances();
         let (flight, dropped_flight_events) = inner.flight.events();
+        let counters = inner.metrics.counter_snapshots();
+        let gauges = inner.metrics.gauge_snapshots();
+        let histograms = inner.metrics.histogram_snapshots();
+        let (day_series, trigger_series) = match &inner.series {
+            Some(series) => (
+                lock(&series.day).snapshot(&counters, &gauges, &histograms),
+                lock(&series.trigger).snapshot(&counters, &gauges, &histograms),
+            ),
+            None => (SeriesTrack::default(), SeriesTrack::default()),
+        };
+        let (stream_lines, stream_write_errors) = lock(&inner.stream)
+            .as_ref()
+            .map_or((0, 0), |s| (s.lines(), s.write_errors()));
         TelemetryReport {
-            counters: inner.metrics.counter_snapshots(),
-            gauges: inner.metrics.gauge_snapshots(),
-            histograms: inner.metrics.histogram_snapshots(),
+            counters,
+            gauges,
+            histograms,
             spans: inner.spans.tree(),
             span_instances,
             dropped_span_instances,
             flight,
             dropped_flight_events,
+            day_series,
+            trigger_series,
+            stream_lines,
+            stream_write_errors,
+        }
+    }
+
+    /// Attach a streaming sink (see [`stream`]): subsequent
+    /// [`Telemetry::sample_day`] / [`Telemetry::sample_trigger`] /
+    /// [`Telemetry::sample_final`] calls emit incremental JSONL events to
+    /// `sink` and, when [`StreamOptions::prom_path`] is set, rewrite a
+    /// Prometheus-style exposition file. On a disabled instance the sink
+    /// is dropped and nothing is ever written. Attaching a second stream
+    /// replaces the first.
+    pub fn attach_stream(&self, sink: Box<dyn std::io::Write + Send>, options: StreamOptions) {
+        if let Some(inner) = &self.inner {
+            *lock(&inner.stream) = Some(StreamState::new(sink, options));
+        }
+    }
+
+    /// Close one day-granularity series window ending at `day` and feed
+    /// the attached stream (throttled by [`StreamOptions::every_days`]).
+    /// A single branch when disabled.
+    pub fn sample_day(&self, day: i64) {
+        self.sample(day, StreamEventKind::Day);
+    }
+
+    /// Close one trigger-granularity series window at `day` and feed the
+    /// attached stream (never throttled). A single branch when disabled.
+    pub fn sample_trigger(&self, day: i64) {
+        self.sample(day, StreamEventKind::Trigger);
+    }
+
+    /// Final end-of-run sample: closes *both* series windows and the
+    /// stream's delta chain so per-window sums reconcile exactly with the
+    /// cumulative counter snapshots. A single branch when disabled.
+    pub fn sample_final(&self, day: i64) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let counters = inner.metrics.counter_snapshots();
+        let gauges = inner.metrics.gauge_snapshots();
+        let histograms = inner.metrics.histogram_snapshots();
+        if let Some(series) = &inner.series {
+            lock(&series.day).sample(day, &counters, &gauges, &histograms);
+            lock(&series.trigger).sample(day, &counters, &gauges, &histograms);
+        }
+        if let Some(stream) = lock(&inner.stream).as_mut() {
+            stream.observe(StreamEventKind::Final, day, &counters, &gauges);
+        }
+    }
+
+    fn sample(&self, day: i64, kind: StreamEventKind) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        if inner.series.is_none() && lock(&inner.stream).is_none() {
+            return;
+        }
+        let counters = inner.metrics.counter_snapshots();
+        let gauges = inner.metrics.gauge_snapshots();
+        if let Some(series) = &inner.series {
+            let histograms = inner.metrics.histogram_snapshots();
+            let recorder = match kind {
+                StreamEventKind::Trigger => &series.trigger,
+                _ => &series.day,
+            };
+            lock(recorder).sample(day, &counters, &gauges, &histograms);
+        }
+        if let Some(stream) = lock(&inner.stream).as_mut() {
+            stream.observe(kind, day, &counters, &gauges);
         }
     }
 

@@ -1,0 +1,487 @@
+//! Time-series telemetry: bounded windowed sampling of the metric
+//! registry with power-of-two rollup.
+//!
+//! A [`SeriesRecorder`] turns cumulative counters/gauges/histograms into
+//! a *time series*: each call to [`SeriesRecorder::sample`] closes one
+//! raw window and records, per metric column,
+//!
+//! * **counters** — the delta since the previous sample (windowed rate);
+//! * **gauges** — the last observed value (instantaneous level);
+//! * **histograms** — per-bucket count deltas, from which the snapshot
+//!   derives windowed p50/p99 bucket-bound estimates.
+//!
+//! Memory stays `O(capacity) = O(log run-length)` no matter how long the
+//! replay runs: the ring holds at most `capacity` points, and when it
+//! fills, adjacent pairs are merged (deltas added, gauges last-writer)
+//! and the sampling *stride* doubles, so a run of `N` days costs
+//! `log2(N / capacity)` rollups, never unbounded growth.
+//!
+//! Columns are aligned to the metric registry's **registration order**,
+//! which is append-only: a point recorded before a metric existed simply
+//! has a shorter vector, and [`SeriesRecorder::snapshot`] pads those with
+//! zeros so every exported point has one entry per current column.
+//!
+//! The reconciliation invariant (asserted by the `xtask` telemetry
+//! validator and the integration tests): provided a final sample is taken
+//! at end of run, the sum of a counter column over all points — including
+//! the pending partial point — equals the end-of-run cumulative counter
+//! value exactly.
+
+use crate::metrics::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot};
+
+/// One stored (possibly merged) window of samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RawPoint {
+    /// First replay day covered by this window.
+    start_day: i64,
+    /// Last replay day covered by this window.
+    end_day: i64,
+    /// Raw sampling windows merged into this point.
+    windows: u64,
+    /// Counter deltas accumulated over the window, registration order.
+    counters: Vec<u64>,
+    /// Last observed gauge values, registration order.
+    gauges: Vec<i64>,
+    /// Per-histogram per-bucket count deltas, registration order.
+    hist_counts: Vec<Vec<u64>>,
+}
+
+impl RawPoint {
+    /// Fold `later` into `self`: deltas add, gauges take the later value.
+    /// Later points can only have *more* columns (registration is
+    /// append-only), so the merge widens `self` as needed.
+    fn merge(&mut self, later: RawPoint) {
+        self.end_day = later.end_day;
+        self.windows += later.windows;
+        widen_u64(&mut self.counters, later.counters.len());
+        for (acc, v) in self.counters.iter_mut().zip(later.counters.iter()) {
+            *acc = acc.saturating_add(*v);
+        }
+        self.gauges = later.gauges;
+        while self.hist_counts.len() < later.hist_counts.len() {
+            self.hist_counts.push(Vec::new());
+        }
+        for (acc, buckets) in self.hist_counts.iter_mut().zip(later.hist_counts.iter()) {
+            widen_u64(acc, buckets.len());
+            for (a, b) in acc.iter_mut().zip(buckets.iter()) {
+                *a = a.saturating_add(*b);
+            }
+        }
+    }
+}
+
+fn widen_u64(v: &mut Vec<u64>, len: usize) {
+    while v.len() < len {
+        v.push(0);
+    }
+}
+
+/// One exported series point (see [`SeriesTrack::points`]). Vectors are
+/// padded to the track's column lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesPoint {
+    /// First replay day covered by this window.
+    pub start_day: i64,
+    /// Last replay day covered by this window.
+    pub end_day: i64,
+    /// Raw sampling windows merged into this point.
+    pub windows: u64,
+    /// `false` for the trailing partial point still accumulating toward
+    /// a full stride; at most one per track, always last.
+    pub complete: bool,
+    /// Counter deltas over the window, aligned to [`SeriesTrack::counters`].
+    pub counters: Vec<u64>,
+    /// Last observed gauge values, aligned to [`SeriesTrack::gauges`].
+    pub gauges: Vec<i64>,
+    /// Windowed p50 estimate (bucket upper bound at the median crossing)
+    /// per histogram, aligned to [`SeriesTrack::histograms`]; 0 for an
+    /// empty window.
+    pub p50: Vec<u64>,
+    /// Windowed p99 estimate per histogram.
+    pub p99: Vec<u64>,
+}
+
+/// Frozen export of one recorder: column names plus padded points.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SeriesTrack {
+    /// Ring capacity the recorder ran with.
+    pub capacity: usize,
+    /// Raw windows per stored point at snapshot time (doubles per rollup).
+    pub stride: u64,
+    /// Number of pair-merge rollups performed.
+    pub rollups: u64,
+    /// Total raw samples taken over the run.
+    pub raw_samples: u64,
+    /// Counter column names, registration order.
+    pub counters: Vec<String>,
+    /// Gauge column names, registration order.
+    pub gauges: Vec<String>,
+    /// Histogram column names, registration order.
+    pub histograms: Vec<String>,
+    /// Stored points oldest first; the last may be partial
+    /// (`complete == false`).
+    pub points: Vec<SeriesPoint>,
+}
+
+impl SeriesTrack {
+    /// Sum of one counter column over every point (the reconciliation
+    /// quantity: equals the cumulative counter after a final sample).
+    #[must_use]
+    pub fn counter_sum(&self, name: &str) -> Option<u64> {
+        let idx = self.counters.iter().position(|n| n == name)?;
+        Some(
+            self.points
+                .iter()
+                .map(|p| p.counters.get(idx).copied().unwrap_or(0))
+                .fold(0u64, u64::saturating_add),
+        )
+    }
+}
+
+/// Bounded time-series recorder over one metric registry. See the module
+/// docs for the rollup and reconciliation semantics.
+#[derive(Debug)]
+pub(crate) struct SeriesRecorder {
+    capacity: usize,
+    stride: u64,
+    rollups: u64,
+    raw_samples: u64,
+    points: Vec<RawPoint>,
+    /// Partial point still accumulating toward `stride` windows.
+    pending: Option<RawPoint>,
+    /// Cumulative counter values at the previous sample, for deltas.
+    last_counters: Vec<u64>,
+    /// Cumulative per-bucket histogram counts at the previous sample.
+    last_hist_counts: Vec<Vec<u64>>,
+}
+
+impl SeriesRecorder {
+    /// `capacity` is clamped to a power of two of at least 4 so rollup
+    /// always merges an even number of points.
+    pub(crate) fn new(capacity: usize) -> Self {
+        SeriesRecorder {
+            capacity: capacity.next_power_of_two().max(4),
+            stride: 1,
+            rollups: 0,
+            raw_samples: 0,
+            points: Vec::new(),
+            pending: None,
+            last_counters: Vec::new(),
+            last_hist_counts: Vec::new(),
+        }
+    }
+
+    /// Close one raw window ending at `day` against the given registry
+    /// snapshots.
+    pub(crate) fn sample(
+        &mut self,
+        day: i64,
+        counters: &[CounterSnapshot],
+        gauges: &[GaugeSnapshot],
+        histograms: &[HistogramSnapshot],
+    ) {
+        widen_u64(&mut self.last_counters, counters.len());
+        let counter_deltas: Vec<u64> = counters
+            .iter()
+            .zip(self.last_counters.iter_mut())
+            .map(|(snap, last)| {
+                let delta = snap.value.saturating_sub(*last);
+                *last = snap.value;
+                delta
+            })
+            .collect();
+
+        while self.last_hist_counts.len() < histograms.len() {
+            self.last_hist_counts.push(Vec::new());
+        }
+        let hist_deltas: Vec<Vec<u64>> = histograms
+            .iter()
+            .zip(self.last_hist_counts.iter_mut())
+            .map(|(snap, last)| {
+                widen_u64(last, snap.counts.len());
+                snap.counts
+                    .iter()
+                    .zip(last.iter_mut())
+                    .map(|(c, l)| {
+                        let delta = c.saturating_sub(*l);
+                        *l = *c;
+                        delta
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let raw = RawPoint {
+            start_day: day,
+            end_day: day,
+            windows: 1,
+            counters: counter_deltas,
+            gauges: gauges.iter().map(|g| g.value).collect(),
+            hist_counts: hist_deltas,
+        };
+        self.raw_samples += 1;
+
+        match self.pending.take() {
+            None if self.stride == 1 => self.push_point(raw),
+            None => self.pending = Some(raw),
+            Some(mut acc) => {
+                acc.merge(raw);
+                if acc.windows >= self.stride {
+                    self.push_point(acc);
+                } else {
+                    self.pending = Some(acc);
+                }
+            }
+        }
+    }
+
+    /// Store a completed point; roll the ring up when it reaches
+    /// capacity: merge adjacent pairs and double the stride.
+    fn push_point(&mut self, point: RawPoint) {
+        self.points.push(point);
+        if self.points.len() < self.capacity {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.points.len() / 2 + 1);
+        let mut drain = self.points.drain(..);
+        while let Some(mut first) = drain.next() {
+            if let Some(second) = drain.next() {
+                first.merge(second);
+            }
+            merged.push(first);
+        }
+        drop(drain);
+        self.points = merged;
+        self.stride = self.stride.saturating_mul(2);
+        self.rollups += 1;
+    }
+
+    /// Freeze into a [`SeriesTrack`], padding every point to the current
+    /// column lists and deriving windowed percentile estimates from the
+    /// histogram bucket deltas.
+    pub(crate) fn snapshot(
+        &self,
+        counters: &[CounterSnapshot],
+        gauges: &[GaugeSnapshot],
+        histograms: &[HistogramSnapshot],
+    ) -> SeriesTrack {
+        let export = |raw: &RawPoint, complete: bool| -> SeriesPoint {
+            let mut point = SeriesPoint {
+                start_day: raw.start_day,
+                end_day: raw.end_day,
+                windows: raw.windows,
+                complete,
+                counters: raw.counters.clone(),
+                gauges: raw.gauges.clone(),
+                p50: Vec::with_capacity(histograms.len()),
+                p99: Vec::with_capacity(histograms.len()),
+            };
+            widen_u64(&mut point.counters, counters.len());
+            while point.gauges.len() < gauges.len() {
+                point.gauges.push(0);
+            }
+            for (i, h) in histograms.iter().enumerate() {
+                let empty = Vec::new();
+                let buckets = raw.hist_counts.get(i).unwrap_or(&empty);
+                point.p50.push(bucket_quantile(&h.bounds, buckets, 50));
+                point.p99.push(bucket_quantile(&h.bounds, buckets, 99));
+            }
+            point
+        };
+        let mut points: Vec<SeriesPoint> = self.points.iter().map(|p| export(p, true)).collect();
+        if let Some(pending) = &self.pending {
+            points.push(export(pending, false));
+        }
+        SeriesTrack {
+            capacity: self.capacity,
+            stride: self.stride,
+            rollups: self.rollups,
+            raw_samples: self.raw_samples,
+            counters: counters.iter().map(|c| c.name.clone()).collect(),
+            gauges: gauges.iter().map(|g| g.name.clone()).collect(),
+            histograms: histograms.iter().map(|h| h.name.clone()).collect(),
+            points,
+        }
+    }
+}
+
+/// Estimate the `pct`-th percentile of a windowed bucket-delta vector:
+/// the inclusive upper bound of the bucket where the cumulative count
+/// crosses the rank. Values in the overflow bucket saturate to the last
+/// bound. An empty window yields 0.
+fn bucket_quantile(bounds: &[u64], bucket_deltas: &[u64], pct: u64) -> u64 {
+    let total: u64 = bucket_deltas.iter().fold(0, |a, b| a.saturating_add(*b));
+    if total == 0 {
+        return 0;
+    }
+    let rank = total
+        .saturating_mul(pct)
+        .div_ceil(100)
+        .clamp(1, total.max(1));
+    let mut acc = 0u64;
+    for (i, delta) in bucket_deltas.iter().enumerate() {
+        acc = acc.saturating_add(*delta);
+        if acc >= rank {
+            return bounds
+                .get(i)
+                .copied()
+                .unwrap_or_else(|| bounds.last().copied().unwrap_or(0));
+        }
+    }
+    bounds.last().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(values: &[(&str, u64)]) -> Vec<CounterSnapshot> {
+        values
+            .iter()
+            .map(|(n, v)| CounterSnapshot {
+                name: (*n).to_string(),
+                value: *v,
+            })
+            .collect()
+    }
+
+    fn gauges(values: &[(&str, i64)]) -> Vec<GaugeSnapshot> {
+        values
+            .iter()
+            .map(|(n, v)| GaugeSnapshot {
+                name: (*n).to_string(),
+                value: *v,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn counter_columns_are_windowed_deltas() {
+        let mut rec = SeriesRecorder::new(8);
+        rec.sample(0, &counters(&[("reads", 10)]), &[], &[]);
+        rec.sample(1, &counters(&[("reads", 25)]), &[], &[]);
+        rec.sample(2, &counters(&[("reads", 25)]), &[], &[]);
+        let track = rec.snapshot(&counters(&[("reads", 25)]), &[], &[]);
+        let deltas: Vec<u64> = track.points.iter().map(|p| p.counters[0]).collect();
+        assert_eq!(deltas, vec![10, 15, 0]);
+        assert_eq!(track.counter_sum("reads"), Some(25));
+        assert_eq!(track.raw_samples, 3);
+        assert_eq!(track.stride, 1);
+    }
+
+    #[test]
+    fn gauges_are_last_observed_values() {
+        let mut rec = SeriesRecorder::new(8);
+        rec.sample(0, &[], &gauges(&[("depth", 3)]), &[]);
+        rec.sample(1, &[], &gauges(&[("depth", -7)]), &[]);
+        let track = rec.snapshot(&[], &gauges(&[("depth", -7)]), &[]);
+        assert_eq!(track.points[0].gauges, vec![3]);
+        assert_eq!(track.points[1].gauges, vec![-7]);
+    }
+
+    #[test]
+    fn rollup_doubles_stride_and_preserves_sums() {
+        let mut rec = SeriesRecorder::new(4);
+        // 11 samples into a capacity-4 ring: two rollups, stride 4.
+        for day in 0..11i64 {
+            let cumulative = u64::try_from(day + 1).expect("small") * 5;
+            rec.sample(day, &counters(&[("c", cumulative)]), &[], &[]);
+        }
+        let track = rec.snapshot(&counters(&[("c", 55)]), &[], &[]);
+        assert_eq!(track.stride, 4);
+        assert_eq!(track.rollups, 2);
+        assert_eq!(track.raw_samples, 11);
+        assert!(track.points.len() < 4 + 1);
+        // Every raw delta of 5 is preserved across merges.
+        assert_eq!(track.counter_sum("c"), Some(55));
+        // Windows and day ranges are contiguous and non-overlapping.
+        let mut prev_end = None;
+        for p in &track.points {
+            assert!(p.start_day <= p.end_day);
+            if let Some(prev) = prev_end {
+                assert!(p.start_day > prev);
+            }
+            prev_end = Some(p.end_day);
+        }
+        // Only the last point may be partial.
+        for p in track.points.iter().rev().skip(1) {
+            assert!(p.complete);
+        }
+    }
+
+    #[test]
+    fn memory_stays_bounded_over_long_runs() {
+        let mut rec = SeriesRecorder::new(8);
+        for day in 0..10_000i64 {
+            rec.sample(
+                day,
+                &counters(&[("c", u64::try_from(day).expect("pos"))]),
+                &[],
+                &[],
+            );
+        }
+        assert!(rec.points.len() < 8);
+        // stride is a power of two and covers the run within the ring.
+        assert!(rec.stride.is_power_of_two());
+        assert!(rec.stride >= 10_000 / 8);
+    }
+
+    #[test]
+    fn late_registered_columns_are_zero_padded() {
+        let mut rec = SeriesRecorder::new(8);
+        rec.sample(0, &counters(&[("a", 1)]), &[], &[]);
+        rec.sample(1, &counters(&[("a", 2), ("b", 10)]), &[], &[]);
+        let track = rec.snapshot(&counters(&[("a", 2), ("b", 10)]), &[], &[]);
+        assert_eq!(track.counters, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(track.points[0].counters, vec![1, 0]);
+        assert_eq!(track.points[1].counters, vec![1, 10]);
+        assert_eq!(track.counter_sum("b"), Some(10));
+    }
+
+    #[test]
+    fn histogram_percentiles_come_from_windowed_buckets() {
+        let hist = |counts: Vec<u64>, count: u64| HistogramSnapshot {
+            name: String::from("lat"),
+            bounds: vec![10, 100, 1000],
+            counts,
+            count,
+            sum: 0,
+        };
+        let mut rec = SeriesRecorder::new(8);
+        // Window 1: 10 observations <= 10.
+        rec.sample(0, &[], &[], &[hist(vec![10, 0, 0, 0], 10)]);
+        // Window 2: 99 more <= 100 and one overflow observation.
+        rec.sample(1, &[], &[], &[hist(vec![10, 99, 0, 1], 110)]);
+        let track = rec.snapshot(&[], &[], &[hist(vec![10, 99, 0, 1], 110)]);
+        assert_eq!(track.points[0].p50, vec![10]);
+        assert_eq!(track.points[0].p99, vec![10]);
+        assert_eq!(track.points[1].p50, vec![100]);
+        // p99 rank of 100 observations lands in the second bucket; the
+        // overflow observation saturates to the last bound only at p100.
+        assert_eq!(track.points[1].p99, vec![100]);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        assert_eq!(bucket_quantile(&[10], &[], 50), 0);
+        assert_eq!(bucket_quantile(&[10], &[0, 0], 99), 0);
+        // All mass in the overflow bucket saturates to the last bound.
+        assert_eq!(bucket_quantile(&[10, 20], &[0, 0, 5], 50), 20);
+        assert_eq!(bucket_quantile(&[], &[3], 50), 0);
+    }
+
+    #[test]
+    fn pending_partial_point_is_exported_and_reconciles() {
+        let mut rec = SeriesRecorder::new(4);
+        // Force stride 2 via one rollup (4 points), then one more sample
+        // leaves a pending half-window.
+        for day in 0..5i64 {
+            let cumulative = u64::try_from(day + 1).expect("small");
+            rec.sample(day, &counters(&[("c", cumulative)]), &[], &[]);
+        }
+        let track = rec.snapshot(&counters(&[("c", 5)]), &[], &[]);
+        let last = track.points.last().expect("points");
+        assert!(!last.complete);
+        assert_eq!(track.counter_sum("c"), Some(5));
+    }
+}

@@ -36,7 +36,7 @@ use activedr_core::user::UserId;
 use activedr_fs::{diff_catalogs, CatalogIndex, DeltaBuffer, ExemptionList, Snapshot, VirtualFs};
 use activedr_sim::{
     build_initial_fs, run_instrumented, run_with_telemetry, CatalogMode, ObsConfig, SimConfig,
-    SimResult, Telemetry,
+    SimResult, StreamOptions, Telemetry,
 };
 
 /// A detected disagreement. Never a panic: the fuzz loop reports it, the
@@ -541,6 +541,86 @@ struct MatrixRun {
     triggers: Vec<(i64, String)>,
     has_probe: bool,
     guard_divergences: Option<u64>,
+    /// Telemetry-side invariant violation detected inside the cell
+    /// (series reconciliation, stream accounting); `None` when clean or
+    /// when the cell ran without telemetry.
+    telemetry_fault: Option<String>,
+}
+
+/// In-memory JSONL sink for the telemetry matrix cells. Never panics:
+/// a poisoned lock (impossible here — no panicking writer exists — but
+/// the oracle must not be the thing that panics) degrades to writing
+/// through the recovered guard.
+#[derive(Clone, Default)]
+struct SharedSink(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl SharedSink {
+    fn newline_count(&self) -> u64 {
+        let bytes = match self.0.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        convert::u64_from_usize(bytes.iter().filter(|b| **b == b'\n').count())
+    }
+}
+
+impl std::io::Write for SharedSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self.0.lock() {
+            Ok(mut guard) => guard.extend_from_slice(buf),
+            Err(poisoned) => poisoned.into_inner().extend_from_slice(buf),
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Cross-check the telemetry report against itself: every counter
+/// column of both series tracks must sum exactly to the cumulative
+/// counter, and the stream accounting must match what the sink
+/// actually received.
+fn telemetry_fault(report: &activedr_sim::TelemetryReport, sink: &SharedSink) -> Option<String> {
+    for (track_label, track) in [
+        ("day", &report.day_series),
+        ("trigger", &report.trigger_series),
+    ] {
+        for name in &track.counters {
+            let cumulative = report.counter(name);
+            let summed = track.counter_sum(name);
+            if summed != cumulative {
+                return Some(format!(
+                    "{track_label} series counter {name} sums to {summed:?}, \
+                     cumulative is {cumulative:?}"
+                ));
+            }
+        }
+        if track.raw_samples == 0 {
+            return Some(format!("{track_label} series took no samples"));
+        }
+    }
+    let lines_on_wire = sink.newline_count();
+    if report.stream_lines != lines_on_wire {
+        return Some(format!(
+            "stream accounting says {} line(s), sink received {lines_on_wire}",
+            report.stream_lines
+        ));
+    }
+    if report.stream_lines < 2 {
+        return Some(format!(
+            "stream produced only {} line(s), want at least meta + final",
+            report.stream_lines
+        ));
+    }
+    if report.stream_write_errors != 0 {
+        return Some(format!(
+            "in-memory sink reported {} write error(s)",
+            report.stream_write_errors
+        ));
+    }
+    None
 }
 
 fn run_cell(
@@ -551,10 +631,23 @@ fn run_cell(
 ) -> MatrixRun {
     let config = cell.configure(base);
     if cell.telemetry {
-        // The telemetry path exercises `run_with_telemetry` (no probe);
-        // per-trigger catalogs are covered by the quiet runs of the same
-        // catalog mode.
-        let tele = Telemetry::new(&ObsConfig::on());
+        // The telemetry path exercises `run_with_telemetry` (no probe)
+        // with series sampling and a live JSONL stream attached; the
+        // per-trigger catalogs are covered by the quiet runs of the
+        // same catalog mode. A tiny series capacity forces rollups even
+        // on short fuzz horizons.
+        let tele = Telemetry::new(&ObsConfig {
+            series_capacity: 4,
+            ..ObsConfig::on()
+        });
+        let sink = SharedSink::default();
+        tele.attach_stream(
+            Box::new(sink.clone()),
+            StreamOptions {
+                prom_path: None,
+                every_days: 2,
+            },
+        );
         let (result, final_fs) = run_with_telemetry(traces, fs, &config, &tele);
         let report = tele.report();
         MatrixRun {
@@ -564,6 +657,7 @@ fn run_cell(
             triggers: Vec::new(),
             has_probe: false,
             guard_divergences: report.counter("catalog.guard_divergences"),
+            telemetry_fault: telemetry_fault(&report, &sink),
         }
     } else {
         let mut triggers: Vec<(i64, String)> = Vec::new();
@@ -577,6 +671,7 @@ fn run_cell(
             triggers,
             has_probe: true,
             guard_divergences: None,
+            telemetry_fault: None,
         }
     }
 }
@@ -614,6 +709,12 @@ pub fn run_engine_matrix(seed: u64) -> Result<(), Divergence> {
                     ),
                 });
             }
+        }
+        if let Some(fault) = &run.telemetry_fault {
+            return Err(Divergence {
+                op_index: None,
+                detail: format!("seed {seed}: {} telemetry fault: {fault}", run.label),
+            });
         }
         let Some(reference) = reference.as_ref() else {
             reference = Some(run);

@@ -673,7 +673,23 @@ fn run_engine(
                     let net = buffer.len();
                     tele.gauge("catalog.buffer_depth")
                         .set_u64(convert::u64_from_usize(net));
-                    if flush_beats_scan(net, index.file_count()) {
+                    let indexed = index.file_count();
+                    let flush = flush_beats_scan(net, indexed);
+                    // Net-pending/indexed crossover ratio in basis points
+                    // (10 000 bp = backlog as large as the index), so the
+                    // series can chart how close each trigger sat to the
+                    // flush/scan decision boundary.
+                    let ratio_bp = convert::u64_from_usize(net).saturating_mul(10_000)
+                        / convert::u64_from_usize(indexed).max(1);
+                    tele.gauge("catalog.net_pending_ratio_bp").set_u64(ratio_bp);
+                    tele.flight(day, "trigger-decision", || {
+                        format!(
+                            "net={net} indexed={indexed} ratio_bp={ratio_bp} raw={raw} \
+                             decision={}",
+                            if flush { "flush" } else { "scan" }
+                        )
+                    });
+                    if flush {
                         tele.flight(day, "changelog-flush", || {
                             format!(
                                 "{raw} raw delta(s) coalesced to {net} net, folded into the catalog index"
@@ -865,6 +881,9 @@ fn run_engine(
                     fs: &fs,
                 });
             }
+            // Close a trigger-granularity telemetry window (fired or
+            // skipped), capturing the adaptive-trigger gauges set above.
+            tele.sample_trigger(day);
         }
 
         // Replay the day's accesses.
@@ -950,6 +969,8 @@ fn run_engine(
             }
         }
         result.daily.push(daily);
+        // Close a day-granularity telemetry window.
+        tele.sample_day(day);
     }
 
     if incremental.is_some() {
@@ -970,6 +991,9 @@ fn run_engine(
     tele.gauge("fs.ops_renames").set_u64(ops.renames);
     tele.gauge("fs.final_files").set_u64(result.final_files);
     tele.gauge("fs.final_used_bytes").set_u64(result.final_used);
+    // Final sample: closes both series delta chains and the stream, so
+    // per-window sums reconcile exactly with the cumulative counters.
+    tele.sample_final(horizon);
 
     (result, fs)
 }

@@ -31,6 +31,8 @@ pub use engine::{
 };
 // Telemetry surface, re-exported so integration tests and downstream
 // binaries need no direct `activedr-obs` dependency.
-pub use activedr_obs::{ObsConfig, Telemetry, TelemetryReport};
+pub use activedr_obs::{
+    complete_lines, ObsConfig, SeriesTrack, StreamOptions, Telemetry, TelemetryReport,
+};
 pub use parallel::{parallel_evaluate, EvalShardReport, ParallelEvaluation};
 pub use scenario::{Scale, Scenario};

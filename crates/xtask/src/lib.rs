@@ -83,6 +83,7 @@ pub mod dataflow;
 pub mod interproc;
 pub mod interval;
 pub mod lexer;
+pub mod perf;
 pub mod perfsem;
 pub mod resolve;
 pub mod runner;

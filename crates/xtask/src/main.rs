@@ -30,12 +30,24 @@ Commands:
                         longer than the given wall-time budget; GitHub
                         annotations are emitted when GITHUB_ACTIONS is set
   smoke                 run the release-mode perf/equivalence smoke gates:
-                        the catalog-mode equivalence test, the bench_catalog
-                        example (rewrites BENCH_catalog.json), a
-                        telemetry-enabled Tiny replay whose telemetry.json
-                        and trace export are schema-validated, the bench_obs
-                        example (rewrites BENCH_obs.json), and a bounded
+                        the catalog-mode equivalence test, the perf watchdog
+                        in --check mode (reruns both benches and diffs the
+                        rewritten BENCH_*.json against the checked-in
+                        baselines), a telemetry-enabled streaming Tiny
+                        replay whose telemetry.json, trace export, and
+                        JSONL stream are schema-validated, and a bounded
                         differential fuzz pass
+  perf                  rerun bench_catalog + bench_obs and diff the
+                        rewritten docs/results/BENCH_*.json against the
+                        checked-in baselines (read before the rerun).
+                        Ratio metrics gate everywhere; time metrics only
+                        when the env fingerprint matches; info never.
+    --check             exit nonzero on regressions beyond tolerance
+                        (schema violations always fail)
+    --no-run            skip the benches, diff the existing files
+    --tolerance <pct>   allowed adverse change, percent (default 50)
+    --results <dir>     where the benches write (default docs/results)
+    --baseline <dir>    where baselines are read (default: --results)
   fuzz                  run the model-based differential fuzzing oracle
                         (crates/oracle) in release mode
     --seeds <N>         number of seeds (default 32)
@@ -94,40 +106,54 @@ fn validate_file(
 }
 
 /// The release-mode smoke gates: the trigger-by-trigger catalog-mode
-/// equivalence test (all four policies, `Small` scale), the full-scan vs
-/// incremental timing run (rewrites `docs/results/BENCH_catalog.json`,
-/// fails below the 5x no-change floor, if the week-churn flush does not
-/// beat the full scan, or if any churn-sweep point dips below 1.0x — the
-/// catalog churn regression coming back), a telemetry-enabled Tiny replay through the
-/// real CLI whose `telemetry.json` and trace-event export are then
-/// schema-validated in process, and the obs overhead probe (rewrites
-/// `docs/results/BENCH_obs.json`, fails if the disabled path is not
-/// effectively free).
+/// equivalence test (all four policies, `Small` scale), the perf
+/// watchdog in `--check` mode (reruns `bench_catalog` + `bench_obs` —
+/// whose own hard floors still apply — and diffs the rewritten
+/// `docs/results/BENCH_*.json` against the checked-in baselines), a
+/// telemetry-enabled streaming Tiny replay through the real CLI whose
+/// `telemetry.json`, trace-event export, and JSONL stream are then
+/// schema-validated in process, and a bounded differential fuzz pass.
 fn smoke() -> ExitCode {
     let telemetry_path = workspace_root().join("target").join("smoke-telemetry.json");
     let trace_path = workspace_root()
         .join("target")
         .join("smoke-telemetry.trace.json");
+    let stream_path = workspace_root()
+        .join("target")
+        .join("smoke-telemetry.jsonl");
     let telemetry_arg = telemetry_path.display().to_string();
-    let steps: [&[&str]; 5] = [
-        &[
-            "test",
-            "--release",
-            "-q",
-            "-p",
-            "activedr-sim",
-            "--test",
-            "integration_catalog_mode",
-        ],
-        &[
-            "run",
-            "--release",
-            "-q",
-            "-p",
-            "activedr-sim",
-            "--example",
-            "bench_catalog",
-        ],
+    let stream_arg = stream_path.display().to_string();
+
+    if let Err(msg) = cargo_step(&[
+        "test",
+        "--release",
+        "-q",
+        "-p",
+        "activedr-sim",
+        "--test",
+        "integration_catalog_mode",
+    ]) {
+        eprintln!("xtask smoke: {msg}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut perf_opts = xtask::perf::PerfOptions::new(&workspace_root());
+    perf_opts.check = true;
+    match xtask::perf::run(&perf_opts, &mut cargo_step) {
+        Ok(report) => {
+            eprint!("{}", report.render());
+            if report.failed(perf_opts.check) {
+                eprintln!("xtask smoke: perf watchdog failed");
+                return ExitCode::FAILURE;
+            }
+        }
+        Err(msg) => {
+            eprintln!("xtask smoke: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let steps: [&[&str]; 2] = [
         &[
             "run",
             "--release",
@@ -142,15 +168,10 @@ fn smoke() -> ExitCode {
             "30",
             "--telemetry",
             &telemetry_arg,
-        ],
-        &[
-            "run",
-            "--release",
-            "-q",
-            "-p",
-            "activedr-obs",
-            "--example",
-            "bench_obs",
+            "--telemetry-stream",
+            &stream_arg,
+            "--telemetry-every",
+            "7",
         ],
         // Bounded differential fuzz pass: every seed replays an op tape
         // through the reference model and the real engine matrix.
@@ -179,6 +200,7 @@ fn smoke() -> ExitCode {
             xtask::telemetry::validate_telemetry as fn(&str) -> Result<(), Vec<String>>,
         ),
         (&trace_path, xtask::telemetry::validate_trace),
+        (&stream_path, xtask::telemetry::validate_jsonl),
     ];
     for (path, validate) in validations {
         if let Err(msg) = validate_file(path, validate) {
@@ -189,6 +211,67 @@ fn smoke() -> ExitCode {
     }
     eprintln!("xtask smoke: all gates passed");
     ExitCode::SUCCESS
+}
+
+/// The `perf` subcommand: parse flags, run the watchdog, print the
+/// comparison report.
+fn perf_cmd(rest: &[String]) -> ExitCode {
+    let mut opts = xtask::perf::PerfOptions::new(&workspace_root());
+    let mut baseline_set = false;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--check" => opts.check = true,
+            "--no-run" => opts.no_run = true,
+            "--tolerance" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(pct) if pct.is_finite() && pct >= 0.0 => opts.tolerance_pct = pct,
+                _ => {
+                    eprintln!("--tolerance needs a non-negative percentage\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--results" => match it.next() {
+                Some(dir) => opts.results_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--results needs a directory\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--baseline" => match it.next() {
+                Some(dir) => {
+                    opts.baseline_dir = PathBuf::from(dir);
+                    baseline_set = true;
+                }
+                None => {
+                    eprintln!("--baseline needs a directory\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other:?}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !baseline_set {
+        opts.baseline_dir = opts.results_dir.clone();
+    }
+    match xtask::perf::run(&opts, &mut cargo_step) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.failed(opts.check) {
+                eprintln!("xtask perf: gate failed");
+                ExitCode::FAILURE
+            } else {
+                eprintln!("xtask perf: ok");
+                ExitCode::SUCCESS
+            }
+        }
+        Err(msg) => {
+            eprintln!("xtask perf: {msg}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Delegate to the oracle's release-mode fuzz binary, forwarding
@@ -220,6 +303,7 @@ fn main() -> ExitCode {
     match it.next().map(String::as_str) {
         Some("check") => {}
         Some("smoke") => return smoke(),
+        Some("perf") => return perf_cmd(it.as_slice()),
         Some("fuzz") => return fuzz(it.as_slice()),
         Some("help") | Some("--help") | Some("-h") => {
             print!("{USAGE}");

@@ -1,0 +1,399 @@
+//! `cargo xtask perf` — the perf-regression watchdog.
+//!
+//! Drives the two release-mode benches (`bench_catalog`, `bench_obs`)
+//! through the shared BENCH-v2 emitter, then diffs the freshly written
+//! `docs/results/BENCH_*.json` documents against the checked-in
+//! baselines that were read *before* the benches overwrote them.
+//!
+//! Comparison policy (mirrors the schema contract in
+//! `activedr-obs::benchfmt`):
+//!
+//! * **ratio** metrics are dimensionless and gated on every machine;
+//! * **time** metrics are gated only when the baseline's env
+//!   fingerprint (`os`/`arch`/`cpus`) matches the current machine —
+//!   a laptop must not fail CI because the CI box is slower;
+//! * **info** metrics are recorded, never gated;
+//! * a gated metric present in the baseline but missing from the
+//!   current results is itself a regression (silent gate erosion);
+//! * a baseline that is missing, unparseable, or still schema v1 is a
+//!   *note*, not a failure — the watchdog bootstraps itself on the
+//!   first run after a schema migration;
+//! * a zero or non-finite baseline value cannot anchor a relative
+//!   comparison and is skipped with a note (`incremental_nochange`
+//!   legitimately measures ~0 µs).
+//!
+//! Current results are always schema-validated
+//! ([`crate::telemetry::validate_bench`]) — including the recomputed
+//! summary reductions — and schema violations are fatal regardless of
+//! `--check`. Regressions beyond tolerance fail the run only under
+//! `--check` (which `smoke` and CI set); a bare `cargo xtask perf`
+//! reports them as warnings.
+
+use std::path::{Path, PathBuf};
+
+use serde_json::Value;
+
+use crate::telemetry;
+
+/// One bench the watchdog owns: the artifact it writes and the cargo
+/// invocation that runs it.
+pub struct BenchSpec {
+    /// File name under the results directory.
+    pub file: &'static str,
+    /// `cargo` argument vector that reruns the bench.
+    pub cargo: &'static [&'static str],
+}
+
+/// The benches gated by `cargo xtask perf`, in run order.
+pub const BENCHES: [BenchSpec; 2] = [
+    BenchSpec {
+        file: "BENCH_catalog.json",
+        cargo: &[
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "activedr-sim",
+            "--example",
+            "bench_catalog",
+        ],
+    },
+    BenchSpec {
+        file: "BENCH_obs.json",
+        cargo: &[
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "activedr-obs",
+            "--example",
+            "bench_obs",
+        ],
+    },
+];
+
+/// Default regression tolerance, percent. Generous because even
+/// min-of-N microsecond timings jitter double digits on shared
+/// hardware; the benches' own hard floors catch order-of-magnitude
+/// breakage long before this gate would.
+pub const DEFAULT_TOLERANCE_PCT: f64 = 50.0;
+
+/// Watchdog configuration (CLI flags of `cargo xtask perf`).
+pub struct PerfOptions {
+    /// Fail (exit nonzero) on regressions beyond tolerance.
+    pub check: bool,
+    /// Skip rerunning the benches; diff the existing result files.
+    pub no_run: bool,
+    /// Allowed adverse change before a gated metric regresses, percent.
+    pub tolerance_pct: f64,
+    /// Directory the benches write into (and results are read from).
+    pub results_dir: PathBuf,
+    /// Directory the baselines are read from (defaults to the results
+    /// directory: the checked-in files *are* the baseline until the
+    /// benches overwrite them).
+    pub baseline_dir: PathBuf,
+}
+
+impl PerfOptions {
+    /// Defaults rooted at the workspace's `docs/results/`.
+    #[must_use]
+    pub fn new(workspace_root: &Path) -> Self {
+        let results = workspace_root.join("docs").join("results");
+        PerfOptions {
+            check: false,
+            no_run: false,
+            tolerance_pct: DEFAULT_TOLERANCE_PCT,
+            results_dir: results.clone(),
+            baseline_dir: results,
+        }
+    }
+}
+
+/// Outcome of one watchdog pass.
+#[derive(Debug, Default)]
+pub struct PerfReport {
+    /// Per-metric comparison rows, human-readable.
+    pub rows: Vec<String>,
+    /// Skipped comparisons and bootstrap conditions.
+    pub notes: Vec<String>,
+    /// Gated metrics that moved beyond tolerance in the bad direction.
+    pub regressions: Vec<String>,
+    /// Schema violations in the current results (always fatal).
+    pub problems: Vec<String>,
+}
+
+impl PerfReport {
+    /// Whether this pass should fail the process under `check`.
+    #[must_use]
+    pub fn failed(&self, check: bool) -> bool {
+        !self.problems.is_empty() || (check && !self.regressions.is_empty())
+    }
+
+    /// Render the pass as the multi-line report `xtask perf` prints.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push_str("  ");
+            out.push_str(row);
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str("  note: ");
+            out.push_str(note);
+            out.push('\n');
+        }
+        for problem in &self.problems {
+            out.push_str("  INVALID: ");
+            out.push_str(problem);
+            out.push('\n');
+        }
+        for regression in &self.regressions {
+            out.push_str("  REGRESSION: ");
+            out.push_str(regression);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Run the watchdog: snapshot baselines, rerun the benches (unless
+/// `no_run`), validate the fresh results, and diff gated metrics.
+///
+/// `run_step` executes one cargo invocation; injected so `smoke` can
+/// reuse its own step runner and tests can substitute a no-op.
+///
+/// # Errors
+/// Returns `Err` when a bench fails to run or a result file cannot be
+/// read — conditions where there is nothing to diff.
+pub fn run(
+    opts: &PerfOptions,
+    run_step: &mut dyn FnMut(&[&str]) -> Result<(), String>,
+) -> Result<PerfReport, String> {
+    let mut report = PerfReport::default();
+    // Baselines must be read before the benches clobber the files.
+    let baselines: Vec<Option<String>> = BENCHES
+        .iter()
+        .map(|b| std::fs::read_to_string(opts.baseline_dir.join(b.file)).ok())
+        .collect();
+
+    if !opts.no_run {
+        for bench in &BENCHES {
+            run_step(bench.cargo)?;
+        }
+    }
+
+    for (bench, baseline) in BENCHES.iter().zip(baselines.iter()) {
+        let current_path = opts.results_dir.join(bench.file);
+        let current = std::fs::read_to_string(&current_path)
+            .map_err(|e| format!("cannot read {}: {e}", current_path.display()))?;
+        if let Err(problems) = telemetry::validate_bench(&current) {
+            for p in problems {
+                report.problems.push(format!("{}: {p}", bench.file));
+            }
+            continue;
+        }
+        compare_documents(bench.file, baseline.as_deref(), &current, opts, &mut report);
+    }
+    Ok(report)
+}
+
+/// Diff one current BENCH document against its baseline, appending
+/// rows/notes/regressions to `report`.
+fn compare_documents(
+    file: &str,
+    baseline: Option<&str>,
+    current: &str,
+    opts: &PerfOptions,
+    report: &mut PerfReport,
+) {
+    let Ok(current_doc) = serde_json::from_str::<Value>(current) else {
+        // validate_bench already passed, so this cannot happen; guard
+        // anyway rather than panic inside the gate.
+        report
+            .problems
+            .push(format!("{file}: current document does not parse"));
+        return;
+    };
+    let baseline_doc = baseline.and_then(|text| serde_json::from_str::<Value>(text).ok());
+    let Some(baseline_doc) = baseline_doc else {
+        report
+            .notes
+            .push(format!("{file}: no readable baseline, nothing gated"));
+        return;
+    };
+    if baseline_doc.get("bench_schema").and_then(Value::as_u64) != Some(2) {
+        report.notes.push(format!(
+            "{file}: baseline is not bench schema v2, nothing gated (rerun to migrate)"
+        ));
+        return;
+    }
+    let env_matches = baseline_doc.get("env") == current_doc.get("env");
+    if !env_matches {
+        report.notes.push(format!(
+            "{file}: env fingerprint differs from baseline, time metrics not gated"
+        ));
+    }
+
+    let empty = Vec::new();
+    let baseline_metrics = baseline_doc
+        .get("metrics")
+        .and_then(Value::as_array)
+        .unwrap_or(&empty);
+    let current_metrics = current_doc
+        .get("metrics")
+        .and_then(Value::as_array)
+        .unwrap_or(&empty);
+    for metric in baseline_metrics {
+        let Some(name) = metric.get("name").and_then(Value::as_str) else {
+            continue;
+        };
+        let kind = metric.get("kind").and_then(Value::as_str).unwrap_or("info");
+        let direction = metric
+            .get("direction")
+            .and_then(Value::as_str)
+            .unwrap_or("none");
+        let gated = match kind {
+            "ratio" => direction != "none",
+            "time" => env_matches && direction != "none",
+            _ => false,
+        };
+        if !gated {
+            continue;
+        }
+        let Some(base) = metric.get("value").and_then(Value::as_f64) else {
+            continue;
+        };
+        let cur = current_metrics
+            .iter()
+            .find(|m| m.get("name").and_then(Value::as_str) == Some(name))
+            .and_then(|m| m.get("value"))
+            .and_then(Value::as_f64);
+        let Some(cur) = cur else {
+            report.regressions.push(format!(
+                "{file}: gated metric {name:?} is in the baseline but missing from the results"
+            ));
+            continue;
+        };
+        if !(base.is_finite() && base > 0.0) {
+            report.notes.push(format!(
+                "{file}: {name} baseline {base} cannot anchor a relative comparison, skipped"
+            ));
+            continue;
+        }
+        let change_pct = (cur - base) / base * 100.0;
+        report.rows.push(format!(
+            "{file}: {name} {base:.3} -> {cur:.3} ({change_pct:+.1}%)"
+        ));
+        let worse = match direction {
+            "higher_better" => change_pct < -opts.tolerance_pct,
+            "lower_better" => change_pct > opts.tolerance_pct,
+            _ => false,
+        };
+        if worse {
+            report.regressions.push(format!(
+                "{file}: {name} moved {change_pct:+.1}% ({base:.3} -> {cur:.3}), \
+                 beyond the {:.0}% tolerance",
+                opts.tolerance_pct
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_doc(env_cpus: u64, speedup: f64, scan_nanos: f64) -> String {
+        format!(
+            r#"{{"bench_schema":2,"name":"t","env":{{"os":"testos","arch":"t","cpus":{env_cpus}}},
+              "min_of":3,
+              "metrics":[
+                {{"name":"speedup","kind":"ratio","direction":"higher_better","value":{speedup},"unit":"x"}},
+                {{"name":"scan_nanos","kind":"time","direction":"lower_better","value":{scan_nanos},"unit":"ns"}},
+                {{"name":"files","kind":"info","direction":"none","value":10,"unit":"f"}}],
+              "series":[]}}"#
+        )
+    }
+
+    fn opts() -> PerfOptions {
+        PerfOptions {
+            check: true,
+            no_run: true,
+            tolerance_pct: 25.0,
+            results_dir: PathBuf::new(),
+            baseline_dir: PathBuf::new(),
+        }
+    }
+
+    #[test]
+    fn unchanged_results_are_clean() {
+        let doc = bench_doc(8, 12.0, 100.0);
+        let mut report = PerfReport::default();
+        compare_documents("B.json", Some(&doc), &doc, &opts(), &mut report);
+        assert!(report.regressions.is_empty(), "{:?}", report.regressions);
+        assert_eq!(report.rows.len(), 2);
+        assert!(!report.failed(true));
+    }
+
+    #[test]
+    fn ratio_drop_beyond_tolerance_regresses() {
+        let base = bench_doc(8, 12.0, 100.0);
+        let cur = bench_doc(8, 8.0, 100.0); // -33% < -25% tolerance
+        let mut report = PerfReport::default();
+        compare_documents("B.json", Some(&base), &cur, &opts(), &mut report);
+        assert!(report
+            .regressions
+            .iter()
+            .any(|r| r.contains("speedup") && r.contains("-33.3%")));
+        assert!(report.failed(true));
+        assert!(!report.failed(false));
+    }
+
+    #[test]
+    fn time_metrics_gate_only_on_matching_env() {
+        let base = bench_doc(8, 12.0, 100.0);
+        let slow = bench_doc(8, 12.0, 200.0);
+        let mut report = PerfReport::default();
+        compare_documents("B.json", Some(&base), &slow, &opts(), &mut report);
+        assert!(report.regressions.iter().any(|r| r.contains("scan_nanos")));
+
+        // Same slowdown on a different machine: noted, not gated.
+        let other_env = bench_doc(4, 12.0, 200.0);
+        let mut report = PerfReport::default();
+        compare_documents("B.json", Some(&base), &other_env, &opts(), &mut report);
+        assert!(report.regressions.is_empty());
+        assert!(report.notes.iter().any(|n| n.contains("env fingerprint")));
+    }
+
+    #[test]
+    fn missing_gated_metric_is_a_regression() {
+        let base = bench_doc(8, 12.0, 100.0);
+        let cur = bench_doc(8, 12.0, 100.0).replace("\"speedup\"", "\"renamed\"");
+        let mut report = PerfReport::default();
+        compare_documents("B.json", Some(&base), &cur, &opts(), &mut report);
+        assert!(report
+            .regressions
+            .iter()
+            .any(|r| r.contains("speedup") && r.contains("missing")));
+    }
+
+    #[test]
+    fn unusable_baselines_note_and_skip() {
+        let cur = bench_doc(8, 1.0, 100.0);
+        for baseline in [None, Some("not json"), Some(r#"{"reps":5}"#)] {
+            let mut report = PerfReport::default();
+            compare_documents("B.json", baseline, &cur, &opts(), &mut report);
+            assert!(report.regressions.is_empty());
+            assert!(report.problems.is_empty());
+            assert_eq!(report.notes.len(), 1, "{:?}", report.notes);
+        }
+        // Zero baseline values cannot anchor a relative diff.
+        let base = bench_doc(8, 12.0, 0.0);
+        let mut report = PerfReport::default();
+        compare_documents("B.json", Some(&base), &cur, &opts(), &mut report);
+        assert!(report.notes.iter().any(|n| n.contains("cannot anchor")));
+        // The huge speedup drop still gates.
+        assert!(report.regressions.iter().any(|r| r.contains("speedup")));
+    }
+}

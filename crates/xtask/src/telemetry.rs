@@ -4,13 +4,16 @@
 //! The obs crate is dependency-free and hand-rolls its JSON, so nothing
 //! in its own test suite proves the emitted bytes parse with an actual
 //! JSON reader. This module closes that loop: parse `telemetry.json`
-//! and the trace-event file with `serde_json` and check the schema the
-//! docs promise — required top-level keys, non-negative counters, a
-//! well-formed span tree, and histogram bucket accounting.
+//! (schema v2), the trace-event file, the streamed JSONL event log, and
+//! the `BENCH_*.json` watchdog documents with `serde_json` and check
+//! the schema the docs promise — required keys, non-negative counters,
+//! a well-formed span tree, histogram bucket accounting, series-track
+//! rollup invariants with **exact** counter reconciliation, JSONL line
+//! framing, and recomputed bench summary reductions.
 
 use serde_json::Value;
 
-/// Validate a `telemetry.json` document (schema version 1). Returns
+/// Validate a `telemetry.json` document (schema version 2). Returns
 /// every problem found, not just the first.
 pub fn validate_telemetry(text: &str) -> Result<(), Vec<String>> {
     let doc: Value = match serde_json::from_str(text) {
@@ -19,8 +22,8 @@ pub fn validate_telemetry(text: &str) -> Result<(), Vec<String>> {
     };
     let mut problems = Vec::new();
 
-    if doc.get("version").and_then(Value::as_u64) != Some(1) {
-        problems.push("\"version\" missing or not 1".to_string());
+    if doc.get("version").and_then(Value::as_u64) != Some(2) {
+        problems.push("\"version\" missing or not 2".to_string());
     }
     for key in [
         "counters",
@@ -28,6 +31,8 @@ pub fn validate_telemetry(text: &str) -> Result<(), Vec<String>> {
         "histograms",
         "spans",
         "flight",
+        "series",
+        "stream",
         "dropped",
     ] {
         if doc.get(key).is_none() {
@@ -88,6 +93,25 @@ pub fn validate_telemetry(text: &str) -> Result<(), Vec<String>> {
         }
     } else if doc.get("flight").is_some() {
         problems.push("\"flight\" is not an array".to_string());
+    }
+
+    if let Some(series) = doc.get("series") {
+        for track_name in ["day", "trigger"] {
+            match series.get(track_name) {
+                Some(track) => {
+                    validate_series_track(track_name, track, doc.get("counters"), &mut problems);
+                }
+                None => problems.push(format!("\"series\" has no {track_name:?} track")),
+            }
+        }
+    }
+
+    if let Some(stream) = doc.get("stream") {
+        for key in ["lines", "write_errors"] {
+            if stream.get(key).and_then(Value::as_u64).is_none() {
+                problems.push(format!("\"stream\" has no numeric {key:?}"));
+            }
+        }
     }
 
     if let Some(dropped) = doc.get("dropped") {
@@ -183,6 +207,420 @@ fn validate_span(span: &Value, depth: usize, problems: &mut Vec<String>) {
     }
 }
 
+/// Validate one `series.day` / `series.trigger` track: rollup-ring
+/// invariants (power-of-two capacity and stride, contiguous
+/// non-overlapping windows, at most one trailing incomplete point,
+/// column vectors aligned to the name lists) plus the reconciliation
+/// invariant — every counter column must sum *exactly* to the
+/// end-of-run cumulative counter, because the engine closes each track
+/// with a final sample.
+fn validate_series_track(
+    label: &str,
+    track: &Value,
+    top_counters: Option<&Value>,
+    problems: &mut Vec<String>,
+) {
+    let raw_samples = track.get("raw_samples").and_then(Value::as_u64);
+    if raw_samples.is_none() {
+        problems.push(format!(
+            "series track {label:?} has no numeric \"raw_samples\""
+        ));
+    }
+    let name_list = |key: &str| -> Option<Vec<&str>> {
+        let list = track.get(key).and_then(Value::as_array)?;
+        let names: Vec<&str> = list.iter().filter_map(Value::as_str).collect();
+        (names.len() == list.len()).then_some(names)
+    };
+    let counter_names = name_list("counters");
+    let gauge_names = name_list("gauges");
+    let hist_names = name_list("histograms");
+    for (key, names) in [
+        ("counters", &counter_names),
+        ("gauges", &gauge_names),
+        ("histograms", &hist_names),
+    ] {
+        if names.is_none() {
+            problems.push(format!(
+                "series track {label:?} has no {key:?} string array"
+            ));
+        }
+    }
+    let points = track.get("points").and_then(Value::as_array);
+    if points.is_none() {
+        problems.push(format!("series track {label:?} has no \"points\" array"));
+    }
+
+    // An idle track (series disabled, or nothing sampled) is legal and
+    // exempt from the ring invariants below.
+    if raw_samples == Some(0) {
+        if points.is_some_and(|p| !p.is_empty()) {
+            problems.push(format!(
+                "series track {label:?} has points but \"raw_samples\" is 0"
+            ));
+        }
+        return;
+    }
+
+    for key in ["capacity", "stride"] {
+        match track.get(key).and_then(Value::as_u64) {
+            Some(v) if v.is_power_of_two() && (key == "stride" || v >= 4) => {}
+            Some(v) => problems.push(format!(
+                "series track {label:?}: {key} {v} is not a power of two (capacity must be >= 4)"
+            )),
+            None => problems.push(format!("series track {label:?} has no numeric {key:?}")),
+        }
+    }
+
+    let Some(points) = points else { return };
+    let mut prev_end: Option<i64> = None;
+    for (i, p) in points.iter().enumerate() {
+        match (
+            p.get("start_day").and_then(Value::as_i64),
+            p.get("end_day").and_then(Value::as_i64),
+        ) {
+            (Some(s), Some(e)) => {
+                if s > e {
+                    problems.push(format!(
+                        "series track {label:?}: point {i} has start_day {s} after end_day {e}"
+                    ));
+                }
+                if prev_end.is_some_and(|pe| s <= pe) {
+                    problems.push(format!(
+                        "series track {label:?}: point {i} overlaps the previous window"
+                    ));
+                }
+                prev_end = Some(e);
+            }
+            _ => problems.push(format!(
+                "series track {label:?}: point {i} missing start_day/end_day"
+            )),
+        }
+        if p.get("windows")
+            .and_then(Value::as_u64)
+            .is_none_or(|w| w < 1)
+        {
+            problems.push(format!(
+                "series track {label:?}: point {i} has no positive \"windows\""
+            ));
+        }
+        match p.get("complete") {
+            Some(Value::Bool(complete)) => {
+                if !complete && i + 1 != points.len() {
+                    problems.push(format!(
+                        "series track {label:?}: incomplete point {i} is not last"
+                    ));
+                }
+            }
+            _ => problems.push(format!(
+                "series track {label:?}: point {i} has no boolean \"complete\""
+            )),
+        }
+        // Column vectors are padded to the track's name lists.
+        let cols = [
+            ("counters", counter_names.as_ref().map(Vec::len)),
+            ("gauges", gauge_names.as_ref().map(Vec::len)),
+            ("p50", hist_names.as_ref().map(Vec::len)),
+            ("p99", hist_names.as_ref().map(Vec::len)),
+        ];
+        for (key, want) in cols {
+            let Some(want) = want else { continue };
+            match p.get(key).and_then(Value::as_array) {
+                Some(values) if values.len() == want => {}
+                Some(values) => problems.push(format!(
+                    "series track {label:?}: point {i} has {} {key} column(s), want {want}",
+                    values.len()
+                )),
+                None => problems.push(format!(
+                    "series track {label:?}: point {i} has no {key:?} array"
+                )),
+            }
+        }
+    }
+
+    // Exact reconciliation: sum of each counter column over all points
+    // (including the trailing partial one) == cumulative counter.
+    if let (Some(counter_names), Some(top)) = (&counter_names, top_counters) {
+        for (idx, name) in counter_names.iter().enumerate() {
+            let Some(expect) = top.get(name).and_then(Value::as_u64) else {
+                problems.push(format!(
+                    "series track {label:?}: counter {name:?} is not a top-level counter"
+                ));
+                continue;
+            };
+            let sum: u64 = points
+                .iter()
+                .map(|p| {
+                    p.get("counters")
+                        .and_then(Value::as_array)
+                        .and_then(|c| c.get(idx))
+                        .and_then(Value::as_u64)
+                        .unwrap_or(0)
+                })
+                .sum();
+            if sum != expect {
+                problems.push(format!(
+                    "series track {label:?}: counter {name:?} sums to {sum} across points \
+                     but the cumulative counter is {expect} (reconciliation drift)"
+                ));
+            }
+        }
+    }
+}
+
+/// Validate a streamed telemetry JSONL log (a *complete* file: the
+/// truncation-recovery contract is exercised separately by the obs
+/// tests). Line framing: one meta line first, every line
+/// `\n`-terminated, event lines are `day`/`trigger`/`final` with
+/// delta-counter and gauge objects, day stamps never decrease, and a
+/// `final` line closes the log.
+pub fn validate_jsonl(text: &str) -> Result<(), Vec<String>> {
+    let mut problems = Vec::new();
+    if text.is_empty() {
+        return Err(vec!["stream log is empty".to_string()]);
+    }
+    if !text.ends_with('\n') {
+        problems.push("stream log does not end with a newline".to_string());
+    }
+    let lines: Vec<&str> = text.lines().filter(|l| !l.is_empty()).collect();
+    let mut last_day: Option<i64> = None;
+    let mut saw_final = false;
+    for (i, line) in lines.iter().enumerate() {
+        let event: Value = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(e) => {
+                problems.push(format!("line {i} does not parse: {e:?}"));
+                continue;
+            }
+        };
+        let kind = event.get("type").and_then(Value::as_str).unwrap_or("");
+        if i == 0 {
+            if kind != "meta" {
+                problems.push("first line is not a \"meta\" line".to_string());
+            }
+            if event.get("version").and_then(Value::as_u64) != Some(1) {
+                problems.push("meta line \"version\" missing or not 1".to_string());
+            }
+            if event
+                .get("every_days")
+                .and_then(Value::as_u64)
+                .is_none_or(|d| d < 1)
+            {
+                problems.push("meta line has no positive \"every_days\"".to_string());
+            }
+            continue;
+        }
+        if !matches!(kind, "day" | "trigger" | "final") {
+            problems.push(format!("line {i} has unknown type {kind:?}"));
+            continue;
+        }
+        saw_final |= kind == "final";
+        match event.get("day").and_then(Value::as_i64) {
+            Some(day) => {
+                if last_day.is_some_and(|prev| day < prev) {
+                    problems.push(format!("line {i}: day {day} goes backwards"));
+                }
+                last_day = Some(day);
+            }
+            None => problems.push(format!("line {i} has no integer \"day\"")),
+        }
+        if let Some(Value::Map(counters)) = event.get("counters") {
+            for (name, value) in counters {
+                if value.as_u64().is_none() {
+                    problems.push(format!(
+                        "line {i}: counter delta {name:?} is not a non-negative integer"
+                    ));
+                }
+            }
+        } else {
+            problems.push(format!("line {i} has no \"counters\" object"));
+        }
+        if let Some(Value::Map(gauges)) = event.get("gauges") {
+            for (name, value) in gauges {
+                if value.as_i64().is_none() {
+                    problems.push(format!("line {i}: gauge {name:?} is not an integer"));
+                }
+            }
+        } else {
+            problems.push(format!("line {i} has no \"gauges\" object"));
+        }
+    }
+    if lines.len() < 2 {
+        problems.push("stream log has no event lines after the meta line".to_string());
+    } else if !saw_final {
+        problems.push("stream log has no \"final\" line".to_string());
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems)
+    }
+}
+
+/// Validate a `BENCH_*.json` document (bench schema version 2, the
+/// shared `BenchEmitter` shape consumed by `cargo xtask perf`). Beyond
+/// field shapes, this *recomputes* each declared summary reduction over
+/// its raw samples and fails on drift, so a bench cannot report a
+/// summary its own samples do not support.
+pub fn validate_bench(text: &str) -> Result<(), Vec<String>> {
+    let doc: Value = match serde_json::from_str(text) {
+        Ok(v) => v,
+        Err(e) => return Err(vec![format!("bench document does not parse: {e:?}")]),
+    };
+    let mut problems = Vec::new();
+
+    if doc.get("bench_schema").and_then(Value::as_u64) != Some(2) {
+        problems.push("\"bench_schema\" missing or not 2".to_string());
+    }
+    if doc
+        .get("name")
+        .and_then(Value::as_str)
+        .is_none_or(str::is_empty)
+    {
+        problems.push("\"name\" missing or empty".to_string());
+    }
+    match doc.get("env") {
+        Some(env) => {
+            for key in ["os", "arch"] {
+                if env.get(key).and_then(Value::as_str).is_none() {
+                    problems.push(format!("\"env\" has no string {key:?}"));
+                }
+            }
+            if env.get("cpus").and_then(Value::as_u64).is_none() {
+                problems.push("\"env\" has no numeric \"cpus\"".to_string());
+            }
+        }
+        None => problems.push("required key \"env\" missing".to_string()),
+    }
+    if doc
+        .get("min_of")
+        .and_then(Value::as_u64)
+        .is_none_or(|n| n < 1)
+    {
+        problems.push("\"min_of\" missing or zero".to_string());
+    }
+
+    let metrics = doc.get("metrics").and_then(Value::as_array);
+    match metrics {
+        Some(metrics) => {
+            for (i, m) in metrics.iter().enumerate() {
+                if m.get("name")
+                    .and_then(Value::as_str)
+                    .is_none_or(str::is_empty)
+                {
+                    problems.push(format!("metric {i} has no \"name\""));
+                }
+                match m.get("kind").and_then(Value::as_str) {
+                    Some("ratio" | "time" | "info") => {}
+                    other => problems.push(format!("metric {i} has bad kind {other:?}")),
+                }
+                match m.get("direction").and_then(Value::as_str) {
+                    Some("higher_better" | "lower_better" | "none") => {}
+                    other => problems.push(format!("metric {i} has bad direction {other:?}")),
+                }
+                if !m
+                    .get("value")
+                    .and_then(Value::as_f64)
+                    .is_some_and(f64::is_finite)
+                {
+                    problems.push(format!("metric {i} has no finite \"value\""));
+                }
+                if m.get("unit").and_then(Value::as_str).is_none() {
+                    problems.push(format!("metric {i} has no \"unit\""));
+                }
+            }
+        }
+        None => problems.push("required key \"metrics\" missing".to_string()),
+    }
+
+    match doc.get("series").and_then(Value::as_array) {
+        Some(series) => {
+            for (i, s) in series.iter().enumerate() {
+                let name = s.get("name").and_then(Value::as_str).unwrap_or("<unnamed>");
+                if s.get("name").and_then(Value::as_str).is_none() {
+                    problems.push(format!("series {i} has no \"name\""));
+                }
+                if s.get("unit").and_then(Value::as_str).is_none() {
+                    problems.push(format!("series {name:?} has no \"unit\""));
+                }
+                let index = s.get("index").and_then(Value::as_array);
+                let samples = s.get("samples").and_then(Value::as_array);
+                match (index, samples) {
+                    (Some(index), Some(samples)) => {
+                        if index.len() != samples.len() {
+                            problems.push(format!(
+                                "series {name:?}: {} index value(s) for {} sample(s)",
+                                index.len(),
+                                samples.len()
+                            ));
+                        }
+                        if samples.is_empty() {
+                            problems.push(format!("series {name:?} has no samples"));
+                        }
+                        validate_bench_summary(name, s, samples, metrics, &mut problems);
+                    }
+                    _ => problems.push(format!("series {name:?}: missing index/samples arrays")),
+                }
+            }
+        }
+        None => problems.push("required key \"series\" missing".to_string()),
+    }
+
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems)
+    }
+}
+
+/// Recompute the declared `reduce` of a bench series over its raw
+/// samples and require it to equal the named summary metric's value.
+fn validate_bench_summary(
+    name: &str,
+    series: &Value,
+    samples: &[Value],
+    metrics: Option<&Vec<Value>>,
+    problems: &mut Vec<String>,
+) {
+    let Some(summary) = series.get("summary") else {
+        return;
+    };
+    let Some(metric_name) = summary.as_str() else {
+        problems.push(format!("series {name:?}: \"summary\" is not a string"));
+        return;
+    };
+    match series.get("reduce").and_then(Value::as_str) {
+        Some("min") => {}
+        other => {
+            problems.push(format!("series {name:?} has unknown reduce {other:?}"));
+            return;
+        }
+    }
+    let Some(metric_value) = metrics.and_then(|ms| {
+        ms.iter()
+            .find(|m| m.get("name").and_then(Value::as_str) == Some(metric_name))
+            .and_then(|m| m.get("value"))
+            .and_then(Value::as_f64)
+    }) else {
+        problems.push(format!(
+            "series {name:?}: summary metric {metric_name:?} does not exist"
+        ));
+        return;
+    };
+    let recomputed = samples
+        .iter()
+        .filter_map(Value::as_f64)
+        .fold(f64::MAX, f64::min);
+    // Values round-trip through shortest-representation float text, so
+    // equality is exact up to a vanishing relative epsilon.
+    let drift = (recomputed - metric_value).abs();
+    if drift > metric_value.abs().max(1.0) * 1e-9 {
+        problems.push(format!(
+            "series {name:?}: series-reconciliation drift — min(samples) is {recomputed} \
+             but summary metric {metric_name:?} reports {metric_value}"
+        ));
+    }
+}
+
 /// Validate a chrome trace-event export: an array of complete (`"X"`)
 /// events with microsecond timestamps and durations.
 pub fn validate_trace(text: &str) -> Result<(), Vec<String>> {
@@ -220,13 +658,24 @@ pub fn validate_trace(text: &str) -> Result<(), Vec<String>> {
 mod tests {
     use super::*;
 
-    const GOOD: &str = r#"{"version":1,
+    const GOOD: &str = r#"{"version":2,
         "counters":{"replay.reads":10,"replay.misses":3},
         "gauges":{"fs.final_files":7},
         "histograms":[{"name":"h","bounds":[10,100],"counts":[1,2,0],"count":3,"sum":42}],
         "spans":[{"name":"run","count":1,"total_micros":5,
                   "children":[{"name":"day","count":2,"total_micros":4,"children":[]}]}],
         "flight":[{"seq":0,"day":-3,"kind":"trigger","detail":"x"}],
+        "series":{"day":{"capacity":4,"stride":1,"rollups":0,"raw_samples":2,
+            "counters":["replay.reads","replay.misses"],"gauges":["fs.final_files"],
+            "histograms":["h"],
+            "points":[
+              {"start_day":0,"end_day":0,"windows":1,"complete":true,
+               "counters":[4,1],"gauges":[7],"p50":[10],"p99":[100]},
+              {"start_day":1,"end_day":1,"windows":1,"complete":false,
+               "counters":[6,2],"gauges":[7],"p50":[0],"p99":[0]}]},
+          "trigger":{"capacity":4,"stride":1,"rollups":0,"raw_samples":0,
+            "counters":[],"gauges":[],"histograms":[],"points":[]}},
+        "stream":{"lines":5,"write_errors":0},
         "dropped":{"span_instances":0,"flight_events":0}}"#;
 
     #[test]
@@ -236,11 +685,60 @@ mod tests {
 
     #[test]
     fn rejects_missing_keys_and_bad_counters() {
-        let errs = validate_telemetry(r#"{"version":2,"counters":{"x":-1}}"#)
+        let errs = validate_telemetry(r#"{"version":1,"counters":{"x":-1}}"#)
             .expect_err("must be rejected");
         assert!(errs.iter().any(|e| e.contains("version")));
         assert!(errs.iter().any(|e| e.contains("\"x\"")));
         assert!(errs.iter().any(|e| e.contains("spans")));
+        assert!(errs.iter().any(|e| e.contains("series")));
+        assert!(errs.iter().any(|e| e.contains("stream")));
+    }
+
+    #[test]
+    fn rejects_series_counter_reconciliation_drift() {
+        // Shave one read off the second day point: 4 + 5 != 10.
+        let doc = GOOD.replace("\"counters\":[6,2]", "\"counters\":[5,2]");
+        let errs = validate_telemetry(&doc).expect_err("must be rejected");
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("reconciliation drift") && e.contains("replay.reads")));
+    }
+
+    #[test]
+    fn rejects_broken_series_ring_invariants() {
+        let doc = GOOD
+            .replace(
+                "\"capacity\":4,\"stride\":1,\"rollups\":0,\"raw_samples\":2",
+                "\"capacity\":3,\"stride\":5,\"rollups\":0,\"raw_samples\":2",
+            )
+            .replace(
+                "{\"start_day\":0,\"end_day\":0,\"windows\":1,\"complete\":true",
+                "{\"start_day\":0,\"end_day\":0,\"windows\":1,\"complete\":false",
+            );
+        let errs = validate_telemetry(&doc).expect_err("must be rejected");
+        assert!(errs.iter().any(|e| e.contains("capacity 3")));
+        assert!(errs.iter().any(|e| e.contains("stride 5")));
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("incomplete point 0 is not last")));
+    }
+
+    #[test]
+    fn rejects_overlapping_and_misaligned_series_points() {
+        let doc = GOOD
+            .replace(
+                "\"start_day\":1,\"end_day\":1",
+                "\"start_day\":0,\"end_day\":1",
+            )
+            .replace(
+                "\"counters\":[4,1],\"gauges\":[7]",
+                "\"counters\":[4],\"gauges\":[7]",
+            );
+        let errs = validate_telemetry(&doc).expect_err("must be rejected");
+        assert!(errs.iter().any(|e| e.contains("overlaps")));
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("1 counters column(s), want 2")));
     }
 
     #[test]
@@ -264,6 +762,103 @@ mod tests {
         let doc = GOOD.replace("\"replay.misses\":3", "\"replay.misses\":11");
         let errs = validate_telemetry(&doc).expect_err("must be rejected");
         assert!(errs.iter().any(|e| e.contains("exceeds replay.reads")));
+    }
+
+    const GOOD_JSONL: &str = concat!(
+        "{\"type\":\"meta\",\"version\":1,\"every_days\":7}\n",
+        "{\"type\":\"day\",\"day\":0,\"counters\":{\"replay.reads\":4},\"gauges\":{\"fs.final_files\":7}}\n",
+        "{\"type\":\"trigger\",\"day\":30,\"counters\":{\"replay.reads\":2},\"gauges\":{}}\n",
+        "{\"type\":\"final\",\"day\":30,\"counters\":{\"replay.reads\":4},\"gauges\":{}}\n",
+    );
+
+    #[test]
+    fn accepts_a_well_formed_stream_log() {
+        assert_eq!(validate_jsonl(GOOD_JSONL), Ok(()));
+    }
+
+    #[test]
+    fn rejects_broken_stream_framing() {
+        // No meta line first.
+        let errs = validate_jsonl("{\"type\":\"day\",\"day\":0,\"counters\":{},\"gauges\":{}}\n")
+            .expect_err("must be rejected");
+        assert!(errs.iter().any(|e| e.contains("meta")));
+        // Truncated tail (no trailing newline) and day going backwards.
+        let doc = GOOD_JSONL
+            .replace(
+                "\"day\":30,\"counters\":{\"replay.reads\":2}",
+                "\"day\":-1,\"counters\":{\"replay.reads\":2}",
+            )
+            .replace(
+                "{\"type\":\"final\",\"day\":30,\"counters\":{\"replay.reads\":4},\"gauges\":{}}\n",
+                "{\"type\":\"final\",\"day\":30,\"counters\":{\"replay.re",
+            );
+        let errs = validate_jsonl(&doc).expect_err("must be rejected");
+        assert!(errs.iter().any(|e| e.contains("newline")));
+        assert!(errs.iter().any(|e| e.contains("goes backwards")));
+        // A log that never closes.
+        let errs = validate_jsonl(
+            "{\"type\":\"meta\",\"version\":1,\"every_days\":1}\n\
+             {\"type\":\"day\",\"day\":0,\"counters\":{},\"gauges\":{}}\n",
+        )
+        .expect_err("must be rejected");
+        assert!(errs.iter().any(|e| e.contains("\"final\"")));
+        // Negative counter delta.
+        let doc = GOOD_JSONL.replace(
+            "\"replay.reads\":4},\"gauges\":{\"fs.final_files\":7}",
+            "\"replay.reads\":-4},\"gauges\":{\"fs.final_files\":7}",
+        );
+        let errs = validate_jsonl(&doc).expect_err("must be rejected");
+        assert!(errs.iter().any(|e| e.contains("non-negative")));
+    }
+
+    const GOOD_BENCH: &str = r#"{"bench_schema":2,"name":"obs",
+        "env":{"os":"linux","arch":"x86_64","cpus":8},"min_of":5,
+        "metrics":[
+          {"name":"speedup","kind":"ratio","direction":"higher_better","value":12.5,"unit":"x"},
+          {"name":"scan_nanos","kind":"time","direction":"lower_better","value":0.3,"unit":"ns"},
+          {"name":"files","kind":"info","direction":"none","value":4807,"unit":"files"}],
+        "series":[
+          {"name":"scan_nanos_samples","unit":"ns","index":[0,1,2],
+           "samples":[0.5,0.3,0.4],"summary":"scan_nanos","reduce":"min"},
+          {"name":"sweep","unit":"x","index":[0,5],"samples":[12.5,3.25]}]}"#;
+
+    #[test]
+    fn accepts_a_well_formed_bench_document() {
+        assert_eq!(validate_bench(GOOD_BENCH), Ok(()));
+    }
+
+    #[test]
+    fn rejects_bench_schema_violations() {
+        let errs = validate_bench(r#"{"bench_schema":1,"name":"","min_of":0}"#)
+            .expect_err("must be rejected");
+        assert!(errs.iter().any(|e| e.contains("bench_schema")));
+        assert!(errs.iter().any(|e| e.contains("\"name\" missing or empty")));
+        assert!(errs.iter().any(|e| e.contains("env")));
+        assert!(errs.iter().any(|e| e.contains("min_of")));
+        assert!(errs.iter().any(|e| e.contains("metrics")));
+
+        let doc = GOOD_BENCH
+            .replace("\"kind\":\"ratio\"", "\"kind\":\"speed\"")
+            .replace("\"index\":[0,5]", "\"index\":[0]");
+        let errs = validate_bench(&doc).expect_err("must be rejected");
+        assert!(errs.iter().any(|e| e.contains("bad kind")));
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("1 index value(s) for 2 sample(s)")));
+    }
+
+    #[test]
+    fn rejects_bench_summary_reduction_drift() {
+        // The samples say min is 0.3 but the metric claims 0.2.
+        let doc = GOOD_BENCH.replace("\"value\":0.3", "\"value\":0.2");
+        let errs = validate_bench(&doc).expect_err("must be rejected");
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("series-reconciliation drift") && e.contains("scan_nanos")));
+        // An unknown reduction is rejected rather than silently skipped.
+        let doc = GOOD_BENCH.replace("\"reduce\":\"min\"", "\"reduce\":\"mean\"");
+        let errs = validate_bench(&doc).expect_err("must be rejected");
+        assert!(errs.iter().any(|e| e.contains("unknown reduce")));
     }
 
     #[test]

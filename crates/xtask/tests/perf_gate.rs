@@ -1,0 +1,162 @@
+//! End-to-end tests of the `cargo xtask perf` regression gate, driving
+//! the real `xtask` binary against crafted results/baseline
+//! directories: a clean run passes, a planted slowdown fails, and a
+//! planted series-reconciliation drift (a bench whose summary its own
+//! samples do not support) fails.
+
+#![allow(
+    clippy::expect_used,
+    reason = "test harness: failing fast with a message is the point"
+)]
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// A BENCH-v2 document whose `time` metric carries per-rep samples with
+/// a declared min reduction. `summary_value` normally equals
+/// `min(samples)`; passing something else plants a reconciliation
+/// drift.
+fn bench_doc(name: &str, speedup: f64, scan_us: f64, summary_value: f64) -> String {
+    let samples = format!("[{},{},{}]", scan_us + 2.0, scan_us, scan_us + 1.0);
+    format!(
+        r#"{{"bench_schema":2,"name":"{name}","env":{{"os":"testos","arch":"testarch","cpus":1}},
+          "min_of":3,
+          "metrics":[
+            {{"name":"speedup","kind":"ratio","direction":"higher_better","value":{speedup},"unit":"x"}},
+            {{"name":"scan_us","kind":"time","direction":"lower_better","value":{summary_value},"unit":"us"}}],
+          "series":[
+            {{"name":"scan_us_samples","unit":"us","index":[0,1,2],
+              "samples":{samples},"summary":"scan_us","reduce":"min"}}]}}"#
+    )
+}
+
+/// Fresh scratch directory tree with `baseline/` and `results/`.
+fn scratch(test: &str) -> (PathBuf, PathBuf) {
+    let root = std::env::temp_dir()
+        .join(format!("activedr-perf-gate-{}", std::process::id()))
+        .join(test);
+    let baseline = root.join("baseline");
+    let results = root.join("results");
+    for dir in [&baseline, &results] {
+        std::fs::create_dir_all(dir).expect("scratch dir");
+    }
+    (baseline, results)
+}
+
+fn write_both(dir: &Path, speedup: f64, scan_us: f64, summary_value: f64) {
+    std::fs::write(
+        dir.join("BENCH_catalog.json"),
+        bench_doc("catalog", speedup, scan_us, summary_value),
+    )
+    .expect("write catalog");
+    std::fs::write(
+        dir.join("BENCH_obs.json"),
+        bench_doc("obs", speedup, scan_us, summary_value),
+    )
+    .expect("write obs");
+}
+
+/// Run `xtask perf --no-run --check` against the crafted directories.
+fn run_gate(baseline: &Path, results: &Path) -> (bool, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args([
+            "perf",
+            "--no-run",
+            "--check",
+            "--tolerance",
+            "25",
+            "--results",
+        ])
+        .arg(results)
+        .arg("--baseline")
+        .arg(baseline)
+        .output()
+        .expect("spawn xtask");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    (output.status.success(), text)
+}
+
+#[test]
+fn clean_results_pass_the_gate() {
+    let (baseline, results) = scratch("clean");
+    write_both(&baseline, 12.0, 100.0, 100.0);
+    write_both(&results, 12.5, 98.0, 98.0);
+    let (ok, text) = run_gate(&baseline, &results);
+    assert!(ok, "clean run must pass:\n{text}");
+    assert!(text.contains("xtask perf: ok"), "{text}");
+    assert!(text.contains("speedup"), "rows must be reported:\n{text}");
+}
+
+#[test]
+fn planted_time_slowdown_fails_the_gate() {
+    let (baseline, results) = scratch("slowdown");
+    write_both(&baseline, 12.0, 100.0, 100.0);
+    // Same machine fingerprint, twice the scan time: +100% > 25%.
+    write_both(&results, 12.0, 200.0, 200.0);
+    let (ok, text) = run_gate(&baseline, &results);
+    assert!(!ok, "slowdown must fail:\n{text}");
+    assert!(
+        text.contains("REGRESSION") && text.contains("scan_us"),
+        "{text}"
+    );
+}
+
+#[test]
+fn planted_ratio_drop_fails_the_gate() {
+    let (baseline, results) = scratch("ratio");
+    write_both(&baseline, 12.0, 100.0, 100.0);
+    write_both(&results, 6.0, 100.0, 100.0); // -50% speedup
+    let (ok, text) = run_gate(&baseline, &results);
+    assert!(!ok, "ratio drop must fail:\n{text}");
+    assert!(
+        text.contains("REGRESSION") && text.contains("speedup"),
+        "{text}"
+    );
+}
+
+#[test]
+fn planted_series_reconciliation_drift_fails_the_gate() {
+    let (baseline, results) = scratch("drift");
+    write_both(&baseline, 12.0, 100.0, 100.0);
+    // Samples say min is 100.0 but the summary metric claims 90.0: the
+    // bench is reporting a number its own samples do not support.
+    write_both(&results, 12.0, 100.0, 90.0);
+    let (ok, text) = run_gate(&baseline, &results);
+    assert!(!ok, "summary drift must fail:\n{text}");
+    assert!(text.contains("series-reconciliation drift"), "{text}");
+}
+
+#[test]
+fn schema_violations_fail_even_without_check() {
+    let (baseline, results) = scratch("schema");
+    write_both(&baseline, 12.0, 100.0, 100.0);
+    write_both(&results, 12.0, 100.0, 100.0);
+    std::fs::write(results.join("BENCH_obs.json"), r#"{"reps":5}"#).expect("write v1");
+    let output = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["perf", "--no-run", "--results"])
+        .arg(&results)
+        .arg("--baseline")
+        .arg(&baseline)
+        .output()
+        .expect("spawn xtask");
+    assert!(!output.status.success(), "schema violation must fail");
+    let text = String::from_utf8_lossy(&output.stderr).to_string()
+        + &String::from_utf8_lossy(&output.stdout);
+    assert!(
+        text.contains("INVALID") && text.contains("bench_schema"),
+        "{text}"
+    );
+}
+
+#[test]
+fn missing_baseline_bootstraps_with_a_note() {
+    let (baseline, results) = scratch("bootstrap");
+    write_both(&results, 12.0, 100.0, 100.0);
+    let (ok, text) = run_gate(&baseline, &results);
+    assert!(ok, "missing baseline must not fail:\n{text}");
+    assert!(text.contains("no readable baseline"), "{text}");
+}

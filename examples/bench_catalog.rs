@@ -25,12 +25,12 @@
 //!   crossover curve; the fix's whole point is that the *policy* never
 //!   hands a trigger a slower catalog than the plain walk.
 //!
-//! Writes `docs/results/BENCH_catalog.json` and exits nonzero unless the
-//! no-change trigger is at least 5× faster than the full scan, the
-//! week-churn (15 %) point flushes and beats the full scan (the
-//! regression this benchmark exists to pin: one-at-a-time application
-//! was 0.71× there), AND the trigger is at least as fast as the full
-//! scan at **every** churn rate.
+//! Writes `docs/results/BENCH_catalog.json` (BENCH schema v2, consumed
+//! by `cargo xtask perf`) and exits nonzero unless the no-change trigger
+//! is at least 5× faster than the full scan, the week-churn (15 %) point
+//! flushes and beats the full scan (the regression this benchmark exists
+//! to pin: one-at-a-time application was 0.71× there), AND the trigger
+//! is at least as fast as the full scan at **every** churn rate.
 
 #![allow(
     clippy::unwrap_used,
@@ -48,14 +48,13 @@ use activedr_core::user::UserId;
 use activedr_fs::{
     diff_catalogs, flush_beats_scan, CatalogIndex, DeltaBuffer, ExemptionList, VirtualFs,
 };
+use activedr_obs::{BenchEmitter, Direction, MetricKind};
 use activedr_sim::{run_until, Scale, Scenario, SimConfig};
-use serde::Serialize;
 use std::hint::black_box;
 use std::time::Duration;
 
 /// One point of the churn sweep: a week in which `churn_pct` % of the
 /// population was touched/overwritten/removed (plus fresh arrivals).
-#[derive(Serialize)]
 struct SweepPoint {
     churn_pct: u64,
     /// Raw deltas the week recorded.
@@ -71,13 +70,9 @@ struct SweepPoint {
     speedup: f64,
 }
 
-#[derive(Serialize)]
 struct BenchReport {
-    scale: String,
-    seed: u64,
     files: usize,
     users: usize,
-    iterations: u32,
     full_scan_micros: u64,
     incremental_nochange_micros: u64,
     incremental_week_churn_micros: u64,
@@ -306,11 +301,8 @@ fn main() {
     );
 
     let report = BenchReport {
-        scale: "small".to_string(),
-        seed,
         files,
         users,
-        iterations: iters,
         full_scan_micros: full_scan.as_micros() as u64,
         incremental_nochange_micros: nochange.as_micros() as u64,
         incremental_week_churn_micros: week.incremental_micros,
@@ -320,12 +312,131 @@ fn main() {
         churn_sweep: sweep,
     };
 
-    let json = serde_json::to_string_pretty(&report).unwrap();
+    // BENCH schema v2: ratio metrics gate on every machine, time metrics
+    // only against a matching env fingerprint, info metrics never.
+    let mut emitter = BenchEmitter::new("catalog", u64::from(iters));
+    // Info, not Ratio: the no-change denominator is ~0.1 µs, so this
+    // ratio jitters by integer factors run to run. The hard assert
+    // below still enforces its 5x floor; the watchdog gates the
+    // stable-denominator ratios instead.
+    emitter.metric(
+        "speedup_nochange",
+        MetricKind::Info,
+        Direction::Neutral,
+        report.speedup_nochange,
+        "x",
+    );
+    emitter.metric(
+        "speedup_week_churn",
+        MetricKind::Ratio,
+        Direction::HigherBetter,
+        report.speedup_week_churn,
+        "x",
+    );
+    let sweep_min_speedup = report
+        .churn_sweep
+        .iter()
+        .map(|p| p.speedup)
+        .fold(f64::MAX, f64::min);
+    emitter.metric(
+        "sweep_min_speedup",
+        MetricKind::Ratio,
+        Direction::HigherBetter,
+        sweep_min_speedup,
+        "x",
+    );
+    emitter.metric(
+        "full_scan_micros",
+        MetricKind::Time,
+        Direction::LowerBetter,
+        report.full_scan_micros as f64,
+        "us",
+    );
+    emitter.metric(
+        "incremental_nochange_micros",
+        MetricKind::Time,
+        Direction::LowerBetter,
+        report.incremental_nochange_micros as f64,
+        "us",
+    );
+    emitter.metric(
+        "incremental_week_churn_micros",
+        MetricKind::Time,
+        Direction::LowerBetter,
+        report.incremental_week_churn_micros as f64,
+        "us",
+    );
+    emitter.metric(
+        "files",
+        MetricKind::Info,
+        Direction::Neutral,
+        report.files as f64,
+        "files",
+    );
+    emitter.metric(
+        "users",
+        MetricKind::Info,
+        Direction::Neutral,
+        report.users as f64,
+        "users",
+    );
+    emitter.metric(
+        "churn_deltas",
+        MetricKind::Info,
+        Direction::Neutral,
+        report.churn_deltas as f64,
+        "deltas",
+    );
+    let pcts: Vec<f64> = report
+        .churn_sweep
+        .iter()
+        .map(|p| p.churn_pct as f64)
+        .collect();
+    emitter.series(
+        "churn_sweep_speedup",
+        "x",
+        &pcts,
+        &report
+            .churn_sweep
+            .iter()
+            .map(|p| p.speedup)
+            .collect::<Vec<f64>>(),
+    );
+    emitter.series(
+        "churn_sweep_full_scan_micros",
+        "us",
+        &pcts,
+        &report
+            .churn_sweep
+            .iter()
+            .map(|p| p.full_scan_micros as f64)
+            .collect::<Vec<f64>>(),
+    );
+    emitter.series(
+        "churn_sweep_incremental_micros",
+        "us",
+        &pcts,
+        &report
+            .churn_sweep
+            .iter()
+            .map(|p| p.incremental_micros as f64)
+            .collect::<Vec<f64>>(),
+    );
+    emitter.series(
+        "churn_sweep_flush_mode",
+        "bool",
+        &pcts,
+        &report
+            .churn_sweep
+            .iter()
+            .map(|p| if p.mode == "flush" { 1.0 } else { 0.0 })
+            .collect::<Vec<f64>>(),
+    );
     let out = concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/../../docs/results/BENCH_catalog.json"
     );
-    std::fs::write(out, format!("{json}\n")).unwrap();
+    std::fs::write(out, emitter.to_json()).unwrap();
 
     println!("catalog trigger benchmark — Small scale, {files} files, {users} users");
     println!(
@@ -340,13 +451,14 @@ fn main() {
     println!("  churn sweep (full scan vs buffered incremental):");
     for p in &report.churn_sweep {
         println!(
-            "    {:>3}% churn: scan {:>8.1} µs  inc {:>8.1} µs  ({:>5.1}x, {} raw -> {} net deltas, {})",
+            "    {:>3}% churn: scan {:>8.1} µs  inc {:>8.1} µs  ({:>5.1}x, {} raw -> {} net deltas over {} files, {})",
             p.churn_pct,
             p.full_scan_micros as f64,
             p.incremental_micros as f64,
             p.speedup,
             p.raw_deltas,
             p.net_deltas,
+            p.files_after,
             p.mode
         );
     }

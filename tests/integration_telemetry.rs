@@ -8,9 +8,33 @@
 )]
 
 use activedr_sim::{
-    run, run_with_telemetry, CatalogMode, Scale, Scenario, SimConfig, SimResult, Telemetry,
+    complete_lines, run, run_with_telemetry, CatalogMode, ObsConfig, Scale, Scenario, SimConfig,
+    SimResult, StreamOptions, Telemetry,
 };
 use serde_json::Value;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// In-memory `Write` sink for exercising the streaming path without
+/// touching the filesystem.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("buf lock").extend_from_slice(data);
+        Ok(data.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedBuf {
+    fn text(&self) -> String {
+        String::from_utf8(self.0.lock().expect("buf lock").clone()).expect("stream is utf8")
+    }
+}
 
 fn scenario() -> Scenario {
     Scenario::build(Scale::Tiny, 42)
@@ -73,6 +97,145 @@ fn simresult_is_byte_identical_with_telemetry_on_or_off() {
     let tele = Telemetry::on();
     let (observed, _) = run_with_telemetry(&sc.traces, sc.initial_fs.clone(), &config, &tele);
     assert_eq!(result_bytes(&plain), result_bytes(&observed));
+}
+
+#[test]
+fn simresult_is_byte_identical_with_series_and_streaming_on_or_off() {
+    let sc = scenario();
+    for config in [
+        SimConfig::activedr(90),
+        SimConfig::activedr(90).with_catalog_mode(CatalogMode::Incremental),
+    ] {
+        let plain = run(&sc.traces, sc.initial_fs.clone(), &config);
+
+        // Series recording at a tiny capacity (forcing rollups) plus an
+        // attached JSONL stream: still byte-identical.
+        let mut obs = ObsConfig::on();
+        obs.series_capacity = 4;
+        let tele = Telemetry::new(&obs);
+        let buf = SharedBuf::default();
+        tele.attach_stream(
+            Box::new(buf.clone()),
+            StreamOptions {
+                prom_path: None,
+                every_days: 1,
+            },
+        );
+        let (streamed, _) = run_with_telemetry(&sc.traces, sc.initial_fs.clone(), &config, &tele);
+        assert_eq!(
+            result_bytes(&plain),
+            result_bytes(&streamed),
+            "series/streaming changed the replay outcome"
+        );
+        let report = tele.report();
+        assert!(report.stream_lines > 0, "stream never emitted");
+        assert_eq!(report.stream_write_errors, 0);
+        assert!(!buf.text().is_empty());
+
+        // Series recording disabled on an otherwise-enabled instance:
+        // also identical, and the report carries empty tracks.
+        let mut obs_off = ObsConfig::on();
+        obs_off.series_capacity = 0;
+        let tele_off = Telemetry::new(&obs_off);
+        let (dark, _) = run_with_telemetry(&sc.traces, sc.initial_fs.clone(), &config, &tele_off);
+        assert_eq!(result_bytes(&plain), result_bytes(&dark));
+        assert_eq!(tele_off.report().day_series.raw_samples, 0);
+    }
+}
+
+#[test]
+fn series_sums_reconcile_exactly_with_final_counters() {
+    let sc = scenario();
+    for config in [
+        SimConfig::activedr(90),
+        SimConfig::activedr(90).with_catalog_mode(CatalogMode::Incremental),
+        SimConfig::flt(90),
+    ] {
+        // A small capacity so the day track provably rolls up mid-run.
+        let mut obs = ObsConfig::on();
+        obs.series_capacity = 8;
+        let tele = Telemetry::new(&obs);
+        let _ = run_with_telemetry(&sc.traces, sc.initial_fs.clone(), &config, &tele);
+        let report = tele.report();
+        assert!(report.day_series.raw_samples > 0);
+        assert!(
+            report.day_series.rollups > 0,
+            "a Tiny replay should overflow a capacity-8 day ring"
+        );
+        for track in [&report.day_series, &report.trigger_series] {
+            for counter in &report.counters {
+                assert_eq!(
+                    track.counter_sum(&counter.name),
+                    Some(counter.value),
+                    "{}: series sum diverged from cumulative counter",
+                    counter.name
+                );
+            }
+        }
+        // The trigger track closes one window per trigger boundary plus
+        // the final flush window.
+        let triggers = report.counter("retention.triggers_fired").unwrap_or(0)
+            + report.counter("retention.triggers_skipped").unwrap_or(0);
+        assert_eq!(report.trigger_series.raw_samples, triggers + 1);
+    }
+}
+
+#[test]
+fn streamed_jsonl_parses_and_reconciles_after_truncation() {
+    let sc = scenario();
+    let config = SimConfig::activedr(90).with_catalog_mode(CatalogMode::Incremental);
+    let tele = Telemetry::on();
+    let buf = SharedBuf::default();
+    tele.attach_stream(
+        Box::new(buf.clone()),
+        StreamOptions {
+            prom_path: None,
+            every_days: 1,
+        },
+    );
+    let _ = run_with_telemetry(&sc.traces, sc.initial_fs.clone(), &config, &tele);
+    let report = tele.report();
+    let text = buf.text();
+
+    // Every line is complete JSON; the first is meta, the last is final.
+    let lines = complete_lines(&text);
+    assert_eq!(
+        u64::try_from(lines.len()).expect("fits"),
+        report.stream_lines
+    );
+    let first: Value = serde_json::from_str(lines.first().expect("meta line")).expect("parses");
+    assert_eq!(first.get("type").and_then(Value::as_str), Some("meta"));
+    let last: Value = serde_json::from_str(lines.last().expect("final line")).expect("parses");
+    assert_eq!(last.get("type").and_then(Value::as_str), Some("final"));
+
+    // Per-line deltas sum to the end-of-run cumulative counters.
+    let sum_deltas = |payload: &str, name: &str| -> u64 {
+        complete_lines(payload)
+            .iter()
+            .filter_map(|l| serde_json::from_str::<Value>(l).ok())
+            .filter_map(|v| v.get("counters")?.get(name)?.as_u64())
+            .sum()
+    };
+    for name in ["replay.reads", "retention.purged_files"] {
+        assert_eq!(
+            sum_deltas(&text, name),
+            report.counter(name).unwrap_or(0),
+            "{name}: stream deltas diverged"
+        );
+    }
+
+    // Simulated crash: cut the payload mid-way through the last line.
+    // The complete-lines reader recovers exactly the untruncated prefix.
+    let cut = text.len() - 7;
+    let truncated = text.get(..cut).expect("cut inside the final line");
+    let recovered = complete_lines(truncated);
+    assert_eq!(recovered.len(), lines.len() - 1);
+    for line in &recovered {
+        assert!(
+            serde_json::from_str::<Value>(line).is_ok(),
+            "bad line {line}"
+        );
+    }
 }
 
 #[test]
@@ -147,17 +310,40 @@ fn telemetry_json_and_trace_export_are_valid() {
     let report = tele.report();
 
     let parsed: Value = serde_json::from_str(&report.to_json()).expect("telemetry.json parses");
-    assert_eq!(parsed.get("version").and_then(Value::as_u64), Some(1));
+    assert_eq!(parsed.get("version").and_then(Value::as_u64), Some(2));
     for key in [
         "counters",
         "gauges",
         "histograms",
         "spans",
         "flight",
+        "series",
+        "stream",
         "dropped",
     ] {
         assert!(parsed.get(key).is_some(), "missing {key}");
     }
+    // The series object carries both tracks with points and column names.
+    let day = parsed
+        .get("series")
+        .and_then(|s| s.get("day"))
+        .expect("day series");
+    assert!(
+        day.get("raw_samples").and_then(Value::as_u64).unwrap_or(0) > 0,
+        "no day samples recorded"
+    );
+    let day_points = day
+        .get("points")
+        .and_then(Value::as_array)
+        .expect("day points");
+    assert!(!day_points.is_empty());
+    let day_counters = day
+        .get("counters")
+        .and_then(Value::as_array)
+        .expect("day counter names");
+    assert!(day_counters
+        .iter()
+        .any(|n| n.as_str() == Some("replay.reads")));
     let counters = parsed.get("counters").expect("counters");
     assert_eq!(
         counters.get("replay.reads").and_then(Value::as_u64),
@@ -275,6 +461,47 @@ fn adaptive_trigger_falls_back_to_scan_under_heavy_churn() {
         report.flight.iter().any(|e| e.kind == "changelog-scan"),
         "fallback triggers should leave a changelog-scan flight event"
     );
+    // Adaptive-trigger observability: every incremental trigger leaves a
+    // per-decision flight event, and the crossover-ratio gauge holds the
+    // last trigger's net-pending/indexed ratio in basis points.
+    let decisions: Vec<_> = report
+        .flight
+        .iter()
+        .filter(|e| e.kind == "trigger-decision")
+        .collect();
+    assert!(!decisions.is_empty(), "no trigger-decision events retained");
+    for d in &decisions {
+        assert!(
+            d.detail.contains("net=")
+                && d.detail.contains("indexed=")
+                && d.detail.contains("ratio_bp=")
+                && d.detail.contains("raw=")
+                && (d.detail.contains("decision=flush") || d.detail.contains("decision=scan")),
+            "malformed decision detail: {}",
+            d.detail
+        );
+    }
+    assert!(
+        decisions.iter().any(|d| d.detail.contains("decision=scan")),
+        "the scan fallback should be visible in the decision log"
+    );
+    let ratio = report
+        .gauge("catalog.net_pending_ratio_bp")
+        .expect("crossover gauge registered");
+    assert!(ratio >= 0);
+    // The scan decision fires past the ~25% crossover, so the last
+    // trigger that scanned must have seen a ratio above 2 500 bp — and
+    // the gauge is only overwritten at trigger boundaries, so whatever
+    // it holds came from a real decision.
+    let scanned_high = decisions.iter().any(|d| {
+        d.detail
+            .split("ratio_bp=")
+            .nth(1)
+            .and_then(|t| t.split_whitespace().next())
+            .and_then(|n| n.parse::<u64>().ok())
+            .is_some_and(|bp| bp > 2_500 && d.detail.contains("decision=scan"))
+    });
+    assert!(scanned_high, "scan decisions should sit past the crossover");
     // The fallback leaves index + buffer intact, so the end-of-day
     // forced flush must still reconcile them: no divergence counters.
     assert_eq!(report.counter("catalog.guard_divergences").unwrap_or(0), 0);
