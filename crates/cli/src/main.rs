@@ -22,8 +22,8 @@ use activedr_sim::experiments::{
     variance::VarianceData,
 };
 use activedr_sim::{
-    report::admin_digest, run, run_with_telemetry, ArchiveConfig, RecoveryModel, Scale, Scenario,
-    SimConfig, StreamOptions, Telemetry,
+    report::admin_digest, run, run_with_telemetry, ArchiveConfig, CatalogMode, DurabilityConfig,
+    RecoveryModel, Scale, Scenario, SimConfig, StreamOptions, Telemetry,
 };
 use activedr_trace::import::{
     assemble, parse_access_log, parse_publications, parse_sacct, EpochDate, ImportBundle,
@@ -83,6 +83,12 @@ OPTIONS:
                                  Prometheus-style exposition file
     --telemetry-every <DAYS>     min days between streamed day events
                                  (triggers always stream) [default: 1]
+    --wal-dir <DIR>              durable replay for simulate: run the
+                                 incremental catalog with a write-ahead
+                                 log + checkpoints rooted at <DIR>, so a
+                                 killed replay recovers where it left off
+    --checkpoint-every <N>       checkpoint cadence in retention triggers
+                                 (with --wal-dir) [default: 4]
     --format <text|json>         experiment output format [default: text]
     --seeds <N>                  seeds for `run variance` [default: 5]
 
@@ -112,6 +118,8 @@ struct Options {
     telemetry: Option<String>,
     telemetry_stream: Option<String>,
     telemetry_every: i64,
+    wal_dir: Option<String>,
+    checkpoint_every: u32,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -133,6 +141,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         telemetry: None,
         telemetry_stream: None,
         telemetry_every: 1,
+        wal_dir: None,
+        checkpoint_every: 4,
     };
     let mut i = 0;
     while i < args.len() {
@@ -223,6 +233,20 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| format!("bad telemetry interval {v:?}"))?;
                 if opts.telemetry_every < 1 {
                     return Err("telemetry interval must be at least 1 day".into());
+                }
+                i += 2;
+            }
+            "--wal-dir" => {
+                opts.wal_dir = Some(args.get(i + 1).ok_or("--wal-dir needs a value")?.clone());
+                i += 2;
+            }
+            "--checkpoint-every" => {
+                let v = args.get(i + 1).ok_or("--checkpoint-every needs a value")?;
+                opts.checkpoint_every = v
+                    .parse()
+                    .map_err(|_| format!("bad checkpoint cadence {v:?}"))?;
+                if opts.checkpoint_every == 0 {
+                    return Err("checkpoint cadence must be at least 1 trigger".into());
                 }
                 i += 2;
             }
@@ -352,6 +376,15 @@ fn simulate(opts: &Options) -> Result<String, String> {
         "none" => RecoveryModel::None,
         other => return Err(format!("unknown recovery model {other:?}")),
     };
+    if let Some(wal_dir) = &opts.wal_dir {
+        // Durability rides on the changelog-fed catalog, so --wal-dir
+        // implies the incremental mode. Replay results are byte-identical
+        // to the in-memory path either way.
+        config.catalog_mode = CatalogMode::Incremental;
+        config.durability = Some(
+            DurabilityConfig::new(wal_dir.clone()).with_checkpoint_every(opts.checkpoint_every),
+        );
+    }
     let scenario = Scenario::build(opts.scale, opts.seed);
     if opts.telemetry.is_none() && opts.telemetry_stream.is_none() {
         let result = run(&scenario.traces, scenario.initial_fs.clone(), &config);
@@ -612,7 +645,41 @@ mod tests {
         assert!(parse_options(&args(&["--telemetry-every", "0"])).is_err());
         assert!(parse_options(&args(&["--telemetry-every", "x"])).is_err());
         assert!(parse_options(&args(&["--telemetry-stream"])).is_err());
+        assert!(parse_options(&args(&["--wal-dir"])).is_err());
+        assert!(parse_options(&args(&["--checkpoint-every", "0"])).is_err());
+        assert!(parse_options(&args(&["--checkpoint-every", "x"])).is_err());
         assert!(parse_options(&args(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn wal_flags_parse() {
+        let o = parse_options(&args(&["--wal-dir", "/tmp/w", "--checkpoint-every", "2"])).unwrap();
+        assert_eq!(o.wal_dir.as_deref(), Some("/tmp/w"));
+        assert_eq!(o.checkpoint_every, 2);
+        let d = parse_options(&[]).unwrap();
+        assert!(d.wal_dir.is_none());
+        assert_eq!(d.checkpoint_every, 4);
+    }
+
+    #[test]
+    fn simulate_with_wal_dir_writes_durable_state() {
+        let dir = std::env::temp_dir().join("activedr-cli-wal-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut o = parse_options(&[]).unwrap();
+        o.scale = Scale::Tiny;
+        o.lifetime = 30;
+        o.wal_dir = Some(dir.to_string_lossy().into_owned());
+        o.checkpoint_every = 2;
+        let digest = simulate(&o).unwrap();
+        assert!(digest.contains("retention digest: ActiveDR"));
+        assert!(dir.join("wal.log").exists(), "no WAL written in {dir:?}");
+        let checkpoints = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".ckpt"))
+            .count();
+        assert!(checkpoints >= 1, "no checkpoint written in {dir:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -158,6 +158,22 @@ impl DeltaBuffer {
         std::mem::take(&mut self.pending).into_iter().flatten()
     }
 
+    /// Borrow the pending net deltas in ascending node-id order without
+    /// disturbing the buffer — the checkpoint writer's view
+    /// ([`crate::storage`] serializes the pending set alongside the
+    /// index so a checkpoint stays valid mid-backlog).
+    pub fn pending_deltas(&self) -> impl Iterator<Item = &Delta> {
+        self.pending.iter().flatten()
+    }
+
+    /// Restore the raw-pending count after a recovery rehydrates the
+    /// pending set from a checkpoint: re-absorbing the *net* deltas
+    /// undercounts the raw deltas they stood in for, and the live buffer
+    /// and its recovered twin must agree on every observable.
+    pub fn set_raw_pending(&mut self, raw: u64) {
+        self.raw_pending = raw;
+    }
+
     /// Discard everything pending (used when the consumer re-seeds from
     /// a full walk and buffered history becomes redundant).
     pub fn clear(&mut self) {

@@ -41,6 +41,7 @@
 use crate::changelog::Delta;
 use crate::delta_buffer::DeltaBuffer;
 use crate::exemption::ExemptionList;
+use crate::meta::FileMeta;
 use crate::trie::NodeId;
 use crate::vfs::VirtualFs;
 use activedr_core::convert;
@@ -640,6 +641,30 @@ impl CatalogIndex {
                 atime_secs_sum: shard.atime_secs_sum,
             })
             .collect()
+    }
+
+    /// Export every indexed record as an [`Delta::Upsert`], ascending by
+    /// (user, path) — the checkpoint writer's view ([`crate::storage`]).
+    /// Feeding these back through [`CatalogIndex::flush`] with the same
+    /// exemption list reconstructs an index with identical contents and
+    /// aggregates. Stripe counts are not retained by the index, so the
+    /// exported metadata normalizes them to 1; no index observable reads
+    /// them.
+    pub fn export_deltas(&self) -> impl Iterator<Item = Delta> + '_ {
+        self.users.iter().flat_map(|(&user, shard)| {
+            shard.files.iter().map(move |(key, f)| Delta::Upsert {
+                path: key.as_str().to_string(),
+                id: f.id,
+                meta: FileMeta {
+                    owner: user,
+                    size: f.size,
+                    atime: f.atime,
+                    ctime: f.ctime,
+                    stripes: 1,
+                    access_count: f.access_count,
+                },
+            })
+        })
     }
 }
 

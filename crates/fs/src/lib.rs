@@ -25,7 +25,11 @@
 //! * [`snapshot`] — weekly metadata snapshot capture/restore with a JSONL
 //!   wire format;
 //! * [`scan`] — rayon-parallel catalog scans with per-shard counters (the
-//!   single-node analog of the paper's 20-rank MPI scan).
+//!   single-node analog of the paper's 20-rank MPI scan);
+//! * [`storage`] — the opt-in durability layer behind the incremental
+//!   catalog: checksummed write-ahead log of delta batches, periodic
+//!   checkpoints of the index + staging buffer, and crash recovery
+//!   (checkpoint + WAL-tail replay) with injected-fault crash testing.
 
 #![forbid(unsafe_code)]
 
@@ -36,6 +40,7 @@ pub mod index;
 pub mod meta;
 pub mod scan;
 pub mod snapshot;
+pub mod storage;
 pub mod striping;
 pub mod trie;
 pub mod vfs;
@@ -47,6 +52,10 @@ pub use index::{diff_catalogs, flush_beats_scan, CatalogIndex, PathKey, UserAggr
 pub use meta::FileMeta;
 pub use scan::{parallel_catalog, ScanResult, ShardReport};
 pub use snapshot::{Snapshot, SnapshotDiff, SnapshotEntry, SnapshotError};
+pub use storage::{
+    CrashFs, DurabilityConfig, DurableCatalog, FsyncPolicy, InjectedCrash, OpenedCatalog,
+    RecoveryStats, StorageError,
+};
 pub use striping::{recommended_stripes, size_band, SizeSynthesizer, SynthesisParams};
 pub use trie::{DirEntry, InsertError, Inserted, NodeId, PathTrie};
 pub use vfs::{Access, FsOpCounts, VirtualFs};

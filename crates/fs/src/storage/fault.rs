@@ -1,0 +1,152 @@
+//! Injected-fault I/O shim for crash-point testing.
+//!
+//! [`CrashFs`] wraps any [`io::Write`] and kills the stream at a
+//! configured absolute byte offset: the bytes *before* the offset are
+//! written for real (so the underlying file genuinely ends mid-record,
+//! exactly like a torn write on a dying node), everything at or past it
+//! is refused with [`io::ErrorKind::ConnectionAborted`]. (NOT
+//! `Interrupted` — `Write::write_all` silently *retries* interrupted
+//! writes, which would spin forever against a tripped shim instead of
+//! surfacing the crash.) The WAL writes
+//! through this shim, so a crash-point sweep can tear an append at every
+//! byte of its frame and prove recovery truncates at the last valid
+//! record.
+
+use std::io::{self, Write};
+
+/// Marker in injected-crash errors, so tests can tell a planted fault
+/// from a real I/O failure.
+pub const INJECTED_CRASH_MSG: &str = "injected crash: write torn at configured byte offset";
+
+/// Where a simulated crash is planted in a durable replay (carried by
+/// `DurabilityConfig` in the engine and by the oracle's matrix cells).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedCrash {
+    /// Kill the catalog service at the start of the n-th retention
+    /// trigger (1-based), before the trigger drains the changelog. The
+    /// engine drops its live index and buffer and must recover them
+    /// from disk.
+    AtTrigger(u32),
+    /// Tear the WAL mid-write once the file would grow past this
+    /// absolute byte offset, then recover.
+    AtWalByte(u64),
+}
+
+/// A write sink that dies at a configured absolute offset. `written`
+/// counts all bytes ever handed to `inner`, so `kill_at` is an offset
+/// into the underlying file regardless of how writes are chunked.
+#[derive(Debug)]
+pub struct CrashFs<W: Write> {
+    inner: W,
+    written: u64,
+    kill_at: Option<u64>,
+    tripped: bool,
+}
+
+impl<W: Write> CrashFs<W> {
+    /// Wrap `inner`, which already holds `written` bytes (offsets are
+    /// absolute, so an appender opening an existing file passes its
+    /// length).
+    pub fn new(inner: W, written: u64) -> Self {
+        CrashFs {
+            inner,
+            written,
+            kill_at: None,
+            tripped: false,
+        }
+    }
+
+    /// Arm the fault: the first write reaching `offset` is torn there.
+    pub fn kill_at(&mut self, offset: u64) {
+        self.kill_at = Some(offset);
+        self.tripped = false;
+    }
+
+    /// Has the armed fault fired?
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Total bytes accepted by the underlying sink.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Borrow the underlying sink (e.g. to fsync the real file).
+    pub fn get_ref(&self) -> &W {
+        &self.inner
+    }
+
+    fn injected() -> io::Error {
+        io::Error::new(io::ErrorKind::ConnectionAborted, INJECTED_CRASH_MSG)
+    }
+}
+
+impl<W: Write> Write for CrashFs<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let len = u64::try_from(buf.len()).map_err(|_| Self::injected())?;
+        match self.kill_at {
+            Some(kill) if self.written >= kill => {
+                self.tripped = true;
+                Err(Self::injected())
+            }
+            Some(kill) if self.written + len > kill => {
+                // Tear the write: land the prefix for real, refuse the
+                // rest. usize conversion cannot truncate — the prefix is
+                // shorter than `buf`.
+                let keep = usize::try_from(kill - self.written).unwrap_or(buf.len());
+                let head = buf.get(..keep).unwrap_or(buf);
+                self.inner.write_all(head)?;
+                self.written = kill;
+                self.tripped = true;
+                Err(Self::injected())
+            }
+            _ => {
+                let n = self.inner.write(buf)?;
+                self.written += u64::try_from(n).unwrap_or(0);
+                Ok(n)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_through_until_the_kill_offset() {
+        let mut sink = CrashFs::new(Vec::new(), 0);
+        sink.kill_at(5);
+        assert!(sink.write_all(b"abc").is_ok());
+        let err = sink.write_all(b"defg").expect_err("must tear");
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionAborted);
+        assert!(sink.tripped());
+        // The torn write landed exactly up to the kill offset.
+        assert_eq!(sink.get_ref().as_slice(), b"abcde");
+        // Everything after the trip is refused outright.
+        assert!(sink.write_all(b"x").is_err());
+        assert_eq!(sink.written(), 5);
+    }
+
+    #[test]
+    fn absolute_offsets_respect_preexisting_length() {
+        let mut sink = CrashFs::new(Vec::new(), 10);
+        sink.kill_at(12);
+        let err = sink.write_all(b"abcd").expect_err("must tear");
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionAborted);
+        assert_eq!(sink.get_ref().as_slice(), b"ab");
+    }
+
+    #[test]
+    fn unarmed_shim_is_transparent() {
+        let mut sink = CrashFs::new(Vec::new(), 0);
+        assert!(sink.write_all(b"hello").is_ok());
+        assert!(!sink.tripped());
+        assert_eq!(sink.get_ref().as_slice(), b"hello");
+    }
+}

@@ -12,13 +12,20 @@
 //!   *batched* index rides along, staging the same deltas in a coalescing
 //!   [`DeltaBuffer`] and folding them only at [`Op::Flush`] boundaries
 //!   and at end of tape — pinning buffered application to per-delta
-//!   application wherever the window happens to split.
+//!   application wherever the window happens to split. A *durable* twin
+//!   write-ahead logs every batch the buffer absorbs; [`Op::CrashRecover`]
+//!   drops the batched pair and rebuilds it from the on-disk checkpoint +
+//!   WAL tail, asserting the recovered state matches the live one before
+//!   the tape continues on it.
 //! * [`run_engine_matrix`] — generate a small trace world and replay it
 //!   through the engine under the full configuration matrix
 //!   {FullScan, Incremental} × {serial, sharded eval} × {telemetry off,
 //!   on + catalog guard}, asserting identical (timing-free) results,
 //!   identical final file-system state, identical per-trigger catalogs,
-//!   and a clean catalog guard.
+//!   and a clean catalog guard. Two extra durability cells replay the
+//!   Incremental configuration write-ahead logged — once uninterrupted,
+//!   once killed at a trigger boundary and recovered in place — and must
+//!   also land exactly on the reference cell.
 //!
 //! [`fuzz_one`] runs both for one seed — the unit `cargo xtask fuzz`
 //! iterates.
@@ -33,7 +40,11 @@ use activedr_core::policy::flt::FltPolicy;
 use activedr_core::policy::{PurgeRequest, RetentionPolicy};
 use activedr_core::time::Timestamp;
 use activedr_core::user::UserId;
-use activedr_fs::{diff_catalogs, CatalogIndex, DeltaBuffer, ExemptionList, Snapshot, VirtualFs};
+use activedr_fs::changelog::Delta;
+use activedr_fs::{
+    diff_catalogs, CatalogIndex, DeltaBuffer, DurabilityConfig, DurableCatalog, ExemptionList,
+    InjectedCrash, Snapshot, VirtualFs,
+};
 use activedr_sim::{
     build_initial_fs, run_instrumented, run_with_telemetry, CatalogMode, ObsConfig, SimConfig,
     SimResult, StreamOptions, Telemetry,
@@ -61,6 +72,139 @@ impl std::fmt::Display for Divergence {
 /// Capacity the fs-level differential runs at. Large enough that nothing
 /// the generator produces fills it; capacity is accounting-only anyway.
 const FS_CAP: u64 = 1 << 40;
+
+/// Monotone tag making every scratch durability directory unique, even
+/// when fuzz seeds run in parallel inside one process.
+static SCRATCH_TAG: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// A unique scratch durability directory, removed on drop.
+struct DurableScratch(std::path::PathBuf);
+
+impl DurableScratch {
+    fn new() -> Self {
+        let tag = SCRATCH_TAG.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("activedr-oracle-wal-{}-{tag}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        DurableScratch(dir)
+    }
+}
+
+impl Drop for DurableScratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// The durable twin riding along with the batched index in
+/// [`run_fs_differential`]: every drained batch is write-ahead logged
+/// before the buffer absorbs it, every [`Op::Flush`] boundary gets a
+/// mark, and exemption re-seeds cut a fresh checkpoint (exemptions are
+/// configuration, not logged state — nothing in the WAL can reproduce a
+/// full walk under a new reservation list). [`Op::CrashRecover`] drops
+/// the live pair and rebuilds it from disk; any observable difference
+/// between the recovered and live pairs is the crash-safety contract
+/// breaking, reported as a divergence value like every other oracle
+/// finding.
+struct DurableTwin {
+    config: DurabilityConfig,
+    handle: DurableCatalog,
+    _scratch: DurableScratch,
+}
+
+impl DurableTwin {
+    fn open(fs: &VirtualFs, ex: &ExemptionList) -> Result<DurableTwin, String> {
+        let scratch = DurableScratch::new();
+        let config = DurabilityConfig::new(&scratch.0);
+        let opened = DurableCatalog::open(&config, fs, ex, usize::MAX)
+            .map_err(|e| format!("durable twin open: {e}"))?;
+        Ok(DurableTwin {
+            config,
+            handle: opened.durable,
+            _scratch: scratch,
+        })
+    }
+
+    fn log_batch(&mut self, deltas: &[Delta]) -> Result<(), String> {
+        if deltas.is_empty() {
+            return Ok(());
+        }
+        self.handle
+            .log_batch(deltas)
+            .map(|_| ())
+            .map_err(|e| format!("durable twin WAL append: {e}"))
+    }
+
+    fn log_flush_mark(&mut self) -> Result<(), String> {
+        self.handle
+            .log_flush_mark()
+            .map(|_| ())
+            .map_err(|e| format!("durable twin flush mark: {e}"))
+    }
+
+    fn recheckpoint(&mut self, index: &CatalogIndex, buffer: &DeltaBuffer) -> Result<(), String> {
+        self.handle
+            .checkpoint_now(index, buffer)
+            .map(|_| ())
+            .map_err(|e| format!("durable twin re-seed checkpoint: {e}"))
+    }
+
+    /// Drop the live batched pair, recover from disk, compare every
+    /// observable, and install the recovered pair as the live one.
+    fn crash_recover(
+        &mut self,
+        fs: &VirtualFs,
+        batched: &mut CatalogIndex,
+        buffer: &mut DeltaBuffer,
+        ex: &ExemptionList,
+    ) -> Result<(), String> {
+        let opened = DurableCatalog::open(&self.config, fs, ex, usize::MAX)
+            .map_err(|e| format!("crash-recover reopen: {e}"))?;
+        if opened.recovered.is_none() {
+            return Err("crash-recover cold-started: durable state vanished".to_string());
+        }
+        let mut recovered_index = opened.index;
+        let recovered_buffer = opened.buffer;
+        if recovered_index.file_count() != batched.file_count()
+            || recovered_index.total_bytes() != batched.total_bytes()
+        {
+            return Err(format!(
+                "crash-recover accounting: recovered {} file(s)/{} B vs live {} file(s)/{} B",
+                recovered_index.file_count(),
+                recovered_index.total_bytes(),
+                batched.file_count(),
+                batched.total_bytes()
+            ));
+        }
+        if recovered_buffer.raw_pending() != buffer.raw_pending() {
+            return Err(format!(
+                "crash-recover raw-pending: recovered {} vs live {}",
+                recovered_buffer.raw_pending(),
+                buffer.raw_pending()
+            ));
+        }
+        let recovered_pending: Vec<&Delta> = recovered_buffer.pending_deltas().collect();
+        let live_pending: Vec<&Delta> = buffer.pending_deltas().collect();
+        if recovered_pending != live_pending {
+            return Err(format!(
+                "crash-recover pending set: recovered {} delta(s) vs live {}",
+                recovered_pending.len(),
+                live_pending.len()
+            ));
+        }
+        let drift = diff_catalogs(recovered_index.snapshot(), batched.snapshot());
+        if let Some(first) = drift.first() {
+            return Err(format!(
+                "crash-recover catalog drift ({} findings): {first}",
+                drift.len()
+            ));
+        }
+        *batched = recovered_index;
+        *buffer = recovered_buffer;
+        self.handle = opened.durable;
+        Ok(())
+    }
+}
 
 fn first_diff_line(a: &str, b: &str) -> String {
     for (la, lb) in a.lines().zip(b.lines()) {
@@ -222,6 +366,17 @@ pub fn run_fs_differential(seq: &OpSequence, bug: Option<InjectedBug>) -> Result
     // and folded only at explicit flush boundaries.
     let mut batched = index.clone();
     let mut buffer = DeltaBuffer::unbounded();
+    // The durable twin: the batched pair again, write-ahead logged to a
+    // scratch directory so `Op::CrashRecover` can rebuild it from disk.
+    let mut durable = match DurableTwin::open(&fs, &ex_real) {
+        Ok(twin) => twin,
+        Err(detail) => {
+            return Err(Divergence {
+                op_index: None,
+                detail,
+            })
+        }
+    };
     let mut model = ModelFs::with_capacity(FS_CAP);
     if let Some(bug) = bug {
         model = model.with_injected_bug(bug);
@@ -239,6 +394,7 @@ pub fn run_fs_differential(seq: &OpSequence, bug: Option<InjectedBug>) -> Result
             &mut index,
             &mut batched,
             &mut buffer,
+            &mut durable,
             &mut model,
             &mut ex_real,
             &mut ex_model,
@@ -251,6 +407,14 @@ pub fn run_fs_differential(seq: &OpSequence, bug: Option<InjectedBug>) -> Result
             });
         }
         let deltas = fs.drain_changelog();
+        // Write-ahead: the batch reaches the log before the buffer
+        // absorbs it, so recovery never trails the live pair.
+        if let Err(detail) = durable.log_batch(&deltas) {
+            return Err(Divergence {
+                op_index: Some(i),
+                detail,
+            });
+        }
         buffer.absorb(deltas.iter().cloned());
         index.apply(deltas, &ex_real);
         if let Err(detail) = compare_states(&fs, &mut index, &model, &ex_real, &ex_model) {
@@ -306,6 +470,7 @@ fn apply_op(
     index: &mut CatalogIndex,
     batched: &mut CatalogIndex,
     buffer: &mut DeltaBuffer,
+    durable: &mut DurableTwin,
     model: &mut ModelFs,
     ex_real: &mut ExemptionList,
     ex_model: &mut ModelExemptions,
@@ -437,6 +602,7 @@ fn apply_op(
             *index = CatalogIndex::from_fs(fs, ex_real);
             *batched = index.clone();
             buffer.clear();
+            durable.recheckpoint(batched, buffer)?;
         }
         Op::ReserveDir { prefix } => {
             ex_real.reserve_dir(prefix);
@@ -444,12 +610,19 @@ fn apply_op(
             *index = CatalogIndex::from_fs(fs, ex_real);
             *batched = index.clone();
             buffer.clear();
+            durable.recheckpoint(batched, buffer)?;
         }
         Op::Flush => {
             // The buffer holds everything drained since the last boundary;
-            // folding it here must land exactly on the per-op index.
+            // folding it here must land exactly on the per-op index. The
+            // mark reaches the log first so recovery flushes at the same
+            // tape position.
+            durable.log_flush_mark()?;
             batched.flush(buffer, ex_real);
             compare_batched(batched, index)?;
+        }
+        Op::CrashRecover => {
+            durable.crash_recover(fs, batched, buffer, ex_real)?;
         }
     }
     Ok(())
@@ -720,34 +893,79 @@ pub fn run_engine_matrix(seed: u64) -> Result<(), Divergence> {
             reference = Some(run);
             continue;
         };
-        if run.result != reference.result {
-            return Err(Divergence {
-                op_index: None,
-                detail: format!(
-                    "seed {seed}: result digest {} vs {}: {}",
-                    run.label,
-                    reference.label,
-                    first_diff_line(&run.result, &reference.result)
-                ),
-            });
+        check_cell(&run, reference, seed)?;
+    }
+    let Some(reference) = reference else {
+        return Ok(()); // unreachable: the matrix always has cells
+    };
+
+    // Durability cells: the Incremental replay again, write-ahead logged
+    // to a scratch directory — once uninterrupted, once killed at the
+    // second trigger boundary and recovered in place. Recovery must be
+    // invisible: digest, final fs, and every per-trigger catalog land
+    // exactly on the reference cell.
+    for (tag, crash) in [
+        ("durable", None),
+        ("durable-crash", Some(InjectedCrash::AtTrigger(2))),
+    ] {
+        let scratch = DurableScratch::new();
+        let mut dcfg = DurabilityConfig::new(&scratch.0).with_checkpoint_every(2);
+        if let Some(crash) = crash {
+            dcfg = dcfg.with_injected_crash(crash);
         }
-        if run.final_fs != reference.final_fs {
-            return Err(Divergence {
-                op_index: None,
-                detail: format!(
-                    "seed {seed}: final fs {} vs {}: {}",
-                    run.label,
-                    reference.label,
-                    first_diff_line(&run.final_fs, &reference.final_fs)
-                ),
+        let config = base
+            .clone()
+            .with_catalog_mode(CatalogMode::Incremental)
+            .with_durability(dcfg);
+        let mut triggers: Vec<(i64, String)> = Vec::new();
+        let (result, final_fs) =
+            run_instrumented(&traces, fs0.clone(), &config, None, &mut |probe| {
+                triggers.push((probe.day, catalog_projection(probe.catalog)));
             });
-        }
-        if let Err(detail) = compare_triggers(&run, reference) {
-            return Err(Divergence {
-                op_index: None,
-                detail: format!("seed {seed}: {detail}"),
-            });
-        }
+        let run = MatrixRun {
+            label: format!("Incremental/serial/{tag}"),
+            result: digest_result(&result),
+            final_fs: fs_projection(&final_fs, false),
+            triggers,
+            has_probe: true,
+            guard_divergences: None,
+            telemetry_fault: None,
+        };
+        check_cell(&run, &reference, seed)?;
+    }
+    Ok(())
+}
+
+/// One matrix cell against the reference cell: digest, final fs,
+/// per-trigger catalogs.
+fn check_cell(run: &MatrixRun, reference: &MatrixRun, seed: u64) -> Result<(), Divergence> {
+    if run.result != reference.result {
+        return Err(Divergence {
+            op_index: None,
+            detail: format!(
+                "seed {seed}: result digest {} vs {}: {}",
+                run.label,
+                reference.label,
+                first_diff_line(&run.result, &reference.result)
+            ),
+        });
+    }
+    if run.final_fs != reference.final_fs {
+        return Err(Divergence {
+            op_index: None,
+            detail: format!(
+                "seed {seed}: final fs {} vs {}: {}",
+                run.label,
+                reference.label,
+                first_diff_line(&run.final_fs, &reference.final_fs)
+            ),
+        });
+    }
+    if let Err(detail) = compare_triggers(run, reference) {
+        return Err(Divergence {
+            op_index: None,
+            detail: format!("seed {seed}: {detail}"),
+        });
     }
     Ok(())
 }

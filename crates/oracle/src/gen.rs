@@ -125,7 +125,11 @@ pub fn gen_sequence(seed: u64, config: &GenConfig) -> OpSequence {
             90..=91 => Op::SetCapacity {
                 bytes: 1 + rng.below(1 << 30),
             },
-            92..=95 => Op::SnapshotRoundtrip { day },
+            92..=93 => Op::SnapshotRoundtrip { day },
+            // Crash points dropped at arbitrary tape positions pin the
+            // recover-from-disk path to the live state no matter where a
+            // WAL/checkpoint window is split.
+            94..=95 => Op::CrashRecover,
             96..=98 => Op::ReserveFile {
                 path: pick_path(&mut rng, &mut known),
             },

@@ -59,6 +59,13 @@ pub enum Op {
     /// application: a window split anywhere must land on the same
     /// catalog. No-op on the model and per-delta sides.
     Flush,
+    /// Kill the durable executor here: drop its live `(index, buffer)`
+    /// pair on the floor and rebuild both from the on-disk checkpoint +
+    /// WAL tail, then continue the tape on the recovered state. The
+    /// recovered pair must match the live pair observable-for-observable
+    /// — the crash-safety contract, pinned at an arbitrary tape position.
+    /// No-op on the model and per-delta sides.
+    CrashRecover,
 }
 
 impl fmt::Display for Op {
@@ -83,6 +90,7 @@ impl fmt::Display for Op {
             Op::ReserveFile { path } => write!(f, "reserve-file {path}"),
             Op::ReserveDir { prefix } => write!(f, "reserve-dir {prefix}"),
             Op::Flush => write!(f, "flush"),
+            Op::CrashRecover => write!(f, "crash-recover"),
         }
     }
 }
@@ -174,6 +182,7 @@ impl FromStr for Op {
                 prefix: word(line, toks.next(), "prefix")?.to_string(),
             },
             "flush" => Op::Flush,
+            "crash-recover" => Op::CrashRecover,
             other => return Err(bad(line, &format!("unknown op {other:?}"))),
         };
         if let Some(extra) = toks.next() {
@@ -260,6 +269,7 @@ mod tests {
                 prefix: "/scratch/proj".into(),
             },
             Op::Flush,
+            Op::CrashRecover,
             Op::Remove {
                 path: "/scratch/u1/keep".into(),
             },
@@ -288,6 +298,7 @@ mod tests {
         assert!("create /a owner=x size=1 day=0".parse::<Op>().is_err());
         assert!("teleport /a".parse::<Op>().is_err());
         assert!("read /a day=1 extra".parse::<Op>().is_err());
+        assert!("crash-recover now".parse::<Op>().is_err());
         assert!("read /a day=1 extra".parse::<OpSequence>().is_err());
     }
 }

@@ -24,8 +24,10 @@ use crate::archive::{ArchiveConfig, ArchiveStats, ArchiveTier};
 use crate::metrics::DailyMetrics;
 use activedr_core::convert;
 use activedr_core::prelude::*;
+use activedr_fs::changelog::Delta;
 use activedr_fs::{
-    diff_catalogs, flush_beats_scan, CatalogIndex, DeltaBuffer, ExemptionList, VirtualFs,
+    diff_catalogs, flush_beats_scan, CatalogIndex, DeltaBuffer, DurabilityConfig, DurableCatalog,
+    ExemptionList, InjectedCrash, VirtualFs,
 };
 use activedr_obs::{Counter, Histogram, ObsConfig, Telemetry};
 use activedr_trace::{activity_events, AccessKind, TraceSet};
@@ -157,6 +159,16 @@ pub struct SimConfig {
     /// trigger, so a bursty trace cannot grow the pending set without
     /// limit. Ignored in [`CatalogMode::FullScan`].
     pub delta_buffer_cap: usize,
+    /// Opt-in crash-safe persistence for [`CatalogMode::Incremental`]:
+    /// drained delta batches are write-ahead logged and flush boundaries
+    /// marked *before* the in-memory state changes, with a checkpoint of
+    /// the `(index, buffer)` pair every N triggers, so a service death
+    /// mid-replay recovers to the exact live state (see
+    /// `activedr_fs::storage`). Strictly side-channel — replay results
+    /// are byte-identical with durability on or off, crash or no crash.
+    /// Ignored in [`CatalogMode::FullScan`]. `None` (default) keeps the
+    /// catalog purely in memory.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl SimConfig {
@@ -213,6 +225,7 @@ impl SimConfig {
             obs: ObsConfig::default(),
             catalog_guard_interval_days: None,
             delta_buffer_cap: 1 << 16,
+            durability: None,
         }
     }
 
@@ -243,6 +256,11 @@ impl SimConfig {
 
     pub fn with_delta_buffer_cap(mut self, cap: usize) -> Self {
         self.delta_buffer_cap = cap;
+        self
+    }
+
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = Some(durability);
         self
     }
 }
@@ -447,6 +465,13 @@ struct EngineMetrics {
     scan_fallbacks: Counter,
     guard_checks: Counter,
     guard_divergences: Counter,
+    wal_appends: Counter,
+    wal_bytes: Counter,
+    wal_torn_writes: Counter,
+    checkpoint_writes: Counter,
+    checkpoint_bytes: Counter,
+    recoveries: Counter,
+    replayed_records: Counter,
     purged_bytes_per_trigger: Histogram,
     trigger_micros: Histogram,
     /// Per-trigger activeness classification time (`core::classify` via
@@ -455,6 +480,8 @@ struct EngineMetrics {
     /// Per-trigger ranking + purge decision time (`core::rank` /
     /// `core::policy`).
     decision_micros: Histogram,
+    /// Durable-catalog checkpoint write time.
+    checkpoint_micros: Histogram,
 }
 
 impl EngineMetrics {
@@ -480,11 +507,148 @@ impl EngineMetrics {
             scan_fallbacks: tele.counter("catalog.scan_fallbacks"),
             guard_checks: tele.counter("catalog.guard_checks"),
             guard_divergences: tele.counter("catalog.guard_divergences"),
+            wal_appends: tele.counter("wal.appends"),
+            wal_bytes: tele.counter("wal.bytes"),
+            wal_torn_writes: tele.counter("wal.torn_writes"),
+            checkpoint_writes: tele.counter("checkpoint.writes"),
+            checkpoint_bytes: tele.counter("checkpoint.bytes"),
+            recoveries: tele.counter("recovery.recoveries"),
+            replayed_records: tele.counter("recovery.replayed_records"),
             purged_bytes_per_trigger: tele
                 .histogram("retention.purged_bytes_per_trigger", &Self::BYTES_BOUNDS),
             trigger_micros: tele.histogram("retention.trigger_micros", &Self::MICROS_BOUNDS),
             eval_micros: tele.histogram("activeness.eval_micros", &Self::MICROS_BOUNDS),
             decision_micros: tele.histogram("policy.decision_micros", &Self::MICROS_BOUNDS),
+            checkpoint_micros: tele.histogram("checkpoint.duration_micros", &Self::MICROS_BOUNDS),
+        }
+    }
+}
+
+/// Reopen the durability directory after a (real or injected) crash:
+/// recovery loads the newest valid checkpoint, replays the WAL tail, and
+/// the live `(index, buffer)` pair is replaced wholesale by the recovered
+/// one. Write-ahead ordering guarantees the recovered pair equals the
+/// live pair at every append boundary, so the swap is observably a
+/// no-op — which is exactly what the crash-point sweep test proves.
+/// Returns `None` (degraded, in-memory-only from here on) if the reopen
+/// itself fails.
+#[allow(clippy::too_many_arguments)]
+fn durable_reopen(
+    dcfg: &DurabilityConfig,
+    fs: &VirtualFs,
+    exemptions: &ExemptionList,
+    buffer_cap: usize,
+    index: &mut CatalogIndex,
+    buffer: &mut DeltaBuffer,
+    day: i64,
+    metrics: &EngineMetrics,
+    tele: &Telemetry,
+) -> Option<DurableCatalog> {
+    match DurableCatalog::open(dcfg, fs, exemptions, buffer_cap) {
+        Ok(opened) => {
+            match opened.recovered {
+                Some(stats) => {
+                    metrics.recoveries.inc();
+                    metrics.replayed_records.add(stats.replayed_records);
+                    tele.flight(day, "durable-recover", || {
+                        format!(
+                            "checkpoint seq {} + {} WAL record(s) replayed \
+                             ({} truncated byte(s), {} fallback(s))",
+                            stats.checkpoint_seq,
+                            stats.replayed_records,
+                            stats.truncated_bytes,
+                            stats.fallback_checkpoints
+                        )
+                    });
+                }
+                None => {
+                    // No valid checkpoint survived (shouldn't happen —
+                    // open wrote checkpoint 0): the cold-start path
+                    // reseeded from the live namespace, which is still
+                    // the truth. Count its checkpoint.
+                    metrics
+                        .checkpoint_writes
+                        .add(opened.durable.checkpoints_written());
+                }
+            }
+            *index = opened.index;
+            *buffer = opened.buffer;
+            Some(opened.durable)
+        }
+        Err(e) => {
+            tele.flight(day, "durable-degraded", || {
+                format!("recovery reopen failed, continuing in-memory: {e}")
+            });
+            None
+        }
+    }
+}
+
+/// Write-ahead log one record — `Some(batch)` for a drained delta batch,
+/// `None` for a buffer→index flush mark. Empty batches are skipped. A
+/// torn write (injected or real) triggers crash-and-recover in place:
+/// drop the handle, recover from disk (truncating the torn tail),
+/// replace the live pair with the recovered one, and re-append the
+/// interrupted record. If even that fails the layer degrades to `None`
+/// and the replay continues purely in memory.
+#[allow(clippy::too_many_arguments)]
+fn durable_append(
+    durable: &mut Option<DurableCatalog>,
+    reopen_cfg: Option<&DurabilityConfig>,
+    fs: &VirtualFs,
+    exemptions: &ExemptionList,
+    buffer_cap: usize,
+    index: &mut CatalogIndex,
+    buffer: &mut DeltaBuffer,
+    payload: Option<&[Delta]>,
+    day: i64,
+    metrics: &EngineMetrics,
+    tele: &Telemetry,
+) {
+    if durable.is_none() {
+        return;
+    }
+    if matches!(payload, Some(batch) if batch.is_empty()) {
+        return;
+    }
+    let attempt = |handle: &mut DurableCatalog| match payload {
+        Some(batch) => handle.log_batch(batch),
+        None => handle.log_flush_mark(),
+    };
+    let Some(handle) = durable.as_mut() else {
+        return;
+    };
+    match attempt(handle) {
+        Ok(bytes) => {
+            metrics.wal_appends.inc();
+            metrics.wal_bytes.add(bytes);
+        }
+        Err(e) => {
+            if e.is_injected_crash() {
+                metrics.wal_torn_writes.inc();
+                tele.flight(day, "wal-torn", || format!("injected torn write: {e}"));
+            } else {
+                tele.flight(day, "wal-error", || format!("append failed: {e}"));
+            }
+            *durable = None; // the "crash": this handle's tail may be torn
+            let Some(cfg) = reopen_cfg else { return };
+            *durable = durable_reopen(
+                cfg, fs, exemptions, buffer_cap, index, buffer, day, metrics, tele,
+            );
+            if let Some(handle) = durable.as_mut() {
+                match attempt(handle) {
+                    Ok(bytes) => {
+                        metrics.wal_appends.inc();
+                        metrics.wal_bytes.add(bytes);
+                    }
+                    Err(e2) => {
+                        tele.flight(day, "durable-degraded", || {
+                            format!("re-append after recovery failed, continuing in-memory: {e2}")
+                        });
+                        *durable = None;
+                    }
+                }
+            }
         }
     }
 }
@@ -578,14 +742,68 @@ fn run_engine(
     // with the one unavoidable initial walk; every trigger after that is
     // fed deltas only, staged through a bounded coalescing buffer that
     // collapses each day's churn to per-node net effects.
+    // Durability state: the WAL + checkpoint handle, the crash injection
+    // (consumed once), and the reopen config (injection stripped so a
+    // recovery never re-arms the fault that caused it). `durable` is
+    // `None` when durability is off, in FullScan mode, or after the
+    // layer degraded on an unrecoverable storage error — the replay
+    // itself never stops for durability trouble.
+    let mut durable: Option<DurableCatalog> = None;
+    let mut injected_crash = config.durability.as_ref().and_then(|d| d.injected_crash);
+    let durable_reopen_cfg = config.durability.as_ref().map(|d| DurabilityConfig {
+        injected_crash: None,
+        ..d.clone()
+    });
+    let mut trigger_count: u32 = 0;
     let mut incremental = match config.catalog_mode {
         CatalogMode::FullScan => None,
         CatalogMode::Incremental => {
             fs.enable_changelog();
-            Some((
-                CatalogIndex::from_fs(&fs, &config.exemptions),
-                DeltaBuffer::with_capacity(config.delta_buffer_cap),
-            ))
+            match config.durability.as_ref() {
+                None => Some((
+                    CatalogIndex::from_fs(&fs, &config.exemptions),
+                    DeltaBuffer::with_capacity(config.delta_buffer_cap),
+                )),
+                Some(dcfg) => {
+                    match DurableCatalog::open(
+                        dcfg,
+                        &fs,
+                        &config.exemptions,
+                        config.delta_buffer_cap,
+                    ) {
+                        Ok(opened) => {
+                            metrics
+                                .checkpoint_writes
+                                .add(opened.durable.checkpoints_written());
+                            if let Some(stats) = opened.recovered {
+                                metrics.recoveries.inc();
+                                metrics.replayed_records.add(stats.replayed_records);
+                                tele.flight(replay_start, "durable-recover", || {
+                                    format!(
+                                        "checkpoint seq {} + {} WAL record(s) replayed \
+                                         ({} truncated byte(s), {} fallback(s))",
+                                        stats.checkpoint_seq,
+                                        stats.replayed_records,
+                                        stats.truncated_bytes,
+                                        stats.fallback_checkpoints
+                                    )
+                                });
+                            }
+                            durable = Some(opened.durable);
+                            Some((opened.index, opened.buffer))
+                        }
+                        Err(e) => {
+                            tele.flight(replay_start, "durable-degraded", || {
+                                format!("open failed, continuing in-memory: {e}")
+                            });
+                            Some((
+                                CatalogIndex::from_fs(&fs, &config.exemptions),
+                                DeltaBuffer::with_capacity(config.delta_buffer_cap),
+                            ))
+                        }
+                    }
+                }
+            }
         }
     };
 
@@ -644,8 +862,39 @@ fn run_engine(
         // Retention triggers at the start of the day, every interval,
         // beginning one interval into the replay.
         let days_in = day - replay_start;
-        if days_in > 0 && days_in % i64::from(config.purge_interval_days) == 0 {
+        let is_trigger = days_in > 0 && days_in % i64::from(config.purge_interval_days) == 0;
+        if is_trigger {
             let _trigger_span = tele.span("trigger");
+            trigger_count += 1;
+            // Crash-point injection: simulate the service dying at this
+            // trigger boundary by dropping the live durable state and
+            // recovering everything from disk. The replay then continues
+            // on the recovered pair — the crash-point sweep test asserts
+            // the final SimResult is bitwise-identical either way.
+            if matches!(injected_crash, Some(InjectedCrash::AtTrigger(n)) if n == trigger_count) {
+                injected_crash = None;
+                if durable.is_some() {
+                    durable = None; // the "crash": live WAL handle gone
+                    if let (Some(cfg), Some((index, buffer))) =
+                        (durable_reopen_cfg.as_ref(), incremental.as_mut())
+                    {
+                        tele.flight(day, "durable-crash", || {
+                            format!("injected crash at trigger boundary {trigger_count}")
+                        });
+                        durable = durable_reopen(
+                            cfg,
+                            &fs,
+                            &config.exemptions,
+                            config.delta_buffer_cap,
+                            index,
+                            buffer,
+                            day,
+                            &metrics,
+                            tele,
+                        );
+                    }
+                }
+            }
             let tc = Timestamp::from_days(day);
             let (table, eval_micros) = {
                 let _eval_span = tele.span("evaluate");
@@ -668,6 +917,23 @@ fn run_engine(
                     metrics
                         .changelog_deltas
                         .add(convert::u64_from_usize(deltas.len()));
+                    // Write-ahead: the batch must be on disk before it
+                    // can touch the in-memory pair, so a crash between
+                    // here and the absorb recovers to a state that
+                    // either has the whole batch or none of it.
+                    durable_append(
+                        &mut durable,
+                        durable_reopen_cfg.as_ref(),
+                        &fs,
+                        &config.exemptions,
+                        config.delta_buffer_cap,
+                        index,
+                        buffer,
+                        Some(&deltas),
+                        day,
+                        &metrics,
+                        tele,
+                    );
                     buffer.absorb(deltas);
                     let raw = buffer.raw_pending();
                     let net = buffer.len();
@@ -695,6 +961,19 @@ fn run_engine(
                                 "{raw} raw delta(s) coalesced to {net} net, folded into the catalog index"
                             )
                         });
+                        durable_append(
+                            &mut durable,
+                            durable_reopen_cfg.as_ref(),
+                            &fs,
+                            &config.exemptions,
+                            config.delta_buffer_cap,
+                            index,
+                            buffer,
+                            None,
+                            day,
+                            &metrics,
+                            tele,
+                        );
                         index.flush(buffer, &config.exemptions);
                         tele.gauge("catalog.dirty_users")
                             .set_u64(convert::u64_from_usize(index.dirty_user_count()));
@@ -881,6 +1160,40 @@ fn run_engine(
                     fs: &fs,
                 });
             }
+        }
+        if is_trigger {
+            // Checkpoint cadence: every N-th trigger cuts a compact cut
+            // of the live pair, bounding the WAL tail recovery would
+            // have to replay. Sits outside the trigger block so the
+            // catalog borrow taken for the purge scan has ended.
+            let mut degrade = false;
+            if let (Some(handle), Some((index, buffer))) = (durable.as_mut(), incremental.as_ref())
+            {
+                // xtask-allow: determinism -- checkpoint timing for the durability report
+                let ckpt_start = Instant::now();
+                match handle.note_trigger(index, buffer) {
+                    Ok(Some(bytes)) => {
+                        metrics.checkpoint_writes.inc();
+                        metrics.checkpoint_bytes.add(bytes);
+                        metrics
+                            .checkpoint_micros
+                            .record(convert::u64_from_micros(ckpt_start.elapsed().as_micros()));
+                        tele.flight(day, "checkpoint", || {
+                            format!("{bytes} byte(s), WAL tail reset")
+                        });
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        tele.flight(day, "durable-degraded", || {
+                            format!("checkpoint failed, continuing in-memory: {e}")
+                        });
+                        degrade = true;
+                    }
+                }
+            }
+            if degrade {
+                durable = None;
+            }
             // Close a trigger-granularity telemetry window (fired or
             // skipped), capturing the adaptive-trigger gauges set above.
             tele.sample_trigger(day);
@@ -957,6 +1270,19 @@ fn run_engine(
             metrics
                 .changelog_deltas
                 .add(convert::u64_from_usize(deltas.len()));
+            durable_append(
+                &mut durable,
+                durable_reopen_cfg.as_ref(),
+                &fs,
+                &config.exemptions,
+                config.delta_buffer_cap,
+                index,
+                buffer,
+                Some(&deltas),
+                day,
+                &metrics,
+                tele,
+            );
             buffer.absorb(deltas);
             if buffer.over_capacity() {
                 metrics.forced_flushes.inc();
@@ -965,6 +1291,19 @@ fn run_engine(
                 tele.flight(day, "changelog-flush", || {
                     format!("forced: {net} net delta(s) exceeded buffer capacity {cap}")
                 });
+                durable_append(
+                    &mut durable,
+                    durable_reopen_cfg.as_ref(),
+                    &fs,
+                    &config.exemptions,
+                    config.delta_buffer_cap,
+                    index,
+                    buffer,
+                    None,
+                    day,
+                    &metrics,
+                    tele,
+                );
                 index.flush(buffer, &config.exemptions);
             }
         }

@@ -29,6 +29,9 @@ pub use engine::{
     run_with_telemetry, CatalogMode, EvalMode, PolicyKind, RecoveryModel, SimConfig, SimResult,
     TriggerProbe,
 };
+// Durability surface, re-exported so integration tests and downstream
+// binaries need no direct `activedr-fs` dependency.
+pub use activedr_fs::{DurabilityConfig, FsyncPolicy, InjectedCrash, RecoveryStats, StorageError};
 // Telemetry surface, re-exported so integration tests and downstream
 // binaries need no direct `activedr-obs` dependency.
 pub use activedr_obs::{

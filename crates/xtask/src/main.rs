@@ -107,12 +107,14 @@ fn validate_file(
 
 /// The release-mode smoke gates: the trigger-by-trigger catalog-mode
 /// equivalence test (all four policies, `Small` scale), the perf
-/// watchdog in `--check` mode (reruns `bench_catalog` + `bench_obs` —
-/// whose own hard floors still apply — and diffs the rewritten
-/// `docs/results/BENCH_*.json` against the checked-in baselines), a
-/// telemetry-enabled streaming Tiny replay through the real CLI whose
-/// `telemetry.json`, trace-event export, and JSONL stream are then
-/// schema-validated in process, and a bounded differential fuzz pass.
+/// watchdog in `--check` mode (reruns `bench_catalog` + `bench_obs` +
+/// `bench_wal` — whose own hard floors still apply — and diffs the
+/// rewritten `docs/results/BENCH_*.json` against the checked-in
+/// baselines), a telemetry-enabled streaming Tiny replay through the
+/// real CLI whose `telemetry.json`, trace export, and JSONL stream are
+/// then schema-validated in process, a durable (`--wal-dir`) Tiny
+/// replay whose `wal.log` is frame-validated against the documented
+/// on-disk format, and a bounded differential fuzz pass.
 fn smoke() -> ExitCode {
     let telemetry_path = workspace_root().join("target").join("smoke-telemetry.json");
     let trace_path = workspace_root()
@@ -121,8 +123,13 @@ fn smoke() -> ExitCode {
     let stream_path = workspace_root()
         .join("target")
         .join("smoke-telemetry.jsonl");
+    let wal_dir = workspace_root().join("target").join("smoke-wal");
     let telemetry_arg = telemetry_path.display().to_string();
     let stream_arg = stream_path.display().to_string();
+    let wal_arg = wal_dir.display().to_string();
+    // Cold-start the durable replay: stale state from an earlier smoke
+    // run would turn it into a recovery run instead.
+    std::fs::remove_dir_all(&wal_dir).ok();
 
     if let Err(msg) = cargo_step(&[
         "test",
@@ -153,7 +160,7 @@ fn smoke() -> ExitCode {
         }
     }
 
-    let steps: [&[&str]; 2] = [
+    let steps: [&[&str]; 3] = [
         &[
             "run",
             "--release",
@@ -172,6 +179,25 @@ fn smoke() -> ExitCode {
             &stream_arg,
             "--telemetry-every",
             "7",
+        ],
+        // Durable replay: write-ahead logged catalog with periodic
+        // checkpoints; the produced wal.log is frame-validated below.
+        &[
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "activedr-cli",
+            "--",
+            "simulate",
+            "--scale",
+            "tiny",
+            "--lifetime",
+            "30",
+            "--wal-dir",
+            &wal_arg,
+            "--checkpoint-every",
+            "2",
         ],
         // Bounded differential fuzz pass: every seed replays an op tape
         // through the reference model and the real engine matrix.
@@ -208,6 +234,27 @@ fn smoke() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("xtask smoke: {} validated", path.display());
+    }
+    let wal_path = wal_dir.join("wal.log");
+    match std::fs::read(&wal_path) {
+        Ok(bytes) => {
+            if let Err(problems) = xtask::telemetry::validate_wal(&bytes) {
+                eprintln!(
+                    "xtask smoke: {} is malformed:\n  {}",
+                    wal_path.display(),
+                    problems.join("\n  ")
+                );
+                return ExitCode::FAILURE;
+            }
+            eprintln!("xtask smoke: {} validated", wal_path.display());
+        }
+        Err(e) => {
+            eprintln!(
+                "xtask smoke: durable replay left no {}: {e}",
+                wal_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
     }
     eprintln!("xtask smoke: all gates passed");
     ExitCode::SUCCESS

@@ -1,7 +1,8 @@
 //! `cargo xtask perf` — the perf-regression watchdog.
 //!
-//! Drives the two release-mode benches (`bench_catalog`, `bench_obs`)
-//! through the shared BENCH-v2 emitter, then diffs the freshly written
+//! Drives the release-mode benches (`bench_catalog`, `bench_obs`,
+//! `bench_wal`) through the shared BENCH-v2 emitter, then diffs the
+//! freshly written
 //! `docs/results/BENCH_*.json` documents against the checked-in
 //! baselines that were read *before* the benches overwrote them.
 //!
@@ -45,7 +46,7 @@ pub struct BenchSpec {
 }
 
 /// The benches gated by `cargo xtask perf`, in run order.
-pub const BENCHES: [BenchSpec; 2] = [
+pub const BENCHES: [BenchSpec; 3] = [
     BenchSpec {
         file: "BENCH_catalog.json",
         cargo: &[
@@ -68,6 +69,18 @@ pub const BENCHES: [BenchSpec; 2] = [
             "activedr-obs",
             "--example",
             "bench_obs",
+        ],
+    },
+    BenchSpec {
+        file: "BENCH_wal.json",
+        cargo: &[
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "activedr-sim",
+            "--example",
+            "bench_wal",
         ],
     },
 ];

@@ -469,6 +469,17 @@ pub fn run(cfg: &Config) -> Result<Report, String> {
             );
         }
     }
+    // The workspace-root integration/example trees (registered in
+    // crates/sim/Cargo.toml via explicit [[test]]/[[example]] paths)
+    // count for the mention census too, so an API only they exercise
+    // stays off the dead list.
+    for sub in ["tests", "examples", "benches"] {
+        work.extend(
+            rust_files(&cfg.root.join(sub))
+                .into_iter()
+                .map(|p| (p, true)),
+        );
+    }
 
     // Pass 1 (parallel): lex, strip tests, parse, census mentions.
     let threads = num_threads(work.len());

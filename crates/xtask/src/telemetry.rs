@@ -137,6 +137,39 @@ pub fn validate_telemetry(text: &str) -> Result<(), Vec<String>> {
         }
     }
 
+    // Durability counters (non-zero only on durable replays): every WAL
+    // frame carries a 17-byte header+trailer, replayed records are
+    // impossible without a recovery, and any WAL activity implies at
+    // least the cold-start checkpoint was cut.
+    if let (Some(appends), Some(wal_bytes)) = (counter("wal.appends"), counter("wal.bytes")) {
+        if wal_bytes < appends.saturating_mul(17) {
+            problems.push(format!(
+                "wal.bytes ({wal_bytes}) is below the 17-byte frame floor for \
+                 wal.appends ({appends})"
+            ));
+        }
+    }
+    if let (Some(replayed), Some(recoveries)) = (
+        counter("recovery.replayed_records"),
+        counter("recovery.recoveries"),
+    ) {
+        if replayed > 0 && recoveries == 0 {
+            problems.push(format!(
+                "recovery.replayed_records ({replayed}) with recovery.recoveries 0"
+            ));
+        }
+    }
+    if let (Some(appends), Some(checkpoints)) =
+        (counter("wal.appends"), counter("checkpoint.writes"))
+    {
+        if appends > 0 && checkpoints == 0 {
+            problems.push(format!(
+                "wal.appends ({appends}) with checkpoint.writes 0 — even a cold \
+                 start cuts checkpoint 0"
+            ));
+        }
+    }
+
     if problems.is_empty() {
         Ok(())
     } else {
@@ -621,6 +654,130 @@ fn validate_bench_summary(
     }
 }
 
+/// CRC32 (IEEE, reflected, poly `0xEDB8_8320`) — deliberately
+/// reimplemented here rather than imported from `activedr-fs`, so the
+/// WAL validator checks the *documented* checksum, not whatever the
+/// writer happens to compute.
+fn crc32_ieee(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in bytes {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Validate a complete `wal.log` image against the on-disk contract of
+/// DESIGN.md §11, reimplemented from the spec (length-prefixed frames
+/// `[len u32 LE][seq u64 LE][kind u8][payload][crc32 u32 LE]`, CRC over
+/// `seq ++ kind ++ payload`, sequence numbers strictly contiguous from
+/// the first frame, JSON-array batch payloads, empty flush marks) so
+/// drift between the writer and the documented format cannot
+/// self-certify. A cleanly shut down replay must leave a fully
+/// well-formed log — torn tails are legal only after a crash, and
+/// `cargo xtask smoke` runs this against a replay that exited normally.
+pub fn validate_wal(bytes: &[u8]) -> Result<(), Vec<String>> {
+    const MAX_PAYLOAD: u32 = 16 << 20;
+    let mut problems = Vec::new();
+    if bytes.is_empty() {
+        return Err(vec!["WAL image is empty".to_string()]);
+    }
+    let mut offset = 0usize;
+    let mut prev_seq: Option<u64> = None;
+    while offset < bytes.len() {
+        let Some(len_bytes) = bytes.get(offset..offset.saturating_add(4)) else {
+            problems.push(format!(
+                "byte {offset}: truncated length prefix ({} byte(s) left)",
+                bytes.len().saturating_sub(offset)
+            ));
+            break;
+        };
+        let mut len_arr = [0u8; 4];
+        for (d, &s) in len_arr.iter_mut().zip(len_bytes.iter()) {
+            *d = s;
+        }
+        let len = u32::from_le_bytes(len_arr);
+        if len > MAX_PAYLOAD {
+            problems.push(format!(
+                "byte {offset}: length prefix {len} exceeds the {MAX_PAYLOAD}-byte ceiling"
+            ));
+            break;
+        }
+        let Ok(body_len) = usize::try_from(len) else {
+            problems.push(format!("byte {offset}: length prefix does not fit"));
+            break;
+        };
+        let covered_start = offset.saturating_add(4);
+        let covered_end = covered_start.saturating_add(9).saturating_add(body_len);
+        let crc_end = covered_end.saturating_add(4);
+        let (Some(covered), Some(crc_bytes)) = (
+            bytes.get(covered_start..covered_end),
+            bytes.get(covered_end..crc_end),
+        ) else {
+            problems.push(format!(
+                "byte {offset}: truncated frame (want {} byte(s), {} left)",
+                crc_end.saturating_sub(offset),
+                bytes.len().saturating_sub(offset)
+            ));
+            break;
+        };
+        let mut crc_arr = [0u8; 4];
+        for (d, &s) in crc_arr.iter_mut().zip(crc_bytes.iter()) {
+            *d = s;
+        }
+        if crc32_ieee(covered) != u32::from_le_bytes(crc_arr) {
+            problems.push(format!("byte {offset}: frame checksum mismatch"));
+            break;
+        }
+        let mut seq_arr = [0u8; 8];
+        for (d, &s) in seq_arr.iter_mut().zip(covered.iter()) {
+            *d = s;
+        }
+        let seq = u64::from_le_bytes(seq_arr);
+        if seq == 0 {
+            problems.push(format!(
+                "byte {offset}: sequence number 0 (they start at 1)"
+            ));
+        }
+        if let Some(prev) = prev_seq {
+            if seq != prev.saturating_add(1) {
+                problems.push(format!(
+                    "byte {offset}: sequence {seq} after {prev} (want contiguous)"
+                ));
+            }
+        }
+        prev_seq = Some(seq);
+        let kind = covered.get(8).copied();
+        let body = covered.get(9..).unwrap_or_default();
+        match kind {
+            Some(0) => {
+                let parsed: Result<Value, _> = serde_json::from_slice(body);
+                if !parsed.as_ref().is_ok_and(|v| v.as_array().is_some()) {
+                    problems.push(format!("byte {offset}: batch payload is not a JSON array"));
+                }
+            }
+            Some(1) => {
+                if !body.is_empty() {
+                    problems.push(format!(
+                        "byte {offset}: flush mark carries a {}-byte payload",
+                        body.len()
+                    ));
+                }
+            }
+            other => problems.push(format!("byte {offset}: unknown record kind {other:?}")),
+        }
+        offset = crc_end;
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems)
+    }
+}
+
 /// Validate a chrome trace-event export: an array of complete (`"X"`)
 /// events with microsecond timestamps and durations.
 pub fn validate_trace(text: &str) -> Result<(), Vec<String>> {
@@ -762,6 +919,91 @@ mod tests {
         let doc = GOOD.replace("\"replay.misses\":3", "\"replay.misses\":11");
         let errs = validate_telemetry(&doc).expect_err("must be rejected");
         assert!(errs.iter().any(|e| e.contains("exceeds replay.reads")));
+    }
+
+    #[test]
+    fn rejects_broken_durability_counter_invariants() {
+        // Two WAL appends cannot fit in 10 bytes; replayed records with
+        // no recovery and appends with no checkpoint are both impossible.
+        let doc = GOOD.replace(
+            "\"replay.misses\":3",
+            "\"replay.misses\":3,\"wal.appends\":2,\"wal.bytes\":10,\
+             \"recovery.replayed_records\":4,\"recovery.recoveries\":0,\
+             \"checkpoint.writes\":0",
+        );
+        let errs = validate_telemetry(&doc).expect_err("must be rejected");
+        assert!(errs.iter().any(|e| e.contains("17-byte frame floor")));
+        assert!(errs.iter().any(|e| e.contains("recovery.recoveries 0")));
+        assert!(errs.iter().any(|e| e.contains("checkpoint.writes 0")));
+
+        // The same counters in a consistent configuration pass.
+        let doc = GOOD.replace(
+            "\"replay.misses\":3",
+            "\"replay.misses\":3,\"wal.appends\":2,\"wal.bytes\":64,\
+             \"recovery.replayed_records\":4,\"recovery.recoveries\":1,\
+             \"checkpoint.writes\":1",
+        );
+        assert_eq!(validate_telemetry(&doc), Ok(()));
+    }
+
+    /// Hand-rolled WAL frame for the validator tests — built from the
+    /// documented layout, not the fs crate's encoder.
+    fn wal_frame(seq: u64, kind: u8, body: &[u8]) -> Vec<u8> {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&u32::try_from(body.len()).expect("len").to_le_bytes());
+        let mut covered = Vec::new();
+        covered.extend_from_slice(&seq.to_le_bytes());
+        covered.push(kind);
+        covered.extend_from_slice(body);
+        frame.extend_from_slice(&covered);
+        frame.extend_from_slice(&crc32_ieee(&covered).to_le_bytes());
+        frame
+    }
+
+    fn good_wal() -> Vec<u8> {
+        let mut image = wal_frame(1, 0, b"[]");
+        image.extend(wal_frame(2, 1, b""));
+        image.extend(wal_frame(3, 0, b"[{\"k\":1}]"));
+        image
+    }
+
+    #[test]
+    fn accepts_a_well_formed_wal_image() {
+        assert_eq!(validate_wal(&good_wal()), Ok(()));
+        assert!(validate_wal(b"").is_err());
+    }
+
+    #[test]
+    fn rejects_torn_flipped_and_malformed_wal_frames() {
+        // Torn tail: the last frame loses three bytes.
+        let mut image = good_wal();
+        image.truncate(image.len() - 3);
+        let errs = validate_wal(&image).expect_err("must be rejected");
+        assert!(errs.iter().any(|e| e.contains("truncated frame")));
+
+        // A flipped payload byte fails the checksum.
+        let mut image = good_wal();
+        let mid = image.len() / 2;
+        if let Some(b) = image.get_mut(mid) {
+            *b ^= 0x01;
+        }
+        let errs = validate_wal(&image).expect_err("must be rejected");
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("checksum mismatch") || e.contains("truncated")));
+
+        // A sequence gap, an unknown kind, and a fat flush mark are all
+        // individually flagged (valid checksums, bad content).
+        let mut image = wal_frame(1, 0, b"[]");
+        image.extend(wal_frame(3, 0, b"[]"));
+        image.extend(wal_frame(4, 7, b""));
+        image.extend(wal_frame(5, 1, b"junk"));
+        image.extend(wal_frame(6, 0, b"not json"));
+        let errs = validate_wal(&image).expect_err("must be rejected");
+        assert!(errs.iter().any(|e| e.contains("sequence 3 after 1")));
+        assert!(errs.iter().any(|e| e.contains("unknown record kind")));
+        assert!(errs.iter().any(|e| e.contains("flush mark carries")));
+        assert!(errs.iter().any(|e| e.contains("not a JSON array")));
     }
 
     const GOOD_JSONL: &str = concat!(

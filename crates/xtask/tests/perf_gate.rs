@@ -54,6 +54,11 @@ fn write_both(dir: &Path, speedup: f64, scan_us: f64, summary_value: f64) {
         bench_doc("obs", speedup, scan_us, summary_value),
     )
     .expect("write obs");
+    std::fs::write(
+        dir.join("BENCH_wal.json"),
+        bench_doc("wal", speedup, scan_us, summary_value),
+    )
+    .expect("write wal");
 }
 
 /// Run `xtask perf --no-run --check` against the crafted directories.

@@ -10,10 +10,11 @@
 
 #![allow(
     clippy::expect_used,
+    clippy::indexing_slicing,
     reason = "test harness: failing fast with a message is the point"
 )]
 
-use xtask::telemetry::{validate_bench, validate_jsonl, validate_telemetry};
+use xtask::telemetry::{validate_bench, validate_jsonl, validate_telemetry, validate_wal};
 
 const TELEMETRY: &str = r#"{"version":2,
     "counters":{"replay.reads":100,"retention.purged_files":40},
@@ -181,6 +182,77 @@ const BENCH: &str = r#"{"bench_schema":2,"name":"catalog",
 #[test]
 fn pristine_bench_document_passes() {
     assert_eq!(validate_bench(BENCH), Ok(()));
+}
+
+/// A realistic WAL image built with the *real* encoder from
+/// `activedr-fs` — not the validator's own frame builder — so this test
+/// pins writer and independent validator to the same on-disk format. A
+/// drift on either side (layout, checksum polynomial, sequence rules)
+/// breaks it.
+fn real_wal_image() -> Vec<u8> {
+    use activedr_core::time::Timestamp;
+    use activedr_core::user::UserId;
+    use activedr_fs::storage::{encode_record, WalPayload};
+    use activedr_fs::{Delta, FileMeta, NodeId};
+
+    let batch = WalPayload::Batch(vec![Delta::Upsert {
+        path: "/scratch/u1/f0".to_string(),
+        id: NodeId(7),
+        meta: FileMeta::new(UserId(1), 4096, Timestamp::from_days(3)),
+    }]);
+    let mut image = Vec::new();
+    for (seq, payload) in [
+        (1, &batch),
+        (2, &WalPayload::FlushMark),
+        (3, &WalPayload::Batch(Vec::new())),
+    ] {
+        image.extend(encode_record(seq, payload).expect("encode frame"));
+    }
+    image
+}
+
+#[test]
+fn real_wal_frames_pass_the_independent_validator() {
+    assert_eq!(validate_wal(&real_wal_image()), Ok(()));
+}
+
+#[test]
+fn planted_wal_corruptions_are_each_rejected() {
+    // Torn tail: any cut inside the last frame must be flagged — this
+    // validator certifies *complete* logs from clean shutdowns.
+    let image = real_wal_image();
+    for cut in 1..17 {
+        let truncated = &image[..image.len() - cut];
+        let errs = validate_wal(truncated).expect_err("torn tail must be flagged");
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("truncated") || e.contains("checksum")),
+            "cut {cut}: {errs:?}"
+        );
+    }
+
+    // A single flipped bit anywhere must be caught by the frame CRC (or
+    // surface as a framing failure when it hits a length prefix).
+    for i in 0..image.len() {
+        let mut flipped = image.clone();
+        flipped[i] ^= 0x10;
+        assert!(
+            validate_wal(&flipped).is_err(),
+            "bit flip at byte {i} survived validation"
+        );
+    }
+
+    // A sequence gap — a frame silently lost from the middle — framed
+    // and checksummed correctly but must still be rejected.
+    use activedr_fs::storage::{encode_record, WalPayload};
+    let mut gapped = Vec::new();
+    gapped.extend(encode_record(1, &WalPayload::FlushMark).expect("encode"));
+    gapped.extend(encode_record(3, &WalPayload::FlushMark).expect("encode"));
+    let errs = validate_wal(&gapped).expect_err("sequence gap must be flagged");
+    assert!(
+        errs.iter().any(|e| e.contains("sequence 3 after 1")),
+        "{errs:?}"
+    );
 }
 
 #[test]
